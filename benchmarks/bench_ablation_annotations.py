@@ -1,0 +1,129 @@
+"""Ablation: what do the annotations buy? (The paper's core claim.)
+
+The aFSA model exists because plain-FSA intersection misses
+mandatory-message deadlocks (Sect. 3.2, Fig. 5).  This bench compiles a
+corpus of variant-changed choreographies under the three annotation
+policies and measures the *false-negative rate* of the consistency
+check: how many genuinely broken protocols the plain-FSA check waves
+through.
+
+Expected shape: the ``none`` policy detects ~0% of the injected variant
+additive-send breaks (the new branch's runs intersect fine as optional
+paths), while the paper's ``switch-only`` policy detects 100%; the
+stricter ``all-choices`` policy detects them too but also rejects some
+legitimately consistent protocols (false positives on the base pairs).
+"""
+
+import pytest
+
+from bench_support import record_verdict
+
+from repro.afsa.emptiness import is_empty
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import (
+    ANNOTATE_ALL_CHOICES,
+    ANNOTATE_NONE,
+    ANNOTATE_SWITCH_ONLY,
+    compile_process,
+)
+from repro.errors import ChangeError
+from repro.workload.generator import generate_partner_pair
+from repro.workload.mutations import inject_variant_additive
+
+SEEDS = range(12)
+
+
+def _broken_pairs():
+    """Generate (changed initiator, responder) pairs whose protocol the
+    injected internal cancel-branch genuinely breaks."""
+    pairs = []
+    for seed in SEEDS:
+        initiator, responder = generate_partner_pair(
+            seed=seed, steps=3, with_loop=True
+        )
+        try:
+            change, _ = inject_variant_additive(initiator, seed=seed)
+        except ChangeError:
+            continue
+        pairs.append((change.apply(initiator), responder))
+    return pairs
+
+
+def _detection_rate(pairs, policy) -> float:
+    detected = 0
+    for changed, responder in pairs:
+        left = compile_process(changed, policy=policy).afsa
+        right = compile_process(responder, policy=policy).afsa
+        view_left = project_view(left, responder.party)
+        view_right = project_view(right, changed.party)
+        if is_empty(intersect(view_left, view_right)):
+            detected += 1
+    return detected / len(pairs)
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [ANNOTATE_SWITCH_ONLY, ANNOTATE_ALL_CHOICES, ANNOTATE_NONE],
+)
+def test_ablation_annotation_policies(benchmark, policy):
+    pairs = _broken_pairs()
+    assert pairs, "corpus generation produced no variant pairs"
+    benchmark.group = "annotation-ablation"
+    benchmark.extra_info["policy"] = policy
+
+    rate = benchmark(lambda: _detection_rate(pairs, policy))
+    benchmark.extra_info["detection_rate"] = rate
+
+    if policy == ANNOTATE_NONE:
+        record_verdict(
+            benchmark,
+            experiment="ablation (plain FSA consistency)",
+            paper="plain FSA misses mandatory-message breaks",
+            measured=(
+                "plain FSA misses mandatory-message breaks"
+                if rate < 0.5
+                else f"unexpected detection rate {rate:.0%}"
+            ),
+        )
+    else:
+        record_verdict(
+            benchmark,
+            experiment=f"ablation ({policy} consistency)",
+            paper="annotated check detects every break",
+            measured=(
+                "annotated check detects every break"
+                if rate == 1.0
+                else f"detection rate {rate:.0%}"
+            ),
+        )
+
+
+def test_ablation_strictness_on_consistent_pairs(benchmark):
+    """ALL_CHOICES must not reject the consistent base pairs here
+    (their picks mirror the partner's switches), while NONE and
+    SWITCH_ONLY obviously accept them too."""
+    base_pairs = [
+        generate_partner_pair(seed=seed, steps=3, with_loop=True)
+        for seed in SEEDS
+    ]
+
+    def false_positive_rate():
+        rejected = 0
+        for initiator, responder in base_pairs:
+            left = compile_process(
+                initiator, policy=ANNOTATE_ALL_CHOICES
+            ).afsa
+            right = compile_process(
+                responder, policy=ANNOTATE_ALL_CHOICES
+            ).afsa
+            view_left = project_view(left, responder.party)
+            view_right = project_view(right, initiator.party)
+            if is_empty(intersect(view_left, view_right)):
+                rejected += 1
+        return rejected / len(base_pairs)
+
+    benchmark.group = "annotation-ablation"
+    rate = benchmark(false_positive_rate)
+    benchmark.extra_info["false_positive_rate"] = rate
+    assert rate == 0.0

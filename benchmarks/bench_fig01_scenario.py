@@ -1,0 +1,53 @@
+"""F1 — Fig. 1: the procurement choreography overview.
+
+Regenerates the three-partner choreography and verifies the partner and
+message inventory of Sect. 2, timing full choreography construction +
+global consistency checking.
+"""
+
+from bench_support import record_verdict
+
+from repro.core.choreography import Choreography
+from repro.scenario.procurement import (
+    accounting_private,
+    buyer_private,
+    logistics_private,
+)
+
+#: Fig. 1's message kinds (terminate appears on both hops).
+PAPER_OPERATIONS = {
+    "orderOp",
+    "deliveryOp",
+    "get_statusOp",
+    "statusOp",
+    "terminateOp",
+    "deliverOp",
+    "deliver_confOp",
+    "get_statusLOp",
+    "terminateLOp",
+}
+
+
+def build_and_check():
+    choreography = Choreography("procurement")
+    choreography.add_partner(buyer_private())
+    choreography.add_partner(accounting_private())
+    choreography.add_partner(logistics_private())
+    report = choreography.check_consistency()
+    return choreography, report
+
+
+def test_fig01_scenario(benchmark):
+    choreography, report = benchmark(build_and_check)
+    operations = choreography.public("A").alphabet.operations()
+    record_verdict(
+        benchmark,
+        experiment="F1 (Fig. 1 choreography overview)",
+        paper="3 partners, 9 message kinds, consistent",
+        measured=(
+            f"{len(choreography.parties())} partners, "
+            f"{len(operations)} message kinds, "
+            f"{'consistent' if report.consistent else 'INCONSISTENT'}"
+        ),
+    )
+    assert operations == PAPER_OPERATIONS

@@ -1,0 +1,73 @@
+"""F4 — Fig. 4: the general approach (full decision pipeline).
+
+Times one complete evolution step per change category — recreate the
+public aFSA, classify, propagate if variant — and asserts the engine
+takes exactly the decision path Fig. 4 prescribes for each.
+"""
+
+from bench_support import record_verdict
+
+from repro.core.choreography import Choreography
+from repro.core.engine import EvolutionEngine
+from repro.scenario.procurement import (
+    accounting_private,
+    accounting_private_invariant_change,
+    accounting_private_variant_change,
+    buyer_private,
+    logistics_private,
+)
+
+
+def fresh_engine():
+    choreography = Choreography("procurement")
+    choreography.add_partner(buyer_private())
+    choreography.add_partner(accounting_private())
+    choreography.add_partner(logistics_private())
+    return EvolutionEngine(choreography)
+
+
+def test_fig04_invariant_path(benchmark):
+    def run():
+        engine = fresh_engine()
+        return engine.apply_private_change(
+            "A", accounting_private_invariant_change(), commit=False
+        )
+
+    report = benchmark(run)
+    measured = (
+        "recreate public → consistency holds → no propagation"
+        if report.public_changed and not report.requires_propagation
+        else "WRONG PATH"
+    )
+    record_verdict(
+        benchmark,
+        experiment="F4 (Fig. 4 pipeline, invariant branch)",
+        paper="recreate public → consistency holds → no propagation",
+        measured=measured,
+    )
+
+
+def test_fig04_variant_path(benchmark):
+    def run():
+        engine = fresh_engine()
+        return engine.apply_private_change(
+            "A",
+            accounting_private_variant_change(),
+            auto_adapt=True,
+            commit=False,
+        )
+
+    report = benchmark(run)
+    impact = report.impact_for("B")
+    measured = (
+        "recreate public → inconsistent → propagate → adapt private"
+        if report.requires_propagation
+        and impact.consistent_after_adaptation
+        else "WRONG PATH"
+    )
+    record_verdict(
+        benchmark,
+        experiment="F4 (Fig. 4 pipeline, variant branch)",
+        paper="recreate public → inconsistent → propagate → adapt private",
+        measured=measured,
+    )

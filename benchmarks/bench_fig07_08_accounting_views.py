@@ -1,0 +1,69 @@
+"""F7 + F8 — Figs. 7 and 8: accounting public process and its views.
+
+Times compilation of the three-conversation accounting process and the
+τ_P view projections (relabel → ε-eliminate → minimize) for both
+partners.
+"""
+
+from bench_support import record_verdict
+
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.scenario.procurement import (
+    BUYER,
+    LOGISTICS,
+    accounting_private,
+)
+
+
+def test_fig07_accounting_public(benchmark):
+    process = accounting_private()
+    compiled = benchmark(lambda: compile_process(process))
+    public = compiled.afsa
+    labels = {str(t.label) for t in public.transitions}
+    shape_ok = (
+        len(public.states) == 10
+        and "A#L#get_statusLOp" in labels
+        and "L#A#get_statusLOp" in labels
+    )
+    record_verdict(
+        benchmark,
+        experiment="F7 (Fig. 7 accounting public process)",
+        paper="10 states incl. synchronous get_statusL message pair",
+        measured=(
+            "10 states incl. synchronous get_statusL message pair"
+            if shape_ok
+            else f"SHAPE MISMATCH ({len(public.states)} states)"
+        ),
+    )
+
+
+def test_fig08_views(benchmark, accounting_compiled):
+    public = accounting_compiled.afsa
+
+    def run():
+        return (
+            project_view(public, BUYER),
+            project_view(public, LOGISTICS),
+        )
+
+    buyer_view, logistics_view = benchmark(run)
+    shape_ok = (
+        len(buyer_view.states) == 5
+        and len(logistics_view.states) == 5
+        and all(label.involves(BUYER) for label in buyer_view.alphabet)
+        and all(
+            label.involves(LOGISTICS)
+            for label in logistics_view.alphabet
+        )
+    )
+    record_verdict(
+        benchmark,
+        experiment="F8 (Fig. 8 buyer & logistics views, minimized)",
+        paper="two 5-state bilateral views",
+        measured=(
+            "two 5-state bilateral views"
+            if shape_ok
+            else "SHAPE MISMATCH"
+        ),
+    )

@@ -1,0 +1,77 @@
+"""F9 + F10 — Figs. 9 and 10: the invariant additive change (order_2).
+
+Times the change application + classification round and asserts the
+paper's verdict: the intersection with the buyer stays non-empty, so no
+propagation is necessary (Sect. 5.1).
+"""
+
+from bench_support import record_verdict
+
+from repro.afsa.emptiness import is_empty
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.core.classify import classify_against_partner
+from repro.scenario.procurement import (
+    BUYER,
+    accounting_private_invariant_change,
+)
+
+
+def test_fig09_change_application(benchmark):
+    changed = benchmark(
+        lambda: compile_process(accounting_private_invariant_change())
+    )
+    labels = {str(label) for label in changed.afsa.alphabet}
+    record_verdict(
+        benchmark,
+        experiment="F9 (Fig. 9 invariant change, order_2 alternative)",
+        paper="public process offers order_2Op alternative",
+        measured=(
+            "public process offers order_2Op alternative"
+            if "B#A#order_2Op" in labels
+            else "ALTERNATIVE MISSING"
+        ),
+    )
+
+
+def test_fig10_invariant_classification(
+    benchmark, accounting_compiled, accounting_invariant_compiled,
+    buyer_compiled
+):
+    def run():
+        return classify_against_partner(
+            accounting_compiled.afsa,
+            accounting_invariant_compiled.afsa,
+            buyer_compiled.afsa,
+            partner=BUYER,
+        )
+
+    classification = benchmark(run)
+    record_verdict(
+        benchmark,
+        experiment="F10 (Fig. 10 invariant verdict)",
+        paper="additive / invariant — no propagation required",
+        measured=(
+            "additive / invariant — no propagation required"
+            if classification.additive
+            and classification.propagation == "invariant"
+            else classification.describe()
+        ),
+    )
+
+
+def test_fig10b_intersection_non_empty(
+    benchmark, accounting_invariant_compiled, buyer_compiled
+):
+    def run():
+        view = project_view(accounting_invariant_compiled.afsa, BUYER)
+        return is_empty(intersect(view, buyer_compiled.afsa))
+
+    empty = benchmark(run)
+    record_verdict(
+        benchmark,
+        experiment="F10b (intersection of Fig. 10a with buyer)",
+        paper="non-empty",
+        measured="non-empty" if not empty else "EMPTY",
+    )

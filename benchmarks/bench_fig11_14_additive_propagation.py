@@ -1,0 +1,120 @@
+"""F11–F14 — Figs. 11–14: the variant additive change (cancel option)
+and its full propagation to the buyer.
+
+Covers: the changed process (F11), the empty intersection verdict
+(F12), the difference + union proposal (F13), and the derived private
+adaptation receive→pick with re-established consistency (F14).
+"""
+
+from bench_support import record_verdict
+
+from repro.afsa.emptiness import is_empty
+from repro.afsa.language import accepts
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.core.propagate import propagate_additive
+from repro.core.suggestions import derive_suggestions
+from repro.scenario.procurement import (
+    BUYER,
+    accounting_private_variant_change,
+)
+
+
+def test_fig11_change_application(benchmark):
+    compiled = benchmark(
+        lambda: compile_process(accounting_private_variant_change())
+    )
+    view = project_view(compiled.afsa, BUYER)
+    rendered = {str(f) for f in view.annotations.values()}
+    record_verdict(
+        benchmark,
+        experiment="F11 (Fig. 11 cancel branch added)",
+        paper="Fig. 12a annotation cancelOp AND deliveryOp",
+        measured=(
+            "Fig. 12a annotation cancelOp AND deliveryOp"
+            if "A#B#cancelOp AND A#B#deliveryOp" in rendered
+            else f"ANNOTATION MISMATCH: {rendered}"
+        ),
+    )
+
+
+def test_fig12_variant_verdict(
+    benchmark, accounting_variant_compiled, buyer_compiled
+):
+    def run():
+        view = project_view(accounting_variant_compiled.afsa, BUYER)
+        return is_empty(intersect(view, buyer_compiled.afsa))
+
+    empty = benchmark(run)
+    record_verdict(
+        benchmark,
+        experiment="F12 (Fig. 12b intersection)",
+        paper="empty — no A#B#cancelOp on any path to a final state",
+        measured=(
+            "empty — no A#B#cancelOp on any path to a final state"
+            if empty
+            else "NON-EMPTY"
+        ),
+    )
+
+
+def test_fig13_difference_and_union(
+    benchmark, accounting_variant_compiled, buyer_compiled
+):
+    def run():
+        return propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+
+    result = benchmark(run)
+    cancel_run = ["B#A#orderOp", "A#B#cancelOp"]
+    old_run = ["B#A#orderOp", "A#B#deliveryOp", "B#A#terminateOp"]
+    shape_ok = (
+        accepts(result.difference, cancel_run)
+        and accepts(result.proposed_public, cancel_run)
+        and accepts(result.proposed_public, old_run)
+        and result.consistent_after
+    )
+    record_verdict(
+        benchmark,
+        experiment="F13 (Fig. 13 difference A'' and union B')",
+        paper="A'' = order·cancel; B' accepts cancel and old runs",
+        measured=(
+            "A'' = order·cancel; B' accepts cancel and old runs"
+            if shape_ok
+            else "PROPOSAL MISMATCH"
+        ),
+    )
+
+
+def test_fig14_private_adaptation(
+    benchmark, accounting_variant_compiled, buyer_compiled
+):
+    def run():
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        suggestions = derive_suggestions(buyer_compiled, result)
+        (suggestion,) = suggestions
+        adapted = suggestion.operation.apply(buyer_compiled.process)
+        adapted_public = compile_process(adapted).afsa
+        view = project_view(accounting_variant_compiled.afsa, BUYER)
+        return suggestion, is_empty(intersect(view, adapted_public))
+
+    suggestion, empty_after = benchmark(run)
+    shape_ok = (
+        suggestion.blocks[0] == "Sequence:buyer process"
+        and suggestion.operation.receive_name == "delivery"
+        and not empty_after
+    )
+    record_verdict(
+        benchmark,
+        experiment="F14 (Fig. 14 buyer adaptation)",
+        paper="receive delivery → pick{delivery,cancel}; consistent again",
+        measured=(
+            "receive delivery → pick{delivery,cancel}; consistent again"
+            if shape_ok
+            else "ADAPTATION MISMATCH"
+        ),
+    )

@@ -1,0 +1,131 @@
+"""Benchmark: the decentralized negotiation protocol (Sect. 6).
+
+Times full two-phase negotiation rounds on the paper's choreography —
+serialize proposals, let every partner classify/propagate/adapt locally,
+commit — plus a partner-count sweep on synthetic hubs.  The wire volume
+per round is recorded as extra info (the Sect. 6 selling point: only
+public-process documents are exchanged).
+"""
+
+import pytest
+
+from bench_support import record_verdict
+
+from repro.core.negotiation import ChangeNegotiation, PartnerAgent
+from repro.scenario.procurement import (
+    accounting_private,
+    accounting_private_invariant_change,
+    accounting_private_variant_change,
+    buyer_private,
+    logistics_private,
+)
+
+
+def fresh_negotiation():
+    return ChangeNegotiation(
+        [
+            PartnerAgent(buyer_private()),
+            PartnerAgent(accounting_private()),
+            PartnerAgent(logistics_private()),
+        ]
+    )
+
+
+def test_negotiation_invariant_round(benchmark):
+    def run():
+        negotiation = fresh_negotiation()
+        return negotiation.propose_change(
+            "A", accounting_private_invariant_change()
+        )
+
+    outcome = benchmark(run)
+    record_verdict(
+        benchmark,
+        experiment="negotiation (invariant round, Sect. 6)",
+        paper="all partners accept; change committed",
+        measured=(
+            "all partners accept; change committed"
+            if outcome.committed
+            and set(outcome.replies.values()) == {"accept"}
+            else "UNEXPECTED REPLIES"
+        ),
+    )
+
+
+def test_negotiation_variant_round(benchmark):
+    def run():
+        negotiation = fresh_negotiation()
+        outcome = negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        return negotiation, outcome
+
+    negotiation, outcome = benchmark(run)
+    wire_bytes = sum(
+        len(message.payload) for message in outcome.transcript
+    )
+    benchmark.extra_info["wire_bytes"] = wire_bytes
+    record_verdict(
+        benchmark,
+        experiment="negotiation (variant round, Sect. 6)",
+        paper="buyer adapts locally; change committed; consistent",
+        measured=(
+            "buyer adapts locally; change committed; consistent"
+            if outcome.committed
+            and outcome.replies["B"] == "adapt"
+            and negotiation.check_consistency()
+            else "UNEXPECTED OUTCOME"
+        ),
+    )
+
+
+@pytest.mark.parametrize("spokes", [2, 4, 6])
+def test_negotiation_scaling(benchmark, spokes):
+    """Invariant-change negotiation over partner count."""
+    from repro.core.changes import AddPickBranch
+    from repro.bpel.model import OnMessage, Pick
+    from repro.workload.generator import generate_choreography
+
+    choreography = generate_choreography(
+        seed=13, spokes=spokes, steps=2
+    )
+    agents = [
+        PartnerAgent(choreography.private(party))
+        for party in choreography.parties()
+    ]
+
+    # An invariant change on the hub: accept an extra entry message on
+    # some pick (or skip if the hub has none).
+    hub_process = choreography.private("H")
+    picks = [
+        activity
+        for activity in hub_process.walk()
+        if isinstance(activity, Pick) and activity.name
+    ]
+    if not picks:
+        pytest.skip("generated hub has no pick")
+    template = picks[0].branches[0]
+    change = AddPickBranch(
+        pick_name=picks[0].name,
+        branch=OnMessage(
+            partner=template.partner,
+            operation=template.operation + "_alt",
+            name="alt",
+            activity=template.activity.clone(),
+        ),
+    )
+
+    benchmark.group = "negotiation-scaling"
+    benchmark.extra_info["partners"] = spokes + 1
+
+    def run():
+        negotiation = ChangeNegotiation(
+            [
+                PartnerAgent(agent.process)
+                for agent in agents
+            ]
+        )
+        return negotiation.propose_change("H", change)
+
+    outcome = benchmark(run)
+    assert outcome.committed

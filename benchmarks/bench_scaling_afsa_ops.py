@@ -1,0 +1,79 @@
+"""Scaling benchmarks for the aFSA operator algebra.
+
+The paper reports no measurements; these sweeps characterize our
+implementation: intersection + annotated emptiness (the consistency
+check, quadratic in operand size), difference (dominated by completion
+over Σ1 ∪ Σ2), minimization, and view projection.  Series are printed
+per parameter point through pytest-benchmark's grouping.
+"""
+
+import pytest
+
+from repro.afsa.difference import difference
+from repro.afsa.emptiness import good_states, is_empty
+from repro.afsa.minimize import minimize
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.workload.generator import (
+    generate_partner_pair,
+    random_afsa,
+)
+from repro.bpel.compile import compile_process
+
+SIZES = [8, 32, 128, 512]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_intersection(benchmark, size):
+    """Intersection + annotated emptiness over automaton size."""
+    left = random_afsa(seed=1, states=size, labels=8)
+    right = random_afsa(seed=2, states=size, labels=8)
+    benchmark.group = "intersection+emptiness"
+    benchmark.extra_info["states"] = size
+
+    def run():
+        return is_empty(intersect(left, right))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_emptiness(benchmark, size):
+    """The greatest-fixpoint good-state computation alone."""
+    automaton = random_afsa(
+        seed=3, states=size, labels=8, annotation_probability=0.5
+    )
+    benchmark.group = "emptiness-fixpoint"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: good_states(automaton))
+
+
+@pytest.mark.parametrize("size", [8, 32, 128])
+def test_scaling_difference(benchmark, size):
+    """Difference: determinize + complete over Σ1 ∪ Σ2 + product."""
+    left = random_afsa(seed=4, states=size, labels=6)
+    right = random_afsa(seed=5, states=size, labels=6)
+    benchmark.group = "difference"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: difference(left, right))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_minimize(benchmark, size):
+    """Moore refinement over automaton size."""
+    automaton = random_afsa(seed=6, states=size, labels=8)
+    benchmark.group = "minimize"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: minimize(automaton))
+
+
+@pytest.mark.parametrize("steps", [2, 6, 12, 20])
+def test_scaling_view_projection(benchmark, steps):
+    """τ_P projection + minimization over process size."""
+    initiator, _ = generate_partner_pair(
+        seed=7, steps=steps, with_loop=True
+    )
+    public = compile_process(initiator).afsa
+    benchmark.group = "view-projection"
+    benchmark.extra_info["steps"] = steps
+    benchmark(lambda: project_view(public, "R"))

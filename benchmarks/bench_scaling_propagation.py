@@ -1,0 +1,64 @@
+"""Scaling benchmark: end-to-end variant-change propagation.
+
+Sweeps conversation size and measures one full Fig. 4 evolution step
+with a variant additive change — recompile, classify against the
+partner, propagate, derive suggestions, auto-adapt, re-check.  This is
+the headline operation of the paper.
+"""
+
+import pytest
+
+from repro.core.choreography import Choreography
+from repro.core.engine import EvolutionEngine
+from repro.errors import ChangeError
+from repro.workload.generator import generate_partner_pair
+from repro.workload.mutations import inject_variant_additive
+
+STEPS = [2, 6, 12, 24]
+
+
+@pytest.mark.parametrize("steps", STEPS)
+def test_scaling_variant_propagation(benchmark, steps):
+    initiator, responder = generate_partner_pair(
+        seed=23, steps=steps, with_loop=True
+    )
+    try:
+        change, _ = inject_variant_additive(initiator, seed=steps)
+    except ChangeError:
+        pytest.skip("no invoke anchor at this size")
+
+    benchmark.group = "variant-propagation"
+    benchmark.extra_info["steps"] = steps
+
+    def run():
+        choreography = Choreography("bench")
+        choreography.add_partner(initiator)
+        choreography.add_partner(responder)
+        engine = EvolutionEngine(choreography)
+        return engine.apply_private_change(
+            initiator.party, change, auto_adapt=True, commit=False
+        )
+
+    report = benchmark(run)
+    impact = report.impact_for(responder.party)
+    assert impact.classification.propagation == "variant"
+
+
+@pytest.mark.parametrize("spokes", [2, 4, 8])
+def test_scaling_multiparty_consistency(benchmark, spokes):
+    """Decentralized pairwise consistency over partner count
+    (Sect. 6's deployment scheme)."""
+    from repro.workload.generator import generate_choreography
+
+    choreography = generate_choreography(
+        seed=31, spokes=spokes, steps=3
+    )
+    # Warm the compile cache: measure checking, not compilation.
+    for party in choreography.parties():
+        choreography.compiled(party)
+
+    benchmark.group = "multiparty-consistency"
+    benchmark.extra_info["partners"] = spokes + 1
+    report = benchmark(choreography.check_consistency)
+    assert report.consistent
+    assert len(report.checks) == spokes

@@ -1,0 +1,20 @@
+"""Paper-vs-measured verdict recording for the benchmark harness.
+
+Every figure/table bench asserts the paper's verdict *inside* the
+benchmark (a bench that silently reproduces the wrong artifact is
+worthless) and attaches the verdict to ``benchmark.extra_info`` so the
+JSON output doubles as the reproduction record for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def record_verdict(benchmark, experiment: str, paper: str, measured: str):
+    """Attach a paper-vs-measured verdict row to the benchmark record
+    and fail loudly on mismatch."""
+    benchmark.extra_info["experiment"] = experiment
+    benchmark.extra_info["paper"] = paper
+    benchmark.extra_info["measured"] = measured
+    assert measured == paper, (
+        f"{experiment}: paper says {paper!r}, measured {measured!r}"
+    )

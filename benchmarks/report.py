@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Render a paper-vs-measured report from pytest-benchmark JSON output.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json
+
+Prints the per-experiment verdict table (the EXPERIMENTS.md record) and
+the scaling series grouped by sweep parameter.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _mean_ms(entry: dict) -> float:
+    return entry["stats"]["mean"] * 1e3
+
+
+def render(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+
+    verdict_rows = []
+    series: dict[str, list[tuple[str, float, dict]]] = {}
+    for entry in data["benchmarks"]:
+        info = entry.get("extra_info", {})
+        if "experiment" in info:
+            verdict_rows.append(
+                (
+                    info["experiment"],
+                    info["paper"],
+                    info["measured"],
+                    _mean_ms(entry),
+                )
+            )
+        group = entry.get("group")
+        if group:
+            extras = {
+                key: value
+                for key, value in info.items()
+                if key not in ("experiment", "paper", "measured")
+            }
+            series.setdefault(group, []).append(
+                (entry["name"], _mean_ms(entry), extras)
+            )
+
+    lines = ["# Reproduction verdicts", ""]
+    lines.append("| Experiment | Paper | Measured | Mean |")
+    lines.append("|---|---|---|---:|")
+    for experiment, paper, measured, mean in sorted(verdict_rows):
+        status = "✅" if paper == measured else "❌"
+        lines.append(
+            f"| {experiment} {status} | {paper} | {measured} "
+            f"| {mean:.2f} ms |"
+        )
+
+    if series:
+        lines.append("")
+        lines.append("# Scaling series")
+        for group in sorted(series):
+            lines.append("")
+            lines.append(f"## {group}")
+            for name, mean, extras in sorted(
+                series[group], key=lambda row: row[1]
+            ):
+                rendered_extras = ", ".join(
+                    f"{key}={value}" for key, value in extras.items()
+                )
+                lines.append(
+                    f"- {name}: {mean:.2f} ms"
+                    + (f"  ({rendered_extras})" if rendered_extras else "")
+                )
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    print(render(argv[1]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

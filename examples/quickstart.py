@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: define two partner processes, check their consistency,
+evolve one of them, and let the engine propagate the change.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Choreography, EvolutionEngine, process_from_dsl
+from repro.core.changes import AddSwitchBranch
+from repro.bpel.model import Case, Invoke, Sequence, Terminate
+from repro.render import render_afsa, render_mapping
+
+# -- 1. Two private processes in the compact DSL -------------------------
+# A tiny order conversation: the shop receives an order and confirms it;
+# the client mirrors the exchange.
+
+SHOP = """
+process shop party=S
+  sequence "shop main"
+    receive C orderOp order
+    invoke C confirmOp confirm
+"""
+
+CLIENT = """
+process client party=C
+  sequence "client main"
+    invoke S orderOp order
+    receive S confirmOp confirm
+"""
+
+
+def main() -> None:
+    shop = process_from_dsl(SHOP)
+    client = process_from_dsl(CLIENT)
+
+    # -- 2. Build the choreography and check consistency ------------------
+    choreography = Choreography("shop-client")
+    choreography.add_partner(shop)
+    choreography.add_partner(client)
+
+    print("== public processes (Sect. 3.3) ==")
+    compiled = choreography.compiled("S")
+    print(render_afsa(compiled.afsa))
+    print()
+    print("== mapping table (Table 1 style) ==")
+    print(render_mapping(compiled.mapping))
+    print()
+
+    report = choreography.check_consistency()
+    print("== bilateral consistency (Sect. 3.2) ==")
+    print(report.describe())
+    print()
+
+    # -- 3. Evolve the shop: it may now reject orders ---------------------
+    # An internally decided alternative *send* — the paper's canonical
+    # variant additive change (like Fig. 11's cancel option).
+    reject_branch = Case(
+        condition="out of stock",
+        activity=Sequence(
+            name="cond reject",
+            activities=[
+                Invoke(partner="C", operation="rejectOp", name="reject"),
+                Terminate(),
+            ],
+        ),
+    )
+    # Wrap the confirm into a switch by replacing it.
+    from repro.bpel.model import Switch
+    from repro.core.changes import ReplaceActivity
+
+    change = ReplaceActivity(
+        "confirm",
+        Switch(
+            name="fulfillable?",
+            cases=[reject_branch],
+            otherwise=Invoke(
+                partner="C", operation="confirmOp", name="confirm"
+            ),
+        ),
+    )
+
+    engine = EvolutionEngine(choreography)
+    evolution = engine.apply_private_change(
+        "S", change, auto_adapt=True, commit=True
+    )
+
+    print("== evolution report (Fig. 4 pipeline) ==")
+    print(evolution.describe())
+    print()
+
+    print("== choreography after propagation ==")
+    print(choreography.check_consistency().describe())
+    print()
+    print("client process after auto-adaptation:")
+    from repro.render import render_process
+
+    print(render_process(choreography.private("C")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Service matchmaking via bilateral consistency (Sect. 6 of the paper;
+the IPSI-PF / annotated-FSA discovery line of work [18-20]).
+
+A service registry stores the *public processes* of provider services.
+A requester submits its own public process; a provider matches iff the
+two processes are bilaterally consistent — their annotated intersection
+is non-empty, i.e. at least one deadlock-free conversation exists that
+satisfies every mandatory requirement of both sides.
+
+This example builds a small registry of shipping services with
+different conversation styles and shows how the annotated check prunes
+candidates a plain FSA-overlap check would wrongly admit — the paper's
+motivation for aFSAs in one screen.
+
+Run:  python examples/service_matchmaking.py
+"""
+
+from repro import compile_process, intersect, is_empty, process_from_dsl
+from repro.afsa.emptiness import non_emptiness_witness
+from repro.afsa.view import project_view
+
+# -- the requester: pays only after receiving a quote, and *requires*
+#    the option to decline (its internal decision -> mandatory).
+
+REQUESTER = """
+process requester party=R
+  sequence "requester main"
+    invoke S quoteRequestOp "ask quote"
+    receive S quoteOp quote
+    switch "accept?"
+      case condition="price ok"
+        sequence "cond accept"
+          invoke S acceptOp accept
+          receive S labelOp label
+      otherwise
+        sequence "cond decline"
+          invoke S declineOp decline
+          terminate
+"""
+
+# -- provider 1: full protocol, accepts both outcomes.
+FLEXIBLE_SHIPPER = """
+process flexible_shipper party=S
+  sequence "flexible main"
+    receive R quoteRequestOp "quote request"
+    invoke R quoteOp quote
+    pick "outcome"
+      on R acceptOp
+        invoke R labelOp label
+      on R declineOp
+        terminate
+"""
+
+# -- provider 2: never heard of declining.  A plain FSA check overlaps
+#    on the accept path; the annotated check correctly rejects it
+#    because the requester *mandates* declineOp support.
+EAGER_SHIPPER = """
+process eager_shipper party=S
+  sequence "eager main"
+    receive R quoteRequestOp "quote request"
+    invoke R quoteOp quote
+    receive R acceptOp accept
+    invoke R labelOp label
+"""
+
+# -- provider 3: speaks a different protocol entirely (no quote).
+BULK_SHIPPER = """
+process bulk_shipper party=S
+  sequence "bulk main"
+    receive R bulkOrderOp "bulk order"
+    invoke R labelOp label
+"""
+
+
+def match(requester_public, provider_process) -> tuple[bool, bool, str]:
+    """Return (annotated match, plain-FSA match, diagnosis)."""
+    provider_public = compile_process(provider_process).afsa
+    provider_view = project_view(provider_public, "R")
+    requester_view = project_view(requester_public, "S")
+    intersection = intersect(requester_view, provider_view)
+    annotated = not is_empty(intersection)
+    plain = not is_empty(intersection, annotated=False)
+    return annotated, plain, non_emptiness_witness(intersection).describe()
+
+
+def main() -> None:
+    requester = process_from_dsl(REQUESTER)
+    requester_public = compile_process(requester).afsa
+
+    registry = [
+        process_from_dsl(FLEXIBLE_SHIPPER),
+        process_from_dsl(EAGER_SHIPPER),
+        process_from_dsl(BULK_SHIPPER),
+    ]
+
+    print("requester mandates:", ", ".join(
+        sorted(
+            str(formula)
+            for formula in requester_public.annotations.values()
+        )
+    ))
+    print()
+    print(f"{'provider':<18} {'aFSA match':<12} {'plain FSA':<10} diagnosis")
+    print("-" * 96)
+    for provider in registry:
+        annotated, plain, diagnosis = match(requester_public, provider)
+        print(
+            f"{provider.name:<18} "
+            f"{'yes' if annotated else 'NO':<12} "
+            f"{'yes' if plain else 'NO':<10} "
+            f"{diagnosis}"
+        )
+    print()
+    print(
+        "Note the eager_shipper row: plain FSA overlap says 'yes' but the\n"
+        "annotated check rejects it — the requester's mandatory declineOp\n"
+        "is unsupported, so the conversation can deadlock (Sect. 3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — controlled evolution of process choreographies.
+
+A complete, from-scratch reproduction of
+
+    S. Rinderle, A. Wombacher, M. Reichert:
+    *On the Controlled Evolution of Process Choreographies*, ICDE 2006.
+
+The library provides:
+
+* annotated Finite State Automata (aFSA) with the full operator algebra
+  the paper builds on — intersection, difference, union, views,
+  annotated emptiness (:mod:`repro.afsa`, :mod:`repro.formula`);
+* a block-structured BPEL-subset process model with XML and DSL
+  syntaxes and the public-process compiler producing the state↔block
+  mapping table (:mod:`repro.bpel`);
+* the change framework: change operations, additive/subtractive and
+  variant/invariant classification, the 5-step propagation algorithms,
+  edit suggestions, and the Fig. 4 evolution engine (:mod:`repro.core`);
+* the paper's procurement case study (:mod:`repro.scenario`) and a
+  synthetic workload generator (:mod:`repro.workload`).
+
+Quickstart::
+
+    from repro import Choreography, EvolutionEngine
+    from repro.scenario import buyer_private, accounting_private
+
+    choreo = Choreography("procurement")
+    choreo.add_partner(buyer_private())
+    choreo.add_partner(accounting_private())
+    print(choreo.check_consistency().describe())
+"""
+
+from repro.afsa import (
+    AFSA,
+    AFSABuilder,
+    difference,
+    intersect,
+    is_consistent,
+    is_empty,
+    minimize,
+    project_view,
+    union,
+)
+from repro.bpel import (
+    CompiledProcess,
+    ProcessModel,
+    compile_process,
+    process_from_dsl,
+    process_from_xml,
+    process_to_dsl,
+    process_to_xml,
+)
+from repro.core import (
+    ChangeClassification,
+    Choreography,
+    EvolutionEngine,
+    EvolutionReport,
+    classify_against_partner,
+    classify_change,
+    propagate_additive,
+    propagate_subtractive,
+)
+from repro.errors import ReproError
+from repro.formula import parse_formula
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AFSA",
+    "AFSABuilder",
+    "ChangeClassification",
+    "Choreography",
+    "CompiledProcess",
+    "EvolutionEngine",
+    "EvolutionReport",
+    "ProcessModel",
+    "ReproError",
+    "__version__",
+    "classify_against_partner",
+    "classify_change",
+    "compile_process",
+    "difference",
+    "intersect",
+    "is_consistent",
+    "is_empty",
+    "minimize",
+    "parse_formula",
+    "process_from_dsl",
+    "process_from_xml",
+    "process_to_dsl",
+    "process_to_xml",
+    "project_view",
+    "propagate_additive",
+    "propagate_subtractive",
+    "union",
+]

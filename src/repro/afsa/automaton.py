@@ -1,0 +1,548 @@
+"""The annotated Finite State Automaton type (Def. 2).
+
+``A = (Q, Σ, Δ, q0, F, QA)`` where
+
+* ``Q`` — finite set of states (any hashable; usually str or tuple),
+* ``Σ`` — finite set of message labels (never containing ε),
+* ``Δ ⊆ Q × (Σ ∪ {ε}) × Q`` — labeled transitions,
+* ``q0 ∈ Q`` — start state,
+* ``F ⊆ Q`` — final states,
+* ``QA : Q × E`` — a finite relation of states and formulas; per the
+  paper a state may carry several annotation entries, which are satisfied
+  conjointly.  States without entries implicitly carry ``true``.
+
+The class is immutable after construction: every algorithm in this
+package returns a new automaton.  Use :class:`AFSABuilder` for
+incremental construction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import InvalidAutomatonError
+from repro.formula.ast import Formula, TRUE, Var
+from repro.formula.simplify import conjoin, simplify
+from repro.formula.transform import variables as formula_variables
+from repro.messages.alphabet import Alphabet
+from repro.messages.label import (
+    EPSILON,
+    Label,
+    is_epsilon,
+    label_text,
+    parse_label,
+)
+
+#: States are arbitrary hashables; algorithms produce tuples, users
+#: usually supply strings or ints.
+State = Hashable
+
+
+class Transition:
+    """A single labeled transition ``(source, label, target)``.
+
+    Immutable and hashable; ``label`` is ε for silent moves.
+    """
+
+    __slots__ = ("source", "label", "target")
+
+    def __init__(self, source: State, label: Label, target: State):
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "label", parse_label(label))
+        object.__setattr__(self, "target", target)
+
+    def __setattr__(self, name, value):  # noqa: D105
+        raise AttributeError("Transition is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transition):
+            return NotImplemented
+        return (
+            self.source == other.source
+            and self.label == other.label
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.label, self.target))
+
+    def __repr__(self) -> str:
+        return (
+            f"Transition({self.source!r}, "
+            f"{label_text(self.label)}, {self.target!r})"
+        )
+
+    @property
+    def is_silent(self) -> bool:
+        """True if the transition is ε-labeled."""
+        return is_epsilon(self.label)
+
+    def as_tuple(self) -> tuple[State, Label, State]:
+        """Return ``(source, label, target)``."""
+        return (self.source, self.label, self.target)
+
+
+class AFSA:
+    """An annotated Finite State Automaton (Def. 2), immutable.
+
+    Args:
+        states: iterable of states; states mentioned by transitions,
+            the start state, final states, or annotations are added
+            automatically.
+        transitions: iterable of :class:`Transition` or
+            ``(source, label, target)`` triples.
+        start: the start state ``q0``.
+        finals: iterable of final states ``F``.
+        annotations: mapping ``state -> formula`` or iterable of
+            ``(state, formula)`` pairs (the QA relation; multiple entries
+            per state are conjoined).
+        alphabet: optional explicit Σ; defaults to the labels used by
+            non-ε transitions.  An explicit alphabet may be larger than
+            the used labels (needed by completion/difference).
+        name: optional human-readable name used in rendering.
+    """
+
+    __slots__ = (
+        "_states",
+        "_transitions",
+        "_start",
+        "_finals",
+        "_annotations",
+        "_alphabet",
+        "name",
+        "_by_source",
+        "_by_source_label",
+    )
+
+    def __init__(
+        self,
+        states: Iterable[State] = (),
+        transitions: Iterable[Transition | tuple] = (),
+        start: State = None,
+        finals: Iterable[State] = (),
+        annotations: Mapping[State, Formula] | Iterable[tuple] = (),
+        alphabet: Iterable[Label] | None = None,
+        name: str = "",
+    ):
+        if start is None:
+            raise InvalidAutomatonError(["automaton requires a start state"])
+
+        transition_objects: list[Transition] = []
+        for item in transitions:
+            if isinstance(item, Transition):
+                transition_objects.append(item)
+            else:
+                source, label, target = item
+                transition_objects.append(Transition(source, label, target))
+
+        all_states = set(states)
+        all_states.add(start)
+        all_states.update(finals)
+        for transition in transition_objects:
+            all_states.add(transition.source)
+            all_states.add(transition.target)
+
+        if isinstance(annotations, Mapping):
+            annotation_pairs = list(annotations.items())
+        else:
+            annotation_pairs = list(annotations)
+        annotation_map: dict[State, Formula] = {}
+        for state, formula in annotation_pairs:
+            all_states.add(state)
+            formula = simplify(formula)
+            if state in annotation_map:
+                annotation_map[state] = conjoin(
+                    annotation_map[state], formula
+                )
+            else:
+                annotation_map[state] = formula
+        # Drop trivially-true entries: they equal the implicit default.
+        annotation_map = {
+            state: formula
+            for state, formula in annotation_map.items()
+            if formula != TRUE
+        }
+
+        used_labels = [
+            transition.label
+            for transition in transition_objects
+            if not transition.is_silent
+        ]
+        if alphabet is None:
+            sigma = Alphabet(used_labels)
+        else:
+            sigma = Alphabet(alphabet).union(Alphabet(used_labels))
+
+        self._states = frozenset(all_states)
+        self._transitions = frozenset(transition_objects)
+        self._start = start
+        self._finals = frozenset(finals)
+        self._annotations = annotation_map
+        self._alphabet = sigma
+        self.name = name
+
+        # Derived indexes for O(1) successor queries.
+        by_source: dict[State, list[Transition]] = {}
+        by_source_label: dict[tuple[State, Label], set[State]] = {}
+        for transition in transition_objects:
+            by_source.setdefault(transition.source, []).append(transition)
+            key = (transition.source, transition.label)
+            by_source_label.setdefault(key, set()).add(transition.target)
+        self._by_source = by_source
+        self._by_source_label = by_source_label
+
+        problems = self._structural_problems()
+        if problems:
+            raise InvalidAutomatonError(problems)
+
+    # -- components (Def. 2 tuple) ----------------------------------------
+
+    @property
+    def states(self) -> frozenset:
+        """Q — the finite set of states."""
+        return self._states
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """Σ — the finite set of message labels."""
+        return self._alphabet
+
+    @property
+    def transitions(self) -> frozenset:
+        """Δ — the labeled transitions."""
+        return self._transitions
+
+    @property
+    def start(self) -> State:
+        """q0 — the start state."""
+        return self._start
+
+    @property
+    def finals(self) -> frozenset:
+        """F — the set of final states."""
+        return self._finals
+
+    @property
+    def annotations(self) -> dict[State, Formula]:
+        """QA — state annotations (states missing here carry ``true``)."""
+        return dict(self._annotations)
+
+    # -- structural queries -------------------------------------------------
+
+    def annotation(self, state: State) -> Formula:
+        """Return the (conjoined) annotation of *state*, default ``true``."""
+        return self._annotations.get(state, TRUE)
+
+    def is_final(self, state: State) -> bool:
+        """Return True if *state* ∈ F."""
+        return state in self._finals
+
+    def transitions_from(self, state: State) -> list[Transition]:
+        """Return all transitions whose source is *state*."""
+        return list(self._by_source.get(state, ()))
+
+    def successors(self, state: State, label: Label) -> set[State]:
+        """Return ``{q' | (state, label, q') ∈ Δ}``."""
+        return set(
+            self._by_source_label.get((state, parse_label(label)), ())
+        )
+
+    def labels_from(self, state: State) -> set[Label]:
+        """Return the non-ε labels available from *state*."""
+        return {
+            transition.label
+            for transition in self._by_source.get(state, ())
+            if not transition.is_silent
+        }
+
+    def has_epsilon(self) -> bool:
+        """Return True if any transition is ε-labeled."""
+        return any(
+            transition.is_silent for transition in self._transitions
+        )
+
+    def reachable_states(self) -> set[State]:
+        """Return states reachable from q0 (over Σ ∪ {ε})."""
+        seen = {self._start}
+        frontier = [self._start]
+        while frontier:
+            state = frontier.pop()
+            for transition in self._by_source.get(state, ()):
+                if transition.target not in seen:
+                    seen.add(transition.target)
+                    frontier.append(transition.target)
+        return seen
+
+    def coreachable_states(self) -> set[State]:
+        """Return states from which some final state is reachable."""
+        inverse: dict[State, set[State]] = {}
+        for transition in self._transitions:
+            inverse.setdefault(transition.target, set()).add(
+                transition.source
+            )
+        seen = set(self._finals)
+        frontier = list(self._finals)
+        while frontier:
+            state = frontier.pop()
+            for predecessor in inverse.get(state, ()):
+                if predecessor not in seen:
+                    seen.add(predecessor)
+                    frontier.append(predecessor)
+        return seen
+
+    def annotation_variables(self) -> set[str]:
+        """Return all variable names used by any state annotation."""
+        names: set[str] = set()
+        for formula in self._annotations.values():
+            names |= formula_variables(formula)
+        return names
+
+    # -- rebuilding ----------------------------------------------------------
+
+    def with_name(self, name: str) -> "AFSA":
+        """Return a copy of this automaton carrying *name*."""
+        return AFSA(
+            states=self._states,
+            transitions=self._transitions,
+            start=self._start,
+            finals=self._finals,
+            annotations=self._annotations,
+            alphabet=self._alphabet,
+            name=name,
+        )
+
+    def trimmed(self) -> "AFSA":
+        """Return the sub-automaton of reachable states.
+
+        Final states, transitions, and annotations outside the reachable
+        set are dropped.  (Co-reachability trimming would be unsound for
+        aFSAs: the emptiness test itself must see dead branches in order
+        to falsify mandatory variables, cf. Fig. 5.)
+        """
+        reachable = self.reachable_states()
+        return AFSA(
+            states=reachable,
+            transitions=[
+                transition
+                for transition in self._transitions
+                if transition.source in reachable
+                and transition.target in reachable
+            ],
+            start=self._start,
+            finals=[state for state in self._finals if state in reachable],
+            annotations={
+                state: formula
+                for state, formula in self._annotations.items()
+                if state in reachable
+            },
+            alphabet=self._alphabet,
+            name=self.name,
+        )
+
+    def relabel_states(self, prefix: str = "s") -> "AFSA":
+        """Return an isomorphic automaton with compact string state names.
+
+        States are numbered in breadth-first order from the start state
+        (unreachable states last, in sorted-repr order) so repeated runs
+        produce identical names — handy for golden tests and rendering.
+        """
+        order: list[State] = []
+        seen: set[State] = set()
+        queue = [self._start]
+        while queue:
+            state = queue.pop(0)
+            if state in seen:
+                continue
+            seen.add(state)
+            order.append(state)
+            outgoing = sorted(
+                self._by_source.get(state, ()),
+                key=lambda transition: (
+                    label_text(transition.label),
+                    repr(transition.target),
+                ),
+            )
+            for transition in outgoing:
+                if transition.target not in seen:
+                    queue.append(transition.target)
+        for state in sorted(
+            self._states - set(order), key=repr
+        ):  # unreachable
+            order.append(state)
+        mapping = {
+            state: f"{prefix}{index}" for index, state in enumerate(order)
+        }
+        return AFSA(
+            states=mapping.values(),
+            transitions=[
+                (
+                    mapping[transition.source],
+                    transition.label,
+                    mapping[transition.target],
+                )
+                for transition in self._transitions
+            ],
+            start=mapping[self._start],
+            finals=[mapping[state] for state in self._finals],
+            annotations={
+                mapping[state]: formula
+                for state, formula in self._annotations.items()
+            },
+            alphabet=self._alphabet,
+            name=self.name,
+        )
+
+    # -- dunder --------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<AFSA{label}: {len(self._states)} states, "
+            f"{len(self._transitions)} transitions, "
+            f"{len(self._finals)} final, "
+            f"{len(self._annotations)} annotated>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality (same tuple components, not isomorphism)."""
+        if not isinstance(other, AFSA):
+            return NotImplemented
+        return (
+            self._states == other._states
+            and self._transitions == other._transitions
+            and self._start == other._start
+            and self._finals == other._finals
+            and self._annotations == other._annotations
+            and self._alphabet == other._alphabet
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._states,
+                self._transitions,
+                self._start,
+                self._finals,
+                frozenset(self._annotations.items()),
+            )
+        )
+
+    # -- internal ------------------------------------------------------------
+
+    def _structural_problems(self) -> list[str]:
+        problems = []
+        if self._start not in self._states:
+            problems.append(f"start state {self._start!r} not in Q")
+        for state in self._finals:
+            if state not in self._states:
+                problems.append(f"final state {state!r} not in Q")
+        for transition in self._transitions:
+            if not transition.is_silent:
+                if transition.label not in self._alphabet:
+                    problems.append(
+                        f"transition label {label_text(transition.label)} "
+                        f"not in Σ"
+                    )
+        return problems
+
+
+class AFSABuilder:
+    """Mutable builder producing :class:`AFSA` instances.
+
+    Example::
+
+        builder = AFSABuilder(name="party A")
+        builder.add_transition("q0", "B#A#msg0", "q1")
+        builder.add_transition("q1", "B#A#msg2", "q2")
+        builder.mark_final("q2")
+        automaton = builder.build(start="q0")
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._states: set[State] = set()
+        self._transitions: list[Transition] = []
+        self._finals: set[State] = set()
+        self._annotations: list[tuple[State, Formula]] = []
+        self._alphabet: set[Label] = set()
+        self._start: State | None = None
+
+    def add_state(self, state: State) -> State:
+        """Register *state* (idempotent); returns it for chaining."""
+        self._states.add(state)
+        return state
+
+    def add_transition(
+        self, source: State, label: Label, target: State
+    ) -> Transition:
+        """Add ``(source, label, target)`` to Δ; registers both states."""
+        transition = Transition(source, label, target)
+        self._transitions.append(transition)
+        self._states.add(source)
+        self._states.add(target)
+        if not transition.is_silent:
+            self._alphabet.add(transition.label)
+        return transition
+
+    def add_epsilon(self, source: State, target: State) -> Transition:
+        """Add a silent ε-transition."""
+        return self.add_transition(source, EPSILON, target)
+
+    def mark_final(self, *states: State) -> None:
+        """Add *states* to F."""
+        for state in states:
+            self._states.add(state)
+            self._finals.add(state)
+
+    def set_start(self, state: State) -> None:
+        """Set q0."""
+        self._states.add(state)
+        self._start = state
+
+    def annotate(self, state: State, formula: Formula | str) -> None:
+        """Attach an annotation entry (conjoined with existing ones).
+
+        Strings are treated as single variables (the common case:
+        annotate with a message label).
+        """
+        if isinstance(formula, str):
+            formula = Var(formula)
+        self._states.add(state)
+        self._annotations.append((state, formula))
+
+    def extend_alphabet(self, labels: Iterable[Label]) -> None:
+        """Declare labels in Σ beyond those used on transitions."""
+        for label in labels:
+            if not is_epsilon(label):
+                self._alphabet.add(parse_label(label))
+
+    def build(self, start: State | None = None) -> AFSA:
+        """Produce the immutable :class:`AFSA`.
+
+        Args:
+            start: the start state; may be omitted when set via
+                :meth:`set_start`.
+        """
+        if start is None:
+            start = self._start
+        return AFSA(
+            states=self._states,
+            transitions=self._transitions,
+            start=start,
+            finals=self._finals,
+            annotations=self._annotations,
+            alphabet=self._alphabet,
+            name=self.name,
+        )
+
+
+def iter_sorted_transitions(automaton: AFSA) -> Iterator[Transition]:
+    """Yield transitions in a stable (source, label, target) repr order."""
+    yield from sorted(
+        automaton.transitions,
+        key=lambda transition: (
+            repr(transition.source),
+            label_text(transition.label),
+            repr(transition.target),
+        ),
+    )

@@ -1,0 +1,46 @@
+"""Complement of the underlying FSA.
+
+The paper uses complement only inside the De Morgan construction of
+union (Sect. 5.2 step "ad 2": ``A ∪ B ≡ ¬(¬A ∩ ¬B)``).  Complementing an
+*annotated* language is not meaningfully defined — annotations express
+requirements on a partner, and "everything except these conversations"
+carries no requirement structure — so :func:`complement` drops
+annotations and complements the unannotated language: determinize,
+complete, swap final and non-final states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.complete import complete
+from repro.afsa.determinize import determinize
+from repro.messages.label import Label
+
+
+def complement(
+    automaton: AFSA,
+    alphabet: Iterable[Label] | None = None,
+    name: str = "",
+) -> AFSA:
+    """Return the FSA complement of *automaton* over its alphabet.
+
+    Args:
+        alphabet: complement relative to this (super-)alphabet; defaults
+            to the automaton's own Σ.
+        name: optional name for the result.
+    """
+    dfa = complete(determinize(automaton), alphabet=alphabet)
+    finals = [state for state in dfa.states if state not in dfa.finals]
+    if not name:
+        name = f"¬({automaton.name or 'A'})"
+    return AFSA(
+        states=dfa.states,
+        transitions=[t.as_tuple() for t in dfa.transitions],
+        start=dfa.start,
+        finals=finals,
+        annotations={},
+        alphabet=dfa.alphabet,
+        name=name,
+    )

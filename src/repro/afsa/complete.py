@@ -1,0 +1,91 @@
+"""Completion of aFSAs with a non-final sink state.
+
+Def. 4 (difference) "requires that the automata are complete; i.e., for
+every state there exists an outgoing transition for each element of the
+alphabet Σ".  :func:`complete` adds the classic trap/sink state carrying
+the default annotation ``true``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.afsa.automaton import AFSA
+from repro.messages.alphabet import Alphabet
+from repro.messages.label import Label
+
+#: Name of the synthetic sink state added by :func:`complete`.  A plain
+#: string keeps serialized automata readable; collision with user states
+#: is handled by suffixing.
+SINK_NAME = "__sink__"
+
+
+def is_complete(
+    automaton: AFSA, alphabet: Iterable[Label] | None = None
+) -> bool:
+    """Return True if every state has a transition for every label.
+
+    Args:
+        alphabet: check against this alphabet instead of the automaton's
+            own Σ (difference completes over Σ1 ∪ Σ2).
+    """
+    sigma = Alphabet(alphabet) if alphabet is not None else automaton.alphabet
+    if automaton.has_epsilon():
+        return False
+    for state in automaton.states:
+        available = automaton.labels_from(state)
+        for label in sigma:
+            if label not in available:
+                return False
+    return True
+
+
+def complete(
+    automaton: AFSA, alphabet: Iterable[Label] | None = None
+) -> AFSA:
+    """Return a complete automaton over Σ (optionally extended).
+
+    Missing ``(state, label)`` pairs are routed to a fresh non-final sink
+    that loops on every label.  The input must be ε-free (eliminate
+    ε-transitions first); already-complete automata are returned with the
+    extended alphabet only.
+    """
+    if automaton.has_epsilon():
+        raise ValueError(
+            "complete() requires an ε-free automaton; "
+            "call remove_epsilon() first"
+        )
+    sigma = automaton.alphabet
+    if alphabet is not None:
+        sigma = sigma.union(Alphabet(alphabet))
+
+    sink = SINK_NAME
+    while sink in automaton.states:
+        sink += "_"
+
+    transitions = [
+        transition.as_tuple() for transition in automaton.transitions
+    ]
+    sink_needed = False
+    for state in automaton.states:
+        available = automaton.labels_from(state)
+        for label in sigma:
+            if label not in available:
+                transitions.append((state, label, sink))
+                sink_needed = True
+
+    states = set(automaton.states)
+    if sink_needed:
+        states.add(sink)
+        for label in sigma:
+            transitions.append((sink, label, sink))
+
+    return AFSA(
+        states=states,
+        transitions=transitions,
+        start=automaton.start,
+        finals=automaton.finals,
+        annotations=automaton.annotations,
+        alphabet=sigma,
+        name=automaton.name,
+    )

@@ -1,0 +1,90 @@
+"""Subset-construction determinization for aFSAs.
+
+The paper's BPEL→aFSA mapping produces *deterministic* annotated automata
+(cf. the companion paper "Transforming BPEL into annotated deterministic
+finite state automata", ICWS 2004).  Nondeterminism arises transiently in
+this library — from the union construction and from ε-elimination of
+projected views — and is resolved by the classic subset construction.
+
+Annotation handling mirrors ε-elimination: a macro-state's annotation is
+the **conjunction** of its members' annotations.  Nondeterminism models a
+choice the process resolves internally, so the partner must satisfy the
+requirements of every state the process might privately occupy.  This is
+conservative: the unannotated language is preserved exactly, while the
+annotated language may shrink (never grow).  The paper's own pipelines
+only determinize automata whose merged states carry compatible
+annotations, where the construction is exact.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.epsilon import remove_epsilon
+from repro.formula.ast import TRUE, Formula
+from repro.formula.simplify import conjoin
+from repro.messages.label import label_text
+
+
+def is_deterministic(automaton: AFSA) -> bool:
+    """Return True if the automaton is ε-free with ≤1 successor per label."""
+    if automaton.has_epsilon():
+        return False
+    seen: set[tuple] = set()
+    for transition in automaton.transitions:
+        key = (transition.source, transition.label)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def determinize(automaton: AFSA) -> AFSA:
+    """Return a deterministic aFSA accepting the same (unannotated)
+    language, with macro-state annotations conjoined.
+
+    ε-transitions are eliminated first.  Macro states are frozensets of
+    original states; use :meth:`AFSA.relabel_states` for compact names.
+    """
+    base = remove_epsilon(automaton)
+    if is_deterministic(base):
+        return base
+
+    start = frozenset({base.start})
+    macro_states = {start}
+    transitions = []
+    frontier = [start]
+    while frontier:
+        macro = frontier.pop()
+        by_label: dict = {}
+        for member in macro:
+            for transition in base.transitions_from(member):
+                by_label.setdefault(transition.label, set()).add(
+                    transition.target
+                )
+        for label in sorted(by_label, key=label_text):
+            successor = frozenset(by_label[label])
+            transitions.append((macro, label, successor))
+            if successor not in macro_states:
+                macro_states.add(successor)
+                frontier.append(successor)
+
+    finals = [
+        macro for macro in macro_states if macro & base.finals
+    ]
+    annotations: dict[frozenset, Formula] = {}
+    for macro in macro_states:
+        formula: Formula = TRUE
+        for member in sorted(macro, key=repr):
+            formula = conjoin(formula, base.annotation(member))
+        if formula != TRUE:
+            annotations[macro] = formula
+
+    return AFSA(
+        states=macro_states,
+        transitions=transitions,
+        start=start,
+        finals=finals,
+        annotations=annotations,
+        alphabet=base.alphabet,
+        name=base.name,
+    )

@@ -1,0 +1,88 @@
+"""aFSA difference (Def. 4).
+
+``A1 \\ A2`` accepts the runs of A1 that A2 does not accept.  Def. 4 gives
+the product construction with ``F = F1 × (Q2 \\ F2)`` and notes it
+"requires that the automata are complete".
+
+Two implementation notes (both recorded as deviations in DESIGN.md):
+
+1. **Alphabet.**  Def. 4 writes ``Σ = Σ1 ∩ Σ2``, but the paper's own
+   Fig. 13a — the difference of the changed accounting view against the
+   buyer's public process — contains ``A#B#cancelOp``, a label absent
+   from the buyer's alphabet.  With the intersection alphabet that figure
+   would be unreproducible, so we complete both operands over
+   ``Σ1 ∪ Σ2`` before taking the product.
+2. **Determinism.**  For ``F = F1 × (Q2 \\ F2)`` to characterize language
+   difference, the subtrahend must be deterministic (otherwise a word of
+   L2 may also reach a non-final A2-state and be wrongly kept), so both
+   operands are determinized.  The paper's automata are deterministic by
+   construction; this just makes the operator total.
+
+Per Def. 4 the result keeps **QA1 only** — annotations of the left
+operand; the subtrahend contributes no requirements.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.complete import complete
+from repro.afsa.determinize import determinize
+from repro.formula.ast import TRUE, Formula
+from repro.messages.label import label_text
+
+
+def difference(left: AFSA, right: AFSA, name: str = "") -> AFSA:
+    """Return ``left \\ right`` (Def. 4): runs of *left* not in *right*.
+
+    Both operands are determinized and completed over ``Σ1 ∪ Σ2``; the
+    result carries the left operand's annotations (QA1).
+    """
+    sigma = left.alphabet.union(right.alphabet)
+    a = complete(determinize(left), alphabet=sigma)
+    b = complete(determinize(right), alphabet=sigma)
+
+    start = (a.start, b.start)
+    states = {start}
+    transitions = []
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        state_a, state_b = state
+        for label in sorted(sigma, key=label_text):
+            targets_a = a.successors(state_a, label)
+            targets_b = b.successors(state_b, label)
+            # Completion + determinization guarantee exactly one successor.
+            for target_a in targets_a:
+                for target_b in targets_b:
+                    target = (target_a, target_b)
+                    transitions.append((state, label, target))
+                    if target not in states:
+                        states.add(target)
+                        frontier.append(target)
+
+    finals = [
+        (state_a, state_b)
+        for (state_a, state_b) in states
+        if state_a in a.finals and state_b not in b.finals
+    ]
+
+    annotations: dict[tuple, Formula] = {}
+    for state in states:
+        formula = a.annotation(state[0])
+        if formula != TRUE:
+            annotations[state] = formula
+
+    if not name:
+        left_name = left.name or "A"
+        right_name = right.name or "B"
+        name = f"({left_name} \\ {right_name})"
+
+    return AFSA(
+        states=states,
+        transitions=transitions,
+        start=start,
+        finals=finals,
+        annotations=annotations,
+        alphabet=sigma,
+        name=name,
+    )

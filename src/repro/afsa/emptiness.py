@@ -1,0 +1,224 @@
+"""The annotated emptiness test and consistency (Sect. 3.2).
+
+The paper extends the classical emptiness test: an aFSA is **non-empty**
+iff "there is at least one path from the start state to a final state,
+where each formula annotated to a state on this path evaluates to true.
+In particular, a variable becomes true if there is a transition labeled
+equally to the variable from the current state to another state where the
+annotation evaluates to true.  Finally the automaton is non-empty if the
+annotation of the start state is true."
+
+We realize this as a *good-state* fixpoint.  A state ``q`` is good iff
+
+1. a final state is reachable from ``q`` through good states only
+   (liveness), **and**
+2. ``ann(q)`` evaluates to true under the assignment
+   ``σ_q(v) = ∃ (q, v, q') ∈ Δ with q' good``.
+
+Condition 2 is self-referential through cycles — the buyer's tracking
+loop annotates a state whose mandatory ``get_statusOp`` leads right back
+to it — so the defining equations must be read *coinductively*: we
+compute the **greatest** fixpoint, starting from all states and
+repeatedly deleting states that are not live within the current set or
+whose annotation fails under the current set.  This reproduces every
+verdict in the paper: the running protocol (buyer ∩ accounting, cyclic
+mandatory annotations) is non-empty, while Fig. 5, Fig. 12b, and
+Fig. 16b are empty.  For negation-free annotations (the only kind the
+paper's framework generates) the greatest fixpoint is exact; formulas
+with negation make the operator non-monotone and the result is then a
+sound over-approximation of the good set (see DESIGN.md).
+
+Non-emptiness of the intersection of two public processes is the paper's
+**consistency** (= deadlock-freedom) criterion; :func:`is_consistent` is
+therefore the predicate everything in :mod:`repro.core` revolves around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.afsa.automaton import AFSA, State
+from repro.afsa.product import intersect
+from repro.formula.ast import TRUE
+from repro.formula.evaluate import evaluate
+from repro.formula.transform import variables as formula_variables
+from repro.messages.label import Label, label_text
+
+
+def good_states(automaton: AFSA) -> set:
+    """Return the set of *good* states (greatest fixpoint, see module
+    docstring)."""
+    good: set = set(automaton.states)
+    while True:
+        live = _live_within(automaton, good)
+        survivors = {
+            state
+            for state in live
+            if _annotation_holds(automaton, state, live)
+        }
+        if survivors == good:
+            return survivors
+        good = survivors
+
+
+def _live_within(automaton: AFSA, good: set) -> set:
+    """States in *good* from which a final state is reachable through
+    *good* states only (backward reachability from the good finals)."""
+    inverse: dict[State, set[State]] = {}
+    for transition in automaton.transitions:
+        if transition.source in good and transition.target in good:
+            inverse.setdefault(transition.target, set()).add(
+                transition.source
+            )
+    live = {state for state in automaton.finals if state in good}
+    frontier = list(live)
+    while frontier:
+        state = frontier.pop()
+        for predecessor in inverse.get(state, ()):
+            if predecessor not in live:
+                live.add(predecessor)
+                frontier.append(predecessor)
+    return live
+
+
+def _annotation_holds(automaton: AFSA, state: State, good: set) -> bool:
+    supported = {
+        label_text(transition.label)
+        for transition in automaton.transitions_from(state)
+        if not transition.is_silent and transition.target in good
+    }
+    return evaluate(automaton.annotation(state), supported)
+
+
+def is_empty(automaton: AFSA, annotated: bool = True) -> bool:
+    """Return True if the automaton accepts nothing.
+
+    Args:
+        annotated: when True (default) use the paper's annotated test;
+            when False use the classical FSA test (a final state is
+            reachable), which ignores annotations.  The classical test is
+            what a plain-FSA consistency check would do — the ablation
+            benches quantify how much it misses.
+    """
+    if annotated:
+        return automaton.start not in good_states(automaton)
+    reachable = automaton.reachable_states()
+    return not (reachable & set(automaton.finals))
+
+
+def is_consistent(left: AFSA, right: AFSA, annotated: bool = True) -> bool:
+    """Bilateral consistency: ``left ∩ right ≠ ∅`` (Sect. 3.2).
+
+    Non-emptiness of the intersection guarantees deadlock-free execution
+    of the two public processes.
+    """
+    return not is_empty(intersect(left, right), annotated=annotated)
+
+
+@dataclass
+class EmptinessWitness:
+    """Diagnostic outcome of :func:`non_emptiness_witness`.
+
+    Attributes:
+        empty: True if the automaton is empty.
+        word: for non-empty automata, one accepted word through good
+            states (list of labels).
+        path: the state sequence of that word (len(word) + 1 states).
+        blocked_states: for empty automata, reachable states whose
+            annotation could not be satisfied.
+        missing_variables: for each blocked state, the annotation
+            variables with no supporting transition into a good state —
+            the paper's "mandatory transition … not supported" diagnosis.
+    """
+
+    empty: bool
+    word: list = field(default_factory=list)
+    path: list = field(default_factory=list)
+    blocked_states: list = field(default_factory=list)
+    missing_variables: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Render a one-paragraph human-readable explanation."""
+        if not self.empty:
+            rendered = " ".join(label_text(label) for label in self.word)
+            return f"non-empty; witness word: {rendered or 'ε'}"
+        if not self.blocked_states:
+            return "empty: no final state is reachable"
+        parts = []
+        for state in self.blocked_states:
+            missing = ", ".join(sorted(self.missing_variables.get(state, ())))
+            parts.append(
+                f"state {state!r} requires unsupported message(s): {missing}"
+            )
+        return "empty: " + "; ".join(parts)
+
+
+def non_emptiness_witness(automaton: AFSA) -> EmptinessWitness:
+    """Run the annotated emptiness test and explain the outcome.
+
+    For a non-empty automaton, returns a shortest word (by BFS) whose run
+    stays within good states and ends in a final state.  For an empty
+    automaton, reports the reachable states whose annotations are
+    unsatisfiable and which mandatory variables lack support — mirroring
+    the paper's diagnosis of Fig. 5 ("does not contain the mandatory
+    transition labeled B#A#msg1").
+    """
+    good = good_states(automaton)
+    if automaton.start not in good:
+        blocked = []
+        missing: dict = {}
+        for state in automaton.reachable_states():
+            if state in good:
+                continue
+            annotation = automaton.annotation(state)
+            if annotation == TRUE:
+                continue
+            supported = {
+                label_text(transition.label)
+                for transition in automaton.transitions_from(state)
+                if not transition.is_silent and transition.target in good
+            }
+            if not evaluate(annotation, supported):
+                unsupported = sorted(
+                    name
+                    for name in formula_variables(annotation)
+                    if name not in supported
+                )
+                blocked.append(state)
+                missing[state] = unsupported
+        return EmptinessWitness(
+            empty=True, blocked_states=blocked, missing_variables=missing
+        )
+
+    # BFS through good states only.
+    parents: dict[State, tuple[State, Label] | None] = {automaton.start: None}
+    queue = [automaton.start]
+    final = None
+    while queue:
+        state = queue.pop(0)
+        if automaton.is_final(state):
+            final = state
+            break
+        for transition in sorted(
+            automaton.transitions_from(state),
+            key=lambda item: (label_text(item.label), repr(item.target)),
+        ):
+            target = transition.target
+            if target in good and target not in parents:
+                parents[target] = (state, transition.label)
+                queue.append(target)
+
+    word: list = []
+    path: list = []
+    if final is not None:
+        cursor: State | None = final
+        path.append(final)
+        while parents[cursor] is not None:
+            previous, label = parents[cursor]  # type: ignore[misc]
+            if label_text(label) != "ε":
+                word.append(label)
+            path.append(previous)
+            cursor = previous
+        word.reverse()
+        path.reverse()
+    return EmptinessWitness(empty=False, word=word, path=path)

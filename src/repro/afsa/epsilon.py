@@ -1,0 +1,83 @@
+"""ε-closure and ε-elimination for aFSAs.
+
+View generation (Sect. 3.4) relabels foreign messages with the empty word
+ε; Def. 3's intersection permits ``β ∈ {α, ε}``.  Both are implemented on
+top of ε-elimination: replace silent moves by direct transitions.
+
+Annotation handling: when state ``q`` silently reaches ``q'``, the process
+may *internally* already be in ``q'`` without the partner observing
+anything, so the partner must satisfy the requirements of every state in
+the closure — annotations across an ε-closure are **conjoined** (see
+DESIGN.md).  This choice reproduces the annotation placement of the
+paper's Figs. 8, 10a, 12a and 16a.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA, State
+from repro.formula.ast import TRUE, Formula
+from repro.formula.simplify import conjoin
+
+
+def epsilon_closure(automaton: AFSA, state: State) -> frozenset:
+    """Return the set of states reachable from *state* via ε-moves only."""
+    closure = {state}
+    frontier = [state]
+    while frontier:
+        current = frontier.pop()
+        for transition in automaton.transitions_from(current):
+            if transition.is_silent and transition.target not in closure:
+                closure.add(transition.target)
+                frontier.append(transition.target)
+    return frozenset(closure)
+
+
+def closure_annotation(automaton: AFSA, closure: frozenset) -> Formula:
+    """Conjoin the annotations of all states in *closure*."""
+    result: Formula = TRUE
+    for state in sorted(closure, key=repr):
+        result = conjoin(result, automaton.annotation(state))
+    return result
+
+
+def remove_epsilon(automaton: AFSA) -> AFSA:
+    """Return an ε-free automaton with the same annotated behavior.
+
+    Each original state keeps its identity; it inherits the non-ε
+    transitions, finality, and (conjoined) annotations of its ε-closure.
+    Unreachable states are dropped.
+    """
+    if not automaton.has_epsilon():
+        return automaton.trimmed()
+
+    closures = {
+        state: epsilon_closure(automaton, state)
+        for state in automaton.states
+    }
+
+    transitions = []
+    finals = []
+    annotations: dict[State, Formula] = {}
+    for state, closure in closures.items():
+        if closure & automaton.finals:
+            finals.append(state)
+        formula = closure_annotation(automaton, closure)
+        if formula != TRUE:
+            annotations[state] = formula
+        for member in closure:
+            for transition in automaton.transitions_from(member):
+                if not transition.is_silent:
+                    transitions.append(
+                        (state, transition.label, transition.target)
+                    )
+
+    result = AFSA(
+        states=automaton.states,
+        transitions=transitions,
+        start=automaton.start,
+        finals=finals,
+        annotations=annotations,
+        alphabet=automaton.alphabet,
+        name=automaton.name,
+    )
+    return result.trimmed()

@@ -1,0 +1,42 @@
+"""Language equality and inclusion for aFSAs (unannotated level).
+
+The propagation criterion of Sect. 4.2 starts from protocol equivalence:
+``A ∩ B ≡ A' ∩ B  ⟺  (A \\ A') ∩ B = ∅ ∧ (A' \\ A) ∩ B = ∅``.  These
+helpers implement the language-level building blocks: inclusion and
+equality via emptiness of differences, plus a bounded enumeration check
+used to cross-validate the symbolic operators in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.difference import difference
+from repro.afsa.emptiness import is_empty
+from repro.afsa.language import accepted_words
+
+
+def language_included(left: AFSA, right: AFSA) -> bool:
+    """Return True iff L(left) ⊆ L(right) (unannotated languages)."""
+    return is_empty(difference(left, right), annotated=False)
+
+
+def language_equal(left: AFSA, right: AFSA) -> bool:
+    """Return True iff L(left) = L(right) (unannotated languages)."""
+    return language_included(left, right) and language_included(right, left)
+
+
+def language_equal_bounded(
+    left: AFSA, right: AFSA, max_length: int = 8, max_words: int = 10_000
+) -> bool:
+    """Compare accepted-word sets up to *max_length* (test oracle).
+
+    Exhaustive up to the bound; used to cross-check the symbolic
+    :func:`language_equal` on randomly generated automata.
+    """
+    words_left = accepted_words(
+        left, max_length=max_length, max_words=max_words
+    )
+    words_right = accepted_words(
+        right, max_length=max_length, max_words=max_words
+    )
+    return words_left == words_right

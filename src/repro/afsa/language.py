@@ -1,0 +1,160 @@
+"""Bounded language enumeration and membership for aFSAs.
+
+These helpers back the property-based test suite (language-level checks
+of intersection/difference/union) and the diagnostics surfaced by the
+propagation engine ("which conversations were added/removed?").
+
+Two language notions exist for an aFSA:
+
+* the **unannotated language** — classical FSA acceptance; and
+* the **annotated language** — words accepted along runs that stay
+  within *good* states (see :mod:`repro.afsa.emptiness`), i.e.
+  conversations that honor every mandatory-message annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.afsa.automaton import AFSA, State
+from repro.afsa.emptiness import good_states
+from repro.afsa.epsilon import epsilon_closure
+from repro.messages.label import Label, label_text, parse_label
+
+
+def _closure_of_set(automaton: AFSA, states: Iterable[State]) -> frozenset:
+    result: set[State] = set()
+    for state in states:
+        result |= epsilon_closure(automaton, state)
+    return frozenset(result)
+
+
+def accepts(automaton: AFSA, word: Sequence[Label]) -> bool:
+    """Classical membership: does the automaton accept *word*?
+
+    Handles ε-transitions and nondeterminism (subset simulation).
+    """
+    current = _closure_of_set(automaton, [automaton.start])
+    for raw_label in word:
+        label = parse_label(raw_label)
+        moved: set[State] = set()
+        for state in current:
+            moved |= automaton.successors(state, label)
+        if not moved:
+            return False
+        current = _closure_of_set(automaton, moved)
+    return bool(current & automaton.finals)
+
+
+def annotated_accepts(automaton: AFSA, word: Sequence[Label]) -> bool:
+    """Annotated membership: is *word* accepted by a run through good
+    states only?
+
+    This is the conversation-level reading of consistency: a word in the
+    annotated language can actually be executed without violating any
+    party's mandatory requirements.
+    """
+    good = good_states(automaton)
+    if automaton.start not in good:
+        return False
+    current = {
+        state
+        for state in _closure_of_set(automaton, [automaton.start])
+        if state in good
+    }
+    for raw_label in word:
+        label = parse_label(raw_label)
+        moved: set[State] = set()
+        for state in current:
+            moved |= automaton.successors(state, label)
+        current = {
+            state
+            for state in _closure_of_set(automaton, moved)
+            if state in good
+        }
+        if not current:
+            return False
+    return bool(current & automaton.finals)
+
+
+def enumerate_language(
+    automaton: AFSA,
+    max_length: int = 8,
+    max_words: int = 10_000,
+    annotated: bool = False,
+) -> Iterator[tuple[Label, ...]]:
+    """Yield accepted words of length ≤ *max_length* in BFS order.
+
+    Args:
+        max_length: longest word to enumerate.
+        max_words: hard cap on yielded words (loops make languages
+            infinite; the buyer's tracking loop alone is one).
+        annotated: when True, restrict runs to good states (annotated
+            language).
+    """
+    if annotated:
+        good = good_states(automaton)
+        allowed = lambda state: state in good  # noqa: E731
+    else:
+        allowed = lambda state: True  # noqa: E731
+
+    start = frozenset(
+        state
+        for state in _closure_of_set(automaton, [automaton.start])
+        if allowed(state)
+    )
+    if not start:
+        return
+
+    emitted = 0
+    frontier: list[tuple[tuple[Label, ...], frozenset]] = [((), start)]
+    seen_words: set[tuple[Label, ...]] = set()
+    while frontier and emitted < max_words:
+        next_frontier: list[tuple[tuple[Label, ...], frozenset]] = []
+        for word, states in frontier:
+            if states & automaton.finals and word not in seen_words:
+                seen_words.add(word)
+                emitted += 1
+                yield word
+                if emitted >= max_words:
+                    return
+            if len(word) >= max_length:
+                continue
+            by_label: dict[Label, set[State]] = {}
+            for state in states:
+                for transition in automaton.transitions_from(state):
+                    if transition.is_silent:
+                        continue
+                    by_label.setdefault(transition.label, set()).add(
+                        transition.target
+                    )
+            for label in sorted(by_label, key=label_text):
+                targets = frozenset(
+                    state
+                    for state in _closure_of_set(automaton, by_label[label])
+                    if allowed(state)
+                )
+                if targets:
+                    next_frontier.append((word + (label,), targets))
+        frontier = next_frontier
+
+
+def accepted_words(
+    automaton: AFSA,
+    max_length: int = 8,
+    max_words: int = 10_000,
+    annotated: bool = False,
+) -> set[tuple[str, ...]]:
+    """Return accepted words (as label-text tuples) up to *max_length*.
+
+    A set of strings is easier to compare in tests than label objects.
+    """
+    return {
+        tuple(label_text(label) for label in word)
+        for word in enumerate_language(
+            automaton,
+            max_length=max_length,
+            max_words=max_words,
+            annotated=annotated,
+        )
+    }

@@ -1,0 +1,126 @@
+"""Structural metrics for aFSAs.
+
+Used by the CLI's ``stats`` command and the benchmark reports to
+characterize workloads: raw sizes, branching behavior, annotation
+density, and the share of states/conversations that the annotated
+semantics constrains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.emptiness import good_states
+from repro.formula.transform import variables as formula_variables
+
+
+@dataclass
+class AfsaMetrics:
+    """Size and shape statistics of one automaton.
+
+    Attributes:
+        states: |Q|.
+        transitions: |Δ|.
+        alphabet: |Σ|.
+        finals: |F|.
+        epsilon_transitions: number of ε-labeled transitions.
+        annotated_states: states carrying a non-trivial annotation.
+        annotation_variables: distinct variables across all annotations.
+        max_out_degree: maximum outgoing transitions per state.
+        mean_out_degree: average outgoing transitions per state.
+        good_states: size of the greatest-fixpoint good set.
+        empty: annotated-emptiness verdict.
+        cyclic: True if the automaton has a reachable cycle.
+    """
+
+    states: int
+    transitions: int
+    alphabet: int
+    finals: int
+    epsilon_transitions: int
+    annotated_states: int
+    annotation_variables: int
+    max_out_degree: int
+    mean_out_degree: float
+    good_states: int
+    empty: bool
+    cyclic: bool
+
+    def render(self) -> str:
+        """Render as aligned key/value lines."""
+        rows = [
+            ("states", self.states),
+            ("transitions", self.transitions),
+            ("alphabet", self.alphabet),
+            ("final states", self.finals),
+            ("ε-transitions", self.epsilon_transitions),
+            ("annotated states", self.annotated_states),
+            ("annotation variables", self.annotation_variables),
+            ("max out-degree", self.max_out_degree),
+            ("mean out-degree", f"{self.mean_out_degree:.2f}"),
+            ("good states", self.good_states),
+            ("empty (annotated)", self.empty),
+            ("cyclic", self.cyclic),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(
+            f"{name:<{width}}  {value}" for name, value in rows
+        )
+
+
+def _has_cycle(automaton: AFSA) -> bool:
+    """Detect a reachable cycle (iterative three-color DFS)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict = {state: WHITE for state in automaton.states}
+    stack: list[tuple[object, int]] = [(automaton.start, 0)]
+    while stack:
+        state, child_index = stack.pop()
+        if color.get(state, WHITE) == BLACK:
+            continue
+        transitions = automaton.transitions_from(state)
+        if child_index == 0:
+            color[state] = GRAY
+        if child_index < len(transitions):
+            stack.append((state, child_index + 1))
+            target = transitions[child_index].target
+            target_color = color.get(target, WHITE)
+            if target_color == GRAY:
+                return True
+            if target_color == WHITE:
+                stack.append((target, 0))
+        else:
+            color[state] = BLACK
+    return False
+
+
+def compute_metrics(automaton: AFSA) -> AfsaMetrics:
+    """Compute :class:`AfsaMetrics` for *automaton*."""
+    out_degrees = [
+        len(automaton.transitions_from(state))
+        for state in automaton.states
+    ]
+    state_count = len(automaton.states)
+    variable_names: set[str] = set()
+    for formula in automaton.annotations.values():
+        variable_names |= formula_variables(formula)
+    good = good_states(automaton)
+    return AfsaMetrics(
+        states=state_count,
+        transitions=len(automaton.transitions),
+        alphabet=len(automaton.alphabet),
+        finals=len(automaton.finals),
+        epsilon_transitions=sum(
+            1 for transition in automaton.transitions
+            if transition.is_silent
+        ),
+        annotated_states=len(automaton.annotations),
+        annotation_variables=len(variable_names),
+        max_out_degree=max(out_degrees, default=0),
+        mean_out_degree=(
+            sum(out_degrees) / state_count if state_count else 0.0
+        ),
+        good_states=len(good),
+        empty=automaton.start not in good,
+        cyclic=_has_cycle(automaton),
+    )

@@ -1,0 +1,145 @@
+"""Serialization of aFSAs: JSON round-trip and Graphviz DOT export.
+
+The JSON schema is deliberately simple and stable so that automata can be
+checked into test fixtures and exchanged between partners (the paper,
+Sect. 6: "the only information which has to be exchanged between partners
+is about the changes applied to public processes")::
+
+    {
+      "name": "party A",
+      "states": ["q0", "q1"],
+      "start": "q0",
+      "finals": ["q1"],
+      "alphabet": ["B#A#msg0"],
+      "transitions": [["q0", "B#A#msg0", "q1"]],
+      "annotations": {"q0": "B#A#msg0"}
+    }
+
+State identifiers are stringified on export; use
+:meth:`AFSA.relabel_states` first when structural state names (tuples)
+matter.  Annotations are serialized in the textual formula syntax and
+re-parsed on import.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.afsa.automaton import AFSA, iter_sorted_transitions
+from repro.formula.parser import parse_formula
+
+
+def afsa_to_dict(automaton: AFSA) -> dict[str, Any]:
+    """Convert *automaton* to a JSON-friendly dict (states stringified)."""
+    def state_id(state: Any) -> str:
+        return state if isinstance(state, str) else repr(state)
+
+    return {
+        "name": automaton.name,
+        "states": sorted(state_id(state) for state in automaton.states),
+        "start": state_id(automaton.start),
+        "finals": sorted(state_id(state) for state in automaton.finals),
+        "alphabet": [str(label) for label in automaton.alphabet],
+        "transitions": [
+            [
+                state_id(transition.source),
+                "" if transition.is_silent else str(transition.label),
+                state_id(transition.target),
+            ]
+            for transition in iter_sorted_transitions(automaton)
+        ],
+        "annotations": {
+            state_id(state): str(formula)
+            for state, formula in sorted(
+                automaton.annotations.items(), key=lambda item: repr(item[0])
+            )
+        },
+    }
+
+
+def afsa_from_dict(data: dict[str, Any]) -> AFSA:
+    """Rebuild an :class:`AFSA` from :func:`afsa_to_dict` output."""
+    return AFSA(
+        states=data.get("states", ()),
+        transitions=[
+            (source, label, target)
+            for source, label, target in data.get("transitions", ())
+        ],
+        start=data["start"],
+        finals=data.get("finals", ()),
+        annotations={
+            state: parse_formula(text)
+            for state, text in data.get("annotations", {}).items()
+        },
+        alphabet=data.get("alphabet", ()),
+        name=data.get("name", ""),
+    )
+
+
+def afsa_to_json(automaton: AFSA, indent: int = 2) -> str:
+    """Serialize *automaton* to a JSON string."""
+    return json.dumps(afsa_to_dict(automaton), indent=indent, sort_keys=True)
+
+
+def afsa_from_json(text: str) -> AFSA:
+    """Deserialize an automaton from :func:`afsa_to_json` output."""
+    return afsa_from_dict(json.loads(text))
+
+
+def afsa_to_dot(automaton: AFSA, shorten_labels: bool = True) -> str:
+    """Render *automaton* as Graphviz DOT (paper-figure styling).
+
+    Final states are double circles (the paper's "thick line"); state
+    annotations appear as box-shaped satellite nodes connected by dashed
+    edges, exactly like the squares in the paper's figures.
+
+    Args:
+        shorten_labels: render annotation variables with bare operation
+            names (``terminateOp AND get_statusOp``) as the figures do.
+    """
+    def state_id(state: Any) -> str:
+        text = state if isinstance(state, str) else repr(state)
+        return json.dumps(text)
+
+    def short(text: str) -> str:
+        if not shorten_labels:
+            return text
+        parts = text.split("#")
+        return parts[-1] if len(parts) == 3 else text
+
+    lines = ["digraph afsa {", "  rankdir=LR;"]
+    if automaton.name:
+        lines.append(f"  label={json.dumps(automaton.name)};")
+    lines.append('  __start__ [shape=point, label=""];')
+    for state in sorted(automaton.states, key=repr):
+        shape = (
+            "doublecircle" if state in automaton.finals else "circle"
+        )
+        lines.append(f"  {state_id(state)} [shape={shape}];")
+    lines.append(f"  __start__ -> {state_id(automaton.start)};")
+    for transition in iter_sorted_transitions(automaton):
+        label = "ε" if transition.is_silent else short(str(transition.label))
+        lines.append(
+            f"  {state_id(transition.source)} -> "
+            f"{state_id(transition.target)} "
+            f"[label={json.dumps(label)}];"
+        )
+    for index, (state, formula) in enumerate(
+        sorted(automaton.annotations.items(), key=lambda item: repr(item[0]))
+    ):
+        rendered = str(formula)
+        if shorten_labels:
+            rendered = " ".join(
+                short(token) for token in rendered.split(" ")
+            )
+        annotation_id = f'"__annotation_{index}__"'
+        lines.append(
+            f"  {annotation_id} [shape=box, label={json.dumps(rendered)}];"
+        )
+        lines.append(
+            f"  {state_id(state)} -> {annotation_id} "
+            f"[style=dashed, arrowhead=none];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""Conversation simulator: execute public processes against each other.
+
+The paper's consistency criterion promises that a non-empty intersection
+guarantees *deadlock-free execution* of two interacting public processes
+(Sect. 3.2).  This module makes the promise executable: it steps two (or
+N) aFSAs through synchronized message exchanges and reports whether a
+conversation completes, deadlocks, or gets stuck.  The property-based
+suite uses it as an independent oracle for
+:func:`repro.afsa.emptiness.is_consistent`.
+
+Two stepping semantics are provided:
+
+* **joint-choice** (default, no ``party_names``): a move is any label
+  every participant has enabled; the walk is *angelic* — it never picks
+  a message a partner cannot take.  Deadlock under this semantics means
+  the processes are FSA-incompatible.
+* **sender-commit** (``party_names`` given): each step first selects a
+  party with pending *sends* (labels whose sender it is), which commits
+  **internally** among its own enabled sends — exactly the paper's
+  internal-decision reading of mandatory annotations.  If the chosen
+  receiver cannot take the message, the conversation deadlocks.  This
+  is the semantics under which Fig. 5's inconsistent pair actually
+  blocks: party B may commit to ``msg1``, which party A cannot receive.
+
+A message involves exactly its sender and receiver; other parties do
+not move (bilateral runs without names treat both automata as
+participants of every message).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.afsa.automaton import AFSA, State
+from repro.afsa.emptiness import good_states
+from repro.afsa.epsilon import epsilon_closure
+from repro.messages.label import (
+    Label,
+    MessageLabel,
+    label_text,
+    parse_label,
+)
+
+#: Simulation outcomes.
+COMPLETED = "completed"
+DEADLOCK = "deadlock"
+STEP_LIMIT = "step-limit"
+
+
+@dataclass
+class ConversationResult:
+    """Outcome of one simulated conversation.
+
+    Attributes:
+        outcome: ``"completed"`` (all parties resting in final states),
+            ``"deadlock"`` (a committed message cannot be received, or
+            no move is possible while some party is unfinished), or
+            ``"step-limit"`` (budget exhausted inside a live loop).
+        trace: the sequence of exchanged message labels.
+        states: the final joint state (one state set per party).
+        blocked_on: for sender-commit deadlocks, the message the
+            receiver could not take.
+    """
+
+    outcome: str
+    trace: list = field(default_factory=list)
+    states: list = field(default_factory=list)
+    blocked_on: Label | None = None
+
+    @property
+    def deadlocked(self) -> bool:
+        """True if the conversation ended in a deadlock."""
+        return self.outcome == DEADLOCK
+
+    def describe(self) -> str:
+        """One-line rendering of the conversation."""
+        rendered = " ".join(label_text(label) for label in self.trace)
+        suffix = ""
+        if self.blocked_on is not None:
+            suffix = f" (blocked on {label_text(self.blocked_on)})"
+        return f"{self.outcome}: {rendered or '(no messages)'}{suffix}"
+
+
+def _closure(automaton: AFSA, states: frozenset) -> frozenset:
+    result: set[State] = set()
+    for state in states:
+        result |= epsilon_closure(automaton, state)
+    return frozenset(result)
+
+
+def _enabled_labels(automaton: AFSA, states: frozenset) -> set[Label]:
+    labels: set[Label] = set()
+    for state in states:
+        labels |= automaton.labels_from(state)
+    return labels
+
+
+def _step(automaton: AFSA, states: frozenset, label: Label) -> frozenset:
+    moved: set[State] = set()
+    for state in states:
+        moved |= automaton.successors(state, label)
+    return _closure(automaton, frozenset(moved))
+
+
+class _Simulation:
+    """Mutable state of one conversation run."""
+
+    def __init__(
+        self,
+        parties: Sequence[AFSA],
+        party_names: Sequence[str] | None,
+        respect_annotations: bool,
+        rng: random.Random,
+    ):
+        self.parties = list(parties)
+        self.party_names = list(party_names) if party_names else None
+        self.rng = rng
+        self.bilateral = len(parties) == 2
+        if respect_annotations:
+            self.goods = [good_states(a) for a in parties]
+        else:
+            self.goods = [set(a.states) for a in parties]
+        self.current = [
+            _closure(a, frozenset({a.start})) for a in parties
+        ]
+        self.trace: list[Label] = []
+
+    def participates(self, index: int, label: Label) -> bool:
+        if self.party_names is not None:
+            parsed = parse_label(label)
+            if isinstance(parsed, MessageLabel):
+                return parsed.involves(self.party_names[index])
+            return label in self.parties[index].alphabet
+        if self.bilateral:
+            return True
+        return label in self.parties[index].alphabet
+
+    def all_can_finish(self) -> bool:
+        return all(
+            any(
+                state in automaton.finals and state in good
+                for state in states
+            )
+            for automaton, states, good in zip(
+                self.parties, self.current, self.goods
+            )
+        )
+
+    def advance(self, label: Label) -> None:
+        self.trace.append(label)
+        self.current = [
+            _step(automaton, states, label)
+            if self.participates(index, label)
+            else states
+            for index, (automaton, states) in enumerate(
+                zip(self.parties, self.current)
+            )
+        ]
+
+    # -- joint-choice semantics -------------------------------------------
+
+    def joint_moves(self) -> list[Label]:
+        candidates: set[Label] = set()
+        for automaton, states in zip(self.parties, self.current):
+            candidates |= _enabled_labels(automaton, states)
+        moves = []
+        for label in sorted(candidates, key=label_text):
+            anyone = False
+            enabled = True
+            for index, (automaton, states) in enumerate(
+                zip(self.parties, self.current)
+            ):
+                if not self.participates(index, label):
+                    continue
+                anyone = True
+                if not any(
+                    automaton.successors(state, label) for state in states
+                ):
+                    enabled = False
+                    break
+            if anyone and enabled:
+                moves.append(label)
+        return moves
+
+    # -- sender-commit semantics --------------------------------------------
+
+    def sendable(self, index: int) -> list[Label]:
+        """Labels party *index* can send from its current states."""
+        name = self.party_names[index]  # type: ignore[index]
+        result = []
+        for label in sorted(
+            _enabled_labels(self.parties[index], self.current[index]),
+            key=label_text,
+        ):
+            parsed = parse_label(label)
+            if isinstance(parsed, MessageLabel) and parsed.sender == name:
+                result.append(label)
+        return result
+
+    def receiver_can_take(self, label: Label) -> bool:
+        parsed = parse_label(label)
+        if not isinstance(parsed, MessageLabel):
+            return True
+        for index, name in enumerate(self.party_names or ()):
+            if name == parsed.receiver:
+                return any(
+                    self.parties[index].successors(state, label)
+                    for state in self.current[index]
+                )
+        return True  # receiver not simulated
+
+
+def simulate_conversation(
+    parties: Sequence[AFSA],
+    max_steps: int = 200,
+    seed: int | None = None,
+    respect_annotations: bool = True,
+    party_names: Sequence[str] | None = None,
+) -> ConversationResult:
+    """Simulate one random conversation among *parties*.
+
+    See the module docstring for the two stepping semantics.  The
+    conversation completes when every party can rest in a final state
+    (a *good* one when ``respect_annotations``) and, with probability ½
+    per step once possible (to exercise loops), elects to stop.
+
+    Args:
+        parties: the public-process automata (≥ 2 for a meaningful run).
+        max_steps: step budget before reporting ``"step-limit"``.
+        seed: seed for reproducible runs.
+        respect_annotations: when True, parties only rest in final
+            states that are *good*; when False the simulator is a plain
+            FSA walker.
+        party_names: party identifiers (e.g. ``["A", "B"]``), enabling
+            the sender-commit semantics.
+    """
+    rng = random.Random(seed)
+    simulation = _Simulation(
+        parties, party_names, respect_annotations, rng
+    )
+
+    for _ in range(max_steps):
+        finished = simulation.all_can_finish()
+
+        if party_names is not None:
+            senders = [
+                index
+                for index in range(len(parties))
+                if simulation.sendable(index)
+            ]
+            if finished and (not senders or rng.random() < 0.5):
+                return ConversationResult(
+                    COMPLETED, simulation.trace, simulation.current
+                )
+            if not senders:
+                return ConversationResult(
+                    DEADLOCK, simulation.trace, simulation.current
+                )
+            sender = rng.choice(senders)
+            label = rng.choice(simulation.sendable(sender))
+            if not simulation.receiver_can_take(label):
+                return ConversationResult(
+                    DEADLOCK,
+                    simulation.trace,
+                    simulation.current,
+                    blocked_on=label,
+                )
+            simulation.advance(label)
+            continue
+
+        moves = simulation.joint_moves()
+        if finished and (not moves or rng.random() < 0.5):
+            return ConversationResult(
+                COMPLETED, simulation.trace, simulation.current
+            )
+        if not moves:
+            return ConversationResult(
+                DEADLOCK, simulation.trace, simulation.current
+            )
+        simulation.advance(rng.choice(moves))
+
+    return ConversationResult(
+        STEP_LIMIT, simulation.trace, simulation.current
+    )
+
+
+def deadlock_probe(
+    left: AFSA,
+    right: AFSA,
+    runs: int = 50,
+    max_steps: int = 200,
+    seed: int = 0,
+    party_names: Sequence[str] | None = None,
+) -> bool:
+    """Return True if any of *runs* random bilateral conversations
+    deadlocks.
+
+    With *party_names*, runs use the sender-commit semantics — the one
+    under which mandatory-annotation violations manifest as operational
+    deadlocks.  A cheap empirical proxy for ¬consistency: it can
+    produce false negatives (a lucky walk may miss the deadlock) but
+    no false positives on consistent pairs.
+    """
+    for index in range(runs):
+        result = simulate_conversation(
+            [left, right],
+            max_steps=max_steps,
+            seed=seed + index,
+            party_names=party_names,
+        )
+        if result.deadlocked:
+            return True
+    return False

@@ -1,0 +1,78 @@
+"""aFSA union.
+
+Step "ad 2" of additive propagation (Sect. 5.2) grafts the newly
+introduced message sequences onto the partner's public process:
+``B' := A'' ∪ B``.  The paper constructs the union via De Morgan
+(``A ∪ B ≡ ¬(¬A ∩ ¬B)``); we provide that construction
+(:func:`union_de_morgan`) for fidelity, but default to the direct
+construction (:func:`union`) — a fresh start state with ε-moves into both
+operands — because it *preserves annotations* of both operands, which the
+complement-based route cannot (complement is only defined on the
+unannotated language; see :mod:`repro.afsa.complement`).
+
+Both constructions accept exactly ``L(A) ∪ L(B)``; the property-based
+test suite checks them against each other on random automata.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA, AFSABuilder
+from repro.afsa.complement import complement
+from repro.afsa.epsilon import remove_epsilon
+from repro.afsa.product import intersect
+
+
+def union(left: AFSA, right: AFSA, name: str = "") -> AFSA:
+    """Return the direct (annotation-preserving) union of two aFSAs.
+
+    States of the operands are tagged with ``0``/``1`` to keep them
+    disjoint; a fresh start state reaches both via ε, and the result is
+    ε-eliminated.  Annotations are carried over per branch (the fresh
+    start inherits the conjunction of both start annotations through
+    ε-elimination — a requirement both alternatives impose is imposed by
+    the union as well).
+    """
+    if not name:
+        left_name = left.name or "A"
+        right_name = right.name or "B"
+        name = f"({left_name} ∪ {right_name})"
+
+    builder = AFSABuilder(name=name)
+    fresh_start = ("∪", "start")
+    builder.set_start(fresh_start)
+
+    for tag, operand in ((0, left), (1, right)):
+        for transition in operand.transitions:
+            builder.add_transition(
+                (tag, transition.source),
+                transition.label,
+                (tag, transition.target),
+            )
+        for state in operand.states:
+            builder.add_state((tag, state))
+        for state in operand.finals:
+            builder.mark_final((tag, state))
+        for state, formula in operand.annotations.items():
+            builder.annotate((tag, state), formula)
+        builder.add_epsilon(fresh_start, (tag, operand.start))
+        builder.extend_alphabet(operand.alphabet)
+
+    return remove_epsilon(builder.build())
+
+
+def union_de_morgan(left: AFSA, right: AFSA, name: str = "") -> AFSA:
+    """Return the union via De Morgan: ``¬(¬A ∩ ¬B)`` (paper, Sect. 5.2).
+
+    The result has no annotations (complement erases them); use
+    :func:`union` when annotations must survive.
+    """
+    sigma = left.alphabet.union(right.alphabet)
+    not_left = complement(left, alphabet=sigma)
+    not_right = complement(right, alphabet=sigma)
+    both = intersect(not_left, not_right)
+    result = complement(both, alphabet=sigma)
+    if not name:
+        left_name = left.name or "A"
+        right_name = right.name or "B"
+        name = f"({left_name} ∪ {right_name})"
+    return result.with_name(name)

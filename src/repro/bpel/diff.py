@@ -1,0 +1,268 @@
+"""Structural diff between two versions of a private process.
+
+The change framework works from versioned models: the originator knows
+which operation produced the new version, but a *partner* (or an
+auditor) may only hold the old and new process documents.  This module
+recovers an edit script from the two trees:
+
+* :func:`diff_processes` aligns the trees top-down — children of
+  sequences/flows are matched by name first, then by structural
+  equality — and emits :class:`ProcessEdit` records (inserted, deleted,
+  modified, moved) with their block paths;
+* :meth:`ProcessEdit.operation` maps the edit back to an executable
+  :class:`~repro.core.changes.ChangeOperation` where a faithful one
+  exists (insert/delete into named sequences, condition changes), so a
+  recovered script can be replayed.
+
+The diff is *structural*, not language-level — two different trees with
+the same public process still diff as different; use
+:func:`repro.core.classify.classify_change` for the Def. 5 view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpel.model import (
+    Activity,
+    Case,
+    Invoke,
+    OnMessage,
+    ProcessModel,
+    Receive,
+    Reply,
+    Sequence,
+    Switch,
+    While,
+)
+
+#: Edit kinds.
+INSERTED = "inserted"
+DELETED = "deleted"
+MODIFIED = "modified"
+
+
+@dataclass
+class ProcessEdit:
+    """One structural edit recovered by :func:`diff_processes`.
+
+    Attributes:
+        kind: :data:`INSERTED`, :data:`DELETED`, or :data:`MODIFIED`.
+        path: block path of the *container* the edit happened in.
+        activity: the inserted/deleted subtree, or the new version of a
+            modified node.
+        previous: for modifications, the old version.
+        detail: human-readable description of what changed.
+        index: child index for insertions/deletions in sequences.
+    """
+
+    kind: str
+    path: tuple[str, ...]
+    activity: Activity
+    previous: Activity | None = None
+    detail: str = ""
+    index: int | None = None
+
+    def describe(self) -> str:
+        location = " / ".join(self.path) or "(root)"
+        return f"{self.kind} at {location}: {self.detail}"
+
+    def operation(self):
+        """Return an executable change operation, or ``None``.
+
+        Only unambiguous edits map back: insertion/deletion of a child
+        in a *named* sequence, and condition changes of named whiles.
+        """
+        from repro.core.changes import (
+            ChangeLoopCondition,
+            DeleteActivity,
+            InsertActivity,
+        )
+
+        container = self.path[-1] if self.path else ""
+        if self.kind == INSERTED and container.startswith("Sequence:"):
+            return InsertActivity(
+                sequence_name=container.split(":", 1)[1],
+                activity=self.activity,
+                index=self.index,
+            )
+        if self.kind == DELETED and self.activity.name:
+            return DeleteActivity(self.activity.name)
+        condition_change = (
+            self.kind == MODIFIED
+            and isinstance(self.activity, While)
+            and isinstance(self.previous, While)
+            and self.activity.name
+            and self.activity.condition != self.previous.condition
+        )
+        if condition_change:
+            return ChangeLoopCondition(
+                while_name=self.activity.name,
+                condition=self.activity.condition,
+            )
+        return None
+
+
+def _signature(activity: Activity) -> tuple:
+    """A matching key: type, name, and communication identity."""
+    if isinstance(activity, (Receive, Invoke, Reply)):
+        return (
+            activity.kind,
+            activity.name,
+            activity.partner,
+            activity.operation,
+        )
+    if isinstance(activity, OnMessage):
+        return (
+            activity.kind,
+            activity.name,
+            activity.partner,
+            activity.operation,
+        )
+    return (activity.kind, activity.name)
+
+
+def _attribute_changes(old: Activity, new: Activity) -> list[str]:
+    """List attribute-level differences of two same-signature nodes."""
+    changes = []
+    if isinstance(old, While) and isinstance(new, While):
+        if old.condition != new.condition:
+            changes.append(
+                f"condition {old.condition!r} -> {new.condition!r}"
+            )
+    if isinstance(old, Invoke) and isinstance(new, Invoke):
+        if old.synchronous != new.synchronous:
+            changes.append(
+                f"synchronous {old.synchronous} -> {new.synchronous}"
+            )
+    if isinstance(old, Case) and isinstance(new, Case):
+        if old.condition != new.condition:
+            changes.append(
+                f"condition {old.condition!r} -> {new.condition!r}"
+            )
+    return changes
+
+
+def _match_children(
+    old_children: list[Activity], new_children: list[Activity]
+) -> list[tuple[Activity | None, Activity | None]]:
+    """Greedy alignment of child lists by signature, order-preserving.
+
+    Returns pairs: (old, new) matched, (old, None) deleted, or
+    (None, new) inserted.
+    """
+    pairs: list[tuple[Activity | None, Activity | None]] = []
+    used_new: set[int] = set()
+    cursor = 0
+    for old_child in old_children:
+        match_index = None
+        for index in range(cursor, len(new_children)):
+            if index in used_new:
+                continue
+            if _signature(new_children[index]) == _signature(old_child):
+                match_index = index
+                break
+        if match_index is None:
+            pairs.append((old_child, None))
+        else:
+            for index in range(cursor, match_index):
+                if index not in used_new:
+                    pairs.append((None, new_children[index]))
+                    used_new.add(index)
+            pairs.append((old_child, new_children[match_index]))
+            used_new.add(match_index)
+            cursor = match_index + 1
+    for index in range(len(new_children)):
+        if index not in used_new:
+            pairs.append((None, new_children[index]))
+    return pairs
+
+
+def _diff_nodes(
+    old: Activity,
+    new: Activity,
+    path: tuple[str, ...],
+    edits: list[ProcessEdit],
+) -> None:
+    if _signature(old) != _signature(new):
+        edits.append(
+            ProcessEdit(
+                kind=MODIFIED,
+                path=path,
+                activity=new,
+                previous=old,
+                detail=f"replaced {old} with {new}",
+            )
+        )
+        return
+
+    for change in _attribute_changes(old, new):
+        edits.append(
+            ProcessEdit(
+                kind=MODIFIED,
+                path=path,
+                activity=new,
+                previous=old,
+                detail=f"{new}: {change}",
+            )
+        )
+
+    inner = path
+    if old.is_block:
+        inner = path + (old.block_name(),)
+
+    old_children = old.children()
+    new_children = new.children()
+    new_positions = {
+        id(child): position
+        for position, child in enumerate(new_children)
+    }
+    for old_child, new_child in _match_children(
+        old_children, new_children
+    ):
+        if old_child is None:
+            edits.append(
+                ProcessEdit(
+                    kind=INSERTED,
+                    path=inner,
+                    activity=new_child,
+                    detail=str(new_child),
+                    index=new_positions.get(id(new_child)),
+                )
+            )
+        elif new_child is None:
+            edits.append(
+                ProcessEdit(
+                    kind=DELETED,
+                    path=inner,
+                    activity=old_child,
+                    detail=str(old_child),
+                )
+            )
+        else:
+            _diff_nodes(old_child, new_child, inner, edits)
+
+
+def diff_processes(
+    old: ProcessModel, new: ProcessModel
+) -> list[ProcessEdit]:
+    """Return the structural edit script transforming *old* into *new*.
+
+    Edits are reported top-down in document order.  An empty list means
+    the trees are structurally identical.
+    """
+    edits: list[ProcessEdit] = []
+    _diff_nodes(
+        old.activity,
+        new.activity,
+        (ProcessModel.ROOT_BLOCK,),
+        edits,
+    )
+    return edits
+
+
+def render_diff(edits: list[ProcessEdit]) -> str:
+    """Render an edit script as one line per edit."""
+    if not edits:
+        return "(no structural changes)"
+    return "\n".join(edit.describe() for edit in edits)

@@ -1,0 +1,161 @@
+"""First-message analysis for choice annotations.
+
+When a process makes an *internal* decision (a :class:`Switch`), trading
+partners must support every branch — the paper expresses this as a
+conjunctive annotation of the branches' first messages (Fig. 6's
+``terminateOp AND get_statusOp``).  "First message" is computed *per
+partner*: the buyer cares about the first buyer-visible message of each
+branch, the logistics service about the first logistics-visible one
+(this is why Fig. 12a shows ``cancelOp AND deliveryOp`` — the first
+buyer-visible messages of the credit-check branches — although the
+continue branch starts by messaging logistics).
+
+:func:`first_messages` returns, for one activity subtree and one
+partner, the set of labels that can be the first message involving that
+partner, together with a flag telling whether the subtree *definitely*
+produces such a message (needed to know whether scanning must continue
+past it in a sequence).
+"""
+
+from __future__ import annotations
+
+from repro.bpel.model import (
+    Activity,
+    Flow,
+    Invoke,
+    OnMessage,
+    Pick,
+    Receive,
+    Reply,
+    Scope,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.messages.label import MessageLabel
+
+
+class FirstMessages:
+    """Result of :func:`first_messages`.
+
+    Attributes:
+        labels: the possible first messages involving the partner.
+        definite: True if every run of the subtree produces such a
+            message (or ends the process) before control leaves it.
+    """
+
+    __slots__ = ("labels", "definite")
+
+    def __init__(self, labels: set[MessageLabel], definite: bool):
+        self.labels = labels
+        self.definite = definite
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rendered = ", ".join(sorted(str(label) for label in self.labels))
+        return f"FirstMessages({{{rendered}}}, definite={self.definite})"
+
+
+def _own_labels(
+    activity: Activity, party: str, partner: str
+) -> list[MessageLabel]:
+    """Labels a single communication activity exchanges with *partner*."""
+    if isinstance(activity, Receive) and activity.partner == partner:
+        return [MessageLabel(partner, party, activity.operation)]
+    if isinstance(activity, Invoke) and activity.partner == partner:
+        request = MessageLabel(party, partner, activity.operation)
+        return [request]  # the response cannot come first
+    if isinstance(activity, Reply) and activity.partner == partner:
+        return [MessageLabel(party, partner, activity.operation)]
+    return []
+
+
+def first_messages(
+    activity: Activity, party: str, partner: str
+) -> FirstMessages:
+    """Return the possible first messages of *activity* involving
+    *partner*, for a process executed by *party*.
+
+    See the module docstring; used by the compiler's switch-annotation
+    policy (:mod:`repro.bpel.compile`).
+    """
+    if isinstance(activity, (Receive, Invoke, Reply)):
+        labels = set(_own_labels(activity, party, partner))
+        if labels:
+            return FirstMessages(labels, True)
+        if isinstance(activity, Invoke) and activity.synchronous:
+            # A synchronous invoke to another partner still blocks, but
+            # exchanges nothing with *partner*; scanning continues.
+            return FirstMessages(set(), False)
+        return FirstMessages(set(), False)
+
+    if isinstance(activity, Terminate):
+        # The process ends here: nothing after can come first, so the
+        # scan must not continue past a terminate.
+        return FirstMessages(set(), True)
+
+    if isinstance(activity, Sequence):
+        labels: set[MessageLabel] = set()
+        for child in activity.activities:
+            result = first_messages(child, party, partner)
+            labels |= result.labels
+            if result.definite:
+                return FirstMessages(labels, True)
+        return FirstMessages(labels, False)
+
+    if isinstance(activity, Flow):
+        # Any parallel branch may produce the first partner message.
+        labels = set()
+        definite = False
+        for child in activity.activities:
+            result = first_messages(child, party, partner)
+            labels |= result.labels
+            definite = definite or result.definite
+        return FirstMessages(labels, definite)
+
+    if isinstance(activity, While):
+        body = first_messages(activity.body, party, partner)
+        # A loop may run zero times (or silently forever): not definite
+        # unless it can never exit and its body always communicates.
+        definite = activity.never_exits and body.definite
+        return FirstMessages(body.labels, definite)
+
+    if isinstance(activity, Switch):
+        labels = set()
+        definite = bool(activity.branches())
+        for branch in activity.branches():
+            result = first_messages(branch, party, partner)
+            labels |= result.labels
+            definite = definite and result.definite
+        if activity.otherwise is None and activity.cases:
+            # Without an otherwise branch the switch may fall through.
+            definite = False
+        return FirstMessages(labels, definite)
+
+    if isinstance(activity, Pick):
+        labels = set()
+        for branch in activity.branches:
+            entry = MessageLabel(branch.partner, party, branch.operation)
+            if branch.partner == partner:
+                labels.add(entry)
+            else:
+                body = first_messages(branch.activity, party, partner)
+                labels |= body.labels
+        # A pick always consumes one of its entry messages first.
+        return FirstMessages(labels, bool(activity.branches))
+
+    if isinstance(activity, OnMessage):
+        entry_labels: set[MessageLabel] = set()
+        if activity.partner == partner:
+            entry_labels.add(
+                MessageLabel(activity.partner, party, activity.operation)
+            )
+            return FirstMessages(entry_labels, True)
+        body = first_messages(activity.activity, party, partner)
+        return FirstMessages(body.labels, body.definite)
+
+    if isinstance(activity, Scope):
+        return first_messages(activity.activity, party, partner)
+
+    # Assign / Empty / Opaque and anything silent.
+    return FirstMessages(set(), False)

@@ -1,0 +1,108 @@
+"""Structural validation of process models.
+
+Catches the malformed trees that would otherwise surface as confusing
+compiler errors: empty choice blocks, duplicate partner-link names,
+communication with undeclared partners (when links are declared),
+unreachable activities after a :class:`~repro.bpel.model.Terminate`,
+and non-``Case``/``OnMessage`` branch nodes.
+"""
+
+from __future__ import annotations
+
+from repro.bpel.model import (
+    Activity,
+    Case,
+    Flow,
+    Invoke,
+    OnMessage,
+    Pick,
+    ProcessModel,
+    Receive,
+    Reply,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.errors import ProcessValidationError
+
+
+def validate_process(process: ProcessModel) -> None:
+    """Validate *process*; raise :class:`ProcessValidationError` listing
+    every problem found (not just the first)."""
+    problems: list[str] = []
+
+    link_names = [link.name for link in process.partner_links]
+    duplicates = {
+        name for name in link_names if link_names.count(name) > 1
+    }
+    for name in sorted(duplicates):
+        problems.append(f"duplicate partnerLink name {name!r}")
+
+    declared_partners = {
+        link.partner for link in process.partner_links
+    }
+
+    def check(activity: Activity, inside: str) -> None:
+        if isinstance(activity, (Receive, Invoke, Reply, OnMessage)):
+            if activity.partner == process.party:
+                problems.append(
+                    f"{activity.kind} {activity.operation!r} targets the "
+                    f"process's own party {process.party!r}"
+                )
+            if declared_partners and (
+                activity.partner not in declared_partners
+            ):
+                problems.append(
+                    f"{activity.kind} {activity.operation!r} references "
+                    f"undeclared partner {activity.partner!r}"
+                )
+        if isinstance(activity, Switch):
+            if not activity.branches():
+                problems.append(
+                    f"switch {activity.name!r} has no branches"
+                )
+            for child in activity.cases:
+                if not isinstance(child, Case):
+                    problems.append(
+                        f"switch {activity.name!r} branch is not a Case"
+                    )
+        if isinstance(activity, Pick):
+            if not activity.branches:
+                problems.append(f"pick {activity.name!r} has no branches")
+            for child in activity.branches:
+                if not isinstance(child, OnMessage):
+                    problems.append(
+                        f"pick {activity.name!r} branch is not OnMessage"
+                    )
+            seen_entries = set()
+            for child in activity.branches:
+                key = (child.partner, child.operation)
+                if key in seen_entries:
+                    problems.append(
+                        f"pick {activity.name!r} has duplicate entry "
+                        f"message {child.partner}#{child.operation}"
+                    )
+                seen_entries.add(key)
+        if isinstance(activity, Sequence):
+            for index, child in enumerate(activity.activities):
+                has_terminate_before_end = (
+                    isinstance(child, Terminate)
+                    and index < len(activity.activities) - 1
+                )
+                if has_terminate_before_end:
+                    problems.append(
+                        f"sequence {activity.name!r} has unreachable "
+                        f"activities after terminate"
+                    )
+        if isinstance(activity, While) and not activity.condition.strip():
+            problems.append(f"while {activity.name!r} has empty condition")
+        if isinstance(activity, Flow) and not activity.activities:
+            problems.append(f"flow {activity.name!r} has no branches")
+        for child in activity.children():
+            check(child, inside=activity.kind)
+
+    check(process.activity, inside="process")
+
+    if problems:
+        raise ProcessValidationError(problems)

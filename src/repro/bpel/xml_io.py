@@ -1,0 +1,366 @@
+"""XML concrete syntax for process models (hand-rolled BPEL dialect).
+
+The dialect covers exactly the BPEL subset the paper uses.  Example
+(the buyer process of Fig. 3)::
+
+    <process name="buyer" party="B">
+      <partnerLinks>
+        <partnerLink name="accBuyer" partner="A"
+                     operations="orderOp getStatusOp terminateOp"/>
+      </partnerLinks>
+      <sequence name="buyer process">
+        <invoke partner="A" operation="orderOp"/>
+        <receive partner="A" operation="deliveryOp"/>
+        <while name="tracking" condition="1 = 1">
+          <switch name="termination?">
+            <case condition="continue">
+              <sequence name="cond continue">
+                <invoke partner="A" operation="getStatusOp"/>
+                <receive partner="A" operation="statusOp"/>
+              </sequence>
+            </case>
+          </switch>
+        </while>
+      </sequence>
+    </process>
+
+Containers holding exactly one activity (``while``, ``scope``, ``case``,
+``onMessage``, ``otherwise``) wrap multiple children in an implicit
+:class:`~repro.bpel.model.Sequence`.  Parsing is strict: unknown
+elements and attributes raise :class:`ProcessParseError` with the
+offending tag.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.bpel.model import (
+    Activity,
+    Assign,
+    Case,
+    Empty,
+    Flow,
+    Invoke,
+    OnMessage,
+    Opaque,
+    PartnerLink,
+    Pick,
+    ProcessModel,
+    Receive,
+    Reply,
+    Scope,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.errors import ProcessParseError
+
+_BASIC_TAGS = {
+    "receive",
+    "invoke",
+    "reply",
+    "assign",
+    "empty",
+    "opaque",
+    "terminate",
+}
+_STRUCTURED_TAGS = {"sequence", "flow", "while", "switch", "pick", "scope"}
+
+
+def _attr(element: ElementTree.Element, name: str, required: bool = True,
+          default: str = "") -> str:
+    value = element.get(name)
+    if value is None:
+        if required:
+            raise ProcessParseError(
+                f"<{element.tag}> is missing required attribute {name!r}"
+            )
+        return default
+    return value
+
+
+def _parse_single_child(
+    element: ElementTree.Element, context: str
+) -> Activity:
+    """Parse a container's children, wrapping >1 in a Sequence."""
+    children = [_parse_activity(child) for child in element]
+    if not children:
+        return Empty()
+    if len(children) == 1:
+        return children[0]
+    return Sequence(activities=children, name="")
+
+
+def _parse_activity(element: ElementTree.Element) -> Activity:
+    tag = element.tag
+    name = element.get("name", "")
+
+    if tag == "receive":
+        return Receive(
+            partner=_attr(element, "partner"),
+            operation=_attr(element, "operation"),
+            name=name,
+        )
+    if tag == "invoke":
+        synchronous = _attr(
+            element, "synchronous", required=False, default="false"
+        ).lower() in ("true", "yes", "1")
+        return Invoke(
+            partner=_attr(element, "partner"),
+            operation=_attr(element, "operation"),
+            synchronous=synchronous,
+            name=name,
+        )
+    if tag == "reply":
+        return Reply(
+            partner=_attr(element, "partner"),
+            operation=_attr(element, "operation"),
+            name=name,
+        )
+    if tag == "assign":
+        return Assign(name=name)
+    if tag == "empty":
+        return Empty(name=name)
+    if tag == "opaque":
+        return Opaque(name=name)
+    if tag == "terminate":
+        return Terminate(name=name)
+
+    if tag == "sequence":
+        return Sequence(
+            activities=[_parse_activity(child) for child in element],
+            name=name,
+        )
+    if tag == "flow":
+        return Flow(
+            activities=[_parse_activity(child) for child in element],
+            name=name,
+        )
+    if tag == "while":
+        return While(
+            body=_parse_single_child(element, "while"),
+            condition=_attr(element, "condition", required=False,
+                            default="true"),
+            name=name,
+        )
+    if tag == "scope":
+        return Scope(
+            activity=_parse_single_child(element, "scope"), name=name
+        )
+    if tag == "switch":
+        cases: list[Case] = []
+        otherwise: Activity | None = None
+        for child in element:
+            if child.tag == "case":
+                cases.append(
+                    Case(
+                        condition=_attr(child, "condition", required=False,
+                                        default="true"),
+                        activity=_parse_single_child(child, "case"),
+                        name=child.get("name", ""),
+                    )
+                )
+            elif child.tag == "otherwise":
+                if otherwise is not None:
+                    raise ProcessParseError(
+                        "<switch> has multiple <otherwise> branches"
+                    )
+                otherwise = _parse_single_child(child, "otherwise")
+            else:
+                raise ProcessParseError(
+                    f"unexpected <{child.tag}> inside <switch>"
+                )
+        return Switch(cases=cases, otherwise=otherwise, name=name)
+    if tag == "pick":
+        branches: list[OnMessage] = []
+        for child in element:
+            if child.tag != "onMessage":
+                raise ProcessParseError(
+                    f"unexpected <{child.tag}> inside <pick>"
+                )
+            branches.append(
+                OnMessage(
+                    partner=_attr(child, "partner"),
+                    operation=_attr(child, "operation"),
+                    activity=_parse_single_child(child, "onMessage"),
+                    name=child.get("name", ""),
+                )
+            )
+        return Pick(branches=branches, name=name)
+
+    raise ProcessParseError(f"unknown activity element <{tag}>")
+
+
+def process_from_xml(text: str) -> ProcessModel:
+    """Parse a process definition from XML text.
+
+    Raises:
+        ProcessParseError: on malformed XML or unknown elements.
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as error:
+        raise ProcessParseError(f"malformed XML: {error}") from error
+    if root.tag != "process":
+        raise ProcessParseError(
+            f"expected <process> root element, found <{root.tag}>"
+        )
+
+    partner_links: list[PartnerLink] = []
+    activities: list[ElementTree.Element] = []
+    for child in root:
+        if child.tag == "partnerLinks":
+            for link in child:
+                if link.tag != "partnerLink":
+                    raise ProcessParseError(
+                        f"unexpected <{link.tag}> inside <partnerLinks>"
+                    )
+                operations = _attr(
+                    link, "operations", required=False
+                ).split()
+                partner_links.append(
+                    PartnerLink(
+                        name=_attr(link, "name"),
+                        partner=_attr(link, "partner"),
+                        operations=operations,
+                    )
+                )
+        else:
+            activities.append(child)
+
+    if not activities:
+        raise ProcessParseError("<process> contains no activity")
+    if len(activities) > 1:
+        raise ProcessParseError(
+            "<process> must contain exactly one root activity "
+            "(wrap several in <sequence>)"
+        )
+
+    return ProcessModel(
+        name=_attr(root, "name"),
+        party=_attr(root, "party"),
+        activity=_parse_activity(activities[0]),
+        partner_links=partner_links,
+    )
+
+
+def _render_activity(activity: Activity, indent: int) -> list[str]:
+    pad = "  " * indent
+    name_attr = (
+        f" name={quoteattr(activity.name)}" if activity.name else ""
+    )
+
+    if isinstance(activity, Receive):
+        return [
+            f"{pad}<receive partner={quoteattr(activity.partner)} "
+            f"operation={quoteattr(activity.operation)}{name_attr}/>"
+        ]
+    if isinstance(activity, Invoke):
+        sync = ' synchronous="true"' if activity.synchronous else ""
+        return [
+            f"{pad}<invoke partner={quoteattr(activity.partner)} "
+            f"operation={quoteattr(activity.operation)}{sync}{name_attr}/>"
+        ]
+    if isinstance(activity, Reply):
+        return [
+            f"{pad}<reply partner={quoteattr(activity.partner)} "
+            f"operation={quoteattr(activity.operation)}{name_attr}/>"
+        ]
+    if isinstance(activity, Assign):
+        return [f"{pad}<assign{name_attr}/>"]
+    if isinstance(activity, Empty):
+        return [f"{pad}<empty{name_attr}/>"]
+    if isinstance(activity, Opaque):
+        return [f"{pad}<opaque{name_attr}/>"]
+    if isinstance(activity, Terminate):
+        return [f"{pad}<terminate{name_attr}/>"]
+
+    if isinstance(activity, Sequence):
+        lines = [f"{pad}<sequence{name_attr}>"]
+        for child in activity.activities:
+            lines.extend(_render_activity(child, indent + 1))
+        lines.append(f"{pad}</sequence>")
+        return lines
+    if isinstance(activity, Flow):
+        lines = [f"{pad}<flow{name_attr}>"]
+        for child in activity.activities:
+            lines.extend(_render_activity(child, indent + 1))
+        lines.append(f"{pad}</flow>")
+        return lines
+    if isinstance(activity, While):
+        lines = [
+            f"{pad}<while condition={quoteattr(activity.condition)}"
+            f"{name_attr}>"
+        ]
+        lines.extend(_render_activity(activity.body, indent + 1))
+        lines.append(f"{pad}</while>")
+        return lines
+    if isinstance(activity, Scope):
+        lines = [f"{pad}<scope{name_attr}>"]
+        lines.extend(_render_activity(activity.activity, indent + 1))
+        lines.append(f"{pad}</scope>")
+        return lines
+    if isinstance(activity, Switch):
+        lines = [f"{pad}<switch{name_attr}>"]
+        child_pad = "  " * (indent + 1)
+        for case in activity.cases:
+            case_name = (
+                f" name={quoteattr(case.name)}" if case.name else ""
+            )
+            lines.append(
+                f"{child_pad}<case "
+                f"condition={quoteattr(case.condition)}{case_name}>"
+            )
+            lines.extend(_render_activity(case.activity, indent + 2))
+            lines.append(f"{child_pad}</case>")
+        if activity.otherwise is not None:
+            lines.append(f"{child_pad}<otherwise>")
+            lines.extend(_render_activity(activity.otherwise, indent + 2))
+            lines.append(f"{child_pad}</otherwise>")
+        lines.append(f"{pad}</switch>")
+        return lines
+    if isinstance(activity, Pick):
+        lines = [f"{pad}<pick{name_attr}>"]
+        child_pad = "  " * (indent + 1)
+        for branch in activity.branches:
+            branch_name = (
+                f" name={quoteattr(branch.name)}" if branch.name else ""
+            )
+            lines.append(
+                f"{child_pad}<onMessage "
+                f"partner={quoteattr(branch.partner)} "
+                f"operation={quoteattr(branch.operation)}{branch_name}>"
+            )
+            lines.extend(_render_activity(branch.activity, indent + 2))
+            lines.append(f"{child_pad}</onMessage>")
+        lines.append(f"{pad}</pick>")
+        return lines
+
+    raise ProcessParseError(
+        f"cannot render activity of type {type(activity).__name__}"
+    )
+
+
+def process_to_xml(process: ProcessModel) -> str:
+    """Render *process* as XML text (round-trips through
+    :func:`process_from_xml`)."""
+    lines = [
+        f"<process name={quoteattr(process.name)} "
+        f"party={quoteattr(process.party)}>"
+    ]
+    if process.partner_links:
+        lines.append("  <partnerLinks>")
+        for link in process.partner_links:
+            operations = escape(" ".join(link.operations))
+            lines.append(
+                f"    <partnerLink name={quoteattr(link.name)} "
+                f"partner={quoteattr(link.partner)} "
+                f'operations="{operations}"/>'
+            )
+        lines.append("  </partnerLinks>")
+    lines.extend(_render_activity(process.activity, 1))
+    lines.append("</process>")
+    return "\n".join(lines)

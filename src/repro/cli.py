@@ -1,0 +1,331 @@
+"""Command-line interface: ``repro-choreo``.
+
+The CLI exposes the paper's pipeline on process files (XML or DSL,
+selected by extension ``.xml`` / anything else = DSL):
+
+* ``compile FILE``            — public process + mapping table (Sect. 3.3)
+* ``view FILE --partner P``   — τ_P view of the compiled process (Sect. 3.4)
+* ``check FILE FILE``         — bilateral consistency with diagnosis
+* ``diff OLD NEW``            — additive/subtractive classification (Def. 5)
+* ``propagate OLD NEW PARTNER_FILE`` — full variant-change propagation
+  with region detection and edit suggestions (Sect. 5)
+* ``simulate FILE FILE``      — run random conversations (deadlock probe)
+* ``stats FILE``              — structural metrics of the public process
+* ``export FILE``             — public process as JSON (partner exchange)
+* ``demo``                    — run the paper's procurement scenario
+
+Output is plain text (``--dot`` switches automaton output to Graphviz).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.afsa.emptiness import non_emptiness_witness
+from repro.afsa.product import intersect
+from repro.afsa.serialize import afsa_to_dot
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.bpel.dsl import process_from_dsl
+from repro.bpel.model import ProcessModel
+from repro.bpel.xml_io import process_from_xml
+from repro.core.classify import classify_against_partner, classify_change
+from repro.core.propagate import propagate_additive, propagate_subtractive
+from repro.core.suggestions import derive_suggestions
+from repro.errors import ReproError
+from repro.render import render_afsa, render_mapping, render_process
+
+
+def load_process(path: str) -> ProcessModel:
+    """Load a process from *path* (XML if the suffix is .xml, else DSL)."""
+    text = Path(path).read_text(encoding="utf-8")
+    if path.endswith(".xml"):
+        return process_from_xml(text)
+    return process_from_dsl(text)
+
+
+def _emit_afsa(automaton, args) -> None:
+    if args.dot:
+        print(afsa_to_dot(automaton))
+    else:
+        print(render_afsa(automaton))
+
+
+def cmd_compile(args) -> int:
+    process = load_process(args.file)
+    compiled = compile_process(process)
+    print(render_process(process))
+    print()
+    _emit_afsa(compiled.afsa, args)
+    print()
+    print(render_mapping(compiled.mapping))
+    return 0
+
+
+def cmd_view(args) -> int:
+    process = load_process(args.file)
+    compiled = compile_process(process)
+    view = project_view(compiled.afsa, args.partner)
+    _emit_afsa(view, args)
+    return 0
+
+
+def cmd_check(args) -> int:
+    left = compile_process(load_process(args.left))
+    right = compile_process(load_process(args.right))
+    left_view = project_view(left.afsa, right.process.party)
+    right_view = project_view(right.afsa, left.process.party)
+    intersection = intersect(left_view, right_view)
+    witness = non_emptiness_witness(intersection)
+    status = "INCONSISTENT" if witness.empty else "consistent"
+    print(
+        f"{left.process.name} ↔ {right.process.name}: {status}"
+    )
+    print(witness.describe())
+    return 1 if witness.empty else 0
+
+
+def cmd_diff(args) -> int:
+    from repro.bpel.diff import diff_processes, render_diff
+
+    old_process = load_process(args.old)
+    new_process = load_process(args.new)
+    old = compile_process(old_process)
+    new = compile_process(new_process)
+    classification = classify_change(old.afsa, new.afsa)
+    print(f"change framework (Def. 5): {classification.framework}")
+    print()
+    print("structural edits:")
+    print(render_diff(diff_processes(old_process, new_process)))
+    return 0
+
+
+def cmd_propagate(args) -> int:
+    old = compile_process(load_process(args.old))
+    new = compile_process(load_process(args.new))
+    partner = compile_process(load_process(args.partner))
+    partner_party = partner.process.party
+
+    partner_view = project_view(partner.afsa, old.process.party)
+    classification = classify_against_partner(
+        old.afsa, new.afsa, partner_view, partner=partner_party
+    )
+    print(f"classification: {classification.describe()}")
+    if not classification.requires_propagation:
+        print("invariant change - no propagation necessary")
+        return 0
+
+    results = []
+    if classification.additive:
+        results.append(
+            propagate_additive(
+                new.afsa, partner, partner_party,
+                originator_party=old.process.party,
+            )
+        )
+    if classification.subtractive:
+        results.append(
+            propagate_subtractive(
+                new.afsa, partner, partner_party,
+                originator_party=old.process.party,
+            )
+        )
+    for result in results:
+        print()
+        print(result.describe())
+        print()
+        print("proposed public process of the partner:")
+        _emit_afsa(result.proposed_public, args)
+        for suggestion in derive_suggestions(partner, result):
+            marker = "*" if suggestion.executable else "-"
+            print(f"  {marker} {suggestion.description}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.afsa.simulate import simulate_conversation
+
+    left = compile_process(load_process(args.left))
+    right = compile_process(load_process(args.right))
+    left_view = project_view(left.afsa, right.process.party)
+    right_view = project_view(right.afsa, left.process.party)
+    party_names = [left.process.party, right.process.party]
+    deadlocks = 0
+    for index in range(args.runs):
+        result = simulate_conversation(
+            [left_view, right_view],
+            seed=args.seed + index,
+            party_names=party_names,
+        )
+        if args.verbose or result.deadlocked:
+            print(f"run {index}: {result.describe()}")
+        if result.deadlocked:
+            deadlocks += 1
+    print(
+        f"{args.runs} conversations, {deadlocks} deadlock(s) "
+        f"({left.process.name} ↔ {right.process.name})"
+    )
+    return 1 if deadlocks else 0
+
+
+def cmd_stats(args) -> int:
+    from repro.afsa.metrics import compute_metrics
+
+    compiled = compile_process(load_process(args.file))
+    print(f"public process of {compiled.process.name}:")
+    print(compute_metrics(compiled.afsa).render())
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.afsa.serialize import afsa_to_json
+
+    compiled = compile_process(load_process(args.file))
+    automaton = compiled.afsa
+    if args.partner:
+        automaton = project_view(automaton, args.partner)
+    print(afsa_to_json(automaton))
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.core.choreography import Choreography
+    from repro.core.engine import EvolutionEngine
+    from repro.scenario.procurement import (
+        accounting_private,
+        accounting_private_subtractive_change,
+        accounting_private_variant_change,
+        buyer_private,
+        logistics_private,
+    )
+
+    choreography = Choreography("procurement")
+    choreography.add_partner(buyer_private())
+    choreography.add_partner(accounting_private())
+    choreography.add_partner(logistics_private())
+    print("initial consistency (Sect. 3):")
+    print(choreography.check_consistency().describe())
+    engine = EvolutionEngine(choreography)
+
+    print("\nvariant additive change (Sect. 5.2, cancel option):")
+    report = engine.apply_private_change(
+        "A",
+        accounting_private_variant_change(),
+        auto_adapt=True,
+        commit=False,
+    )
+    print(report.describe())
+
+    print("\nvariant subtractive change (Sect. 5.3, bounded tracking):")
+    report = engine.apply_private_change(
+        "A",
+        accounting_private_subtractive_change(),
+        auto_adapt=True,
+        commit=False,
+    )
+    print(report.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-choreo",
+        description=(
+            "Controlled evolution of process choreographies "
+            "(Rinderle/Wombacher/Reichert, ICDE 2006)"
+        ),
+    )
+    parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit automata as Graphviz DOT instead of text",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = commands.add_parser(
+        "compile", help="compile a private process to its public aFSA"
+    )
+    compile_cmd.add_argument("file")
+    compile_cmd.set_defaults(handler=cmd_compile)
+
+    view_cmd = commands.add_parser(
+        "view", help="project the τ_P view of a compiled process"
+    )
+    view_cmd.add_argument("file")
+    view_cmd.add_argument("--partner", required=True)
+    view_cmd.set_defaults(handler=cmd_view)
+
+    check_cmd = commands.add_parser(
+        "check", help="check bilateral consistency of two processes"
+    )
+    check_cmd.add_argument("left")
+    check_cmd.add_argument("right")
+    check_cmd.set_defaults(handler=cmd_check)
+
+    diff_cmd = commands.add_parser(
+        "diff", help="classify a change between two process versions"
+    )
+    diff_cmd.add_argument("old")
+    diff_cmd.add_argument("new")
+    diff_cmd.set_defaults(handler=cmd_diff)
+
+    propagate_cmd = commands.add_parser(
+        "propagate",
+        help="propagate a variant change to a partner process",
+    )
+    propagate_cmd.add_argument("old")
+    propagate_cmd.add_argument("new")
+    propagate_cmd.add_argument("partner")
+    propagate_cmd.set_defaults(handler=cmd_propagate)
+
+    simulate_cmd = commands.add_parser(
+        "simulate",
+        help="execute random conversations between two processes",
+    )
+    simulate_cmd.add_argument("left")
+    simulate_cmd.add_argument("right")
+    simulate_cmd.add_argument("--runs", type=int, default=20)
+    simulate_cmd.add_argument("--seed", type=int, default=0)
+    simulate_cmd.add_argument("--verbose", action="store_true")
+    simulate_cmd.set_defaults(handler=cmd_simulate)
+
+    stats_cmd = commands.add_parser(
+        "stats", help="structural metrics of a compiled public process"
+    )
+    stats_cmd.add_argument("file")
+    stats_cmd.set_defaults(handler=cmd_stats)
+
+    export_cmd = commands.add_parser(
+        "export",
+        help="emit the compiled public process (optionally a view) as "
+        "JSON",
+    )
+    export_cmd.add_argument("file")
+    export_cmd.add_argument("--partner", default="")
+    export_cmd.set_defaults(handler=cmd_export)
+
+    demo_cmd = commands.add_parser(
+        "demo", help="run the paper's procurement scenario end to end"
+    )
+    demo_cmd.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Multi-party choreographies and decentralized consistency checking.
+
+A :class:`Choreography` holds the private processes of all partners and
+derives/caches their public processes (Fig. 4's left-to-right flow).
+Consistency is checked *bilaterally and decentralized* (Sect. 6: "the
+only information which has to be exchanged between partners is about
+the changes applied to public processes … decentralized consistency
+checking can be applied"): every pair of partners that exchanges
+messages checks the intersection of their mutual views, no central
+coordinator required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.emptiness import (
+    EmptinessWitness,
+    is_empty,
+    non_emptiness_witness,
+)
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import CompiledProcess, compile_process
+from repro.bpel.model import ProcessModel
+from repro.errors import ChoreographyError
+
+
+@dataclass
+class BilateralCheck:
+    """Result of one pairwise consistency check.
+
+    Attributes:
+        left, right: partner names (process names).
+        consistent: non-emptiness of the intersection of mutual views.
+        witness: diagnosis (a witness conversation, or the blocked
+            states with their unsupported mandatory messages).
+    """
+
+    left: str
+    right: str
+    consistent: bool
+    witness: EmptinessWitness
+
+    def describe(self) -> str:
+        status = "consistent" if self.consistent else "INCONSISTENT"
+        return f"{self.left} ↔ {self.right}: {status} ({self.witness.describe()})"
+
+
+@dataclass
+class ConsistencyReport:
+    """Aggregate outcome of :meth:`Choreography.check_consistency`."""
+
+    checks: list[BilateralCheck] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """True when every bilateral conversation is deadlock-free."""
+        return all(check.consistent for check in self.checks)
+
+    def failures(self) -> list[BilateralCheck]:
+        """Return the inconsistent pairs."""
+        return [check for check in self.checks if not check.consistent]
+
+    def describe(self) -> str:
+        lines = [check.describe() for check in self.checks]
+        verdict = (
+            "choreography is consistent"
+            if self.consistent
+            else "choreography is INCONSISTENT"
+        )
+        return "\n".join(lines + [verdict])
+
+
+class Choreography:
+    """The partners of a cross-organizational process and their models.
+
+    Partners are identified by their *party* identifier (the letter in
+    message labels); each holds a private process whose public process
+    is compiled lazily and cached until the private process changes.
+    """
+
+    def __init__(self, name: str = "choreography"):
+        self.name = name
+        self._private: dict[str, ProcessModel] = {}
+        self._compiled: dict[str, CompiledProcess] = {}
+        self._policy: dict[str, str] = {}
+
+    # -- partner management ------------------------------------------------
+
+    def add_partner(
+        self, process: ProcessModel, policy: str | None = None
+    ) -> None:
+        """Register a partner by its private *process*.
+
+        Args:
+            process: the private process (its ``party`` must be unique
+                within the choreography).
+            policy: optional compiler annotation policy override.
+        """
+        party = process.party
+        if party in self._private:
+            raise ChoreographyError(
+                f"party {party!r} already registered "
+                f"(process {self._private[party].name!r})"
+            )
+        self._private[party] = process
+        if policy is not None:
+            self._policy[party] = policy
+
+    def parties(self) -> list[str]:
+        """Return the registered party identifiers (sorted)."""
+        return sorted(self._private)
+
+    def private(self, party: str) -> ProcessModel:
+        """Return the private process of *party*."""
+        self._require(party)
+        return self._private[party]
+
+    def replace_private(self, party: str, process: ProcessModel) -> None:
+        """Install a new private process version for *party*.
+
+        The cached public process is invalidated; Fig. 4's flow
+        (recreate the public view, then check partners) is driven by
+        :class:`~repro.core.engine.EvolutionEngine`.
+        """
+        self._require(party)
+        if process.party != party:
+            raise ChoreographyError(
+                f"process {process.name!r} belongs to party "
+                f"{process.party!r}, not {party!r}"
+            )
+        self._private[party] = process
+        self._compiled.pop(party, None)
+
+    # -- derived artifacts ------------------------------------------------
+
+    def compiled(self, party: str) -> CompiledProcess:
+        """Return (and cache) the compiled public process of *party*."""
+        self._require(party)
+        if party not in self._compiled:
+            kwargs = {}
+            if party in self._policy:
+                kwargs["policy"] = self._policy[party]
+            self._compiled[party] = compile_process(
+                self._private[party], **kwargs
+            )
+        return self._compiled[party]
+
+    def public(self, party: str) -> AFSA:
+        """Return the (minimized) public process of *party*."""
+        return self.compiled(party).afsa
+
+    def view(self, viewer: str, on: str) -> AFSA:
+        """Return τ_viewer(public process of *on*) (Sect. 3.4)."""
+        self._require(viewer)
+        return project_view(self.public(on), viewer)
+
+    def conversation_partners(self, party: str) -> list[str]:
+        """Return the parties *party* exchanges messages with."""
+        alphabet = self.public(party).alphabet
+        return sorted(
+            name
+            for name in alphabet.partners()
+            if name != party and name in self._private
+        )
+
+    # -- consistency ---------------------------------------------------------
+
+    def bilateral_intersection(self, left: str, right: str) -> AFSA:
+        """Return the intersection of the mutual views of two parties."""
+        view_of_right = self.view(right, on=left)
+        view_of_left = self.view(left, on=right)
+        return intersect(view_of_right, view_of_left)
+
+    def bilateral_consistent(self, left: str, right: str) -> bool:
+        """Bilateral consistency (deadlock freedom) of two parties."""
+        return not is_empty(self.bilateral_intersection(left, right))
+
+    def check_consistency(self) -> ConsistencyReport:
+        """Run all pairwise checks (decentralized scheme of Sect. 6).
+
+        Only pairs that actually exchange messages are checked; each
+        check needs nothing but the two public processes, which is
+        exactly the information partners exchange.
+        """
+        report = ConsistencyReport()
+        parties = self.parties()
+        for index, left in enumerate(parties):
+            for right in parties[index + 1:]:
+                if right not in self.conversation_partners(left):
+                    continue
+                intersection = self.bilateral_intersection(left, right)
+                witness = non_emptiness_witness(intersection)
+                report.checks.append(
+                    BilateralCheck(
+                        left=self._private[left].name,
+                        right=self._private[right].name,
+                        consistent=not witness.empty,
+                        witness=witness,
+                    )
+                )
+        return report
+
+    # -- internal ---------------------------------------------------------
+
+    def _require(self, party: str) -> None:
+        if party not in self._private:
+            raise ChoreographyError(
+                f"unknown party {party!r}; registered: "
+                f"{', '.join(self.parties()) or '(none)'}"
+            )

@@ -1,0 +1,156 @@
+"""Change classification (Sect. 4: Defs. 5 and 6).
+
+Two orthogonal dimensions:
+
+* **change framework** — does the change add message sequences
+  (*additive*: ``A' \\ A ≠ ∅``), remove them (*subtractive*:
+  ``A \\ A' ≠ ∅``), both, or neither (Def. 5);
+* **change propagation** — does the changed public process remain
+  consistent with a partner (*invariant*: ``A' ∩ B ≠ ∅``) or does the
+  agreed protocol break (*variant*: ``A' ∩ B = ∅``, Def. 6).
+
+Classification also implements the refined propagation criterion of
+Sect. 4.2: the strict protocol-equivalence test
+``(A \\ A') ∩ B = ∅ ∧ (A' \\ A) ∩ B = ∅`` is exposed as
+:meth:`ChangeClassification.protocol_equivalent` — the paper points out
+it is "too restrictive", and Def. 6 is the criterion actually used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.difference import difference
+from repro.afsa.emptiness import is_empty
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+
+#: Change-framework verdicts (Def. 5).
+ADDITIVE = "additive"
+SUBTRACTIVE = "subtractive"
+BOTH = "additive+subtractive"
+NEUTRAL = "neutral"
+
+#: Change-propagation verdicts (Def. 6).
+VARIANT = "variant"
+INVARIANT = "invariant"
+
+
+@dataclass
+class ChangeClassification:
+    """Outcome of classifying a change δ transforming A into A'.
+
+    Attributes:
+        additive: ``A' \\ A ≠ ∅`` (new message sequences appeared).
+        subtractive: ``A \\ A' ≠ ∅`` (message sequences disappeared).
+        added: the difference automaton ``A' \\ A``.
+        removed: the difference automaton ``A \\ A'``.
+        variant: ``A' ∩ B = ∅`` — only set when a partner was supplied.
+        partner: name of the partner the variant verdict refers to.
+        intersection: the checked ``A' ∩ B`` (diagnosis material).
+    """
+
+    additive: bool
+    subtractive: bool
+    added: AFSA
+    removed: AFSA
+    variant: bool | None = None
+    partner: str = ""
+    intersection: AFSA | None = None
+
+    @property
+    def framework(self) -> str:
+        """The Def. 5 verdict: additive/subtractive/both/neutral."""
+        if self.additive and self.subtractive:
+            return BOTH
+        if self.additive:
+            return ADDITIVE
+        if self.subtractive:
+            return SUBTRACTIVE
+        return NEUTRAL
+
+    @property
+    def propagation(self) -> str | None:
+        """The Def. 6 verdict: variant/invariant (None if unchecked)."""
+        if self.variant is None:
+            return None
+        return VARIANT if self.variant else INVARIANT
+
+    @property
+    def requires_propagation(self) -> bool:
+        """True when the change must be propagated to the partner."""
+        return bool(self.variant)
+
+    def protocol_equivalent(self, partner_public: AFSA) -> bool:
+        """The strict Sect. 4.2 criterion: ``A ∩ B ≡ A' ∩ B``.
+
+        Checked via ``(A \\ A') ∩ B = ∅ ∧ (A' \\ A) ∩ B = ∅`` exactly as
+        the paper formalizes it.  Stricter than invariance: it also
+        fails for changes that merely alter options fully under the
+        change originator's control.
+        """
+        removed_shared = intersect(self.removed, partner_public)
+        added_shared = intersect(self.added, partner_public)
+        return is_empty(removed_shared, annotated=False) and is_empty(
+            added_shared, annotated=False
+        )
+
+    def describe(self) -> str:
+        """One-line verdict rendering."""
+        parts = [self.framework]
+        if self.propagation is not None:
+            parts.append(self.propagation)
+            if self.partner:
+                parts.append(f"w.r.t. {self.partner}")
+        return " / ".join(parts)
+
+
+def classify_change(old_public: AFSA, new_public: AFSA) -> ChangeClassification:
+    """Classify δ along the change-framework dimension only (Def. 5).
+
+    The emptiness checks on the differences are *unannotated*: Def. 5
+    is about which message sequences exist, not about their mandatory
+    status.
+    """
+    added = difference(new_public, old_public, name="A' \\ A")
+    removed = difference(old_public, new_public, name="A \\ A'")
+    return ChangeClassification(
+        additive=not is_empty(added, annotated=False),
+        subtractive=not is_empty(removed, annotated=False),
+        added=added,
+        removed=removed,
+    )
+
+
+def classify_against_partner(
+    old_public: AFSA,
+    new_public: AFSA,
+    partner_public: AFSA,
+    partner: str = "",
+) -> ChangeClassification:
+    """Full classification of δ against one partner (Defs. 5 + 6).
+
+    When *partner* is given, both operands are projected onto the
+    bilateral conversation first (τ_partner on the originator side; the
+    partner's own public process is projected onto the originator's
+    party if it mentions third parties) — Sect. 3.4's prerequisite that
+    "the processes to be compared are representing the bilateral
+    message exchanges only".
+
+    The intersection emptiness test is the *annotated* one: mandatory
+    messages decide variance (this is what makes Fig. 12b empty).
+    """
+    if partner:
+        old_view = project_view(old_public, partner)
+        new_view = project_view(new_public, partner)
+    else:
+        old_view = old_public
+        new_view = new_public
+
+    classification = classify_change(old_view, new_view)
+    intersection = intersect(new_view, partner_public)
+    classification.variant = is_empty(intersection)
+    classification.partner = partner
+    classification.intersection = intersection
+    return classification

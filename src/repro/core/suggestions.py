@@ -1,0 +1,579 @@
+"""Deriving private-process adaptations from propagation results
+(Sect. 5.2 / 5.3, step "ad 3" and "ad 4").
+
+Automatic adaptation of private processes is *not desired* — partners
+are autonomous and private processes embody confidential business logic
+— but the paper requires the system to "adequately assist process
+engineers … by suggesting respective adaptations".  This module turns
+:class:`~repro.core.propagate.TransitionDelta` records into
+:class:`EditSuggestion` objects that
+
+* name the affected private-process region via the mapping table
+  (Table 1) exactly as the paper does ("the change … is related to the
+  block specified by the sequence activity labeled 'buyer process'");
+* where the shape is recognized, carry an *executable*
+  :class:`~repro.core.changes.ChangeOperation`:
+
+  - an added message *received* by the opponent at a state whose region
+    contains the receive (or pick) of a sibling message →
+    ``receive → pick`` (Fig. 14) or pick extension, with the new
+    branch's body derived from the proposal automaton (terminate vs.
+    rejoin-normal-flow);
+  - a removed message that closed a loop → bound the loop to the
+    iteration count still supported by the proposal (Fig. 18);
+  - a removed message entering an alternative branch → drop the pick
+    branch / switch case that handled it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afsa.automaton import AFSA, State
+from repro.bpel.compile import CompiledProcess
+from repro.bpel.model import (
+    Empty,
+    OnMessage,
+    Pick,
+    Receive,
+    Terminate,
+    While,
+)
+from repro.core.changes import (
+    AddPickBranch,
+    BoundLoop,
+    ChangeOperation,
+    ReceiveToPick,
+    RemovePickBranch,
+    RemoveSwitchBranch,
+)
+from repro.core.propagate import (
+    ADDED,
+    PropagationResult,
+    REMOVED,
+    TransitionDelta,
+)
+from repro.messages.label import (
+    Label,
+    MessageLabel,
+    label_text,
+    parse_label,
+)
+
+#: Maximum loop iterations probed when deriving a BoundLoop suggestion.
+MAX_PROBED_ITERATIONS = 64
+
+
+@dataclass
+class EditSuggestion:
+    """One suggested private-process adaptation.
+
+    Attributes:
+        state: the public-process state where the difference surfaces.
+        blocks: candidate blocks of the private process, innermost
+            first, then "higher level" blocks (Sect. 5.3 "ad 3").
+        message: the message to start or stop supporting.
+        kind: ``"accept-alternative"``, ``"offer-alternative"``,
+            ``"bound-loop"``, ``"remove-branch"``, or
+            ``"review-region"`` (no pattern matched).
+        description: a full-sentence recommendation.
+        operation: an executable change operation when one could be
+            derived, else None.
+    """
+
+    state: State
+    blocks: list[str]
+    message: Label
+    kind: str
+    description: str
+    operation: ChangeOperation | None = None
+
+    @property
+    def executable(self) -> bool:
+        """True when the suggestion carries an executable operation."""
+        return self.operation is not None
+
+
+def derive_suggestions(
+    opponent: CompiledProcess, result: PropagationResult
+) -> list[EditSuggestion]:
+    """Derive edit suggestions for *opponent* from *result*.
+
+    One suggestion per transition delta; deltas whose shape is not
+    recognized still yield a region-level ``review-region`` suggestion,
+    because locating the block is valuable assistance by itself.
+
+    Delta states belong to :attr:`PropagationResult.opponent_public` —
+    the opponent's *bilateral* public process — and are resolved through
+    :attr:`PropagationResult.opponent_mapping`.
+    """
+    suggestions = []
+    for delta in result.deltas:
+        if delta.kind == ADDED:
+            suggestions.append(_suggest_added(opponent, result, delta))
+        elif delta.kind == REMOVED:
+            suggestions.append(_suggest_removed(opponent, result, delta))
+    return suggestions
+
+
+def _region_blocks(result: PropagationResult, state: State) -> list[str]:
+    """Innermost-first candidate blocks for *state* (plus ancestors)."""
+    mapping = result.opponent_mapping
+    names = mapping.blocks_for_state(state)
+    if not names:
+        return []
+    innermost = mapping.innermost_common_block(state)
+    ordered = [innermost] if innermost else []
+    for name in reversed(names):
+        if name not in ordered:
+            ordered.append(name)
+    return ordered
+
+
+def _block_activity_name(block: str) -> str:
+    """Extract the activity name from a block label like
+    ``Sequence:buyer process``."""
+    if ":" in block:
+        return block.split(":", 1)[1]
+    return block
+
+
+def _suggest_added(
+    opponent: CompiledProcess,
+    result: PropagationResult,
+    delta: TransitionDelta,
+) -> EditSuggestion:
+    blocks = _region_blocks(result, delta.state)
+    message = parse_label(delta.label)
+    party = opponent.process.party
+
+    if isinstance(message, MessageLabel) and message.receiver == party:
+        # The opponent must additionally *accept* this message.  Find a
+        # receive (or pick) in the region consuming a sibling message
+        # available at the same state -> suggest turning it into a pick
+        # (Fig. 14) or extending the existing pick.
+        sibling_operations = {
+            parse_label(label).operation
+            for label in result.opponent_public.labels_from(delta.state)
+            if isinstance(parse_label(label), MessageLabel)
+            and parse_label(label).receiver == party
+        }
+        receive = _find_receive_in_region(
+            opponent, blocks, message.sender, sibling_operations
+        )
+        if receive is not None:
+            operation = ReceiveToPick(
+                receive_name=receive.name,
+                alternatives=[
+                    OnMessage(
+                        partner=message.sender,
+                        operation=message.operation,
+                        name=message.operation,
+                        activity=_branch_body(result, delta),
+                    )
+                ],
+            )
+            return EditSuggestion(
+                state=delta.state,
+                blocks=blocks,
+                message=delta.label,
+                kind="accept-alternative",
+                description=(
+                    f"In block {blocks[0]!r}, change receive "
+                    f"{receive.name!r} into a pick that also accepts "
+                    f"{label_text(delta.label)} (review the new "
+                    f"branch's body)."
+                ),
+                operation=operation,
+            )
+        pick = _find_pick_in_region(
+            opponent, blocks, message.sender, sibling_operations
+        )
+        if pick is not None:
+            operation = AddPickBranch(
+                pick_name=pick.name,
+                branch=OnMessage(
+                    partner=message.sender,
+                    operation=message.operation,
+                    name=message.operation,
+                    activity=_branch_body(result, delta),
+                ),
+            )
+            return EditSuggestion(
+                state=delta.state,
+                blocks=blocks,
+                message=delta.label,
+                kind="accept-alternative",
+                description=(
+                    f"In block {blocks[0]!r}, extend pick {pick.name!r} "
+                    f"with a branch accepting "
+                    f"{label_text(delta.label)} (review the new "
+                    f"branch's body)."
+                ),
+                operation=operation,
+            )
+        return EditSuggestion(
+            state=delta.state,
+            blocks=blocks,
+            message=delta.label,
+            kind="accept-alternative",
+            description=(
+                f"Extend block {blocks[0] if blocks else '?'} to accept "
+                f"the new message {label_text(delta.label)}."
+            ),
+        )
+
+    if isinstance(message, MessageLabel) and message.sender == party:
+        return EditSuggestion(
+            state=delta.state,
+            blocks=blocks,
+            message=delta.label,
+            kind="offer-alternative",
+            description=(
+                f"Block {blocks[0] if blocks else '?'} may additionally "
+                f"send {label_text(delta.label)}; add a branch if the "
+                f"option is wanted (optional - the partner accepts it)."
+            ),
+        )
+
+    return EditSuggestion(
+        state=delta.state,
+        blocks=blocks,
+        message=delta.label,
+        kind="review-region",
+        description=(
+            f"Review block {blocks[0] if blocks else '?'} regarding the "
+            f"added message {label_text(delta.label)}."
+        ),
+    )
+
+
+def _suggest_removed(
+    opponent: CompiledProcess,
+    result: PropagationResult,
+    delta: TransitionDelta,
+) -> EditSuggestion:
+    blocks = _region_blocks(result, delta.state)
+
+    loop_name = _enclosing_loop_name(opponent, blocks)
+    if loop_name is not None and _label_closes_loop(
+        result.opponent_public, delta.state, delta.label
+    ):
+        iterations = _supported_iterations(
+            result.opponent_public, result.proposed_public, delta
+        )
+        return EditSuggestion(
+            state=delta.state,
+            blocks=blocks,
+            message=delta.label,
+            kind="bound-loop",
+            description=(
+                f"The partner no longer supports unlimited repetitions "
+                f"of {label_text(delta.label)}; bound loop "
+                f"{loop_name!r} to at most {iterations} iteration(s) "
+                f"(the paper's Fig. 18 restructuring)."
+            ),
+            operation=BoundLoop(
+                while_name=loop_name, max_iterations=iterations
+            ),
+        )
+
+    message = parse_label(delta.label)
+    party = opponent.process.party
+
+    if isinstance(message, MessageLabel) and message.receiver == party:
+        # The opponent received this message through a pick branch the
+        # partner no longer exercises -> drop the branch.
+        pick = _find_pick_in_region(
+            opponent, blocks, message.sender, {message.operation}
+        )
+        if pick is not None and len(pick.branches) > 1:
+            return EditSuggestion(
+                state=delta.state,
+                blocks=blocks,
+                message=delta.label,
+                kind="remove-branch",
+                description=(
+                    f"In block {blocks[0]!r}, remove the pick branch "
+                    f"receiving {label_text(delta.label)}; the partner "
+                    f"withdrew the message."
+                ),
+                operation=RemovePickBranch(
+                    pick_name=pick.name, operation=message.operation
+                ),
+            )
+
+    if isinstance(message, MessageLabel) and message.sender == party:
+        # The opponent sent this message from a switch branch the
+        # partner no longer accepts -> drop the branch.
+        found = _find_switch_branch_in_region(
+            opponent, blocks, message
+        )
+        if found is not None:
+            switch, index = found
+            return EditSuggestion(
+                state=delta.state,
+                blocks=blocks,
+                message=delta.label,
+                kind="remove-branch",
+                description=(
+                    f"In block {blocks[0]!r}, remove switch branch "
+                    f"{index} of {switch.name!r} sending "
+                    f"{label_text(delta.label)}; the partner no longer "
+                    f"accepts it."
+                ),
+                operation=RemoveSwitchBranch(
+                    switch_name=switch.name, index=index
+                ),
+            )
+
+    return EditSuggestion(
+        state=delta.state,
+        blocks=blocks,
+        message=delta.label,
+        kind="review-region",
+        description=(
+            f"Remove the reliance of block "
+            f"{blocks[0] if blocks else '?'} on message "
+            f"{label_text(delta.label)}; the partner withdrew it."
+        ),
+    )
+
+
+def _find_switch_branch_in_region(
+    opponent: CompiledProcess,
+    blocks: list[str],
+    message: MessageLabel,
+):
+    """Find a named switch case whose first partner-visible message is
+    *message* — the branch to drop when the partner withdraws support.
+
+    Returns ``(switch, case index)`` or ``None``.  Only cases are
+    removable (an ``otherwise`` branch is the default flow); the switch
+    must keep at least one branch.
+    """
+    from repro.bpel.firsts import first_messages
+    from repro.bpel.model import Switch
+
+    process = opponent.process
+    for block in blocks:
+        container = process.find(_block_activity_name(block))
+        if container is None:
+            continue
+        for activity in container.walk():
+            if not isinstance(activity, Switch) or not activity.name:
+                continue
+            if len(activity.branches()) < 2:
+                continue
+            for index, case in enumerate(activity.cases):
+                firsts = first_messages(
+                    case.activity,
+                    process.party,
+                    message.counterparty(process.party),
+                )
+                if message in firsts.labels:
+                    return activity, index
+    return None
+
+
+def _branch_body(result: PropagationResult, delta: TransitionDelta):
+    """Choose the body of a newly suggested receive branch.
+
+    The proposal automaton B' shows how the conversation continues
+    after the new message:
+
+    * it ends (final state, no outgoing) → the branch terminates the
+      process, like the paper's cancel branch (Fig. 14);
+    * otherwise the conversation continues → empty body, rejoining the
+      normal flow (the Fig. 9 / order_2 alternative-format pattern).
+      Step "ad 5" — the post-adaptation consistency check — rejects
+      the guess when the continuation actually differs, flagging the
+      case for the engineer.
+    """
+    proposal = result.proposed_public
+    if delta.counterpart is None:
+        return Terminate()
+    successors = proposal.successors(delta.counterpart, delta.label)
+    if not successors:
+        return Terminate()
+    (target,) = successors
+    ends_here = (
+        target in proposal.finals
+        and not proposal.transitions_from(target)
+    )
+    if ends_here:
+        return Terminate()
+    return Empty()
+
+
+def _find_receive_in_region(
+    opponent: CompiledProcess,
+    blocks: list[str],
+    sender: str,
+    sibling_operations: set[str],
+) -> Receive | None:
+    """Find a Receive in the named region consuming a sibling message.
+
+    Falls back to the whole process when the region blocks miss (heavy
+    earlier restructuring can leave the mapping region narrower than
+    the activity that actually consumes the sibling); the sibling
+    constraint keeps the fallback sound.
+    """
+    process = opponent.process
+    containers = [
+        process.find(_block_activity_name(block)) for block in blocks
+    ]
+    containers.append(process.activity)
+    for container in containers:
+        if container is None:
+            continue
+        for activity in container.walk():
+            is_candidate = (
+                isinstance(activity, Receive)
+                and activity.partner == sender
+                and activity.operation in sibling_operations
+                and activity.name
+            )
+            if is_candidate:
+                return activity
+    return None
+
+
+def _find_pick_in_region(
+    opponent: CompiledProcess,
+    blocks: list[str],
+    sender: str,
+    sibling_operations: set[str],
+) -> Pick | None:
+    """Find a named Pick in the region consuming a sibling message
+    (whole-process fallback as in :func:`_find_receive_in_region`)."""
+    process = opponent.process
+    containers = [
+        process.find(_block_activity_name(block)) for block in blocks
+    ]
+    containers.append(process.activity)
+    for container in containers:
+        if container is None:
+            continue
+        for activity in container.walk():
+            is_candidate = (
+                isinstance(activity, Pick)
+                and activity.name
+                and any(
+                    branch.partner == sender
+                    and branch.operation in sibling_operations
+                    for branch in activity.branches
+                )
+            )
+            if is_candidate:
+                return activity
+    return None
+
+
+def _enclosing_loop_name(
+    opponent: CompiledProcess, blocks: list[str]
+) -> str | None:
+    """Return the name of the innermost While block among *blocks*."""
+    for block in blocks:
+        if block.startswith("While:"):
+            name = _block_activity_name(block)
+            target = opponent.process.find(name)
+            if isinstance(target, While):
+                return name
+    return None
+
+
+def _label_closes_loop(
+    public: AFSA, state: State, label: Label
+) -> bool:
+    """True if following *label* from *state* can come back to *state*."""
+    frontier = list(public.successors(state, label))
+    seen = set(frontier)
+    while frontier:
+        current = frontier.pop()
+        if current == state:
+            return True
+        for transition in public.transitions_from(current):
+            if transition.target not in seen:
+                seen.add(transition.target)
+                frontier.append(transition.target)
+    return False
+
+
+def _supported_iterations(
+    current: AFSA, proposal: AFSA, delta: TransitionDelta
+) -> int:
+    """Count how many loop rounds the proposal still supports.
+
+    The loop-body word is the shortest cycle through *delta.state* in
+    the current public process starting with *delta.label*; the
+    proposal is probed from its start along the access path, then the
+    cycle word is replayed until unsupported.
+    """
+    cycle = _shortest_cycle(current, delta.state, delta.label)
+    if cycle is None:
+        return 1
+    access = _access_word(current, delta.state)
+    if access is None:
+        return 1
+
+    # Replay access word on the proposal.
+    position = proposal.start
+    for label in access:
+        successors = proposal.successors(position, label)
+        if not successors:
+            return 1
+        (position,) = successors
+
+    iterations = 0
+    while iterations < MAX_PROBED_ITERATIONS:
+        cursor = position
+        for label in cycle:
+            successors = proposal.successors(cursor, label)
+            if not successors:
+                return max(iterations, 0) or 1
+            (cursor,) = successors
+        iterations += 1
+        position = cursor
+    return MAX_PROBED_ITERATIONS
+
+
+def _shortest_cycle(
+    public: AFSA, state: State, first_label: Label
+) -> list[Label] | None:
+    """Shortest label word ``first_label · …`` from *state* back to it."""
+    starts = public.successors(state, first_label)
+    queue = [(target, [first_label]) for target in sorted(starts, key=repr)]
+    seen = set(starts)
+    while queue:
+        current, word = queue.pop(0)
+        if current == state:
+            return word
+        for transition in sorted(
+            public.transitions_from(current),
+            key=lambda item: label_text(item.label),
+        ):
+            if transition.target not in seen:
+                seen.add(transition.target)
+                queue.append((transition.target, word + [transition.label]))
+    return None
+
+
+def _access_word(public: AFSA, state: State) -> list[Label] | None:
+    """Shortest label word from the start state to *state*."""
+    if public.start == state:
+        return []
+    queue: list[tuple[State, list[Label]]] = [(public.start, [])]
+    seen = {public.start}
+    while queue:
+        current, word = queue.pop(0)
+        for transition in sorted(
+            public.transitions_from(current),
+            key=lambda item: label_text(item.label),
+        ):
+            if transition.target == state:
+                return word + [transition.label]
+            if transition.target not in seen:
+                seen.add(transition.target)
+                queue.append((transition.target, word + [transition.label]))
+    return None

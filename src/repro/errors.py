@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormulaError(ReproError):
+    """Base class for errors in the annotation-formula subsystem."""
+
+
+class FormulaParseError(FormulaError):
+    """Raised when a formula string cannot be parsed.
+
+    Attributes:
+        text: the offending input text.
+        position: character offset where parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class MessageLabelError(ReproError):
+    """Raised for malformed ``sender#receiver#operation`` labels."""
+
+
+class AutomatonError(ReproError):
+    """Base class for errors in the aFSA subsystem."""
+
+
+class InvalidAutomatonError(AutomatonError):
+    """Raised when an automaton violates a structural invariant.
+
+    Attributes:
+        problems: list of human-readable invariant violations.
+    """
+
+    def __init__(self, problems: list[str]):
+        super().__init__("; ".join(problems))
+        self.problems = list(problems)
+
+
+class IncompleteAutomatonError(AutomatonError):
+    """Raised when an operation requiring complete automata receives one
+    with missing transitions (see Def. 4 of the paper)."""
+
+
+class ProcessModelError(ReproError):
+    """Base class for errors in the BPEL-like process model."""
+
+
+class ProcessParseError(ProcessModelError):
+    """Raised when a process definition (XML or DSL) cannot be parsed."""
+
+
+class ProcessValidationError(ProcessModelError):
+    """Raised when a process tree violates structural constraints.
+
+    Attributes:
+        problems: list of human-readable violations.
+    """
+
+    def __init__(self, problems: list[str]):
+        super().__init__("; ".join(problems))
+        self.problems = list(problems)
+
+
+class ChangeError(ReproError):
+    """Base class for errors applying change operations to processes."""
+
+
+class UnknownBlockError(ChangeError):
+    """Raised when a change operation names a block that does not exist."""
+
+
+class PropagationError(ReproError):
+    """Raised when change propagation cannot produce a consistent result."""
+
+
+class ChoreographyError(ReproError):
+    """Raised for partner/choreography-level inconsistencies (unknown
+    partners, missing processes, etc.)."""

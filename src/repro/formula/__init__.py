@@ -1,0 +1,80 @@
+"""Annotation formulas (Def. 1 of the paper).
+
+States of an annotated Finite State Automaton carry logical formulas over
+message variables.  The syntax (Def. 1): ``true`` and ``false`` are
+formulas, every message variable ``v ∈ Σ`` is a formula, and formulas are
+closed under ``¬``, ``∧``, ``∨``.
+
+This package provides:
+
+* the immutable AST (:class:`Top`, :class:`Bottom`, :class:`Var`,
+  :class:`Not`, :class:`And`, :class:`Or`) with operator overloading;
+* a recursive-descent :func:`parse_formula` for the textual syntax used in
+  the paper's figures (``B#A#msg1 AND B#A#msg2``);
+* :func:`evaluate` against a variable assignment;
+* :func:`simplify` (constant folding, idempotence, absorption) used to
+  keep annotations small through repeated intersections;
+* normal forms (:func:`to_nnf`, :func:`to_dnf`) and :func:`substitute`
+  used by view generation to neutralize foreign variables.
+"""
+
+from repro.formula.ast import (
+    And,
+    Bottom,
+    FALSE,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+    Top,
+    Var,
+    all_of,
+    any_of,
+    as_formula,
+)
+from repro.formula.parser import parse_formula
+from repro.formula.evaluate import evaluate, satisfied_by
+from repro.formula.simplify import simplify
+from repro.formula.transform import (
+    is_positive,
+    rename_variables,
+    substitute,
+    to_dnf,
+    to_nnf,
+    variables,
+)
+from repro.formula.semantics import (
+    equivalent,
+    is_satisfiable,
+    is_tautology,
+    models,
+)
+
+__all__ = [
+    "And",
+    "Bottom",
+    "FALSE",
+    "Formula",
+    "Not",
+    "Or",
+    "TRUE",
+    "Top",
+    "Var",
+    "all_of",
+    "any_of",
+    "as_formula",
+    "equivalent",
+    "evaluate",
+    "is_positive",
+    "is_satisfiable",
+    "is_tautology",
+    "models",
+    "parse_formula",
+    "rename_variables",
+    "satisfied_by",
+    "simplify",
+    "substitute",
+    "to_dnf",
+    "to_nnf",
+    "variables",
+]

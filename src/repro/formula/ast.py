@@ -1,0 +1,183 @@
+"""Immutable AST for annotation formulas (Def. 1).
+
+The grammar is tiny — constants, variables, ¬, ∧, ∨ — so the AST is a
+handful of frozen dataclasses.  ``&``, ``|`` and ``~`` are overloaded to
+make building annotations in code read like the paper's notation::
+
+    Var("B#A#msg1") & Var("B#A#msg2")
+
+Variables are named by message-label text (``sender#receiver#operation``);
+:class:`~repro.messages.label.MessageLabel` instances are accepted and
+stringified, so the automaton layer can use labels directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+
+class Formula:
+    """Base class of all formula AST nodes.
+
+    Nodes are immutable, hashable, and comparable structurally, which lets
+    annotation-aware automaton algorithms use formulas as dictionary keys
+    (e.g. the minimizer's initial partition).
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: "FormulaLike") -> "Formula":
+        return And(self, as_formula(other))
+
+    def __rand__(self, other: "FormulaLike") -> "Formula":
+        return And(as_formula(other), self)
+
+    def __or__(self, other: "FormulaLike") -> "Formula":
+        return Or(self, as_formula(other))
+
+    def __ror__(self, other: "FormulaLike") -> "Formula":
+        return Or(as_formula(other), self)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The constant ``true`` — the default annotation of every state."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The constant ``false`` — annotates unsatisfiable states."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Var(Formula):
+    """A message variable ``v ∈ Σ`` (Def. 1 case ii).
+
+    A variable is true at a state iff the state has an outgoing transition
+    with the same label leading to a "good" state (Sect. 3.2).
+    """
+
+    __slots__ = ("name",)
+
+    name: str
+
+    def __post_init__(self):
+        # MessageLabel and other label-like objects stringify canonically.
+        if not isinstance(self.name, str):
+            object.__setattr__(self, "name", str(self.name))
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ``¬φ`` (Def. 1 case iii)."""
+
+    __slots__ = ("operand",)
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"NOT {_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction ``φ ∧ ψ`` (Def. 1 case iv).
+
+    Used by the paper for *mandatory* message sets: ``msg1 AND msg2`` means
+    a trading partner must support both messages.
+    """
+
+    __slots__ = ("left", "right")
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} AND {_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction ``φ ∨ ψ`` (Def. 1 case iv)."""
+
+    __slots__ = ("left", "right")
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.left)} OR {_wrap(self.right)}"
+
+
+#: Shared singletons for the constants.
+TRUE = Top()
+FALSE = Bottom()
+
+#: Anything convertible to a formula: an AST node, a bool, or a variable
+#: name / message label.
+FormulaLike = Union[Formula, bool, str]
+
+
+def _wrap(node: Formula) -> str:
+    """Parenthesize non-atomic operands when rendering."""
+    if isinstance(node, (Top, Bottom, Var)):
+        return str(node)
+    return f"({node})"
+
+
+def as_formula(value: FormulaLike) -> Formula:
+    """Coerce *value* into a :class:`Formula`.
+
+    Booleans map to the constants, strings and message labels to
+    :class:`Var`; formulas pass through unchanged.
+    """
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    return Var(str(value))
+
+
+def all_of(parts: Iterable[FormulaLike]) -> Formula:
+    """Right-folded conjunction of *parts* (``TRUE`` when empty).
+
+    ``all_of(["a", "b", "c"])`` builds ``a AND (b AND c)``; this is the
+    shape the BPEL compiler emits for mandatory choice annotations.
+    """
+    items = [as_formula(part) for part in parts]
+    if not items:
+        return TRUE
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = And(item, result)
+    return result
+
+
+def any_of(parts: Iterable[FormulaLike]) -> Formula:
+    """Right-folded disjunction of *parts* (``FALSE`` when empty)."""
+    items = [as_formula(part) for part in parts]
+    if not items:
+        return FALSE
+    result = items[-1]
+    for item in reversed(items[:-1]):
+        result = Or(item, result)
+    return result

@@ -1,0 +1,84 @@
+"""Evaluation of annotation formulas against variable assignments.
+
+The aFSA emptiness test (Sect. 3.2) evaluates each state's annotation
+under the assignment "variable v is true iff a v-labeled transition leads
+to a good state".  :func:`evaluate` implements plain two-valued evaluation
+where unassigned variables default to ``False`` (a message with no
+supporting transition is unsupported).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Collection, Mapping, Union
+
+from repro.formula.ast import (
+    And,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+
+#: An assignment may be a mapping name→bool, a collection of true names,
+#: or a predicate on names.
+Assignment = Union[
+    Mapping[str, bool], Collection[str], Callable[[str], bool]
+]
+
+
+def _lookup(assignment: Assignment, name: str) -> bool:
+    if callable(assignment):
+        return bool(assignment(name))
+    if isinstance(assignment, Mapping):
+        return bool(assignment.get(name, False))
+    return name in assignment
+
+
+def evaluate(formula: Formula, assignment: Assignment = ()) -> bool:
+    """Evaluate *formula* under *assignment* (missing variables → False).
+
+    The traversal is iterative (explicit stack) so that degenerate,
+    deeply-nested formulas produced by long chains of intersections do not
+    exhaust the Python recursion limit.
+    """
+    # Post-order evaluation with an explicit stack of (node, visited).
+    values: dict[int, bool] = {}
+    stack: list[tuple[Formula, bool]] = [(formula, False)]
+    while stack:
+        node, visited = stack.pop()
+        key = id(node)
+        if visited:
+            if isinstance(node, Not):
+                values[key] = not values[id(node.operand)]
+            elif isinstance(node, And):
+                values[key] = values[id(node.left)] and values[id(node.right)]
+            elif isinstance(node, Or):
+                values[key] = values[id(node.left)] or values[id(node.right)]
+            continue
+        if isinstance(node, Top):
+            values[key] = True
+        elif isinstance(node, Bottom):
+            values[key] = False
+        elif isinstance(node, Var):
+            values[key] = _lookup(assignment, node.name)
+        elif isinstance(node, Not):
+            stack.append((node, True))
+            stack.append((node.operand, False))
+        elif isinstance(node, (And, Or)):
+            stack.append((node, True))
+            stack.append((node.left, False))
+            stack.append((node.right, False))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown formula node {node!r}")
+    return values[id(formula)]
+
+
+def satisfied_by(formula: Formula, true_variables: Collection[str]) -> bool:
+    """Return True if *formula* holds when exactly *true_variables* hold.
+
+    Convenience alias of :func:`evaluate` reading closer to the paper's
+    phrasing ("the annotation evaluates to true").
+    """
+    return evaluate(formula, true_variables)

@@ -1,0 +1,202 @@
+"""Recursive-descent parser for the textual annotation syntax.
+
+The figures of the paper write annotations like::
+
+    ( B#A#msg1 AND B#A#msg2 ) AND B#A#msg2
+
+The grammar (precedence low → high; ``AND`` binds tighter than ``OR``,
+``NOT`` tighter than both — the conventional choice)::
+
+    or_expr   := and_expr   ( OR  and_expr )*
+    and_expr  := unary_expr ( AND unary_expr )*
+    unary     := NOT unary | atom
+    atom      := 'true' | 'false' | VAR | '(' or_expr ')'
+
+Keywords are case-insensitive (``AND``/``and``/``∧`` all work); variables
+are message-label tokens, i.e. any run of characters excluding whitespace
+and parentheses that is not a keyword.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import FormulaParseError
+from repro.formula.ast import (
+    And,
+    FALSE,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+    Var,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<symbol>[∧∨¬&|!])
+  | (?P<word>[^\s()∧∨¬&|!]+)
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS_AND = {"and", "∧", "&"}
+_KEYWORDS_OR = {"or", "∨", "|"}
+_KEYWORDS_NOT = {"not", "¬", "!"}
+_KEYWORDS_TRUE = {"true", "⊤"}
+_KEYWORDS_FALSE = {"false", "⊥"}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind: str, text: str, position: int):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.text!r}, {self.position})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise FormulaParseError(
+                f"unexpected character {text[position]!r} at {position}",
+                text=text,
+                position=position,
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "word":
+            lowered = value.lower()
+            if lowered in _KEYWORDS_AND:
+                kind = "and"
+            elif lowered in _KEYWORDS_OR:
+                kind = "or"
+            elif lowered in _KEYWORDS_NOT:
+                kind = "not"
+            elif lowered in _KEYWORDS_TRUE:
+                kind = "true"
+            elif lowered in _KEYWORDS_FALSE:
+                kind = "false"
+            else:
+                kind = "var"
+        elif kind == "symbol":
+            if value in _KEYWORDS_AND:
+                kind = "and"
+            elif value in _KEYWORDS_OR:
+                kind = "or"
+            else:
+                kind = "not"
+        if kind != "space":
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """One-token-lookahead recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise FormulaParseError(
+                "unexpected end of formula",
+                text=self.text,
+                position=len(self.text),
+            )
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise FormulaParseError(
+                f"expected {kind}, found {token.text!r} at {token.position}",
+                text=self.text,
+                position=token.position,
+            )
+        return token
+
+    # grammar ------------------------------------------------------------
+
+    def parse(self) -> Formula:
+        result = self.or_expr()
+        trailing = self.peek()
+        if trailing is not None:
+            raise FormulaParseError(
+                f"unexpected trailing input {trailing.text!r} "
+                f"at {trailing.position}",
+                text=self.text,
+                position=trailing.position,
+            )
+        return result
+
+    def or_expr(self) -> Formula:
+        left = self.and_expr()
+        while (token := self.peek()) is not None and token.kind == "or":
+            self.advance()
+            left = Or(left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Formula:
+        left = self.unary_expr()
+        while (token := self.peek()) is not None and token.kind == "and":
+            self.advance()
+            left = And(left, self.unary_expr())
+        return left
+
+    def unary_expr(self) -> Formula:
+        token = self.peek()
+        if token is not None and token.kind == "not":
+            self.advance()
+            return Not(self.unary_expr())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        token = self.advance()
+        if token.kind == "true":
+            return TRUE
+        if token.kind == "false":
+            return FALSE
+        if token.kind == "var":
+            return Var(token.text)
+        if token.kind == "lparen":
+            inner = self.or_expr()
+            self.expect("rparen")
+            return inner
+        raise FormulaParseError(
+            f"unexpected token {token.text!r} at {token.position}",
+            text=self.text,
+            position=token.position,
+        )
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse *text* into a :class:`~repro.formula.ast.Formula`.
+
+    Raises:
+        FormulaParseError: on any syntax error, with the failing position.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise FormulaParseError("empty formula", text=text, position=0)
+    return _Parser(stripped).parse()

@@ -1,0 +1,78 @@
+"""Semantic (truth-table) queries on annotation formulas.
+
+Annotations are small — the variables of one state's annotation are the
+first messages of the local choice branches — so exhaustive enumeration
+over the variable set is entirely adequate and keeps the code obvious.
+These helpers back the property-based test suite and the
+annotation-equivalence partitioning used when comparing automata.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+from typing import Iterator
+
+from repro.formula.ast import Formula
+from repro.formula.evaluate import evaluate
+from repro.formula.transform import variables
+
+#: Enumerating assignments is exponential in the variable count; beyond
+#: this many variables the caller almost certainly wants a SAT solver, so
+#: we fail loudly instead of hanging.
+MAX_ENUMERATED_VARIABLES = 20
+
+
+def _assignments(names: list[str]) -> Iterator[dict[str, bool]]:
+    for values in cartesian_product((False, True), repeat=len(names)):
+        yield dict(zip(names, values))
+
+
+def _check_enumerable(names: list[str]) -> None:
+    if len(names) > MAX_ENUMERATED_VARIABLES:
+        raise ValueError(
+            f"refusing to enumerate 2^{len(names)} assignments; "
+            f"formula has {len(names)} variables "
+            f"(limit {MAX_ENUMERATED_VARIABLES})"
+        )
+
+
+def models(formula: Formula) -> list[dict[str, bool]]:
+    """Return all satisfying assignments over the formula's variables."""
+    names = sorted(variables(formula))
+    _check_enumerable(names)
+    return [
+        assignment
+        for assignment in _assignments(names)
+        if evaluate(formula, assignment)
+    ]
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """Return True if some assignment satisfies *formula*."""
+    names = sorted(variables(formula))
+    _check_enumerable(names)
+    return any(
+        evaluate(formula, assignment) for assignment in _assignments(names)
+    )
+
+
+def is_tautology(formula: Formula) -> bool:
+    """Return True if every assignment satisfies *formula*."""
+    names = sorted(variables(formula))
+    _check_enumerable(names)
+    return all(
+        evaluate(formula, assignment) for assignment in _assignments(names)
+    )
+
+
+def equivalent(left: Formula, right: Formula) -> bool:
+    """Return True if *left* and *right* agree on every assignment.
+
+    The truth table ranges over the union of both variable sets.
+    """
+    names = sorted(variables(left) | variables(right))
+    _check_enumerable(names)
+    return all(
+        evaluate(left, assignment) == evaluate(right, assignment)
+        for assignment in _assignments(names)
+    )

@@ -1,0 +1,137 @@
+"""Formula simplification.
+
+Annotations grow through repeated conjunction: every intersection (Def. 3)
+conjoins the operand annotations, and ε-elimination conjoins annotations
+across silent closures.  Without simplification the paper's running
+example already produces formulas like
+``(B#A#msg1 AND B#A#msg2) AND B#A#msg2``.  :func:`simplify` applies the
+standard local laws bottom-up:
+
+* constant folding (``φ ∧ true = φ``, ``φ ∨ true = true``, …);
+* idempotence over flattened conjunction/disjunction chains
+  (``φ ∧ φ = φ``), which collapses the example above to
+  ``B#A#msg1 AND B#A#msg2``;
+* complement (``φ ∧ ¬φ = false``, ``φ ∨ ¬φ = true``) on literal level;
+* double negation.
+
+Simplification is *syntactic* and linear-ish; it does not attempt full
+logical minimization (that would be a SAT problem) but is canonical
+enough for the minimizer's annotation-equality partitioning in practice.
+For semantic questions use :mod:`repro.formula.semantics`.
+"""
+
+from __future__ import annotations
+
+from repro.formula.ast import (
+    And,
+    Bottom,
+    FALSE,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+    Top,
+    Var,
+    all_of,
+    any_of,
+)
+
+
+def _flatten(node: Formula, op: type) -> list[Formula]:
+    """Flatten nested *op* (And/Or) nodes into an operand list."""
+    result: list[Formula] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, op):
+            stack.append(current.right)
+            stack.append(current.left)
+        else:
+            result.append(current)
+    return result
+
+
+def _dedupe(parts: list[Formula]) -> list[Formula]:
+    """Drop duplicate operands, keeping first-seen order (idempotence)."""
+    seen: set[Formula] = set()
+    unique: list[Formula] = []
+    for part in parts:
+        if part not in seen:
+            seen.add(part)
+            unique.append(part)
+    return unique
+
+
+def _complementary(parts: list[Formula]) -> bool:
+    """Return True if the list contains both φ and ¬φ."""
+    positives = {part for part in parts if not isinstance(part, Not)}
+    for part in parts:
+        if isinstance(part, Not) and part.operand in positives:
+            return True
+    return False
+
+
+def simplify(formula: Formula) -> Formula:
+    """Return a simplified formula equivalent to *formula*.
+
+    The result is stable: ``simplify(simplify(f)) == simplify(f)``.
+    """
+    if isinstance(formula, (Top, Bottom, Var)):
+        return formula
+
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, Top):
+            return FALSE
+        if isinstance(inner, Bottom):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+
+    if isinstance(formula, And):
+        parts = [simplify(part) for part in _flatten(formula, And)]
+        # Re-flatten: simplification of children may expose nested Ands.
+        flat: list[Formula] = []
+        for part in parts:
+            flat.extend(_flatten(part, And))
+        if any(isinstance(part, Bottom) for part in flat):
+            return FALSE
+        flat = [part for part in flat if not isinstance(part, Top)]
+        flat = _dedupe(flat)
+        if _complementary(flat):
+            return FALSE
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        return all_of(flat)
+
+    if isinstance(formula, Or):
+        parts = [simplify(part) for part in _flatten(formula, Or)]
+        flat = []
+        for part in parts:
+            flat.extend(_flatten(part, Or))
+        if any(isinstance(part, Top) for part in flat):
+            return TRUE
+        flat = [part for part in flat if not isinstance(part, Bottom)]
+        flat = _dedupe(flat)
+        if _complementary(flat):
+            return TRUE
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return any_of(flat)
+
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def conjoin(left: Formula, right: Formula) -> Formula:
+    """Simplified conjunction — the workhorse of Def. 3's QA combination."""
+    return simplify(And(left, right))
+
+
+def disjoin(left: Formula, right: Formula) -> Formula:
+    """Simplified disjunction."""
+    return simplify(Or(left, right))

@@ -1,0 +1,31 @@
+"""Message-label model for process choreographies.
+
+A choreography exchanges *messages* between named partners.  Following the
+paper (Sect. 3.2), an aFSA transition label ``A#B#msg`` states that partner
+``A`` sends message ``msg`` to partner ``B``.  This package provides:
+
+* :class:`~repro.messages.label.MessageLabel` — an immutable, validated
+  label with sender, receiver, and operation;
+* :data:`~repro.messages.label.EPSILON` — the silent label used for
+  internal moves and view projection;
+* :class:`~repro.messages.alphabet.Alphabet` — a set-like container of
+  labels with partner-oriented queries.
+"""
+
+from repro.messages.label import (
+    EPSILON,
+    Label,
+    MessageLabel,
+    is_epsilon,
+    parse_label,
+)
+from repro.messages.alphabet import Alphabet
+
+__all__ = [
+    "EPSILON",
+    "Alphabet",
+    "Label",
+    "MessageLabel",
+    "is_epsilon",
+    "parse_label",
+]

@@ -1,0 +1,156 @@
+"""Message labels of the form ``sender#receiver#operation``.
+
+The paper labels aFSA transitions with strings such as ``B#A#orderOp``:
+party ``B`` sends message ``orderOp`` to party ``A``.  We model labels as
+an immutable dataclass so they can be used as dictionary keys and set
+members, and provide parsing/rendering helpers for the textual form.
+
+The *empty word* ε (used by view generation to hide messages that do not
+involve the viewing partner, Sect. 3.4) is represented by the module-level
+constant :data:`EPSILON`; plain strings are accepted anywhere a label is
+expected so that toy automata (e.g. Fig. 5's ``B#A#msg0``) can be written
+tersely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import MessageLabelError
+
+#: The silent/empty label used for internal moves (rendered as ``ε``).
+EPSILON = ""
+
+#: Separator between sender, receiver, and operation in textual labels.
+SEPARATOR = "#"
+
+
+def is_epsilon(label: "Label") -> bool:
+    """Return True if *label* denotes the empty word ε."""
+    return label == EPSILON or label is None
+
+
+@dataclass(frozen=True, order=True)
+class MessageLabel:
+    """An immutable ``sender#receiver#operation`` message label.
+
+    Attributes:
+        sender: name of the sending partner (e.g. ``"Buyer"`` or ``"B"``).
+        receiver: name of the receiving partner.
+        operation: operation/message name (e.g. ``"orderOp"``).
+    """
+
+    sender: str
+    receiver: str
+    operation: str
+
+    def __post_init__(self):
+        for field_name, value in (
+            ("sender", self.sender),
+            ("receiver", self.receiver),
+            ("operation", self.operation),
+        ):
+            if not value:
+                raise MessageLabelError(
+                    f"label {field_name} must be non-empty "
+                    f"(got sender={self.sender!r}, receiver={self.receiver!r}, "
+                    f"operation={self.operation!r})"
+                )
+            if SEPARATOR in value:
+                raise MessageLabelError(
+                    f"label {field_name} {value!r} must not contain {SEPARATOR!r}"
+                )
+
+    def __str__(self) -> str:
+        return SEPARATOR.join((self.sender, self.receiver, self.operation))
+
+    @property
+    def text(self) -> str:
+        """The canonical ``sender#receiver#operation`` rendering."""
+        return str(self)
+
+    def involves(self, partner: str) -> bool:
+        """Return True if *partner* is the sender or the receiver."""
+        return partner in (self.sender, self.receiver)
+
+    def partners(self) -> tuple[str, str]:
+        """Return ``(sender, receiver)``."""
+        return (self.sender, self.receiver)
+
+    def counterparty(self, partner: str) -> str:
+        """Return the other endpoint of this message w.r.t. *partner*.
+
+        Raises:
+            MessageLabelError: if *partner* is neither sender nor receiver.
+        """
+        if partner == self.sender:
+            return self.receiver
+        if partner == self.receiver:
+            return self.sender
+        raise MessageLabelError(
+            f"partner {partner!r} does not participate in message {self}"
+        )
+
+    def reversed(self) -> "MessageLabel":
+        """Return the label with sender and receiver swapped.
+
+        Useful for building the response half of a synchronous operation.
+        """
+        return MessageLabel(self.receiver, self.sender, self.operation)
+
+    def with_operation(self, operation: str) -> "MessageLabel":
+        """Return a copy of this label carrying a different operation."""
+        return MessageLabel(self.sender, self.receiver, operation)
+
+
+#: A transition label: either a :class:`MessageLabel`, a raw string such as
+#: ``"B#A#msg0"`` (kept as-is for toy automata), or ε.
+Label = Union[MessageLabel, str]
+
+
+def parse_label(text: Label) -> Label:
+    """Parse textual *text* into a :class:`MessageLabel` when possible.
+
+    ``"A#B#op"`` becomes ``MessageLabel("A", "B", "op")``; ε and strings
+    without exactly two separators are returned unchanged (they are legal
+    alphabet symbols, just not partner-addressed messages).
+
+    Raises:
+        MessageLabelError: if *text* has two separators but an empty part
+            (e.g. ``"A##op"``), which is always a mistake.
+    """
+    if isinstance(text, MessageLabel) or is_epsilon(text):
+        return text
+    parts = text.split(SEPARATOR)
+    if len(parts) != 3:
+        return text
+    sender, receiver, operation = parts
+    return MessageLabel(sender, receiver, operation)
+
+
+def label_text(label: Label) -> str:
+    """Render *label* as its canonical string (ε for the empty word)."""
+    if is_epsilon(label):
+        return "ε"
+    return str(label)
+
+
+def label_involves(label: Label, partner: str) -> bool:
+    """Return True if *label* is a message with *partner* as an endpoint.
+
+    Raw-string labels are parsed on the fly; non-message labels (including
+    ε) involve nobody.
+    """
+    parsed = parse_label(label)
+    if isinstance(parsed, MessageLabel):
+        return parsed.involves(partner)
+    return False
+
+
+def label_operation(label: Label) -> str:
+    """Return the operation part of *label* (the label itself if opaque)."""
+    parsed = parse_label(label)
+    if isinstance(parsed, MessageLabel):
+        return parsed.operation
+    return str(label)

@@ -1,0 +1,141 @@
+"""Plain-text rendering of processes, automata, and reports.
+
+The paper communicates through figures; this module is the terminal
+equivalent: indented process trees (like Fig. 2/3's structure listing),
+adjacency-style automaton listings with annotation boxes (like the aFSA
+figures), and the Table 1 layout.  Used by the CLI and the examples.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA, iter_sorted_transitions
+from repro.bpel.mapping import MappingTable
+from repro.bpel.model import (
+    Activity,
+    Case,
+    Invoke,
+    OnMessage,
+    ProcessModel,
+    Receive,
+    Reply,
+    While,
+)
+from repro.messages.label import label_text
+
+
+def render_activity(activity: Activity, indent: int = 0) -> str:
+    """Render an activity subtree as an indented outline."""
+    lines: list[str] = []
+
+    def describe(node: Activity) -> str:
+        if isinstance(node, Receive):
+            return (
+                f"receive {node.operation} from {node.partner}"
+                + (f"  [{node.name}]" if node.name else "")
+            )
+        if isinstance(node, Invoke):
+            mode = "invoke(sync)" if node.synchronous else "invoke"
+            return (
+                f"{mode} {node.operation} on {node.partner}"
+                + (f"  [{node.name}]" if node.name else "")
+            )
+        if isinstance(node, Reply):
+            return (
+                f"reply {node.operation} to {node.partner}"
+                + (f"  [{node.name}]" if node.name else "")
+            )
+        if isinstance(node, While):
+            return f"while ({node.condition})  [{node.name}]"
+        if isinstance(node, Case):
+            return f"case ({node.condition})"
+        if isinstance(node, OnMessage):
+            return f"on {node.operation} from {node.partner}"
+        label = node.kind.lower()
+        if node.name:
+            label += f"  [{node.name}]"
+        return label
+
+    def walk(node: Activity, depth: int) -> None:
+        lines.append("  " * depth + describe(node))
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(activity, indent)
+    return "\n".join(lines)
+
+
+def render_process(process: ProcessModel) -> str:
+    """Render a private process like the paper's block listings."""
+    header = [f"process {process.name} (party {process.party})"]
+    for link in process.partner_links:
+        operations = ", ".join(link.operations)
+        header.append(
+            f"  partnerLink {link.name} -> {link.partner}: {operations}"
+        )
+    return "\n".join(header) + "\n" + render_activity(process.activity, 1)
+
+
+def shorten(label: object) -> str:
+    """Render a label/annotation token with the bare operation name, the
+    way the paper's figures do (``terminateOp`` for ``B#A#terminateOp``)."""
+    text = label_text(label) if not isinstance(label, str) else label
+    parts = text.split("#")
+    return parts[-1] if len(parts) == 3 else text
+
+
+def render_afsa(automaton: AFSA, short_labels: bool = True) -> str:
+    """Render an automaton as an adjacency listing with annotations.
+
+    Final states are marked ``((state))``; annotations appear as
+    ``[ ... ]`` boxes next to their state, mirroring the figures.
+    """
+    def fmt_state(state: object) -> str:
+        text = state if isinstance(state, str) else repr(state)
+        if state in automaton.finals:
+            return f"(({text}))"
+        return f"({text})"
+
+    def fmt_label(label: object) -> str:
+        text = label_text(label)
+        if text == "ε":
+            return text
+        return shorten(text) if short_labels else text
+
+    lines = []
+    title = automaton.name or "aFSA"
+    lines.append(f"{title}:  start = {fmt_state(automaton.start)}")
+    by_source: dict = {}
+    for transition in iter_sorted_transitions(automaton):
+        by_source.setdefault(transition.source, []).append(transition)
+    for state in sorted(automaton.states, key=repr):
+        annotation = automaton.annotations.get(state)
+        suffix = ""
+        if annotation is not None:
+            rendered = str(annotation)
+            if short_labels:
+                rendered = " ".join(
+                    shorten(token) for token in rendered.split(" ")
+                )
+            suffix = f"   [ {rendered} ]"
+        lines.append(f"  {fmt_state(state)}{suffix}")
+        for transition in by_source.get(state, ()):
+            lines.append(
+                f"      --{fmt_label(transition.label)}--> "
+                f"{fmt_state(transition.target)}"
+            )
+    return "\n".join(lines)
+
+
+def render_mapping(mapping: MappingTable) -> str:
+    """Render a mapping table in the Table 1 layout."""
+    rows = mapping.rows()
+    width = max(
+        (len(repr(state)) for state, _ in rows), default=5
+    )
+    lines = [
+        f"{'State':>{width + 2}} | BPEL Block Name",
+        "-" * 60,
+    ]
+    for state, blocks in rows:
+        lines.append(f"{state!r:>{width + 2}} | {', '.join(blocks)}")
+    return "\n".join(lines)

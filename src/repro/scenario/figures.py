@@ -1,0 +1,81 @@
+"""Programmatic reconstructions of the paper's published automata.
+
+Each function derives one figure's artifact from first principles (the
+toy automata of Fig. 5 are built directly; everything else is compiled
+from the private processes of :mod:`repro.scenario.procurement`), so
+tests and benchmarks can assert the paper's verdicts — emptiness,
+annotations, state counts — against live objects rather than fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA, AFSABuilder
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import CompiledProcess, compile_process
+from repro.bpel.mapping import MappingTable
+from repro.formula.parser import parse_formula
+from repro.scenario.procurement import (
+    BUYER,
+    LOGISTICS,
+    accounting_private,
+    buyer_private,
+)
+
+
+def fig5_party_a() -> AFSA:
+    """Fig. 5 (left): party A accepts ``msg0 · msg2``."""
+    builder = AFSABuilder(name="party A")
+    builder.add_transition("a0", "B#A#msg0", "a1")
+    builder.add_transition("a1", "B#A#msg2", "a2")
+    builder.mark_final("a2")
+    return builder.build(start="a0")
+
+
+def fig5_party_b() -> AFSA:
+    """Fig. 5 (middle): party B offers ``msg1`` and ``msg2`` after
+    ``msg0`` and declares **both** mandatory."""
+    builder = AFSABuilder(name="party B")
+    builder.add_transition("b0", "B#A#msg0", "b1")
+    builder.add_transition("b1", "B#A#msg1", "b2")
+    builder.add_transition("b1", "B#A#msg2", "b3")
+    builder.annotate("b1", parse_formula("B#A#msg1 AND B#A#msg2"))
+    builder.mark_final("b2")
+    builder.mark_final("b3")
+    return builder.build(start="b0")
+
+
+def fig5_intersection() -> AFSA:
+    """Fig. 5 (right): the *empty* intersection of A and B.
+
+    The annotation ``(msg1 AND msg2) AND msg2`` survives but the
+    mandatory ``B#A#msg1`` transition does not — the paper's canonical
+    emptiness example.
+    """
+    return intersect(fig5_party_a(), fig5_party_b())
+
+
+def fig6_buyer_public() -> CompiledProcess:
+    """Fig. 6: the buyer public process (5 states, annotation
+    ``terminateOp AND get_statusOp`` at the loop state)."""
+    return compile_process(buyer_private())
+
+
+def table1_mapping() -> MappingTable:
+    """Table 1: the buyer state ↔ BPEL block mapping."""
+    return fig6_buyer_public().mapping
+
+
+def fig7_accounting_public() -> CompiledProcess:
+    """Fig. 7: the accounting public process (all three conversations)."""
+    return compile_process(accounting_private())
+
+
+def fig8_views() -> tuple[AFSA, AFSA]:
+    """Fig. 8: (buyer view, logistics view) of the accounting public
+    process, both minimized."""
+    accounting = fig7_accounting_public().afsa
+    return (
+        project_view(accounting, BUYER),
+        project_view(accounting, LOGISTICS),
+    )

@@ -1,0 +1,539 @@
+"""The procurement virtual enterprise (Sect. 2, Figs. 1–3) and all the
+process versions the evolution scenarios of Sect. 5 produce.
+
+Parties (single letters as in the message labels of the figures):
+
+* ``B`` — buyer,
+* ``A`` — accounting department,
+* ``L`` — logistics department.
+
+Message flow (Fig. 1): the buyer orders (``orderOp``), accounting
+forwards to logistics (``deliverOp``), logistics confirms
+(``deliver_confOp``), accounting notifies the buyer (``deliveryOp``);
+the buyer then performs parcel tracking (``get_statusOp`` /
+``statusOp``, forwarded as the synchronous ``get_statusLOp``) arbitrarily
+often until termination (``terminateOp`` / ``terminateLOp``).
+"""
+
+from __future__ import annotations
+
+from repro.bpel.model import (
+    Case,
+    Empty,
+    Invoke,
+    OnMessage,
+    PartnerLink,
+    Pick,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+
+#: Party identifiers used in message labels (as in the paper's figures).
+BUYER = "B"
+ACCOUNTING = "A"
+LOGISTICS = "L"
+
+#: The non-terminating loop condition used in Figs. 2/3.
+ALWAYS = "1 = 1"
+
+
+def buyer_private() -> ProcessModel:
+    """The buyer private process of Fig. 3.
+
+    Block structure (also listed in Fig. 3):
+    ``BPELProcess / Sequence:buyer process / While:tracking /
+    Switch:termination? / Sequence:cond continue | Sequence:cond
+    terminate``.
+    """
+    return ProcessModel(
+        name="buyer",
+        party=BUYER,
+        partner_links=[
+            PartnerLink(
+                name="accBuyer",
+                partner=ACCOUNTING,
+                operations=["orderOp", "get_statusOp", "terminateOp",
+                            "deliveryOp", "statusOp"],
+            ),
+        ],
+        activity=Sequence(
+            name="buyer process",
+            activities=[
+                Invoke(partner=ACCOUNTING, operation="orderOp",
+                       name="order"),
+                Receive(partner=ACCOUNTING, operation="deliveryOp",
+                        name="delivery"),
+                While(
+                    name="tracking",
+                    condition=ALWAYS,
+                    body=Switch(
+                        name="termination?",
+                        cases=[
+                            Case(
+                                condition="continue",
+                                activity=Sequence(
+                                    name="cond continue",
+                                    activities=[
+                                        Invoke(
+                                            partner=ACCOUNTING,
+                                            operation="get_statusOp",
+                                            name="getStatus",
+                                        ),
+                                        Receive(
+                                            partner=ACCOUNTING,
+                                            operation="statusOp",
+                                            name="status",
+                                        ),
+                                    ],
+                                ),
+                            ),
+                        ],
+                        otherwise=Sequence(
+                            name="cond terminate",
+                            activities=[
+                                Invoke(
+                                    partner=ACCOUNTING,
+                                    operation="terminateOp",
+                                    name="terminate",
+                                ),
+                                Terminate(),
+                            ],
+                        ),
+                    ),
+                ),
+            ],
+        ),
+    )
+
+
+def _accounting_links() -> list[PartnerLink]:
+    return [
+        PartnerLink(
+            name="accBuyer",
+            partner=BUYER,
+            operations=["orderOp", "get_statusOp", "terminateOp",
+                        "deliveryOp", "statusOp"],
+        ),
+        PartnerLink(
+            name="accLogistics",
+            partner=LOGISTICS,
+            operations=["deliverOp", "get_statusLOp", "terminateLOp",
+                        "deliver_confOp"],
+        ),
+    ]
+
+
+def _accounting_tracking_loop() -> While:
+    """The non-terminating parcel-tracking loop of Fig. 2."""
+    return While(
+        name="parcel tracking",
+        condition=ALWAYS,
+        body=Pick(
+            name="tracking or termination",
+            branches=[
+                OnMessage(
+                    partner=BUYER,
+                    operation="get_statusOp",
+                    name="getStatus",
+                    activity=Sequence(
+                        name="do tracking",
+                        activities=[
+                            Invoke(
+                                partner=LOGISTICS,
+                                operation="get_statusLOp",
+                                synchronous=True,
+                                name="getStatusL",
+                            ),
+                            Invoke(
+                                partner=BUYER,
+                                operation="statusOp",
+                                name="status",
+                            ),
+                        ],
+                    ),
+                ),
+                OnMessage(
+                    partner=BUYER,
+                    operation="terminateOp",
+                    name="terminate",
+                    activity=Sequence(
+                        name="do terminate",
+                        activities=[
+                            Invoke(
+                                partner=LOGISTICS,
+                                operation="terminateLOp",
+                                name="terminateL",
+                            ),
+                            Terminate(),
+                        ],
+                    ),
+                ),
+            ],
+        ),
+    )
+
+
+def accounting_private() -> ProcessModel:
+    """The accounting private process of Fig. 2."""
+    return ProcessModel(
+        name="accounting",
+        party=ACCOUNTING,
+        partner_links=_accounting_links(),
+        activity=Sequence(
+            name="accounting process",
+            activities=[
+                Receive(partner=BUYER, operation="orderOp", name="order"),
+                Invoke(partner=LOGISTICS, operation="deliverOp",
+                       name="deliver"),
+                Receive(partner=LOGISTICS, operation="deliver_confOp",
+                        name="deliver_conf"),
+                Invoke(partner=BUYER, operation="deliveryOp",
+                       name="delivery"),
+                _accounting_tracking_loop(),
+            ],
+        ),
+    )
+
+
+def accounting_private_invariant_change() -> ProcessModel:
+    """Fig. 9: accounting additionally accepts an alternative order
+    message format ``order_2Op`` (invariant additive change, Sect. 5.1).
+
+    The initial ``receive order`` becomes a pick offering both formats —
+    an *externally decided* alternative, hence no mandatory annotation
+    and no impact on existing buyers.
+    """
+    process = accounting_private()
+    root: Sequence = process.activity  # type: ignore[assignment]
+    root.activities[0] = Pick(
+        name="order formats",
+        branches=[
+            OnMessage(partner=BUYER, operation="orderOp", name="order",
+                      activity=Empty()),
+            OnMessage(partner=BUYER, operation="order_2Op",
+                      name="order_2", activity=Empty()),
+        ],
+    )
+    return process
+
+
+def accounting_private_variant_change() -> ProcessModel:
+    """Fig. 11: accounting may cancel orders after a credit check
+    (variant additive change, Sect. 5.2).
+
+    After receiving the order an internal switch decides: if
+    ``creditStatus = "ok"`` the original flow continues, otherwise a
+    ``cancelOp`` message is sent to the buyer and the process ends.
+    Because the decision is internal, both first messages become
+    mandatory — Fig. 12a's ``cancelOp AND deliveryOp`` annotation.
+    """
+    return ProcessModel(
+        name="accounting",
+        party=ACCOUNTING,
+        partner_links=_accounting_links(),
+        activity=Sequence(
+            name="accounting process",
+            activities=[
+                Receive(partner=BUYER, operation="orderOp", name="order"),
+                Switch(
+                    name="credit check",
+                    cases=[
+                        Case(
+                            condition='creditStatus = "ok"',
+                            activity=Sequence(
+                                name="cond cancel",
+                                activities=[
+                                    Invoke(
+                                        partner=BUYER,
+                                        operation="cancelOp",
+                                        name="cancel",
+                                    ),
+                                    Terminate(),
+                                ],
+                            ),
+                        ),
+                    ],
+                    otherwise=Sequence(
+                        name="cond fulfil",
+                        activities=[
+                            Invoke(partner=LOGISTICS,
+                                   operation="deliverOp", name="deliver"),
+                            Receive(partner=LOGISTICS,
+                                    operation="deliver_confOp",
+                                    name="deliver_conf"),
+                            Invoke(partner=BUYER, operation="deliveryOp",
+                                   name="delivery"),
+                            _accounting_tracking_loop(),
+                        ],
+                    ),
+                ),
+            ],
+        ),
+    )
+
+
+def accounting_private_subtractive_change() -> ProcessModel:
+    """Fig. 15: parcel tracking is constrained to at most one request
+    (variant subtractive change, Sect. 5.3).
+
+    The loop is removed; an internal switch decides whether tracking is
+    omitted or carried out once, and both paths finish with the
+    terminate exchange.
+    """
+    def terminate_exchange(name: str) -> list:
+        return [
+            Receive(partner=BUYER, operation="terminateOp",
+                    name=f"terminate {name}"),
+            Invoke(partner=LOGISTICS, operation="terminateLOp",
+                   name=f"terminateL {name}"),
+            Terminate(),
+        ]
+
+    return ProcessModel(
+        name="accounting",
+        party=ACCOUNTING,
+        partner_links=_accounting_links(),
+        activity=Sequence(
+            name="accounting process",
+            activities=[
+                Receive(partner=BUYER, operation="orderOp", name="order"),
+                Invoke(partner=LOGISTICS, operation="deliverOp",
+                       name="deliver"),
+                Receive(partner=LOGISTICS, operation="deliver_confOp",
+                        name="deliver_conf"),
+                Invoke(partner=BUYER, operation="deliveryOp",
+                       name="delivery"),
+                Switch(
+                    name="tracking once?",
+                    cases=[
+                        Case(
+                            condition="track once",
+                            activity=Sequence(
+                                name="cond track",
+                                activities=[
+                                    Receive(partner=BUYER,
+                                            operation="get_statusOp",
+                                            name="getStatus"),
+                                    Invoke(partner=LOGISTICS,
+                                           operation="get_statusLOp",
+                                           synchronous=True,
+                                           name="getStatusL"),
+                                    Invoke(partner=BUYER,
+                                           operation="statusOp",
+                                           name="status"),
+                                    *terminate_exchange("after tracking"),
+                                ],
+                            ),
+                        ),
+                    ],
+                    otherwise=Sequence(
+                        name="cond no tracking",
+                        activities=terminate_exchange("direct"),
+                    ),
+                ),
+            ],
+        ),
+    )
+
+
+def buyer_private_after_additive_propagation() -> ProcessModel:
+    """Fig. 14: the buyer after propagating the cancel change.
+
+    The ``receive delivery`` activity became a pick accepting either the
+    delivery or the cancel message (the suggestion derived in Sect. 5.2
+    step "ad 3").
+    """
+    return ProcessModel(
+        name="buyer'",
+        party=BUYER,
+        partner_links=[
+            PartnerLink(
+                name="accBuyer",
+                partner=ACCOUNTING,
+                operations=["orderOp", "get_statusOp", "terminateOp",
+                            "deliveryOp", "statusOp", "cancelOp"],
+            ),
+        ],
+        activity=Sequence(
+            name="buyer process",
+            activities=[
+                Invoke(partner=ACCOUNTING, operation="orderOp",
+                       name="order"),
+                Pick(
+                    name="delivery or cancel",
+                    branches=[
+                        OnMessage(
+                            partner=ACCOUNTING,
+                            operation="deliveryOp",
+                            name="delivery",
+                            activity=While(
+                                name="tracking",
+                                condition=ALWAYS,
+                                body=Switch(
+                                    name="termination?",
+                                    cases=[
+                                        Case(
+                                            condition="continue",
+                                            activity=Sequence(
+                                                name="cond continue",
+                                                activities=[
+                                                    Invoke(
+                                                        partner=ACCOUNTING,
+                                                        operation="get_statusOp",
+                                                        name="getStatus",
+                                                    ),
+                                                    Receive(
+                                                        partner=ACCOUNTING,
+                                                        operation="statusOp",
+                                                        name="status",
+                                                    ),
+                                                ],
+                                            ),
+                                        ),
+                                    ],
+                                    otherwise=Sequence(
+                                        name="cond terminate",
+                                        activities=[
+                                            Invoke(
+                                                partner=ACCOUNTING,
+                                                operation="terminateOp",
+                                                name="terminate",
+                                            ),
+                                            Terminate(),
+                                        ],
+                                    ),
+                                ),
+                            ),
+                        ),
+                        OnMessage(
+                            partner=ACCOUNTING,
+                            operation="cancelOp",
+                            name="cancel",
+                            activity=Terminate(),
+                        ),
+                    ],
+                ),
+            ],
+        ),
+    )
+
+
+def buyer_private_after_subtractive_propagation() -> ProcessModel:
+    """Fig. 18: the buyer after propagating the tracking restriction.
+
+    The loop was removed (unfolded); the buyer either tracks once and
+    terminates, or terminates directly.
+    """
+    return ProcessModel(
+        name="buyer",
+        party=BUYER,
+        partner_links=[
+            PartnerLink(
+                name="accBuyer",
+                partner=ACCOUNTING,
+                operations=["orderOp", "get_statusOp", "terminateOp",
+                            "deliveryOp", "statusOp"],
+            ),
+        ],
+        activity=Sequence(
+            name="buyer process",
+            activities=[
+                Invoke(partner=ACCOUNTING, operation="orderOp",
+                       name="order"),
+                Receive(partner=ACCOUNTING, operation="deliveryOp",
+                        name="delivery"),
+                Switch(
+                    name="termination?",
+                    cases=[
+                        Case(
+                            condition="continue",
+                            activity=Sequence(
+                                name="cond continue",
+                                activities=[
+                                    Invoke(partner=ACCOUNTING,
+                                           operation="get_statusOp",
+                                           name="getStatus"),
+                                    Receive(partner=ACCOUNTING,
+                                            operation="statusOp",
+                                            name="status"),
+                                    Invoke(partner=ACCOUNTING,
+                                           operation="terminateOp",
+                                           name="terminate"),
+                                    Terminate(),
+                                ],
+                            ),
+                        ),
+                    ],
+                    otherwise=Sequence(
+                        name="cond terminate",
+                        activities=[
+                            Invoke(partner=ACCOUNTING,
+                                   operation="terminateOp",
+                                   name="terminate"),
+                            Terminate(),
+                        ],
+                    ),
+                ),
+            ],
+        ),
+    )
+
+
+def logistics_private() -> ProcessModel:
+    """The logistics private process (not drawn in the paper, derived
+    from Fig. 1's message flow and the accounting process).
+
+    Logistics receives the delivery request, confirms it, then serves
+    synchronous status requests until accounting forwards the
+    termination.
+    """
+    return ProcessModel(
+        name="logistics",
+        party=LOGISTICS,
+        partner_links=[
+            PartnerLink(
+                name="accLogistics",
+                partner=ACCOUNTING,
+                operations=["deliverOp", "get_statusLOp", "terminateLOp",
+                            "deliver_confOp"],
+            ),
+        ],
+        activity=Sequence(
+            name="logistics process",
+            activities=[
+                Receive(partner=ACCOUNTING, operation="deliverOp",
+                        name="deliver"),
+                Invoke(partner=ACCOUNTING, operation="deliver_confOp",
+                       name="deliver_conf"),
+                While(
+                    name="serve tracking",
+                    condition=ALWAYS,
+                    body=Pick(
+                        name="status or termination",
+                        branches=[
+                            OnMessage(
+                                partner=ACCOUNTING,
+                                operation="get_statusLOp",
+                                name="getStatusL",
+                                activity=Invoke(
+                                    partner=ACCOUNTING,
+                                    operation="get_statusLOp",
+                                    name="statusL reply",
+                                ),
+                            ),
+                            OnMessage(
+                                partner=ACCOUNTING,
+                                operation="terminateLOp",
+                                name="terminateL",
+                                activity=Terminate(),
+                            ),
+                        ],
+                    ),
+                ),
+            ],
+        ),
+    )

@@ -1,0 +1,42 @@
+"""Synthetic workload generation for benchmarks and property tests.
+
+The paper has no quantitative evaluation; our scaling and ablation
+benchmarks need parameterized workloads.  This package generates
+
+* random block-structured processes whose *bilateral projections are
+  consistent by construction* (each partner pair's conversation is
+  generated once and threaded into both processes) —
+  :func:`generate_partner_pair`, :func:`generate_choreography`;
+* random structural changes of each paper category (invariant additive,
+  variant additive, variant subtractive) — :mod:`.mutations`;
+* random standalone aFSAs for automata-algebra stress tests —
+  :func:`random_afsa`.
+
+All generation is seed-deterministic.
+"""
+
+from repro.workload.generator import (
+    ConversationSpec,
+    generate_choreography,
+    generate_conversation,
+    generate_partner_pair,
+    random_afsa,
+)
+from repro.workload.mutations import (
+    inject_invariant_additive,
+    inject_variant_additive,
+    inject_variant_subtractive,
+    random_change,
+)
+
+__all__ = [
+    "ConversationSpec",
+    "generate_choreography",
+    "generate_conversation",
+    "generate_partner_pair",
+    "inject_invariant_additive",
+    "inject_variant_additive",
+    "inject_variant_subtractive",
+    "random_afsa",
+    "random_change",
+]

@@ -1,0 +1,442 @@
+"""Seeded random workload generation.
+
+The central construction is the *conversation spec*: a bilateral
+protocol between an initiator and a responder, generated once and then
+compiled into **both** partners' private processes as mirror images
+(sender gets :class:`Invoke`, receiver gets :class:`Receive`; an
+internally decided choice becomes :class:`Switch` on the decider's side
+and :class:`Pick` on the other).  Because both processes realize the
+same spec, their bilateral projections are consistent by construction —
+the benchmarks can then measure how expensive it is to *verify* that,
+and the mutation module can break it in controlled ways.
+
+Shapes mirror the paper's scenario: a prologue of sequential exchanges
+with optional internal choices, then an optional non-terminating tail
+loop whose exit is a terminate-style message (the buyer/accounting
+tracking loop writ large).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.afsa.automaton import AFSA, AFSABuilder
+from repro.bpel.model import (
+    Activity,
+    Case,
+    Invoke,
+    OnMessage,
+    Pick,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.core.choreography import Choreography
+from repro.formula.ast import Var, all_of
+
+
+@dataclass
+class Message:
+    """One protocol message: ``sender`` → the other party, ``op``."""
+
+    sender: str
+    operation: str
+
+
+@dataclass
+class Choice:
+    """An internal choice by *decider* among branches with distinct
+    first messages (each branch is a list of spec steps)."""
+
+    decider: str
+    branches: list[list] = field(default_factory=list)
+
+
+@dataclass
+class Loop:
+    """A non-terminating tail loop: *decider* repeatedly chooses between
+    the body steps and a terminating exit message."""
+
+    decider: str
+    body: list = field(default_factory=list)
+    exit_operation: str = "byeOp"
+
+
+@dataclass
+class ConversationSpec:
+    """A bilateral protocol between *initiator* and *responder*."""
+
+    initiator: str
+    responder: str
+    steps: list = field(default_factory=list)
+
+    def operations(self) -> list[str]:
+        """All operation names used by the spec (document order)."""
+        result: list[str] = []
+
+        def scan(steps: list) -> None:
+            for step in steps:
+                if isinstance(step, Message):
+                    result.append(step.operation)
+                elif isinstance(step, Choice):
+                    for branch in step.branches:
+                        scan(branch)
+                elif isinstance(step, Loop):
+                    scan(step.body)
+                    result.append(step.exit_operation)
+
+        scan(self.steps)
+        return result
+
+
+def generate_conversation(
+    initiator: str,
+    responder: str,
+    seed: int = 0,
+    steps: int = 4,
+    choice_probability: float = 0.3,
+    max_branches: int = 3,
+    with_loop: bool = True,
+    operation_prefix: str = "op",
+) -> ConversationSpec:
+    """Generate a random conversation spec.
+
+    Args:
+        initiator, responder: party identifiers.
+        seed: RNG seed (deterministic output).
+        steps: number of prologue steps.
+        choice_probability: chance a prologue step is an internal
+            choice rather than a single message.
+        max_branches: maximum branches per choice.
+        with_loop: append a tracking-style tail loop.
+        operation_prefix: prefix for generated operation names.
+    """
+    rng = random.Random(seed)
+    counter = [0]
+
+    def fresh_operation() -> str:
+        counter[0] += 1
+        return f"{operation_prefix}{counter[0]}"
+
+    def random_message() -> Message:
+        sender = rng.choice([initiator, responder])
+        return Message(sender, fresh_operation())
+
+    spec_steps: list = []
+    for _ in range(steps):
+        if rng.random() < choice_probability:
+            decider = rng.choice([initiator, responder])
+            branch_count = rng.randint(2, max_branches)
+            branches = []
+            for _ in range(branch_count):
+                branch: list = [Message(decider, fresh_operation())]
+                if rng.random() < 0.5:
+                    branch.append(random_message())
+                branches.append(branch)
+            spec_steps.append(Choice(decider=decider, branches=branches))
+        else:
+            spec_steps.append(random_message())
+
+    if with_loop:
+        body = [
+            Message(initiator, fresh_operation()),
+            Message(responder, fresh_operation()),
+        ]
+        spec_steps.append(
+            Loop(
+                decider=initiator,
+                body=body,
+                exit_operation=fresh_operation(),
+            )
+        )
+    return ConversationSpec(
+        initiator=initiator, responder=responder, steps=spec_steps
+    )
+
+
+def _message_activity(
+    message: Message, party: str, other: str
+) -> Activity:
+    if message.sender == party:
+        return Invoke(
+            partner=other, operation=message.operation,
+            name=f"send {message.operation}",
+        )
+    return Receive(
+        partner=other, operation=message.operation,
+        name=f"recv {message.operation}",
+    )
+
+
+def _realize_steps(
+    steps: list, party: str, other: str, prefix: str
+) -> list[Activity]:
+    activities: list[Activity] = []
+    for index, step in enumerate(steps):
+        if isinstance(step, Message):
+            activities.append(_message_activity(step, party, other))
+        elif isinstance(step, Choice):
+            activities.append(
+                _realize_choice(step, party, other, f"{prefix}c{index}")
+            )
+        elif isinstance(step, Loop):
+            activities.append(
+                _realize_loop(step, party, other, f"{prefix}l{index}")
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown spec step {step!r}")
+    return activities
+
+
+def _realize_choice(
+    choice: Choice, party: str, other: str, name: str
+) -> Activity:
+    if choice.decider == party:
+        cases = []
+        for number, branch in enumerate(choice.branches):
+            cases.append(
+                Case(
+                    condition=f"branch {number}",
+                    activity=Sequence(
+                        name=f"{name}b{number}",
+                        activities=_realize_steps(
+                            branch, party, other, f"{name}b{number}"
+                        ),
+                    ),
+                )
+            )
+        return Switch(name=name, cases=cases[:-1],
+                      otherwise=cases[-1].activity)
+    branches = []
+    for number, branch in enumerate(choice.branches):
+        first, *rest = branch
+        branches.append(
+            OnMessage(
+                partner=other,
+                operation=first.operation,
+                name=f"{name}b{number}",
+                activity=Sequence(
+                    name=f"{name}b{number} body",
+                    activities=_realize_steps(
+                        rest, party, other, f"{name}b{number}"
+                    ),
+                ),
+            )
+        )
+    return Pick(name=name, branches=branches)
+
+
+def _realize_loop(
+    loop: Loop, party: str, other: str, name: str
+) -> Activity:
+    exit_message = Message(loop.decider, loop.exit_operation)
+    if loop.decider == party:
+        body: Activity = Switch(
+            name=f"{name} choice",
+            cases=[
+                Case(
+                    condition="continue",
+                    activity=Sequence(
+                        name=f"{name} continue",
+                        activities=_realize_steps(
+                            loop.body, party, other, name
+                        ),
+                    ),
+                ),
+            ],
+            otherwise=Sequence(
+                name=f"{name} exit",
+                activities=[
+                    _message_activity(exit_message, party, other),
+                    Terminate(),
+                ],
+            ),
+        )
+    else:
+        first, *rest = loop.body
+        body = Pick(
+            name=f"{name} choice",
+            branches=[
+                OnMessage(
+                    partner=other,
+                    operation=first.operation,
+                    name=f"{name} continue",
+                    activity=Sequence(
+                        name=f"{name} continue body",
+                        activities=_realize_steps(
+                            rest, party, other, name
+                        ),
+                    ),
+                ),
+                OnMessage(
+                    partner=other,
+                    operation=loop.exit_operation,
+                    name=f"{name} exit",
+                    activity=Terminate(),
+                ),
+            ],
+        )
+    return While(name=name, condition="1 = 1", body=body)
+
+
+def realize_process(
+    spec: ConversationSpec, party: str, name: str = ""
+) -> ProcessModel:
+    """Compile one side of *spec* into a private process for *party*.
+
+    Generated block names are prefixed with the counterparty so that a
+    process composed of several conversations (the hub) has globally
+    unique activity names — change operations address activities by
+    name.
+    """
+    other = (
+        spec.responder if party == spec.initiator else spec.initiator
+    )
+    prefix = f"{other}·"
+    return ProcessModel(
+        name=name or f"{party} process",
+        party=party,
+        activity=Sequence(
+            name=f"{party}↔{other} main",
+            activities=_realize_steps(spec.steps, party, other, prefix),
+        ),
+    )
+
+
+def generate_partner_pair(
+    seed: int = 0,
+    initiator: str = "I",
+    responder: str = "R",
+    **spec_kwargs,
+) -> tuple[ProcessModel, ProcessModel]:
+    """Generate two consistent-by-construction private processes.
+
+    Keyword arguments are forwarded to :func:`generate_conversation`.
+    """
+    spec = generate_conversation(
+        initiator, responder, seed=seed, **spec_kwargs
+    )
+    return (
+        realize_process(spec, initiator),
+        realize_process(spec, responder),
+    )
+
+
+def generate_choreography(
+    seed: int = 0,
+    spokes: int = 2,
+    hub: str = "H",
+    **spec_kwargs,
+) -> Choreography:
+    """Generate a hub-and-spokes choreography of ``spokes + 1`` parties.
+
+    The hub runs the pairwise conversations sequentially (one per
+    spoke); each spoke runs only its own conversation — every bilateral
+    projection is consistent by construction.  Operation names are
+    prefixed per spoke so conversations do not interfere.  Only the
+    *last* hub section may carry a tail loop: a loop exit terminates
+    the whole process, which would cut off later sections.
+    """
+    want_loop = spec_kwargs.pop("with_loop", True)
+    specs = []
+    for index in range(spokes):
+        party = f"P{index + 1}"
+        specs.append(
+            generate_conversation(
+                hub,
+                party,
+                seed=seed * 1000 + index,
+                operation_prefix=f"p{index + 1}_op",
+                with_loop=want_loop and index == spokes - 1,
+                **spec_kwargs,
+            )
+        )
+
+    hub_sections: list[Activity] = []
+    for index, spec in enumerate(specs):
+        section = realize_process(spec, hub)
+        hub_sections.append(
+            Sequence(
+                name=f"section {index + 1}", activities=[section.activity]
+            )
+        )
+
+    choreography = Choreography(name=f"synthetic-{seed}")
+    choreography.add_partner(
+        ProcessModel(
+            name="hub",
+            party=hub,
+            activity=Sequence(name="hub main", activities=hub_sections),
+        )
+    )
+    for index, spec in enumerate(specs):
+        party = f"P{index + 1}"
+        choreography.add_partner(
+            realize_process(spec, party, name=f"spoke {party}")
+        )
+    return choreography
+
+
+def random_afsa(
+    seed: int = 0,
+    states: int = 8,
+    labels: int = 4,
+    density: float = 0.3,
+    final_fraction: float = 0.3,
+    annotation_probability: float = 0.2,
+    label_pool: list[str] | None = None,
+) -> AFSA:
+    """Generate a random connected aFSA for algebra stress tests.
+
+    States form a random tree (guaranteeing reachability) plus extra
+    random transitions up to *density*; labels come from *label_pool*
+    or a generated ``X#Y#opN`` pool; a fraction of states is final and
+    some states receive conjunctive annotations over locally available
+    labels (so annotations are satisfiable-ish but not trivially true).
+    """
+    rng = random.Random(seed)
+    if label_pool is None:
+        label_pool = [f"X#Y#op{index}" for index in range(labels)]
+
+    names = [f"q{index}" for index in range(states)]
+    builder = AFSABuilder(name=f"random-{seed}")
+    for index in range(1, states):
+        parent = names[rng.randrange(index)]
+        builder.add_transition(
+            parent, rng.choice(label_pool), names[index]
+        )
+    extra = int(density * states * len(label_pool))
+    for _ in range(extra):
+        builder.add_transition(
+            rng.choice(names), rng.choice(label_pool), rng.choice(names)
+        )
+
+    final_count = max(1, int(final_fraction * states))
+    for state in rng.sample(names, final_count):
+        builder.mark_final(state)
+
+    automaton = builder.build(start=names[0])
+    annotations = {}
+    for state in names:
+        outgoing = sorted(
+            {str(t.label) for t in automaton.transitions_from(state)}
+        )
+        if outgoing and rng.random() < annotation_probability:
+            chosen = rng.sample(
+                outgoing, rng.randint(1, min(2, len(outgoing)))
+            )
+            annotations[state] = all_of(Var(label) for label in chosen)
+
+    return AFSA(
+        states=names,
+        transitions=[t.as_tuple() for t in automaton.transitions],
+        start=names[0],
+        finals=automaton.finals,
+        annotations=annotations,
+        alphabet=label_pool,
+        name=f"random-{seed}",
+    )

@@ -1,0 +1,225 @@
+"""Random change injection for benchmark and test workloads.
+
+Each injector produces one change of a known paper category, so the
+classification pipeline can be benchmarked (and property-tested) against
+ground truth:
+
+* :func:`inject_invariant_additive` — accept an additional *received*
+  message (the Fig. 9 pattern): turns a receive into a pick, or adds a
+  branch to an existing pick.  Externally decided ⇒ invariant.
+* :func:`inject_variant_additive` — add an internally decided branch
+  that *sends* a fresh message (the Fig. 11 pattern): wraps an invoke
+  into a switch with a cancel-style alternative.  The new first message
+  becomes mandatory ⇒ variant.
+* :func:`inject_variant_subtractive` — bound a non-terminating loop on
+  the side that *answers* it (the Fig. 15 pattern).  The deciding
+  partner's mandatory continue-message loses support ⇒ variant.
+
+Every injector returns ``(change_operation, description)`` and raises
+:class:`~repro.errors.ChangeError` when the process has no suitable
+anchor (callers regenerate with another seed).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bpel.model import (
+    Case,
+    Invoke,
+    OnMessage,
+    Pick,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.core.changes import (
+    AddPickBranch,
+    BoundLoop,
+    ChangeOperation,
+    ReceiveToPick,
+    ReplaceActivity,
+)
+from repro.errors import ChangeError
+
+
+def _named(activities, predicate):
+    return [
+        activity
+        for activity in activities
+        if predicate(activity) and activity.name
+    ]
+
+
+def _used_operations(process: ProcessModel) -> set[str]:
+    operations: set[str] = set()
+    for activity in process.walk():
+        if isinstance(activity, (Receive, Invoke, OnMessage)):
+            operations.add(activity.operation)
+        from repro.bpel.model import Reply
+
+        if isinstance(activity, Reply):
+            operations.add(activity.operation)
+    return operations
+
+
+def _fresh_operation(process: ProcessModel, base: str) -> str:
+    """Return *base* or a numbered variant unused by *process*.
+
+    Repeated injections into an evolving process must not collide with
+    operations introduced by earlier rounds (picks reject duplicate
+    entry messages)."""
+    used = _used_operations(process)
+    if base not in used:
+        return base
+    counter = 2
+    while f"{base}{counter}" in used:
+        counter += 1
+    return f"{base}{counter}"
+
+
+def inject_invariant_additive(
+    process: ProcessModel, seed: int = 0, operation_suffix: str = "_alt"
+) -> tuple[ChangeOperation, str]:
+    """Accept an additional received message (invariant additive)."""
+    rng = random.Random(seed)
+    picks = _named(process.walk(), lambda a: isinstance(a, Pick))
+    receives = _named(process.walk(), lambda a: isinstance(a, Receive))
+    if picks and (not receives or rng.random() < 0.5):
+        pick = rng.choice(picks)
+        template = rng.choice(pick.branches)
+        operation = _fresh_operation(
+            process, template.operation + operation_suffix
+        )
+        change: ChangeOperation = AddPickBranch(
+            pick_name=pick.name,
+            branch=OnMessage(
+                partner=template.partner,
+                operation=operation,
+                name=f"alt {operation}",
+                activity=template.activity.clone(),
+            ),
+        )
+        return change, f"pick {pick.name!r} also accepts {operation}"
+    if receives:
+        receive = rng.choice(receives)
+        operation = _fresh_operation(
+            process, receive.operation + operation_suffix
+        )
+        change = ReceiveToPick(
+            receive_name=receive.name,
+            alternatives=[
+                OnMessage(
+                    partner=receive.partner,
+                    operation=operation,
+                    name=f"alt {operation}",
+                    activity=Terminate(),
+                )
+            ],
+        )
+        return change, f"receive {receive.name!r} also accepts {operation}"
+    raise ChangeError(
+        f"process {process.name!r} has no receive/pick to extend"
+    )
+
+
+def inject_variant_additive(
+    process: ProcessModel, seed: int = 0, operation: str = "cancelOp"
+) -> tuple[ChangeOperation, str]:
+    """Add an internally decided alternative send (variant additive)."""
+    rng = random.Random(seed)
+    invokes = _named(process.walk(), lambda a: isinstance(a, Invoke))
+    if not invokes:
+        raise ChangeError(
+            f"process {process.name!r} has no invoke to branch around"
+        )
+    invoke = rng.choice(invokes)
+    operation = _fresh_operation(process, operation)
+    replacement = Switch(
+        name=f"{invoke.name} or {operation}",
+        cases=[
+            Case(
+                condition="abort",
+                activity=Sequence(
+                    name=f"cond {operation}",
+                    activities=[
+                        Invoke(
+                            partner=invoke.partner,
+                            operation=operation,
+                            name=f"send {operation}",
+                        ),
+                        Terminate(),
+                    ],
+                ),
+            ),
+        ],
+        otherwise=invoke.clone(),
+    )
+    change = ReplaceActivity(name=invoke.name, replacement=replacement)
+    return (
+        change,
+        f"invoke {invoke.name!r} gains a mandatory {operation} "
+        f"alternative",
+    )
+
+
+def inject_variant_subtractive(
+    process: ProcessModel, seed: int = 0, max_iterations: int = 1
+) -> tuple[ChangeOperation, str]:
+    """Bound a non-terminating loop (variant subtractive on the side
+    that answers the loop; see module docstring)."""
+    rng = random.Random(seed)
+    loops = _named(
+        process.walk(),
+        lambda a: isinstance(a, While) and a.never_exits,
+    )
+    suitable = [
+        loop
+        for loop in loops
+        if isinstance(loop.body, (Switch, Pick))
+    ]
+    if not suitable:
+        raise ChangeError(
+            f"process {process.name!r} has no boundable tail loop"
+        )
+    loop = rng.choice(suitable)
+    change = BoundLoop(while_name=loop.name, max_iterations=max_iterations)
+    return (
+        change,
+        f"loop {loop.name!r} bounded to {max_iterations} iteration(s)",
+    )
+
+
+#: Injector registry for :func:`random_change`.
+_INJECTORS = (
+    ("invariant-additive", inject_invariant_additive),
+    ("variant-additive", inject_variant_additive),
+    ("variant-subtractive", inject_variant_subtractive),
+)
+
+
+def random_change(
+    process: ProcessModel, seed: int = 0
+) -> tuple[str, ChangeOperation, str]:
+    """Inject a random change of a random category.
+
+    Returns ``(category, operation, description)``; tries categories in
+    a seed-shuffled order until one has a suitable anchor.
+    """
+    rng = random.Random(seed)
+    order = list(_INJECTORS)
+    rng.shuffle(order)
+    last_error: ChangeError | None = None
+    for category, injector in order:
+        try:
+            operation, description = injector(process, seed=seed)
+            return category, operation, description
+        except ChangeError as error:
+            last_error = error
+    raise ChangeError(
+        f"no change category applies to process {process.name!r}: "
+        f"{last_error}"
+    )

@@ -1,0 +1,245 @@
+"""Unit tests for the aFSA data structure and builder (Def. 2)."""
+
+import pytest
+
+from repro.afsa.automaton import (
+    AFSA,
+    AFSABuilder,
+    Transition,
+    iter_sorted_transitions,
+)
+from repro.errors import InvalidAutomatonError
+from repro.formula.ast import TRUE, Var
+from repro.messages.label import EPSILON, MessageLabel
+
+
+def simple_automaton() -> AFSA:
+    builder = AFSABuilder(name="toy")
+    builder.add_transition("q0", "A#B#x", "q1")
+    builder.add_transition("q1", "A#B#y", "q2")
+    builder.mark_final("q2")
+    return builder.build(start="q0")
+
+
+class TestTransition:
+    def test_tuple_round_trip(self):
+        transition = Transition("q0", "A#B#x", "q1")
+        assert transition.as_tuple() == (
+            "q0", MessageLabel("A", "B", "x"), "q1"
+        )
+
+    def test_label_parsed(self):
+        transition = Transition("q0", "A#B#x", "q1")
+        assert isinstance(transition.label, MessageLabel)
+
+    def test_is_silent(self):
+        assert Transition("q0", EPSILON, "q1").is_silent
+        assert not Transition("q0", "A#B#x", "q1").is_silent
+
+    def test_immutable(self):
+        transition = Transition("q0", "A#B#x", "q1")
+        with pytest.raises(AttributeError):
+            transition.source = "q9"
+
+    def test_equality_and_hash(self):
+        assert Transition("q0", "A#B#x", "q1") == Transition(
+            "q0", "A#B#x", "q1"
+        )
+        assert len({Transition("q0", "A#B#x", "q1")} | {
+            Transition("q0", "A#B#x", "q1")
+        }) == 1
+
+
+class TestConstruction:
+    def test_components(self):
+        automaton = simple_automaton()
+        assert automaton.start == "q0"
+        assert automaton.finals == {"q2"}
+        assert len(automaton.states) == 3
+        assert len(automaton.transitions) == 2
+
+    def test_requires_start(self):
+        with pytest.raises(InvalidAutomatonError):
+            AFSA(states=["q0"], start=None)
+
+    def test_states_inferred_from_transitions(self):
+        automaton = AFSA(
+            transitions=[("a", "A#B#x", "b")], start="a", finals=["b"]
+        )
+        assert automaton.states == {"a", "b"}
+
+    def test_alphabet_inferred(self):
+        automaton = simple_automaton()
+        assert MessageLabel("A", "B", "x") in automaton.alphabet
+        assert len(automaton.alphabet) == 2
+
+    def test_explicit_alphabet_extends(self):
+        automaton = AFSA(
+            transitions=[("a", "A#B#x", "b")],
+            start="a",
+            alphabet=["A#B#x", "A#B#z"],
+        )
+        assert "A#B#z" in automaton.alphabet
+
+    def test_epsilon_not_in_alphabet(self):
+        automaton = AFSA(
+            transitions=[("a", EPSILON, "b")], start="a", finals=["b"]
+        )
+        assert len(automaton.alphabet) == 0
+
+
+class TestAnnotations:
+    def test_default_annotation_is_true(self):
+        automaton = simple_automaton()
+        assert automaton.annotation("q0") == TRUE
+
+    def test_multiple_entries_conjoined(self):
+        automaton = AFSA(
+            transitions=[("a", "A#B#x", "b")],
+            start="a",
+            annotations=[("a", Var("A#B#x")), ("a", Var("A#B#y"))],
+        )
+        annotation = automaton.annotation("a")
+        assert str(annotation) == "A#B#x AND A#B#y"
+
+    def test_true_annotations_dropped(self):
+        automaton = AFSA(
+            transitions=[("a", "A#B#x", "b")],
+            start="a",
+            annotations={"a": TRUE},
+        )
+        assert automaton.annotations == {}
+
+    def test_annotations_simplified_on_construction(self):
+        from repro.formula.parser import parse_formula
+
+        automaton = AFSA(
+            transitions=[("a", "A#B#x", "b")],
+            start="a",
+            annotations={"a": parse_formula("(p AND q) AND q")},
+        )
+        assert str(automaton.annotation("a")) == "p AND q"
+
+
+class TestQueries:
+    def test_successors(self):
+        automaton = simple_automaton()
+        assert automaton.successors("q0", "A#B#x") == {"q1"}
+        assert automaton.successors("q0", "A#B#y") == set()
+
+    def test_labels_from(self):
+        automaton = simple_automaton()
+        assert automaton.labels_from("q0") == {MessageLabel("A", "B", "x")}
+
+    def test_transitions_from(self):
+        automaton = simple_automaton()
+        assert len(automaton.transitions_from("q0")) == 1
+        assert automaton.transitions_from("q2") == []
+
+    def test_reachable_states(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_state("island")
+        automaton = builder.build(start="a")
+        assert automaton.reachable_states() == {"a", "b"}
+
+    def test_coreachable_states(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("a", "A#B#y", "dead")
+        builder.mark_final("b")
+        automaton = builder.build(start="a")
+        assert automaton.coreachable_states() == {"a", "b"}
+
+    def test_has_epsilon(self):
+        builder = AFSABuilder()
+        builder.add_epsilon("a", "b")
+        assert builder.build(start="a").has_epsilon()
+        assert not simple_automaton().has_epsilon()
+
+    def test_annotation_variables(self):
+        automaton = AFSA(
+            transitions=[("a", "A#B#x", "b")],
+            start="a",
+            annotations={"a": Var("A#B#x") & Var("A#B#y")},
+        )
+        assert automaton.annotation_variables() == {"A#B#x", "A#B#y"}
+
+
+class TestRebuilding:
+    def test_trimmed_drops_unreachable(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("island", "A#B#y", "island2")
+        builder.mark_final("b")
+        automaton = builder.build(start="a")
+        trimmed = automaton.trimmed()
+        assert trimmed.states == {"a", "b"}
+
+    def test_trimmed_keeps_dead_branches(self):
+        """Dead-end states must survive trimming: the emptiness test
+        needs them (Fig. 5)."""
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "dead")
+        builder.add_transition("a", "A#B#y", "final")
+        builder.mark_final("final")
+        trimmed = builder.build(start="a").trimmed()
+        assert "dead" in trimmed.states
+
+    def test_relabel_states_is_isomorphic(self):
+        automaton = simple_automaton()
+        relabeled = automaton.relabel_states()
+        assert relabeled.start == "s0"
+        assert len(relabeled.states) == len(automaton.states)
+        assert len(relabeled.transitions) == len(automaton.transitions)
+
+    def test_relabel_deterministic(self):
+        automaton = simple_automaton()
+        assert automaton.relabel_states() == automaton.relabel_states()
+
+    def test_with_name(self):
+        automaton = simple_automaton().with_name("renamed")
+        assert automaton.name == "renamed"
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert simple_automaton() == simple_automaton()
+
+    def test_name_not_part_of_equality(self):
+        assert simple_automaton() == simple_automaton().with_name("other")
+
+    def test_different_finals_unequal(self):
+        builder = AFSABuilder()
+        builder.add_transition("q0", "A#B#x", "q1")
+        other = builder.build(start="q0")
+        assert other != simple_automaton()
+
+
+class TestBuilder:
+    def test_set_start(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.set_start("a")
+        assert builder.build().start == "a"
+
+    def test_annotate_with_string(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.annotate("a", "A#B#x")
+        automaton = builder.build(start="a")
+        assert automaton.annotation("a") == Var("A#B#x")
+
+    def test_extend_alphabet(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.extend_alphabet(["A#B#z"])
+        assert "A#B#z" in builder.build(start="a").alphabet
+
+
+class TestIteration:
+    def test_iter_sorted_transitions_stable(self):
+        automaton = simple_automaton()
+        first = [t.as_tuple() for t in iter_sorted_transitions(automaton)]
+        second = [t.as_tuple() for t in iter_sorted_transitions(automaton)]
+        assert first == second

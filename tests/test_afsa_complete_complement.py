@@ -1,0 +1,106 @@
+"""Unit tests for completion and complement."""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.complement import complement
+from repro.afsa.complete import SINK_NAME, complete, is_complete
+from repro.afsa.language import accepts
+
+
+def partial_automaton():
+    builder = AFSABuilder()
+    builder.add_transition("a", "A#B#x", "b")
+    builder.add_transition("b", "A#B#y", "c")
+    builder.mark_final("c")
+    return builder.build(start="a")
+
+
+class TestIsComplete:
+    def test_partial_detected(self):
+        assert not is_complete(partial_automaton())
+
+    def test_complete_detected(self):
+        assert is_complete(complete(partial_automaton()))
+
+    def test_against_larger_alphabet(self):
+        completed = complete(partial_automaton())
+        assert not is_complete(completed, alphabet=["A#B#x", "A#B#zz"])
+
+
+class TestComplete:
+    def test_adds_sink(self):
+        completed = complete(partial_automaton())
+        assert SINK_NAME in completed.states
+
+    def test_sink_not_final(self):
+        completed = complete(partial_automaton())
+        assert SINK_NAME not in completed.finals
+
+    def test_every_state_every_label(self):
+        completed = complete(partial_automaton())
+        for state in completed.states:
+            assert completed.labels_from(state) == set(completed.alphabet)
+
+    def test_language_preserved(self):
+        original = partial_automaton()
+        completed = complete(original)
+        assert accepts(completed, ["A#B#x", "A#B#y"])
+        assert not accepts(completed, ["A#B#x"])
+        assert not accepts(completed, ["A#B#y"])
+
+    def test_extended_alphabet(self):
+        completed = complete(
+            partial_automaton(), alphabet=["A#B#extra"]
+        )
+        assert "A#B#extra" in completed.alphabet
+        assert is_complete(completed)
+
+    def test_sink_name_collision_avoided(self):
+        builder = AFSABuilder()
+        builder.add_transition(SINK_NAME, "A#B#x", "b")
+        builder.mark_final("b")
+        completed = complete(builder.build(start=SINK_NAME))
+        assert is_complete(completed)
+
+    def test_already_complete_no_sink(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "a")
+        builder.mark_final("a")
+        completed = complete(builder.build(start="a"))
+        assert SINK_NAME not in completed.states
+
+    def test_requires_epsilon_free(self):
+        import pytest
+
+        builder = AFSABuilder()
+        builder.add_epsilon("a", "b")
+        builder.add_transition("b", "A#B#x", "c")
+        with pytest.raises(ValueError):
+            complete(builder.build(start="a"))
+
+
+class TestComplement:
+    def test_flips_membership(self):
+        automaton = partial_automaton()
+        flipped = complement(automaton)
+        assert not accepts(flipped, ["A#B#x", "A#B#y"])
+        assert accepts(flipped, ["A#B#x"])
+        assert accepts(flipped, [])
+
+    def test_double_complement_language(self):
+        automaton = partial_automaton()
+        double = complement(complement(automaton))
+        for word in ([], ["A#B#x"], ["A#B#x", "A#B#y"], ["A#B#y"]):
+            assert accepts(double, word) == accepts(automaton, word)
+
+    def test_annotations_dropped(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.annotate("a", "A#B#x")
+        builder.mark_final("b")
+        flipped = complement(builder.build(start="a"))
+        assert flipped.annotations == {}
+
+    def test_complement_over_extended_alphabet(self):
+        automaton = partial_automaton()
+        flipped = complement(automaton, alphabet=["A#B#z"])
+        assert accepts(flipped, ["A#B#z"])

@@ -1,0 +1,181 @@
+"""Unit tests for the annotated emptiness test (Sect. 3.2).
+
+These encode the paper's central semantic claims: Fig. 5 is empty, the
+running buyer↔accounting protocol (with its *cyclic* mandatory
+annotations) is non-empty, and the diagnosis names the unsupported
+mandatory message.
+"""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.emptiness import (
+    good_states,
+    is_consistent,
+    is_empty,
+    non_emptiness_witness,
+)
+from repro.formula.ast import Var
+from repro.formula.parser import parse_formula
+
+
+class TestPlainEmptiness:
+    def test_reachable_final_non_empty(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.mark_final("b")
+        assert not is_empty(builder.build(start="a"))
+
+    def test_unreachable_final_empty(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_state("island")
+        builder.mark_final("island")
+        assert is_empty(builder.build(start="a"))
+
+    def test_no_finals_empty(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        assert is_empty(builder.build(start="a"))
+
+    def test_start_final_non_empty(self):
+        builder = AFSABuilder()
+        builder.add_state("a")
+        builder.mark_final("a")
+        assert not is_empty(builder.build(start="a"))
+
+    def test_unannotated_mode_ignores_annotations(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.annotate("a", Var("A#B#missing"))
+        builder.mark_final("b")
+        automaton = builder.build(start="a")
+        assert is_empty(automaton, annotated=True)
+        assert not is_empty(automaton, annotated=False)
+
+
+class TestAnnotatedEmptiness:
+    def test_fig5_intersection_empty(self, fig5_product):
+        assert is_empty(fig5_product)
+
+    def test_fig5_operands_non_empty(self, party_a, party_b):
+        assert not is_empty(party_a)
+        assert not is_empty(party_b)
+
+    def test_satisfied_annotation_non_empty(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("a", "A#B#y", "c")
+        builder.annotate("a", parse_formula("A#B#x AND A#B#y"))
+        builder.mark_final("b")
+        builder.mark_final("c")
+        assert not is_empty(builder.build(start="a"))
+
+    def test_mandatory_transition_to_dead_state_fails(self):
+        """A supporting transition must lead to a *good* state."""
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "dead")
+        builder.add_transition("a", "A#B#y", "final")
+        builder.annotate("a", parse_formula("A#B#x AND A#B#y"))
+        builder.mark_final("final")
+        assert is_empty(builder.build(start="a"))
+
+    def test_cyclic_mandatory_annotation_non_empty(self):
+        """The buyer tracking-loop pattern: the mandatory get_status
+        transition leads back to the annotated state.  The greatest
+        fixpoint must accept this (a least fixpoint would not)."""
+        builder = AFSABuilder()
+        builder.add_transition("loop", "B#A#get", "mid")
+        builder.add_transition("mid", "A#B#status", "loop")
+        builder.add_transition("loop", "B#A#term", "final")
+        builder.annotate("loop", parse_formula("B#A#get AND B#A#term"))
+        builder.mark_final("final")
+        assert not is_empty(builder.build(start="loop"))
+
+    def test_mutually_dependent_cycle_without_exit_empty(self):
+        """A cycle that never reaches a final state is not good, even
+        though its states keep each other's annotations satisfied."""
+        builder = AFSABuilder()
+        builder.add_transition("x", "A#B#v", "y")
+        builder.add_transition("y", "A#B#w", "x")
+        builder.annotate("x", Var("A#B#v"))
+        automaton = builder.build(start="x")
+        assert is_empty(automaton)
+
+    def test_disjunctive_annotation(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "final")
+        builder.annotate("a", parse_formula("A#B#x OR A#B#y"))
+        builder.mark_final("final")
+        assert not is_empty(builder.build(start="a"))
+
+    def test_annotation_on_final_state(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "final")
+        builder.annotate("final", Var("A#B#never"))
+        builder.mark_final("final")
+        assert is_empty(builder.build(start="a"))
+
+
+class TestGoodStates:
+    def test_good_states_of_fig5(self, fig5_product):
+        good = good_states(fig5_product)
+        assert fig5_product.start not in good
+        # The final state itself is good.
+        assert ("a2", "b3") in good
+
+    def test_all_good_in_plain_automaton(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.mark_final("b")
+        automaton = builder.build(start="a")
+        assert good_states(automaton) == {"a", "b"}
+
+
+class TestConsistency:
+    def test_consistent_pair(self, party_a):
+        assert is_consistent(party_a, party_a)
+
+    def test_fig5_pair_inconsistent(self, party_a, party_b):
+        assert not is_consistent(party_a, party_b)
+
+    def test_unannotated_consistency_differs(self, party_a, party_b):
+        """The plain-FSA check misses the mandatory-message deadlock —
+        the ablation the paper's annotations exist to fix."""
+        assert is_consistent(party_a, party_b, annotated=False)
+
+
+class TestWitness:
+    def test_non_empty_witness_word(self, party_a):
+        witness = non_emptiness_witness(party_a)
+        assert not witness.empty
+        assert [str(label) for label in witness.word] == [
+            "B#A#msg0",
+            "B#A#msg2",
+        ]
+
+    def test_witness_path_length(self, party_a):
+        witness = non_emptiness_witness(party_a)
+        assert len(witness.path) == len(witness.word) + 1
+
+    def test_empty_witness_names_missing_message(self, fig5_product):
+        witness = non_emptiness_witness(fig5_product)
+        assert witness.empty
+        missing = {
+            variable
+            for variables in witness.missing_variables.values()
+            for variable in variables
+        }
+        assert "B#A#msg1" in missing
+
+    def test_empty_without_annotations_reported(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        witness = non_emptiness_witness(builder.build(start="a"))
+        assert witness.empty
+        assert witness.blocked_states == []
+        assert "no final state" in witness.describe()
+
+    def test_describe_round_trips(self, party_a, fig5_product):
+        assert "witness word" in non_emptiness_witness(party_a).describe()
+        assert "unsupported" in non_emptiness_witness(
+            fig5_product
+        ).describe()

@@ -1,0 +1,144 @@
+"""Unit tests for language enumeration, membership, and equivalence."""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.equivalence import (
+    language_equal,
+    language_equal_bounded,
+    language_included,
+)
+from repro.afsa.language import (
+    accepted_words,
+    accepts,
+    annotated_accepts,
+    enumerate_language,
+)
+from repro.formula.parser import parse_formula
+
+
+def loop_automaton():
+    """Accepts (x·y)*·z — an infinite language."""
+    builder = AFSABuilder()
+    builder.add_transition("a", "A#B#x", "b")
+    builder.add_transition("b", "A#B#y", "a")
+    builder.add_transition("a", "A#B#z", "f")
+    builder.mark_final("f")
+    return builder.build(start="a")
+
+
+class TestAccepts:
+    def test_member(self):
+        automaton = loop_automaton()
+        assert accepts(automaton, ["A#B#z"])
+        assert accepts(automaton, ["A#B#x", "A#B#y", "A#B#z"])
+
+    def test_non_member(self):
+        automaton = loop_automaton()
+        assert not accepts(automaton, ["A#B#x"])
+        assert not accepts(automaton, ["A#B#z", "A#B#z"])
+
+    def test_empty_word(self):
+        builder = AFSABuilder()
+        builder.add_state("a")
+        builder.mark_final("a")
+        assert accepts(builder.build(start="a"), [])
+
+    def test_epsilon_transitions_followed(self):
+        builder = AFSABuilder()
+        builder.add_epsilon("a", "b")
+        builder.add_transition("b", "A#B#x", "c")
+        builder.mark_final("c")
+        assert accepts(builder.build(start="a"), ["A#B#x"])
+
+    def test_nondeterministic_membership(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "dead")
+        builder.add_transition("a", "A#B#x", "good")
+        builder.mark_final("good")
+        assert accepts(builder.build(start="a"), ["A#B#x"])
+
+
+class TestEnumeration:
+    def test_bounded_by_length(self):
+        automaton = loop_automaton()
+        words = set(enumerate_language(automaton, max_length=3))
+        assert len(words) == 2  # z, x·y·z
+
+    def test_bounded_by_count(self):
+        automaton = loop_automaton()
+        words = list(enumerate_language(automaton, max_words=3))
+        assert len(words) == 3
+
+    def test_bfs_order_shortest_first(self):
+        automaton = loop_automaton()
+        words = list(enumerate_language(automaton, max_length=5))
+        lengths = [len(word) for word in words]
+        assert lengths == sorted(lengths)
+
+    def test_accepted_words_render_text(self):
+        automaton = loop_automaton()
+        assert ("A#B#z",) in accepted_words(automaton, 1)
+
+    def test_empty_automaton_yields_nothing(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        assert accepted_words(builder.build(start="a"), 4) == set()
+
+
+class TestAnnotatedLanguage:
+    def test_annotated_restricts(self):
+        """A word through a state with an unsatisfiable annotation is in
+        the plain language but not the annotated one."""
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("b", "A#B#y", "f")
+        builder.annotate("b", parse_formula("A#B#y AND A#B#never"))
+        builder.mark_final("f")
+        automaton = builder.build(start="a")
+        word = ["A#B#x", "A#B#y"]
+        assert accepts(automaton, word)
+        assert not annotated_accepts(automaton, word)
+
+    def test_annotated_equals_plain_without_annotations(self):
+        automaton = loop_automaton()
+        for word in accepted_words(automaton, 5):
+            assert annotated_accepts(automaton, list(word))
+
+    def test_enumerate_annotated(self, fig5_product):
+        assert (
+            accepted_words(fig5_product, 4, annotated=True) == set()
+        )
+        assert accepted_words(fig5_product, 4, annotated=False) != set()
+
+
+class TestEquivalence:
+    def test_equal_languages(self):
+        left = loop_automaton()
+        right = loop_automaton().relabel_states("t")
+        assert language_equal(left, right)
+
+    def test_unequal_languages(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#z", "f")
+        builder.mark_final("f")
+        assert not language_equal(loop_automaton(), builder.build(start="a"))
+
+    def test_inclusion(self):
+        small = AFSABuilder()
+        small.add_transition("a", "A#B#z", "f")
+        small.mark_final("f")
+        small_automaton = small.build(start="a")
+        assert language_included(small_automaton, loop_automaton())
+        assert not language_included(loop_automaton(), small_automaton)
+
+    def test_bounded_oracle_agrees(self):
+        left = loop_automaton()
+        right = loop_automaton().relabel_states("t")
+        assert language_equal_bounded(left, right, max_length=7)
+
+    def test_bounded_oracle_detects_difference(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#z", "f")
+        builder.mark_final("f")
+        assert not language_equal_bounded(
+            loop_automaton(), builder.build(start="a"), max_length=5
+        )

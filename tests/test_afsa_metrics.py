@@ -1,0 +1,74 @@
+"""Unit tests for automaton metrics."""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.metrics import compute_metrics
+from repro.formula.parser import parse_formula
+
+
+class TestMetrics:
+    def test_buyer_public(self, buyer_compiled):
+        metrics = compute_metrics(buyer_compiled.afsa)
+        assert metrics.states == 5
+        assert metrics.transitions == 5
+        assert metrics.alphabet == 5
+        assert metrics.finals == 1
+        assert metrics.annotated_states == 1
+        assert metrics.annotation_variables == 2
+        assert metrics.cyclic  # the tracking loop
+        assert not metrics.empty
+        assert metrics.good_states == 5
+
+    def test_acyclic_chain(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("b", "A#B#y", "c")
+        builder.mark_final("c")
+        metrics = compute_metrics(builder.build(start="a"))
+        assert not metrics.cyclic
+        assert metrics.max_out_degree == 1
+        assert metrics.mean_out_degree == 2 / 3
+
+    def test_self_loop_is_cyclic(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "a")
+        builder.mark_final("a")
+        assert compute_metrics(builder.build(start="a")).cyclic
+
+    def test_empty_automaton_detected(self, fig5_product):
+        metrics = compute_metrics(fig5_product)
+        assert metrics.empty
+        assert metrics.good_states < metrics.states
+
+    def test_epsilon_counted(self):
+        builder = AFSABuilder()
+        builder.add_epsilon("a", "b")
+        builder.add_transition("b", "A#B#x", "c")
+        builder.mark_final("c")
+        metrics = compute_metrics(builder.build(start="a"))
+        assert metrics.epsilon_transitions == 1
+
+    def test_render_contains_all_rows(self, buyer_compiled):
+        rendered = compute_metrics(buyer_compiled.afsa).render()
+        for key in ("states", "transitions", "annotated states",
+                    "good states", "cyclic"):
+            assert key in rendered
+
+    def test_annotation_variables_counted_once(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("b", "A#B#x", "c")
+        builder.annotate("a", parse_formula("A#B#x"))
+        builder.annotate("b", parse_formula("A#B#x"))
+        builder.mark_final("c")
+        metrics = compute_metrics(builder.build(start="a"))
+        assert metrics.annotated_states == 2
+        assert metrics.annotation_variables == 1
+
+    def test_deep_linear_automaton_no_recursion_error(self):
+        builder = AFSABuilder()
+        for index in range(3000):
+            builder.add_transition(index, "A#B#x", index + 1)
+        builder.mark_final(3000)
+        metrics = compute_metrics(builder.build(start=0))
+        assert not metrics.cyclic
+        assert metrics.states == 3001

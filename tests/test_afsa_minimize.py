@@ -1,0 +1,114 @@
+"""Unit tests for annotation-aware minimization."""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.emptiness import is_empty
+from repro.afsa.language import accepted_words
+from repro.afsa.minimize import minimize
+from repro.formula.ast import Var
+
+
+class TestClassicalMinimization:
+    def test_merges_equivalent_states(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b1")
+        builder.add_transition("a", "A#B#y", "b2")
+        builder.add_transition("b1", "A#B#z", "f")
+        builder.add_transition("b2", "A#B#z", "f")
+        builder.mark_final("f")
+        minimal = minimize(builder.build(start="a"))
+        # b1 and b2 are equivalent -> 3 states.
+        assert len(minimal.states) == 3
+
+    def test_language_preserved(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("b", "A#B#y", "a")
+        builder.mark_final("a")
+        automaton = builder.build(start="a")
+        minimal = minimize(automaton)
+        assert accepted_words(minimal, 6) == accepted_words(automaton, 6)
+
+    def test_unreachable_states_dropped(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("island", "A#B#x", "island")
+        builder.mark_final("b")
+        minimal = minimize(builder.build(start="a"))
+        assert len(minimal.states) == 2
+
+    def test_canonical_state_names(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.mark_final("b")
+        minimal = minimize(builder.build(start="a"))
+        assert minimal.start == "m0"
+        assert minimal.states == {"m0", "m1"}
+
+    def test_idempotent(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b1")
+        builder.add_transition("a", "A#B#y", "b2")
+        builder.add_transition("b1", "A#B#z", "f")
+        builder.add_transition("b2", "A#B#z", "f")
+        builder.mark_final("f")
+        minimal = minimize(builder.build(start="a"))
+        assert minimize(minimal) == minimal
+
+    def test_nondeterministic_input_determinized(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("a", "A#B#x", "c")
+        builder.add_transition("b", "A#B#y", "f")
+        builder.add_transition("c", "A#B#y", "f")
+        builder.mark_final("f")
+        automaton = builder.build(start="a")
+        minimal = minimize(automaton)
+        assert accepted_words(minimal, 3) == accepted_words(automaton, 3)
+        assert len(minimal.states) == 3
+
+
+class TestAnnotationAwareness:
+    def _pair_with_annotations(self, left_formula, right_formula):
+        """Two language-equivalent states differing only in annotation."""
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "p")
+        builder.add_transition("a", "A#B#y", "q")
+        builder.add_transition("p", "A#B#z", "f")
+        builder.add_transition("q", "A#B#z", "f")
+        builder.mark_final("f")
+        if left_formula is not None:
+            builder.annotate("p", left_formula)
+        if right_formula is not None:
+            builder.annotate("q", right_formula)
+        return builder.build(start="a")
+
+    def test_equal_annotations_merge(self):
+        automaton = self._pair_with_annotations(
+            Var("A#B#z"), Var("A#B#z")
+        )
+        assert len(minimize(automaton).states) == 3
+
+    def test_different_annotations_do_not_merge(self):
+        automaton = self._pair_with_annotations(
+            Var("A#B#z"), Var("A#B#q")
+        )
+        assert len(minimize(automaton).states) == 4
+
+    def test_annotated_vs_plain_do_not_merge(self):
+        automaton = self._pair_with_annotations(Var("A#B#z"), None)
+        assert len(minimize(automaton).states) == 4
+
+    def test_annotations_carried_to_result(self):
+        automaton = self._pair_with_annotations(
+            Var("A#B#z"), Var("A#B#z")
+        )
+        minimal = minimize(automaton)
+        rendered = {str(f) for f in minimal.annotations.values()}
+        assert rendered == {"A#B#z"}
+
+    def test_emptiness_verdict_preserved(self, fig5_product):
+        assert is_empty(minimize(fig5_product)) == is_empty(fig5_product)
+
+    def test_buyer_public_already_minimal(self, buyer_compiled):
+        minimal = minimize(buyer_compiled.afsa)
+        assert len(minimal.states) == len(buyer_compiled.afsa.states)

@@ -1,0 +1,181 @@
+"""Unit tests for intersection (Def. 3), difference (Def. 4), union."""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.difference import difference
+from repro.afsa.emptiness import is_empty
+from repro.afsa.language import accepted_words, accepts
+from repro.afsa.product import intersect
+from repro.afsa.union import union, union_de_morgan
+from repro.formula.ast import Var
+
+
+def chain(name, *labels, annotate=None):
+    """Linear automaton accepting exactly the given label word."""
+    builder = AFSABuilder(name=name)
+    state = "s0"
+    for index, label in enumerate(labels):
+        target = f"s{index + 1}"
+        builder.add_transition(state, label, target)
+        state = target
+    builder.mark_final(state)
+    if annotate:
+        for state_name, formula in annotate.items():
+            builder.annotate(state_name, formula)
+    return builder.build(start="s0")
+
+
+class TestIntersection:
+    def test_common_word_survives(self):
+        left = chain("L", "A#B#x", "A#B#y")
+        right = chain("R", "A#B#x", "A#B#y")
+        both = intersect(left, right)
+        assert accepted_words(both, 4) == {("A#B#x", "A#B#y")}
+
+    def test_disjoint_languages_empty(self):
+        left = chain("L", "A#B#x")
+        right = chain("R", "A#B#y")
+        assert is_empty(intersect(left, right), annotated=False)
+
+    def test_def3_components(self, party_a, party_b):
+        both = intersect(party_a, party_b)
+        assert both.start == ("a0", "b0")
+        # Σ = Σ1 ∩ Σ2 — msg1 is in B's alphabet only via transitions;
+        # both alphabets contain msg0/msg2, B also has msg1.
+        assert len(both.alphabet) == 2
+
+    def test_annotations_conjoined(self):
+        left = chain("L", "A#B#x", annotate={"s0": Var("A#B#x")})
+        right = chain("R", "A#B#x", annotate={"s0": Var("A#B#y")})
+        both = intersect(left, right)
+        annotation = both.annotation(("s0", "s0"))
+        assert str(annotation) == "A#B#x AND A#B#y"
+
+    def test_epsilon_operands_allowed(self):
+        builder = AFSABuilder(name="E")
+        builder.add_epsilon("e0", "e1")
+        builder.add_transition("e1", "A#B#x", "e2")
+        builder.mark_final("e2")
+        left = builder.build(start="e0")
+        right = chain("R", "A#B#x")
+        both = intersect(left, right)
+        assert accepted_words(both, 2) == {("A#B#x",)}
+
+    def test_branching_product(self):
+        left_builder = AFSABuilder(name="L")
+        left_builder.add_transition("l0", "A#B#x", "l1")
+        left_builder.add_transition("l0", "A#B#y", "l2")
+        left_builder.mark_final("l1")
+        left_builder.mark_final("l2")
+        left = left_builder.build(start="l0")
+        right = chain("R", "A#B#y")
+        both = intersect(left, right)
+        assert accepted_words(both, 2) == {("A#B#y",)}
+
+    def test_fig5_shape(self, fig5_product):
+        """Fig. 5's intersection keeps only the msg0·msg2 path plus the
+        (unsatisfiable) annotation."""
+        assert accepted_words(fig5_product, 3) == {
+            ("B#A#msg0", "B#A#msg2")
+        }
+        annotation = fig5_product.annotation(("a1", "b1"))
+        assert str(annotation) == "B#A#msg1 AND B#A#msg2"
+
+
+class TestDifference:
+    def test_subtracts_language(self):
+        left_builder = AFSABuilder(name="L")
+        left_builder.add_transition("l0", "A#B#x", "l1")
+        left_builder.add_transition("l0", "A#B#y", "l2")
+        left_builder.mark_final("l1")
+        left_builder.mark_final("l2")
+        left = left_builder.build(start="l0")
+        right = chain("R", "A#B#x")
+        result = difference(left, right)
+        assert accepted_words(result, 2) == {("A#B#y",)}
+
+    def test_difference_with_self_empty(self):
+        automaton = chain("L", "A#B#x", "A#B#y")
+        assert is_empty(difference(automaton, automaton), annotated=False)
+
+    def test_alphabet_is_union(self):
+        """DESIGN.md deviation #1: the difference works over Σ1 ∪ Σ2 so
+        Fig. 13a's cancelOp (absent from the buyer) survives."""
+        left = chain("L", "A#B#cancelOp")
+        right = chain("R", "A#B#deliveryOp")
+        result = difference(left, right)
+        assert "A#B#cancelOp" in result.alphabet
+        assert "A#B#deliveryOp" in result.alphabet
+        assert accepted_words(result, 2) == {("A#B#cancelOp",)}
+
+    def test_keeps_left_annotations_only(self):
+        left = chain("L", "A#B#x", annotate={"s0": Var("A#B#x")})
+        right = chain("R", "A#B#y", annotate={"s0": Var("A#B#y")})
+        result = difference(left, right)
+        rendered = {str(f) for f in result.annotations.values()}
+        assert rendered == {"A#B#x"}
+
+    def test_nondeterministic_subtrahend(self):
+        """F = F1 × (Q2 \\ F2) is only correct after determinizing the
+        subtrahend; a word in L2 must never survive."""
+        builder = AFSABuilder(name="R")
+        builder.add_transition("r0", "A#B#x", "r1")
+        builder.add_transition("r0", "A#B#x", "r2")
+        builder.mark_final("r1")  # accepting via one branch only
+        right = builder.build(start="r0")
+        left = chain("L", "A#B#x")
+        assert is_empty(difference(left, right), annotated=False)
+
+    def test_proper_superset(self):
+        small = chain("S", "A#B#x")
+        big_builder = AFSABuilder(name="B")
+        big_builder.add_transition("b0", "A#B#x", "b1")
+        big_builder.add_transition("b1", "A#B#y", "b2")
+        big_builder.mark_final("b1")
+        big_builder.mark_final("b2")
+        big = big_builder.build(start="b0")
+        assert is_empty(difference(small, big), annotated=False)
+        assert accepted_words(difference(big, small), 3) == {
+            ("A#B#x", "A#B#y")
+        }
+
+
+class TestUnion:
+    def test_direct_union_languages(self):
+        left = chain("L", "A#B#x")
+        right = chain("R", "A#B#y")
+        merged = union(left, right)
+        assert accepted_words(merged, 2) == {("A#B#x",), ("A#B#y",)}
+
+    def test_union_preserves_annotations(self):
+        left = chain("L", "A#B#x", annotate={"s1": Var("A#B#q")})
+        right = chain("R", "A#B#y")
+        merged = union(left, right)
+        rendered = {str(f) for f in merged.annotations.values()}
+        assert "A#B#q" in rendered
+
+    def test_de_morgan_union_matches_direct(self):
+        left = chain("L", "A#B#x", "A#B#y")
+        right = chain("R", "A#B#x")
+        direct = union(left, right)
+        de_morgan = union_de_morgan(left, right)
+        for word in (
+            [],
+            ["A#B#x"],
+            ["A#B#y"],
+            ["A#B#x", "A#B#y"],
+            ["A#B#x", "A#B#x"],
+        ):
+            assert accepts(direct, word) == accepts(de_morgan, word)
+
+    def test_union_supersets_operands(self):
+        left = chain("L", "A#B#x", "A#B#y")
+        right = chain("R", "A#B#z")
+        merged = union(left, right)
+        assert accepts(merged, ["A#B#x", "A#B#y"])
+        assert accepts(merged, ["A#B#z"])
+
+    def test_union_with_overlap(self):
+        left = chain("L", "A#B#x")
+        right = chain("R", "A#B#x")
+        merged = union(left, right)
+        assert accepted_words(merged, 2) == {("A#B#x",)}

@@ -1,0 +1,176 @@
+"""Property-based tests of the automata algebra on random aFSAs.
+
+The bounded language enumerator is the independent oracle: every
+symbolic operator must agree with plain set algebra on enumerated
+word sets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.afsa.determinize import determinize, is_deterministic
+from repro.afsa.difference import difference
+from repro.afsa.emptiness import good_states, is_empty
+from repro.afsa.epsilon import remove_epsilon
+from repro.afsa.language import accepted_words
+from repro.afsa.minimize import minimize
+from repro.afsa.product import intersect
+from repro.afsa.prune import prune_dead_states
+from repro.afsa.union import union, union_de_morgan
+from repro.workload.generator import random_afsa
+
+_SEEDS = st.integers(min_value=0, max_value=10_000)
+_SIZES = st.integers(min_value=2, max_value=10)
+
+_BOUND = 5  # enumeration depth for the oracle
+
+
+def _words(automaton):
+    return accepted_words(automaton, max_length=_BOUND, max_words=2000)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=60, deadline=None)
+def test_determinize_preserves_language(seed, size):
+    automaton = random_afsa(seed=seed, states=size)
+    dfa = determinize(automaton)
+    assert is_deterministic(dfa)
+    assert _words(dfa) == _words(automaton)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=60, deadline=None)
+def test_minimize_preserves_language(seed, size):
+    automaton = random_afsa(seed=seed, states=size)
+    assert _words(minimize(automaton)) == _words(automaton)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_minimize_preserves_annotated_emptiness_of_dfa(seed, size):
+    """On deterministic input (the pipeline's only use) minimization
+    preserves the annotated verdict exactly."""
+    dfa = determinize(random_afsa(seed=seed, states=size))
+    assert is_empty(minimize(dfa)) == is_empty(dfa)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_determinize_annotated_semantics_sound(seed, size):
+    """Determinization conjoins macro-state annotations, which may
+    *strengthen* requirements (process-internal-choice semantics) but
+    never weaken them: a non-empty determinized automaton implies a
+    non-empty original."""
+    automaton = random_afsa(seed=seed, states=size)
+    if not is_empty(determinize(automaton)):
+        assert not is_empty(automaton)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_minimize_idempotent(seed, size):
+    automaton = random_afsa(seed=seed, states=size)
+    once = minimize(automaton)
+    assert minimize(once) == once
+
+
+@given(_SEEDS, _SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_intersection_is_language_intersection(seed_a, seed_b, size):
+    left = random_afsa(seed=seed_a, states=size)
+    right = random_afsa(seed=seed_b, states=size)
+    both = intersect(left, right)
+    assert _words(both) == _words(left) & _words(right)
+
+
+@given(_SEEDS, _SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_difference_is_language_difference(seed_a, seed_b, size):
+    left = random_afsa(seed=seed_a, states=size)
+    right = random_afsa(seed=seed_b, states=size)
+    result = difference(left, right)
+    assert _words(result) == _words(left) - _words(right)
+
+
+@given(_SEEDS, _SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_union_is_language_union(seed_a, seed_b, size):
+    left = random_afsa(seed=seed_a, states=size)
+    right = random_afsa(seed=seed_b, states=size)
+    merged = union(left, right)
+    assert _words(merged) == _words(left) | _words(right)
+
+
+@given(_SEEDS, _SEEDS, _SIZES)
+@settings(max_examples=25, deadline=None)
+def test_de_morgan_union_agrees_with_direct(seed_a, seed_b, size):
+    left = random_afsa(seed=seed_a, states=size)
+    right = random_afsa(seed=seed_b, states=size)
+    assert _words(union_de_morgan(left, right)) == _words(
+        union(left, right)
+    )
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=60, deadline=None)
+def test_remove_epsilon_preserves_language(seed, size):
+    automaton = random_afsa(seed=seed, states=size)
+    assert _words(remove_epsilon(automaton)) == _words(automaton)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=60, deadline=None)
+def test_prune_preserves_language(seed, size):
+    automaton = random_afsa(seed=seed, states=size)
+    assert _words(prune_dead_states(automaton)) == _words(automaton)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_annotated_language_within_plain(seed, size):
+    automaton = random_afsa(seed=seed, states=size)
+    annotated = accepted_words(
+        automaton, max_length=_BOUND, annotated=True
+    )
+    assert annotated <= _words(automaton)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_good_states_annotations_supported(seed, size):
+    """Every good state's annotation holds under transitions into the
+    good set — the defining fixpoint property."""
+    from repro.formula.evaluate import evaluate
+    from repro.messages.label import label_text
+
+    automaton = random_afsa(seed=seed, states=size)
+    good = good_states(automaton)
+    for state in good:
+        supported = {
+            label_text(transition.label)
+            for transition in automaton.transitions_from(state)
+            if transition.target in good
+        }
+        assert evaluate(automaton.annotation(state), supported)
+
+
+@given(_SEEDS, _SIZES)
+@settings(max_examples=40, deadline=None)
+def test_emptiness_matches_annotated_enumeration(seed, size):
+    """is_empty agrees with 'no annotated word exists' whenever the
+    bounded enumeration can decide it (non-empty case)."""
+    automaton = random_afsa(seed=seed, states=size)
+    annotated = accepted_words(
+        automaton, max_length=2 * size, annotated=True, max_words=500
+    )
+    if annotated:
+        assert not is_empty(automaton)
+
+
+@given(_SEEDS, _SEEDS, _SIZES)
+@settings(max_examples=30, deadline=None)
+def test_intersection_commutes_on_language(seed_a, seed_b, size):
+    left = random_afsa(seed=seed_a, states=size)
+    right = random_afsa(seed=seed_b, states=size)
+    assert _words(intersect(left, right)) == _words(
+        intersect(right, left)
+    )

@@ -1,0 +1,157 @@
+"""Unit tests for serialization, DOT export, pruning, and annotation
+post-processing."""
+
+import json
+
+from repro.afsa.annotations import (
+    strip_annotations,
+    weaken_unsupported_annotations,
+)
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.language import accepted_words
+from repro.afsa.prune import prune_dead_states
+from repro.afsa.serialize import (
+    afsa_from_dict,
+    afsa_from_json,
+    afsa_to_dict,
+    afsa_to_dot,
+    afsa_to_json,
+)
+from repro.formula.parser import parse_formula
+
+
+def annotated_automaton():
+    builder = AFSABuilder(name="toy")
+    builder.add_transition("q0", "B#A#msg0", "q1")
+    builder.add_transition("q1", "B#A#msg1", "q2")
+    builder.add_transition("q1", "B#A#msg2", "q3")
+    builder.annotate("q1", parse_formula("B#A#msg1 AND B#A#msg2"))
+    builder.mark_final("q2")
+    builder.mark_final("q3")
+    return builder.build(start="q0")
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        automaton = annotated_automaton()
+        rebuilt = afsa_from_dict(afsa_to_dict(automaton))
+        assert rebuilt == automaton
+
+    def test_json_round_trip(self):
+        automaton = annotated_automaton()
+        rebuilt = afsa_from_json(afsa_to_json(automaton))
+        assert rebuilt == automaton
+
+    def test_json_is_valid(self):
+        payload = json.loads(afsa_to_json(annotated_automaton()))
+        assert payload["start"] == "q0"
+        assert payload["annotations"]["q1"] == "B#A#msg1 AND B#A#msg2"
+
+    def test_epsilon_serialized_as_empty_string(self):
+        builder = AFSABuilder()
+        builder.add_epsilon("a", "b")
+        builder.mark_final("b")
+        payload = afsa_to_dict(builder.build(start="a"))
+        assert ["a", "", "b"] in payload["transitions"]
+        rebuilt = afsa_from_dict(payload)
+        assert rebuilt.has_epsilon()
+
+    def test_name_preserved(self):
+        rebuilt = afsa_from_json(afsa_to_json(annotated_automaton()))
+        assert rebuilt.name == "toy"
+
+    def test_deterministic_output(self):
+        automaton = annotated_automaton()
+        assert afsa_to_json(automaton) == afsa_to_json(automaton)
+
+
+class TestDot:
+    def test_final_states_doublecircle(self):
+        dot = afsa_to_dot(annotated_automaton())
+        assert "doublecircle" in dot
+
+    def test_annotation_box_present(self):
+        dot = afsa_to_dot(annotated_automaton())
+        assert "shape=box" in dot
+        assert "msg1 AND" in dot
+
+    def test_short_labels_by_default(self):
+        dot = afsa_to_dot(annotated_automaton())
+        assert '"msg0"' in dot
+
+    def test_full_labels_on_request(self):
+        dot = afsa_to_dot(annotated_automaton(), shorten_labels=False)
+        assert '"B#A#msg0"' in dot
+
+    def test_is_parseable_digraph(self):
+        dot = afsa_to_dot(annotated_automaton())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+
+class TestPrune:
+    def test_dead_branch_removed(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "dead")
+        builder.add_transition("a", "A#B#y", "f")
+        builder.mark_final("f")
+        pruned = prune_dead_states(builder.build(start="a"))
+        assert "dead" not in pruned.states
+
+    def test_language_preserved(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "dead")
+        builder.add_transition("a", "A#B#y", "f")
+        builder.mark_final("f")
+        automaton = builder.build(start="a")
+        assert accepted_words(prune_dead_states(automaton), 3) == (
+            accepted_words(automaton, 3)
+        )
+
+    def test_start_kept_even_if_dead(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        pruned = prune_dead_states(builder.build(start="a"))
+        assert pruned.start == "a"
+
+    def test_no_change_returns_same_object(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "f")
+        builder.mark_final("f")
+        automaton = builder.build(start="a")
+        assert prune_dead_states(automaton) is automaton
+
+
+class TestAnnotationHelpers:
+    def test_strip_annotations(self):
+        stripped = strip_annotations(annotated_automaton())
+        assert stripped.annotations == {}
+        assert len(stripped.transitions) == 3
+
+    def test_strip_without_annotations_is_identity(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "f")
+        builder.mark_final("f")
+        automaton = builder.build(start="a")
+        assert strip_annotations(automaton) is automaton
+
+    def test_weaken_drops_unsupported_conjunct(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "f")
+        builder.annotate("a", parse_formula("A#B#x AND A#B#gone"))
+        builder.mark_final("f")
+        weakened = weaken_unsupported_annotations(builder.build(start="a"))
+        assert str(weakened.annotation("a")) == "A#B#x"
+
+    def test_weaken_keeps_supported(self):
+        automaton = annotated_automaton()
+        weakened = weaken_unsupported_annotations(automaton)
+        assert weakened.annotation("q1") == automaton.annotation("q1")
+
+    def test_weaken_removes_fully_unsupported_entry(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "f")
+        builder.annotate("a", parse_formula("A#B#gone"))
+        builder.mark_final("f")
+        weakened = weaken_unsupported_annotations(builder.build(start="a"))
+        assert weakened.annotations == {}

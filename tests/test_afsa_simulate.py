@@ -1,0 +1,143 @@
+"""Unit tests for the conversation simulator.
+
+The simulator is the executable counterpart of the paper's claim that
+non-empty intersection = deadlock-free execution (Sect. 3.2).
+"""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.simulate import (
+    COMPLETED,
+    DEADLOCK,
+    deadlock_probe,
+    simulate_conversation,
+)
+from repro.afsa.view import project_view
+from repro.formula.parser import parse_formula
+from repro.scenario.procurement import ACCOUNTING, BUYER
+
+
+class TestBilateralSimulation:
+    def test_consistent_pair_completes(self, buyer_compiled,
+                                        accounting_compiled):
+        buyer_view = project_view(buyer_compiled.afsa, ACCOUNTING)
+        accounting_view = project_view(accounting_compiled.afsa, BUYER)
+        result = simulate_conversation(
+            [buyer_view, accounting_view], seed=1
+        )
+        assert result.outcome == COMPLETED
+
+    def test_trace_is_valid_conversation(self, buyer_compiled,
+                                         accounting_compiled):
+        buyer_view = project_view(buyer_compiled.afsa, ACCOUNTING)
+        accounting_view = project_view(accounting_compiled.afsa, BUYER)
+        result = simulate_conversation(
+            [buyer_view, accounting_view], seed=7
+        )
+        # Every trace starts with the order.
+        if result.trace:
+            assert str(result.trace[0]) == "B#A#orderOp"
+
+    def test_fig5_pair_deadlocks(self, party_a, party_b):
+        """Under sender-commit semantics, party B may internally choose
+        msg1 — which party A cannot receive: the operational deadlock
+        the inconsistency verdict predicts."""
+        assert deadlock_probe(
+            party_a, party_b, runs=20, party_names=["A", "B"]
+        )
+
+    def test_plain_walker_misses_fig5_deadlock(self, party_a, party_b):
+        results = [
+            simulate_conversation(
+                [party_a, party_b],
+                seed=seed,
+                respect_annotations=False,
+            )
+            for seed in range(20)
+        ]
+        assert any(result.outcome == COMPLETED for result in results)
+
+    def test_incompatible_processes_deadlock(self):
+        left = AFSABuilder(name="L")
+        left.add_transition("a", "A#B#x", "b")
+        left.mark_final("b")
+        right = AFSABuilder(name="R")
+        right.add_transition("a", "A#B#y", "b")
+        right.mark_final("b")
+        result = simulate_conversation(
+            [left.build(start="a"), right.build(start="a")], seed=0
+        )
+        assert result.outcome == DEADLOCK
+
+    def test_deterministic_with_seed(self, buyer_compiled,
+                                     accounting_compiled):
+        buyer_view = project_view(buyer_compiled.afsa, ACCOUNTING)
+        accounting_view = project_view(accounting_compiled.afsa, BUYER)
+        first = simulate_conversation(
+            [buyer_view, accounting_view], seed=42
+        )
+        second = simulate_conversation(
+            [buyer_view, accounting_view], seed=42
+        )
+        assert first.trace == second.trace
+        assert first.outcome == second.outcome
+
+
+class TestMultiPartySimulation:
+    def test_three_party_procurement(self, buyer_compiled,
+                                     accounting_compiled,
+                                     logistics_compiled):
+        result = simulate_conversation(
+            [
+                buyer_compiled.afsa,
+                accounting_compiled.afsa,
+                logistics_compiled.afsa,
+            ],
+            seed=3,
+            max_steps=400,
+        )
+        assert result.outcome == COMPLETED
+
+    def test_non_participants_do_not_block(self):
+        """A message between A and B must not require L to move."""
+        ab = AFSABuilder(name="ab")
+        ab.add_transition("a", "A#B#x", "b")
+        ab.mark_final("b")
+        b_side = AFSABuilder(name="b")
+        b_side.add_transition("a", "A#B#x", "b")
+        b_side.mark_final("b")
+        bystander = AFSABuilder(name="l")
+        bystander.add_state("idle")
+        bystander.mark_final("idle")
+        result = simulate_conversation(
+            [
+                ab.build(start="a"),
+                b_side.build(start="a"),
+                bystander.build(start="idle"),
+            ],
+            seed=0,
+        )
+        assert result.outcome == COMPLETED
+        assert [str(label) for label in result.trace] == ["A#B#x"]
+
+
+class TestAnnotationRespect:
+    def test_mandatory_annotation_blocks_early_rest(self):
+        """A party whose final state carries an unsatisfiable mandatory
+        annotation must not count as finished."""
+        demanding = AFSABuilder(name="demanding")
+        demanding.add_transition("a", "A#B#x", "f")
+        demanding.annotate("f", parse_formula("A#B#never"))
+        demanding.mark_final("f")
+        plain = AFSABuilder(name="plain")
+        plain.add_transition("a", "A#B#x", "f")
+        plain.mark_final("f")
+        result = simulate_conversation(
+            [demanding.build(start="a"), plain.build(start="a")], seed=0
+        )
+        assert result.outcome == DEADLOCK
+
+
+class TestResultRendering:
+    def test_describe(self, party_a):
+        result = simulate_conversation([party_a, party_a], seed=0)
+        assert result.outcome in result.describe()

@@ -1,0 +1,96 @@
+"""Unit tests for view generation τ_P (Sect. 3.4)."""
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.language import accepted_words
+from repro.afsa.view import project_view
+from repro.formula.parser import parse_formula
+from repro.scenario.procurement import ACCOUNTING, BUYER, LOGISTICS
+
+
+class TestProjection:
+    def test_foreign_messages_hidden(self, accounting_compiled):
+        view = project_view(accounting_compiled.afsa, BUYER)
+        for label in view.alphabet:
+            assert label.involves(BUYER)
+
+    def test_fig8a_buyer_view_shape(self, accounting_compiled):
+        view = project_view(accounting_compiled.afsa, BUYER)
+        assert len(view.states) == 5
+        operations = {label.operation for label in view.alphabet}
+        assert operations == {
+            "orderOp",
+            "deliveryOp",
+            "get_statusOp",
+            "statusOp",
+            "terminateOp",
+        }
+
+    def test_fig8b_logistics_view_shape(self, accounting_compiled):
+        view = project_view(accounting_compiled.afsa, LOGISTICS)
+        assert len(view.states) == 5
+        operations = {label.operation for label in view.alphabet}
+        assert operations == {
+            "deliverOp",
+            "deliver_confOp",
+            "get_statusLOp",
+            "terminateLOp",
+        }
+
+    def test_view_idempotent(self, accounting_compiled):
+        once = project_view(accounting_compiled.afsa, BUYER)
+        twice = project_view(once, BUYER)
+        assert accepted_words(once, 6) == accepted_words(twice, 6)
+
+    def test_view_on_bilateral_process_is_identity_language(
+        self, buyer_compiled
+    ):
+        """The buyer only talks to accounting, so the accounting view
+        changes nothing."""
+        view = project_view(buyer_compiled.afsa, ACCOUNTING)
+        assert accepted_words(view, 6) == accepted_words(
+            buyer_compiled.afsa, 6
+        )
+
+    def test_unminimized_view_available(self, accounting_compiled):
+        raw_view = project_view(
+            accounting_compiled.afsa, BUYER, minimize=False
+        )
+        assert not raw_view.has_epsilon()
+
+
+class TestAnnotationNeutralization:
+    def test_foreign_variables_neutralized(self):
+        builder = AFSABuilder(name="acc")
+        builder.add_transition("a", "B#A#get_statusOp", "b")
+        builder.add_transition("a", "A#L#get_statusLOp", "c")
+        builder.add_transition("b", "A#B#statusOp", "f")
+        builder.add_transition("c", "A#B#statusOp", "f")
+        builder.annotate(
+            "a",
+            parse_formula("B#A#get_statusOp AND A#L#get_statusLOp"),
+        )
+        builder.mark_final("f")
+        automaton = builder.build(start="a")
+        view = project_view(automaton, "B", minimize=False)
+        rendered = {str(f) for f in view.annotations.values()}
+        assert rendered == {"B#A#get_statusOp"}
+
+    def test_fully_foreign_annotation_vanishes(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#L#x", "b")
+        builder.add_transition("b", "A#B#y", "f")
+        builder.annotate("a", parse_formula("A#L#x"))
+        builder.mark_final("f")
+        view = project_view(builder.build(start="a"), "B", minimize=False)
+        assert view.annotations == {}
+
+    def test_buyer_annotation_survives_buyer_view(self, buyer_compiled):
+        view = project_view(buyer_compiled.afsa, ACCOUNTING)
+        rendered = {str(f) for f in view.annotations.values()}
+        assert rendered == {"B#A#get_statusOp AND B#A#terminateOp"}
+
+
+class TestNaming:
+    def test_view_name_mentions_partner(self, accounting_compiled):
+        view = project_view(accounting_compiled.afsa, BUYER)
+        assert view.name.startswith("τ_B")

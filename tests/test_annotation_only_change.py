@@ -1,0 +1,207 @@
+"""Annotation-only public changes: same language, different contract.
+
+Converting an external choice (pick) into an internal one (switch) —
+or vice versa — leaves the message *language* untouched but flips which
+messages are mandatory.  The Fig. 4 gate ("did the public view change?")
+must treat this as a public change: a partner that merely *offers*
+alternatives is very different from one that *requires* both to be
+supported.
+"""
+
+from repro.afsa.equivalence import language_equal
+from repro.bpel.compile import compile_process
+from repro.bpel.model import (
+    Case,
+    Empty,
+    Invoke,
+    OnMessage,
+    Pick,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+)
+from repro.core.choreography import Choreography
+from repro.core.engine import EvolutionEngine
+
+
+def pick_variant() -> ProcessModel:
+    """P lets the partner choose which request arrives (external)."""
+    return ProcessModel(
+        name="server",
+        party="P",
+        activity=Sequence(
+            name="main",
+            activities=[
+                Pick(
+                    name="entry",
+                    branches=[
+                        OnMessage(
+                            partner="Q",
+                            operation="readOp",
+                            name="read",
+                            activity=Invoke(
+                                partner="Q", operation="dataOp",
+                                name="data",
+                            ),
+                        ),
+                        OnMessage(
+                            partner="Q",
+                            operation="writeOp",
+                            name="write",
+                            activity=Invoke(
+                                partner="Q", operation="ackOp",
+                                name="ack",
+                            ),
+                        ),
+                    ],
+                ),
+            ],
+        ),
+    )
+
+
+def switch_variant() -> ProcessModel:
+    """P decides internally which request it will wait for (internal)."""
+    return ProcessModel(
+        name="server",
+        party="P",
+        activity=Sequence(
+            name="main",
+            activities=[
+                Switch(
+                    name="entry",
+                    cases=[
+                        Case(
+                            condition="read mode",
+                            activity=Sequence(
+                                name="read path",
+                                activities=[
+                                    Receive(partner="Q",
+                                            operation="readOp",
+                                            name="read"),
+                                    Invoke(partner="Q",
+                                           operation="dataOp",
+                                           name="data"),
+                                ],
+                            ),
+                        ),
+                    ],
+                    otherwise=Sequence(
+                        name="write path",
+                        activities=[
+                            Receive(partner="Q", operation="writeOp",
+                                    name="write"),
+                            Invoke(partner="Q", operation="ackOp",
+                                   name="ack"),
+                        ],
+                    ),
+                ),
+            ],
+        ),
+    )
+
+
+def client_read_only() -> ProcessModel:
+    """A client that only ever reads."""
+    return ProcessModel(
+        name="client",
+        party="Q",
+        activity=Sequence(
+            name="main",
+            activities=[
+                Invoke(partner="P", operation="readOp", name="read"),
+                Receive(partner="P", operation="dataOp", name="data"),
+            ],
+        ),
+    )
+
+
+class TestAnnotationOnlyChange:
+    def test_language_identical(self):
+        left = compile_process(pick_variant()).afsa
+        right = compile_process(switch_variant()).afsa
+        assert language_equal(left, right)
+
+    def test_annotations_differ(self):
+        left = compile_process(pick_variant()).afsa
+        right = compile_process(switch_variant()).afsa
+        assert left.annotations == {}
+        assert right.annotations != {}
+
+    def test_engine_detects_public_change(self):
+        choreography = Choreography()
+        choreography.add_partner(pick_variant())
+        choreography.add_partner(client_read_only())
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            "P", switch_variant(), commit=False
+        )
+        assert report.public_changed
+
+    def test_pick_to_switch_breaks_read_only_client(self):
+        """External choice: the read-only client is fine (it picks).
+        Internal choice: the server mandates write support too — the
+        client's protocol breaks."""
+        choreography = Choreography()
+        choreography.add_partner(pick_variant())
+        choreography.add_partner(client_read_only())
+        assert choreography.check_consistency().consistent
+
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            "P", switch_variant(), commit=False
+        )
+        impact = report.impact_for("Q")
+        assert impact.classification.propagation == "variant"
+
+    def test_switch_to_pick_is_invariant_relaxation(self):
+        """The reverse direction only *relaxes* the contract: partners
+        of the switch variant stay consistent with the pick variant."""
+        full_client = ProcessModel(
+            name="client",
+            party="Q",
+            activity=Sequence(
+                name="main",
+                activities=[
+                    Switch(
+                        name="mode",
+                        cases=[
+                            Case(
+                                condition="read",
+                                activity=Sequence(
+                                    name="r",
+                                    activities=[
+                                        Invoke(partner="P",
+                                               operation="readOp"),
+                                        Receive(partner="P",
+                                                operation="dataOp"),
+                                    ],
+                                ),
+                            ),
+                        ],
+                        otherwise=Sequence(
+                            name="w",
+                            activities=[
+                                Invoke(partner="P",
+                                       operation="writeOp"),
+                                Receive(partner="P",
+                                        operation="ackOp"),
+                            ],
+                        ),
+                    ),
+                ],
+            ),
+        )
+        choreography = Choreography()
+        choreography.add_partner(switch_variant())
+        choreography.add_partner(full_client)
+        assert choreography.check_consistency().consistent
+
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            "P", pick_variant(), commit=False
+        )
+        assert report.public_changed
+        impact = report.impact_for("Q")
+        assert impact.classification.propagation == "invariant"

@@ -1,0 +1,385 @@
+"""Unit tests for the BPEL → aFSA compiler (Sect. 3.3)."""
+
+import pytest
+
+from repro.bpel.compile import (
+    ANNOTATE_ALL_CHOICES,
+    ANNOTATE_NONE,
+    ANNOTATE_SWITCH_ONLY,
+    compile_process,
+)
+from repro.bpel.model import (
+    Case,
+    Empty,
+    Flow,
+    Invoke,
+    OnMessage,
+    Pick,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.afsa.determinize import is_deterministic
+from repro.afsa.language import accepted_words
+from repro.errors import ProcessValidationError
+
+
+def compile_activity(activity, party="P"):
+    return compile_process(
+        ProcessModel(name="t", party=party, activity=activity)
+    )
+
+
+class TestBasicCompilation:
+    def test_receive_direction(self):
+        compiled = compile_activity(
+            Receive(partner="Q", operation="x")
+        )
+        assert accepted_words(compiled.afsa, 2) == {("Q#P#x",)}
+
+    def test_invoke_direction(self):
+        compiled = compile_activity(Invoke(partner="Q", operation="x"))
+        assert accepted_words(compiled.afsa, 2) == {("P#Q#x",)}
+
+    def test_sync_invoke_two_messages(self):
+        """The paper: a synchronous operation represents two messages."""
+        compiled = compile_activity(
+            Invoke(partner="Q", operation="x", synchronous=True)
+        )
+        assert accepted_words(compiled.afsa, 3) == {("P#Q#x", "Q#P#x")}
+
+    def test_sequence_concatenates(self):
+        compiled = compile_activity(
+            Sequence(
+                activities=[
+                    Invoke(partner="Q", operation="a"),
+                    Receive(partner="Q", operation="b"),
+                ]
+            )
+        )
+        assert accepted_words(compiled.afsa, 3) == {("P#Q#a", "Q#P#b")}
+
+    def test_silent_activities_invisible(self):
+        compiled = compile_activity(
+            Sequence(
+                activities=[
+                    Empty(),
+                    Invoke(partner="Q", operation="a"),
+                    Empty(),
+                ]
+            )
+        )
+        assert accepted_words(compiled.afsa, 2) == {("P#Q#a",)}
+
+    def test_terminate_makes_final(self):
+        compiled = compile_activity(
+            Sequence(
+                activities=[
+                    Invoke(partner="Q", operation="a"),
+                    Terminate(),
+                ]
+            )
+        )
+        assert accepted_words(compiled.afsa, 2) == {("P#Q#a",)}
+
+    def test_empty_process_accepts_empty_word(self):
+        compiled = compile_activity(Empty())
+        assert accepted_words(compiled.afsa, 2) == {()}
+
+
+class TestChoiceCompilation:
+    def test_switch_branches(self):
+        compiled = compile_activity(
+            Switch(
+                cases=[
+                    Case(activity=Invoke(partner="Q", operation="a")),
+                ],
+                otherwise=Invoke(partner="Q", operation="b"),
+            )
+        )
+        assert accepted_words(compiled.afsa, 2) == {
+            ("P#Q#a",),
+            ("P#Q#b",),
+        }
+
+    def test_switch_without_otherwise_may_fall_through(self):
+        compiled = compile_activity(
+            Switch(
+                cases=[
+                    Case(activity=Invoke(partner="Q", operation="a")),
+                ],
+            )
+        )
+        assert accepted_words(compiled.afsa, 2) == {(), ("P#Q#a",)}
+
+    def test_branches_rejoin(self):
+        compiled = compile_activity(
+            Sequence(
+                activities=[
+                    Switch(
+                        cases=[
+                            Case(
+                                activity=Invoke(
+                                    partner="Q", operation="a"
+                                )
+                            ),
+                        ],
+                        otherwise=Invoke(partner="Q", operation="b"),
+                    ),
+                    Invoke(partner="Q", operation="tail"),
+                ]
+            )
+        )
+        assert accepted_words(compiled.afsa, 3) == {
+            ("P#Q#a", "P#Q#tail"),
+            ("P#Q#b", "P#Q#tail"),
+        }
+
+    def test_pick_receives(self):
+        compiled = compile_activity(
+            Pick(
+                branches=[
+                    OnMessage(
+                        partner="Q", operation="a", activity=Empty()
+                    ),
+                    OnMessage(
+                        partner="Q",
+                        operation="b",
+                        activity=Invoke(partner="Q", operation="c"),
+                    ),
+                ]
+            )
+        )
+        assert accepted_words(compiled.afsa, 3) == {
+            ("Q#P#a",),
+            ("Q#P#b", "P#Q#c"),
+        }
+
+
+class TestLoopCompilation:
+    def test_bounded_loop_words(self):
+        compiled = compile_activity(
+            While(
+                name="w",
+                condition="again?",
+                body=Invoke(partner="Q", operation="x"),
+            )
+        )
+        words = accepted_words(compiled.afsa, 3)
+        assert words == {(), ("P#Q#x",), ("P#Q#x", "P#Q#x"),
+                         ("P#Q#x", "P#Q#x", "P#Q#x")}
+
+    def test_while_true_has_no_exit(self):
+        compiled = compile_activity(
+            While(
+                name="w",
+                condition="1 = 1",
+                body=Invoke(partner="Q", operation="x"),
+            )
+        )
+        assert accepted_words(compiled.afsa, 4) == set()
+
+    def test_while_true_with_terminating_branch(self, buyer_compiled):
+        words = accepted_words(buyer_compiled.afsa, 4)
+        assert ("B#A#orderOp", "A#B#deliveryOp", "B#A#terminateOp") in (
+            words
+        )
+
+
+class TestFlowCompilation:
+    def test_interleaving(self):
+        compiled = compile_activity(
+            Flow(
+                name="f",
+                activities=[
+                    Invoke(partner="Q", operation="a"),
+                    Invoke(partner="Q", operation="b"),
+                ],
+            )
+        )
+        assert accepted_words(compiled.afsa, 3) == {
+            ("P#Q#a", "P#Q#b"),
+            ("P#Q#b", "P#Q#a"),
+        }
+
+    def test_flow_then_tail(self):
+        compiled = compile_activity(
+            Sequence(
+                activities=[
+                    Flow(
+                        name="f",
+                        activities=[
+                            Invoke(partner="Q", operation="a"),
+                            Invoke(partner="Q", operation="b"),
+                        ],
+                    ),
+                    Invoke(partner="Q", operation="t"),
+                ]
+            )
+        )
+        words = accepted_words(compiled.afsa, 4)
+        assert words == {
+            ("P#Q#a", "P#Q#b", "P#Q#t"),
+            ("P#Q#b", "P#Q#a", "P#Q#t"),
+        }
+
+    def test_terminate_in_flow_ends_process(self):
+        compiled = compile_activity(
+            Flow(
+                name="f",
+                activities=[
+                    Sequence(
+                        activities=[
+                            Invoke(partner="Q", operation="a"),
+                            Terminate(),
+                        ]
+                    ),
+                    Invoke(partner="Q", operation="b"),
+                ],
+            )
+        )
+        words = accepted_words(compiled.afsa, 3)
+        # 'a' may terminate the whole process before or after 'b'.
+        assert ("P#Q#a",) in words
+
+    def test_nested_flow(self):
+        compiled = compile_activity(
+            Flow(
+                name="outer",
+                activities=[
+                    Flow(
+                        name="inner",
+                        activities=[
+                            Invoke(partner="Q", operation="a"),
+                        ],
+                    ),
+                    Invoke(partner="Q", operation="b"),
+                ],
+            )
+        )
+        assert accepted_words(compiled.afsa, 3) == {
+            ("P#Q#a", "P#Q#b"),
+            ("P#Q#b", "P#Q#a"),
+        }
+
+
+class TestAnnotationPolicies:
+    def _switch_process(self):
+        return ProcessModel(
+            name="t",
+            party="P",
+            activity=Switch(
+                name="s",
+                cases=[
+                    Case(activity=Invoke(partner="Q", operation="a")),
+                ],
+                otherwise=Invoke(partner="Q", operation="b"),
+            ),
+        )
+
+    def _pick_process(self):
+        return ProcessModel(
+            name="t",
+            party="P",
+            activity=Pick(
+                name="p",
+                branches=[
+                    OnMessage(
+                        partner="Q", operation="a", activity=Empty()
+                    ),
+                    OnMessage(
+                        partner="Q", operation="b", activity=Empty()
+                    ),
+                ],
+            ),
+        )
+
+    def test_switch_annotated_by_default(self):
+        compiled = compile_process(self._switch_process())
+        rendered = {str(f) for f in compiled.afsa.annotations.values()}
+        assert rendered == {"P#Q#a AND P#Q#b"}
+
+    def test_pick_not_annotated_by_default(self):
+        compiled = compile_process(self._pick_process())
+        assert compiled.afsa.annotations == {}
+
+    def test_all_choices_annotates_pick(self):
+        compiled = compile_process(
+            self._pick_process(), policy=ANNOTATE_ALL_CHOICES
+        )
+        rendered = {str(f) for f in compiled.afsa.annotations.values()}
+        assert rendered == {"Q#P#a AND Q#P#b"}
+
+    def test_none_policy_annotates_nothing(self):
+        compiled = compile_process(
+            self._switch_process(), policy=ANNOTATE_NONE
+        )
+        assert compiled.afsa.annotations == {}
+
+    def test_single_first_message_not_annotated(self):
+        """A switch whose branches share their partner-visible first
+        message imposes no real choice on that partner."""
+        process = ProcessModel(
+            name="t",
+            party="P",
+            activity=Switch(
+                name="s",
+                cases=[
+                    Case(activity=Invoke(partner="Q", operation="a")),
+                ],
+                otherwise=Sequence(
+                    activities=[
+                        Invoke(partner="Q", operation="a"),
+                        Invoke(partner="Q", operation="c"),
+                    ]
+                ),
+            ),
+        )
+        compiled = compile_process(process)
+        assert compiled.afsa.annotations == {}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            compile_process(self._switch_process(), policy="bogus")
+
+    def test_validation_runs_by_default(self):
+        process = ProcessModel(
+            name="t", party="P", activity=Switch(name="s")
+        )
+        with pytest.raises(ProcessValidationError):
+            compile_process(process)
+
+
+class TestCompiledArtifacts:
+    def test_public_is_deterministic(self, buyer_compiled,
+                                     accounting_compiled):
+        assert is_deterministic(buyer_compiled.afsa)
+        assert is_deterministic(accounting_compiled.afsa)
+
+    def test_public_states_are_integers(self, buyer_compiled):
+        assert all(
+            isinstance(state, int) for state in buyer_compiled.afsa.states
+        )
+        assert buyer_compiled.afsa.start == 1
+
+    def test_raw_language_equals_public_language(self, buyer_compiled):
+        assert accepted_words(buyer_compiled.raw, 5) == accepted_words(
+            buyer_compiled.afsa, 5
+        )
+
+    def test_correspondence_covers_public_states(self, buyer_compiled):
+        assert set(buyer_compiled.correspondence) == set(
+            buyer_compiled.afsa.states
+        )
+
+    def test_public_alias(self, buyer_compiled):
+        assert buyer_compiled.public is buyer_compiled.afsa
+
+    def test_deterministic_compilation(self, buyer_process):
+        first = compile_process(buyer_process)
+        second = compile_process(buyer_process)
+        assert first.afsa == second.afsa
+        assert first.mapping == second.mapping

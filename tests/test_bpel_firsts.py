@@ -1,0 +1,216 @@
+"""Unit tests for the first-message analysis feeding choice annotations."""
+
+from repro.bpel.firsts import first_messages
+from repro.bpel.model import (
+    Assign,
+    Case,
+    Empty,
+    Flow,
+    Invoke,
+    OnMessage,
+    Pick,
+    Receive,
+    Reply,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.messages.label import MessageLabel
+
+
+def labels(result):
+    return {str(label) for label in result.labels}
+
+
+class TestBasicActivities:
+    def test_invoke_to_partner(self):
+        result = first_messages(
+            Invoke(partner="Q", operation="x"), "P", "Q"
+        )
+        assert labels(result) == {"P#Q#x"}
+        assert result.definite
+
+    def test_receive_from_partner(self):
+        result = first_messages(
+            Receive(partner="Q", operation="x"), "P", "Q"
+        )
+        assert labels(result) == {"Q#P#x"}
+        assert result.definite
+
+    def test_reply_to_partner(self):
+        result = first_messages(
+            Reply(partner="Q", operation="x"), "P", "Q"
+        )
+        assert labels(result) == {"P#Q#x"}
+
+    def test_other_partner_invisible(self):
+        result = first_messages(
+            Invoke(partner="L", operation="x"), "P", "Q"
+        )
+        assert result.labels == set()
+        assert not result.definite
+
+    def test_sync_invoke_request_only(self):
+        result = first_messages(
+            Invoke(partner="Q", operation="x", synchronous=True),
+            "P",
+            "Q",
+        )
+        assert labels(result) == {"P#Q#x"}
+
+    def test_silent_activities(self):
+        for activity in (Assign(), Empty()):
+            result = first_messages(activity, "P", "Q")
+            assert result.labels == set()
+            assert not result.definite
+
+    def test_terminate_definite_but_silent(self):
+        result = first_messages(Terminate(), "P", "Q")
+        assert result.labels == set()
+        assert result.definite
+
+
+class TestSequence:
+    def test_stops_at_first_definite(self):
+        seq = Sequence(
+            activities=[
+                Invoke(partner="Q", operation="first"),
+                Invoke(partner="Q", operation="second"),
+            ]
+        )
+        assert labels(first_messages(seq, "P", "Q")) == {"P#Q#first"}
+
+    def test_skips_foreign_and_silent(self):
+        seq = Sequence(
+            activities=[
+                Assign(),
+                Invoke(partner="L", operation="deliver"),
+                Invoke(partner="Q", operation="x"),
+            ]
+        )
+        assert labels(first_messages(seq, "P", "Q")) == {"P#Q#x"}
+
+    def test_fig12a_pattern(self):
+        """The credit-check branch: first buyer-visible message of the
+        fulfil branch is deliveryOp even though deliverOp (to L) comes
+        first."""
+        fulfil = Sequence(
+            activities=[
+                Invoke(partner="L", operation="deliverOp"),
+                Receive(partner="L", operation="deliver_confOp"),
+                Invoke(partner="B", operation="deliveryOp"),
+            ]
+        )
+        assert labels(first_messages(fulfil, "A", "B")) == {
+            "A#B#deliveryOp"
+        }
+
+    def test_terminate_blocks_later_messages(self):
+        seq = Sequence(
+            activities=[
+                Terminate(),
+                Invoke(partner="Q", operation="never"),
+            ]
+        )
+        result = first_messages(seq, "P", "Q")
+        assert result.labels == set()
+        assert result.definite
+
+
+class TestChoice:
+    def test_switch_unions_branches(self):
+        switch = Switch(
+            cases=[
+                Case(activity=Invoke(partner="Q", operation="a")),
+                Case(activity=Invoke(partner="Q", operation="b")),
+            ]
+        )
+        assert labels(first_messages(switch, "P", "Q")) == {
+            "P#Q#a",
+            "P#Q#b",
+        }
+
+    def test_switch_without_otherwise_not_definite(self):
+        switch = Switch(
+            cases=[Case(activity=Invoke(partner="Q", operation="a"))]
+        )
+        assert not first_messages(switch, "P", "Q").definite
+
+    def test_switch_with_otherwise_definite(self):
+        switch = Switch(
+            cases=[Case(activity=Invoke(partner="Q", operation="a"))],
+            otherwise=Invoke(partner="Q", operation="b"),
+        )
+        assert first_messages(switch, "P", "Q").definite
+
+    def test_pick_entry_messages(self):
+        pick = Pick(
+            branches=[
+                OnMessage(partner="Q", operation="a", activity=Empty()),
+                OnMessage(partner="Q", operation="b", activity=Empty()),
+            ]
+        )
+        assert labels(first_messages(pick, "P", "Q")) == {
+            "Q#P#a",
+            "Q#P#b",
+        }
+
+    def test_pick_foreign_entry_scans_body(self):
+        pick = Pick(
+            branches=[
+                OnMessage(
+                    partner="L",
+                    operation="x",
+                    activity=Invoke(partner="Q", operation="later"),
+                ),
+            ]
+        )
+        assert labels(first_messages(pick, "P", "Q")) == {"P#Q#later"}
+
+
+class TestLoopsAndFlow:
+    def test_while_not_definite(self):
+        loop = While(
+            condition="cond",
+            body=Invoke(partner="Q", operation="x"),
+        )
+        result = first_messages(loop, "P", "Q")
+        assert labels(result) == {"P#Q#x"}
+        assert not result.definite
+
+    def test_while_true_with_communicating_body_definite(self):
+        loop = While(
+            condition="1 = 1",
+            body=Invoke(partner="Q", operation="x"),
+        )
+        assert first_messages(loop, "P", "Q").definite
+
+    def test_flow_unions_children(self):
+        flow = Flow(
+            activities=[
+                Invoke(partner="Q", operation="a"),
+                Invoke(partner="Q", operation="b"),
+            ]
+        )
+        assert labels(first_messages(flow, "P", "Q")) == {
+            "P#Q#a",
+            "P#Q#b",
+        }
+
+
+class TestPaperShapes:
+    def test_buyer_switch_firsts(self, buyer_process):
+        switch = buyer_process.find("termination?")
+        result = first_messages(switch, "B", "A")
+        assert labels(result) == {
+            "B#A#get_statusOp",
+            "B#A#terminateOp",
+        }
+
+    def test_returns_message_labels(self, buyer_process):
+        switch = buyer_process.find("termination?")
+        result = first_messages(switch, "B", "A")
+        assert all(
+            isinstance(label, MessageLabel) for label in result.labels
+        )

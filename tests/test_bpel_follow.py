@@ -1,0 +1,253 @@
+"""Tests for the compiler's FIRST/FOLLOW annotation machinery.
+
+A switch branch that exchanges nothing with a partner inherits the
+*continuation's* first messages, so the mandatory annotation still
+reflects what the partner observes.  These tests pin the behavior the
+combined cancel+express scenario exposed (see DESIGN.md / the compile
+module docstring).
+"""
+
+from repro.bpel.compile import compile_process
+from repro.bpel.model import (
+    Case,
+    Empty,
+    Invoke,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+
+
+def compile_afsa(activity, party="P"):
+    return compile_process(
+        ProcessModel(name="t", party=party, activity=activity),
+        validate=False,
+    ).afsa
+
+
+def annotations(automaton):
+    return {str(formula) for formula in automaton.annotations.values()}
+
+
+class TestFallThroughBranches:
+    def test_silent_branch_inherits_continuation(self):
+        """switch{cancel | skip} ; send delivery — the skip branch's
+        observable first message is the delivery that follows."""
+        tree = Sequence(
+            name="main",
+            activities=[
+                Switch(
+                    name="check",
+                    cases=[
+                        Case(
+                            condition="bad",
+                            activity=Sequence(
+                                name="cond cancel",
+                                activities=[
+                                    Invoke(partner="Q",
+                                           operation="cancelOp"),
+                                    Terminate(),
+                                ],
+                            ),
+                        ),
+                    ],
+                    otherwise=Empty(),
+                ),
+                Invoke(partner="Q", operation="deliveryOp"),
+            ],
+        )
+        automaton = compile_afsa(tree)
+        assert annotations(automaton) == {
+            "P#Q#cancelOp AND P#Q#deliveryOp"
+        }
+
+    def test_foreign_only_branch_inherits_continuation(self):
+        """The combined-change shape: the fulfil branch only messages L;
+        the buyer-visible first is the deliveryOp after the switch."""
+        tree = Sequence(
+            name="main",
+            activities=[
+                Switch(
+                    name="credit",
+                    cases=[
+                        Case(
+                            condition="bad",
+                            activity=Sequence(
+                                name="cond cancel",
+                                activities=[
+                                    Invoke(partner="B",
+                                           operation="cancelOp"),
+                                    Terminate(),
+                                ],
+                            ),
+                        ),
+                    ],
+                    otherwise=Invoke(partner="L", operation="deliverOp"),
+                ),
+                Invoke(partner="B", operation="deliveryOp"),
+            ],
+        )
+        automaton = compile_afsa(tree, party="A")
+        rendered = annotations(automaton)
+        assert "A#B#cancelOp AND A#B#deliveryOp" in rendered
+
+    def test_definite_branches_ignore_continuation(self):
+        """Both branches communicate with the partner themselves; the
+        continuation must not leak into the annotation."""
+        tree = Sequence(
+            name="main",
+            activities=[
+                Switch(
+                    name="choice",
+                    cases=[
+                        Case(
+                            condition="x",
+                            activity=Invoke(partner="Q", operation="a"),
+                        ),
+                    ],
+                    otherwise=Invoke(partner="Q", operation="b"),
+                ),
+                Invoke(partner="Q", operation="tail"),
+            ],
+        )
+        automaton = compile_afsa(tree)
+        assert annotations(automaton) == {"P#Q#a AND P#Q#b"}
+
+    def test_nothing_follows_silent_branch(self):
+        """A silent branch at the very end contributes no label; a
+        single observable first -> no annotation."""
+        tree = Switch(
+            name="choice",
+            cases=[
+                Case(
+                    condition="x",
+                    activity=Invoke(partner="Q", operation="a"),
+                ),
+            ],
+            otherwise=Empty(),
+        )
+        automaton = compile_afsa(tree)
+        assert annotations(automaton) == set()
+
+
+class TestFollowThroughLoops:
+    def test_loop_body_follow_includes_reentry(self):
+        """Inside a bounded loop, a silent switch branch may be followed
+        by another loop round (body firsts) or the loop exit."""
+        tree = Sequence(
+            name="main",
+            activities=[
+                While(
+                    name="loop",
+                    condition="more?",
+                    body=Switch(
+                        name="inner",
+                        cases=[
+                            Case(
+                                condition="x",
+                                activity=Invoke(partner="Q",
+                                               operation="pingOp"),
+                            ),
+                        ],
+                        otherwise=Empty(),
+                    ),
+                ),
+                Invoke(partner="Q", operation="doneOp"),
+            ],
+        )
+        automaton = compile_afsa(tree)
+        rendered = annotations(automaton)
+        assert rendered == {"P#Q#doneOp AND P#Q#pingOp"}
+
+    def test_never_exiting_loop_excludes_outer_follow(self):
+        """while(true): the continuation after the loop is unreachable
+        and must not appear in inner annotations."""
+        tree = Sequence(
+            name="main",
+            activities=[
+                While(
+                    name="loop",
+                    condition="1 = 1",
+                    body=Switch(
+                        name="inner",
+                        cases=[
+                            Case(
+                                condition="x",
+                                activity=Invoke(partner="Q",
+                                               operation="pingOp"),
+                            ),
+                        ],
+                        otherwise=Sequence(
+                            name="bye",
+                            activities=[
+                                Invoke(partner="Q", operation="byeOp"),
+                                Terminate(),
+                            ],
+                        ),
+                    ),
+                ),
+                Invoke(partner="Q", operation="unreachableOp"),
+            ],
+        )
+        automaton = compile_afsa(tree)
+        rendered = annotations(automaton)
+        assert rendered == {"P#Q#byeOp AND P#Q#pingOp"}
+
+    def test_paper_buyer_annotation_unchanged(self, buyer_compiled):
+        """Regression guard: FOLLOW threading must not alter Fig. 6."""
+        assert str(buyer_compiled.afsa.annotation(3)) == (
+            "B#A#get_statusOp AND B#A#terminateOp"
+        )
+
+
+class TestSequenceFollowChaining:
+    def test_follow_skips_silent_siblings(self):
+        tree = Sequence(
+            name="main",
+            activities=[
+                Switch(
+                    name="choice",
+                    cases=[
+                        Case(
+                            condition="x",
+                            activity=Invoke(partner="Q", operation="a"),
+                        ),
+                    ],
+                    otherwise=Empty(),
+                ),
+                Empty(),
+                Empty(),
+                Invoke(partner="Q", operation="later"),
+            ],
+        )
+        automaton = compile_afsa(tree)
+        assert annotations(automaton) == {"P#Q#a AND P#Q#later"}
+
+    def test_follow_through_nested_sequences(self):
+        tree = Sequence(
+            name="outer",
+            activities=[
+                Sequence(
+                    name="inner",
+                    activities=[
+                        Switch(
+                            name="choice",
+                            cases=[
+                                Case(
+                                    condition="x",
+                                    activity=Invoke(partner="Q",
+                                                    operation="a"),
+                                ),
+                            ],
+                            otherwise=Empty(),
+                        ),
+                    ],
+                ),
+                Receive(partner="Q", operation="resp"),
+            ],
+        )
+        automaton = compile_afsa(tree)
+        assert annotations(automaton) == {"P#Q#a AND Q#P#resp"}

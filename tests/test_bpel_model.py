@@ -1,0 +1,241 @@
+"""Unit tests for the process model and functional rewriting."""
+
+import pytest
+
+from repro.bpel.model import (
+    Assign,
+    Case,
+    Empty,
+    Flow,
+    Invoke,
+    OnMessage,
+    PartnerLink,
+    Pick,
+    ProcessModel,
+    Receive,
+    Reply,
+    Scope,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+    rewrite,
+)
+from repro.errors import ProcessModelError
+
+
+class TestBasicActivities:
+    def test_receive_requires_fields(self):
+        with pytest.raises(ProcessModelError):
+            Receive(partner="", operation="op")
+        with pytest.raises(ProcessModelError):
+            Receive(partner="A", operation="")
+
+    def test_kind_labels(self):
+        assert Receive(partner="A", operation="x").kind == "Receive"
+        assert Invoke(partner="A", operation="x").kind == "Invoke"
+        assert Reply(partner="A", operation="x").kind == "Reply"
+        assert Terminate().kind == "Terminate"
+
+    def test_block_name_includes_name(self):
+        assert Sequence(name="buyer process").block_name() == (
+            "Sequence:buyer process"
+        )
+        assert While(name="tracking").block_name() == "While:tracking"
+
+    def test_block_name_without_name(self):
+        assert Sequence().block_name() == "Sequence"
+
+    def test_str(self):
+        assert "tracking" in str(While(name="tracking"))
+
+
+class TestStructure:
+    def test_children(self):
+        seq = Sequence(activities=[Empty(), Assign()])
+        assert len(seq.children()) == 2
+
+    def test_switch_children_include_otherwise(self):
+        switch = Switch(
+            cases=[Case(activity=Empty())], otherwise=Assign()
+        )
+        assert len(switch.children()) == 2
+
+    def test_switch_branches(self):
+        switch = Switch(
+            cases=[Case(activity=Empty(name="e"))],
+            otherwise=Assign(name="a"),
+        )
+        names = [branch.name for branch in switch.branches()]
+        assert names == ["e", "a"]
+
+    def test_walk_preorder(self):
+        tree = Sequence(
+            name="root",
+            activities=[
+                While(name="loop", body=Empty(name="inner")),
+                Assign(name="tail"),
+            ],
+        )
+        names = [node.name for node in tree.walk()]
+        assert names == ["root", "loop", "inner", "tail"]
+
+    def test_find(self):
+        tree = Sequence(
+            name="root", activities=[Empty(name="needle")]
+        )
+        assert tree.find("needle").name == "needle"
+        assert tree.find("missing") is None
+
+    def test_communicates(self):
+        assert Sequence(
+            activities=[Invoke(partner="A", operation="x")]
+        ).communicates()
+        assert not Sequence(activities=[Assign()]).communicates()
+
+    def test_while_never_exits(self):
+        assert While(condition="1 = 1").never_exits
+        assert While(condition="true").never_exits
+        assert not While(condition="count < 3").never_exits
+
+    def test_clone_is_deep(self):
+        original = Sequence(
+            name="root", activities=[Empty(name="child")]
+        )
+        clone = original.clone()
+        clone.activities[0].name = "changed"
+        assert original.activities[0].name == "child"
+
+
+class TestProcessModel:
+    def _process(self):
+        return ProcessModel(
+            name="demo",
+            party="P",
+            activity=Sequence(
+                name="main",
+                activities=[
+                    Invoke(partner="Q", operation="x", name="send"),
+                    While(
+                        name="loop",
+                        body=Receive(
+                            partner="Q", operation="y", name="recv"
+                        ),
+                    ),
+                ],
+            ),
+            partner_links=[PartnerLink("link", "Q", ["x", "y"])],
+        )
+
+    def test_partners(self):
+        assert self._process().partners() == {"Q"}
+
+    def test_find(self):
+        assert self._process().find("recv").operation == "y"
+
+    def test_block_paths(self):
+        paths = self._process().block_paths()
+        assert ("BPELProcess",) in paths
+        assert ("BPELProcess", "Sequence:main") in paths
+        assert ("BPELProcess", "Sequence:main", "While:loop") in paths
+
+    def test_requires_name_and_party(self):
+        with pytest.raises(ProcessModelError):
+            ProcessModel(name="", party="P", activity=Empty())
+        with pytest.raises(ProcessModelError):
+            ProcessModel(name="x", party="", activity=Empty())
+
+    def test_clone_independent(self):
+        process = self._process()
+        clone = process.clone()
+        clone.find("send").operation = "changed"
+        assert process.find("send").operation == "x"
+
+
+class TestRewrite:
+    def _tree(self):
+        return Sequence(
+            name="root",
+            activities=[
+                Invoke(partner="Q", operation="x", name="a"),
+                Invoke(partner="Q", operation="y", name="b"),
+            ],
+        )
+
+    def test_identity(self):
+        tree = self._tree()
+        assert rewrite(tree, lambda node: node) == tree
+
+    def test_replace_node(self):
+        def transform(node):
+            if node.name == "a":
+                return Assign(name="replaced")
+            return node
+
+        result = rewrite(self._tree(), transform)
+        assert result.activities[0].name == "replaced"
+
+    def test_delete_from_sequence(self):
+        def transform(node):
+            if node.name == "a":
+                return None
+            return node
+
+        result = rewrite(self._tree(), transform)
+        assert [child.name for child in result.activities] == ["b"]
+
+    def test_delete_while_body_becomes_empty(self):
+        tree = While(name="loop", body=Empty(name="victim"))
+
+        def transform(node):
+            if node.name == "victim":
+                return None
+            return node
+
+        result = rewrite(tree, transform)
+        assert isinstance(result.body, Empty)
+
+    def test_delete_pick_branch(self):
+        tree = Pick(
+            name="p",
+            branches=[
+                OnMessage(partner="Q", operation="x", name="keep"),
+                OnMessage(partner="Q", operation="y", name="drop"),
+            ],
+        )
+
+        def transform(node):
+            if node.name == "drop":
+                return None
+            return node
+
+        result = rewrite(tree, transform)
+        assert [branch.name for branch in result.branches] == ["keep"]
+
+    def test_delete_root_returns_none(self):
+        assert rewrite(Empty(name="root"), lambda node: None) is None
+
+    def test_rewrite_does_not_mutate_original(self):
+        tree = self._tree()
+        rewrite(
+            tree,
+            lambda node: Assign() if node.name == "a" else node,
+        )
+        assert tree.activities[0].name == "a"
+
+    def test_scope_and_flow_rebuilt(self):
+        tree = Scope(
+            name="s",
+            activity=Flow(
+                name="f",
+                activities=[Empty(name="x"), Empty(name="y")],
+            ),
+        )
+
+        def transform(node):
+            if node.name == "x":
+                return None
+            return node
+
+        result = rewrite(tree, transform)
+        assert len(result.activity.activities) == 1

@@ -1,0 +1,208 @@
+"""Property-based tests over randomly *structured* process trees.
+
+The seeded workload generator produces well-behaved conversation shapes;
+this module drives the BPEL layer with hypothesis-generated trees of
+arbitrary nesting to pin down structural invariants:
+
+* XML and DSL round-trips are lossless;
+* compilation is deterministic and produces deterministic automata;
+* every public state maps to at least one block;
+* the raw and minimized automata accept the same language;
+* the compiled language only uses declared message directions.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.afsa.determinize import is_deterministic
+from repro.afsa.language import accepted_words
+from repro.bpel.compile import compile_process
+from repro.bpel.dsl import process_from_dsl, process_to_dsl
+from repro.bpel.model import (
+    Assign,
+    Case,
+    Empty,
+    Invoke,
+    OnMessage,
+    Pick,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.bpel.xml_io import process_from_xml, process_to_xml
+from repro.messages.label import MessageLabel
+
+_PARTY = "P"
+_PARTNERS = st.sampled_from(["Q", "R"])
+_OPERATIONS = st.sampled_from(
+    ["alphaOp", "betaOp", "gammaOp", "deltaOp", "epsilonOp"]
+)
+_NAMES = st.sampled_from(
+    ["", "step one", "step-two", "loop?", "branch_3", "région"]
+)
+
+_counter = [0]
+
+
+def _unique_name(base: str) -> str:
+    _counter[0] += 1
+    return f"{base or 'node'}#{_counter[0]}"
+
+
+def _basic() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(
+            lambda partner, operation, name: Receive(
+                partner=partner,
+                operation=operation,
+                name=_unique_name(name),
+            ),
+            _PARTNERS,
+            _OPERATIONS,
+            _NAMES,
+        ),
+        st.builds(
+            lambda partner, operation, sync, name: Invoke(
+                partner=partner,
+                operation=operation,
+                synchronous=sync,
+                name=_unique_name(name),
+            ),
+            _PARTNERS,
+            _OPERATIONS,
+            st.booleans(),
+            _NAMES,
+        ),
+        st.builds(lambda name: Assign(name=_unique_name(name)), _NAMES),
+        st.builds(lambda name: Empty(name=_unique_name(name)), _NAMES),
+    )
+
+
+def _structured(children: st.SearchStrategy) -> st.SearchStrategy:
+    sequences = st.builds(
+        lambda activities, name: Sequence(
+            activities=activities, name=_unique_name(name)
+        ),
+        st.lists(children, min_size=1, max_size=3),
+        _NAMES,
+    )
+    switches = st.builds(
+        lambda branches, name: Switch(
+            cases=[
+                Case(condition=f"c{index}", activity=branch)
+                for index, branch in enumerate(branches[:-1])
+            ],
+            otherwise=branches[-1],
+            name=_unique_name(name),
+        ),
+        st.lists(children, min_size=2, max_size=3),
+        _NAMES,
+    )
+    picks = st.builds(
+        lambda bodies, name: Pick(
+            branches=[
+                OnMessage(
+                    partner="Q",
+                    operation=f"evt{index}Op",
+                    activity=body,
+                    name=_unique_name("on"),
+                )
+                for index, body in enumerate(bodies)
+            ],
+            name=_unique_name(name),
+        ),
+        st.lists(children, min_size=1, max_size=3),
+        _NAMES,
+    )
+    loops = st.builds(
+        lambda body, name: While(
+            body=body, condition="again?", name=_unique_name(name)
+        ),
+        children,
+        _NAMES,
+    )
+    return st.one_of(sequences, switches, picks, loops)
+
+
+def _processes() -> st.SearchStrategy[ProcessModel]:
+    trees = st.recursive(_basic(), _structured, max_leaves=10)
+    return st.builds(
+        lambda activity: ProcessModel(
+            name="generated",
+            party=_PARTY,
+            activity=Sequence(
+                name="root", activities=[activity]
+            ),
+        ),
+        trees,
+    )
+
+
+@given(_processes())
+@settings(max_examples=60, deadline=None)
+def test_xml_round_trip(process):
+    assert process_from_xml(process_to_xml(process)) == process
+
+
+@given(_processes())
+@settings(max_examples=60, deadline=None)
+def test_dsl_round_trip(process):
+    assert process_from_dsl(process_to_dsl(process)) == process
+
+
+@given(_processes())
+@settings(max_examples=40, deadline=None)
+def test_compile_deterministic(process):
+    first = compile_process(process, validate=False)
+    second = compile_process(process, validate=False)
+    assert first.afsa == second.afsa
+    assert first.mapping == second.mapping
+
+
+@given(_processes())
+@settings(max_examples=40, deadline=None)
+def test_public_process_is_dfa(process):
+    compiled = compile_process(process, validate=False)
+    assert is_deterministic(compiled.afsa)
+
+
+@given(_processes())
+@settings(max_examples=40, deadline=None)
+def test_raw_and_public_language_agree(process):
+    compiled = compile_process(process, validate=False)
+    assert accepted_words(compiled.raw, 5, max_words=500) == (
+        accepted_words(compiled.afsa, 5, max_words=500)
+    )
+
+
+@given(_processes())
+@settings(max_examples=40, deadline=None)
+def test_mapping_covers_public_states(process):
+    compiled = compile_process(process, validate=False)
+    for state in compiled.afsa.states:
+        assert compiled.mapping.blocks_for_state(state), state
+
+
+@given(_processes())
+@settings(max_examples=40, deadline=None)
+def test_message_directions_respect_activities(process):
+    """Every label either originates from the executing party (sends)
+    or targets it (receives); third-party gossip cannot appear."""
+    compiled = compile_process(process, validate=False)
+    for label in compiled.afsa.alphabet:
+        assert isinstance(label, MessageLabel)
+        assert _PARTY in (label.sender, label.receiver)
+
+
+@given(_processes())
+@settings(max_examples=30, deadline=None)
+def test_terminate_everywhere_is_still_compilable(process):
+    """Appending a terminate keeps the model compilable and the
+    language prefix-related (every new word is a prefix of an old run
+    or equal)."""
+    extended = process.clone()
+    extended.activity.activities.append(Terminate())
+    compiled = compile_process(extended, validate=False)
+    assert compiled.afsa.states

@@ -1,0 +1,284 @@
+"""Unit tests for the XML dialect and the DSL (round-trips included)."""
+
+import pytest
+
+from repro.bpel.dsl import process_from_dsl, process_to_dsl
+from repro.bpel.model import (
+    Invoke,
+    Pick,
+    Receive,
+    Sequence,
+    Switch,
+    While,
+)
+from repro.bpel.xml_io import process_from_xml, process_to_xml
+from repro.errors import ProcessParseError
+from repro.scenario.procurement import (
+    accounting_private,
+    buyer_private,
+    logistics_private,
+)
+
+BUYER_XML = """
+<process name="buyer" party="B">
+  <partnerLinks>
+    <partnerLink name="accBuyer" partner="A"
+                 operations="orderOp deliveryOp"/>
+  </partnerLinks>
+  <sequence name="buyer process">
+    <invoke partner="A" operation="orderOp" name="order"/>
+    <receive partner="A" operation="deliveryOp" name="delivery"/>
+    <while name="tracking" condition="1 = 1">
+      <switch name="termination?">
+        <case condition="continue">
+          <sequence name="cond continue">
+            <invoke partner="A" operation="get_statusOp"/>
+            <receive partner="A" operation="statusOp"/>
+          </sequence>
+        </case>
+        <otherwise>
+          <sequence name="cond terminate">
+            <invoke partner="A" operation="terminateOp"/>
+            <terminate/>
+          </sequence>
+        </otherwise>
+      </switch>
+    </while>
+  </sequence>
+</process>
+"""
+
+BUYER_DSL = """
+process buyer party=B
+  partnerlink accBuyer A orderOp deliveryOp
+  sequence "buyer process"
+    invoke A orderOp order
+    receive A deliveryOp delivery
+    while tracking condition="1 = 1"
+      switch "termination?"
+        case condition="continue"
+          sequence "cond continue"
+            invoke A get_statusOp
+            receive A statusOp
+        otherwise
+          sequence "cond terminate"
+            invoke A terminateOp
+            terminate
+"""
+
+
+class TestXmlParsing:
+    def test_parses_buyer(self):
+        process = process_from_xml(BUYER_XML)
+        assert process.name == "buyer"
+        assert process.party == "B"
+        assert isinstance(process.activity, Sequence)
+
+    def test_partner_links(self):
+        process = process_from_xml(BUYER_XML)
+        assert process.partner_links[0].partner == "A"
+        assert "orderOp" in process.partner_links[0].operations
+
+    def test_while_structure(self):
+        process = process_from_xml(BUYER_XML)
+        loop = process.find("tracking")
+        assert isinstance(loop, While)
+        assert loop.never_exits
+
+    def test_switch_with_otherwise(self):
+        process = process_from_xml(BUYER_XML)
+        switch = process.find("termination?")
+        assert isinstance(switch, Switch)
+        assert switch.otherwise is not None
+        assert len(switch.cases) == 1
+
+    def test_synchronous_invoke(self):
+        xml = """
+        <process name="p" party="P">
+          <invoke partner="Q" operation="x" synchronous="true"/>
+        </process>
+        """
+        process = process_from_xml(xml)
+        assert process.activity.synchronous
+
+    def test_pick_parsing(self):
+        xml = """
+        <process name="p" party="P">
+          <pick name="choice">
+            <onMessage partner="Q" operation="a"><empty/></onMessage>
+            <onMessage partner="Q" operation="b"><terminate/></onMessage>
+          </pick>
+        </process>
+        """
+        pick = process_from_xml(xml).activity
+        assert isinstance(pick, Pick)
+        assert [branch.operation for branch in pick.branches] == ["a", "b"]
+
+    def test_implicit_sequence_in_container(self):
+        xml = """
+        <process name="p" party="P">
+          <while condition="c" name="w">
+            <invoke partner="Q" operation="a"/>
+            <invoke partner="Q" operation="b"/>
+          </while>
+        </process>
+        """
+        loop = process_from_xml(xml).activity
+        assert isinstance(loop.body, Sequence)
+        assert len(loop.body.activities) == 2
+
+
+class TestXmlErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ProcessParseError, match="malformed"):
+            process_from_xml("<process")
+
+    def test_wrong_root(self):
+        with pytest.raises(ProcessParseError, match="process"):
+            process_from_xml("<workflow/>")
+
+    def test_unknown_element(self):
+        with pytest.raises(ProcessParseError, match="unknown"):
+            process_from_xml(
+                '<process name="p" party="P"><frobnicate/></process>'
+            )
+
+    def test_missing_attribute(self):
+        with pytest.raises(ProcessParseError, match="missing"):
+            process_from_xml(
+                '<process name="p" party="P">'
+                '<receive operation="x"/></process>'
+            )
+
+    def test_no_activity(self):
+        with pytest.raises(ProcessParseError, match="no activity"):
+            process_from_xml('<process name="p" party="P"/>')
+
+    def test_multiple_roots(self):
+        with pytest.raises(ProcessParseError, match="exactly one"):
+            process_from_xml(
+                '<process name="p" party="P"><empty/><empty/></process>'
+            )
+
+    def test_stray_element_in_switch(self):
+        with pytest.raises(ProcessParseError, match="switch"):
+            process_from_xml(
+                '<process name="p" party="P">'
+                "<switch><empty/></switch></process>"
+            )
+
+
+class TestXmlRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [buyer_private, accounting_private, logistics_private],
+        ids=["buyer", "accounting", "logistics"],
+    )
+    def test_paper_processes_round_trip(self, factory):
+        process = factory()
+        rebuilt = process_from_xml(process_to_xml(process))
+        assert rebuilt == process
+
+    def test_text_round_trip_stable(self):
+        process = process_from_xml(BUYER_XML)
+        once = process_to_xml(process)
+        assert process_to_xml(process_from_xml(once)) == once
+
+
+class TestDslParsing:
+    def test_parses_buyer(self):
+        process = process_from_dsl(BUYER_DSL)
+        assert process.name == "buyer"
+        assert process.party == "B"
+        assert process.find("delivery").operation == "deliveryOp"
+
+    def test_equivalent_to_xml(self):
+        from_dsl = process_from_dsl(BUYER_DSL)
+        from_xml = process_from_xml(BUYER_XML)
+        assert from_dsl == from_xml
+
+    def test_sync_invoke(self):
+        process = process_from_dsl(
+            "process p party=P\n  invoke Q x sync\n"
+        )
+        assert process.activity.synchronous
+
+    def test_pick(self):
+        text = (
+            "process p party=P\n"
+            "  pick choice\n"
+            "    on Q a\n"
+            "      empty\n"
+            "    on Q b\n"
+            "      terminate\n"
+        )
+        pick = process_from_dsl(text).activity
+        assert isinstance(pick, Pick)
+        assert len(pick.branches) == 2
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "process p party=P\n"
+            "\n"
+            "  # a comment\n"
+            "  invoke Q x\n"
+        )
+        process = process_from_dsl(text)
+        assert isinstance(process.activity, Invoke)
+
+    def test_quoted_names_with_spaces(self):
+        text = 'process p party=P\n  sequence "my block"\n    empty\n'
+        assert process_from_dsl(text).activity.name == "my block"
+
+
+class TestDslErrors:
+    def test_empty_input(self):
+        with pytest.raises(ProcessParseError, match="empty"):
+            process_from_dsl("")
+
+    def test_missing_header(self):
+        with pytest.raises(ProcessParseError, match="process NAME"):
+            process_from_dsl("sequence s\n  empty\n")
+
+    def test_missing_party(self):
+        with pytest.raises(ProcessParseError, match="party"):
+            process_from_dsl("process p\n  empty\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ProcessParseError, match="unknown"):
+            process_from_dsl("process p party=P\n  frobnicate\n")
+
+    def test_receive_arity(self):
+        with pytest.raises(ProcessParseError, match="PARTNER"):
+            process_from_dsl("process p party=P\n  receive Q\n")
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(ProcessParseError, match="tabs"):
+            process_from_dsl("process p party=P\n\tempty\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ProcessParseError, match="line 3"):
+            process_from_dsl("process p party=P\n  empty\n  frobnicate\n")
+
+    def test_stray_branch_in_pick(self):
+        with pytest.raises(ProcessParseError, match="on PARTNER"):
+            process_from_dsl(
+                "process p party=P\n  pick c\n    empty\n"
+            )
+
+
+class TestDslRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [buyer_private, accounting_private, logistics_private],
+        ids=["buyer", "accounting", "logistics"],
+    )
+    def test_paper_processes_round_trip(self, factory):
+        process = factory()
+        rebuilt = process_from_dsl(process_to_dsl(process))
+        assert rebuilt == process
+
+    def test_cross_syntax_equivalence(self, buyer_process):
+        via_xml = process_from_xml(process_to_xml(buyer_process))
+        via_dsl = process_from_dsl(process_to_dsl(buyer_process))
+        assert via_xml == via_dsl

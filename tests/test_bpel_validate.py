@@ -1,0 +1,136 @@
+"""Unit tests for process validation."""
+
+import pytest
+
+from repro.bpel.model import (
+    Case,
+    Empty,
+    Flow,
+    Invoke,
+    OnMessage,
+    PartnerLink,
+    Pick,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+    While,
+)
+from repro.bpel.validate import validate_process
+from repro.errors import ProcessValidationError
+
+
+def make(activity, links=None):
+    return ProcessModel(
+        name="p", party="P", activity=activity,
+        partner_links=links or [],
+    )
+
+
+class TestValid:
+    def test_paper_processes_validate(self, buyer_process,
+                                      accounting_process,
+                                      logistics_process):
+        validate_process(buyer_process)
+        validate_process(accounting_process)
+        validate_process(logistics_process)
+
+    def test_minimal_process(self):
+        validate_process(make(Empty()))
+
+
+class TestInvalid:
+    def test_empty_switch(self):
+        with pytest.raises(ProcessValidationError, match="no branches"):
+            validate_process(make(Switch(name="s")))
+
+    def test_empty_pick(self):
+        with pytest.raises(ProcessValidationError, match="no branches"):
+            validate_process(make(Pick(name="p")))
+
+    def test_empty_flow(self):
+        with pytest.raises(ProcessValidationError, match="no branches"):
+            validate_process(make(Flow(name="f")))
+
+    def test_self_messaging(self):
+        with pytest.raises(ProcessValidationError, match="own party"):
+            validate_process(
+                make(Invoke(partner="P", operation="x"))
+            )
+
+    def test_undeclared_partner_with_links(self):
+        with pytest.raises(ProcessValidationError, match="undeclared"):
+            validate_process(
+                make(
+                    Invoke(partner="Z", operation="x"),
+                    links=[PartnerLink("l", "Q", [])],
+                )
+            )
+
+    def test_no_links_means_no_partner_check(self):
+        validate_process(make(Invoke(partner="Z", operation="x")))
+
+    def test_duplicate_link_names(self):
+        with pytest.raises(ProcessValidationError, match="duplicate"):
+            validate_process(
+                make(
+                    Empty(),
+                    links=[
+                        PartnerLink("l", "Q", []),
+                        PartnerLink("l", "R", []),
+                    ],
+                )
+            )
+
+    def test_unreachable_after_terminate(self):
+        with pytest.raises(ProcessValidationError, match="unreachable"):
+            validate_process(
+                make(
+                    Sequence(
+                        name="s",
+                        activities=[Terminate(), Empty()],
+                    )
+                )
+            )
+
+    def test_terminate_at_end_fine(self):
+        validate_process(
+            make(Sequence(name="s", activities=[Empty(), Terminate()]))
+        )
+
+    def test_blank_while_condition(self):
+        with pytest.raises(ProcessValidationError, match="condition"):
+            validate_process(make(While(name="w", condition="  ")))
+
+    def test_duplicate_pick_entries(self):
+        with pytest.raises(ProcessValidationError, match="duplicate"):
+            validate_process(
+                make(
+                    Pick(
+                        name="p",
+                        branches=[
+                            OnMessage(partner="Q", operation="x"),
+                            OnMessage(partner="Q", operation="x"),
+                        ],
+                    )
+                )
+            )
+
+    def test_all_problems_reported(self):
+        switch = Switch(name="s1")
+        pick = Pick(name="p1")
+        with pytest.raises(ProcessValidationError) as info:
+            validate_process(
+                make(Sequence(activities=[switch, pick]))
+            )
+        assert len(info.value.problems) == 2
+
+    def test_nested_problems_found(self):
+        tree = Sequence(
+            activities=[
+                While(name="w", body=Switch(name="deep")),
+            ]
+        )
+        with pytest.raises(ProcessValidationError, match="deep"):
+            validate_process(make(tree))

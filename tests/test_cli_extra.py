@@ -1,0 +1,88 @@
+"""Unit tests for the simulate/stats/export CLI commands."""
+
+import json
+
+import pytest
+
+from repro.bpel.xml_io import process_to_xml
+from repro.cli import main
+from repro.scenario.procurement import (
+    accounting_private,
+    accounting_private_variant_change,
+    buyer_private,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, factory in (
+        ("buyer", buyer_private),
+        ("accounting", accounting_private),
+        ("accounting_cancel", accounting_private_variant_change),
+    ):
+        path = tmp_path / f"{name}.xml"
+        path.write_text(process_to_xml(factory()))
+        paths[name] = str(path)
+    return paths
+
+
+class TestSimulateCommand:
+    def test_consistent_pair_exit_zero(self, files, capsys):
+        code = main(
+            ["simulate", files["buyer"], files["accounting"],
+             "--runs", "10"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "0 deadlock(s)" in output
+
+    def test_broken_pair_exit_one(self, files, capsys):
+        code = main(
+            ["simulate", files["buyer"], files["accounting_cancel"],
+             "--runs", "30"]
+        )
+        assert code == 1
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_verbose_prints_traces(self, files, capsys):
+        main(
+            ["simulate", files["buyer"], files["accounting"],
+             "--runs", "3", "--verbose"]
+        )
+        output = capsys.readouterr().out
+        assert "completed" in output
+
+
+class TestStatsCommand:
+    def test_stats_output(self, files, capsys):
+        assert main(["stats", files["buyer"]]) == 0
+        output = capsys.readouterr().out
+        assert "states" in output
+        assert "cyclic" in output
+        assert "public process of buyer" in output
+
+
+class TestExportCommand:
+    def test_export_full_public(self, files, capsys):
+        assert main(["export", files["accounting"]]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["start"] == "1"
+        assert any(
+            "deliverOp" in label for label in payload["alphabet"]
+        )
+
+    def test_export_view(self, files, capsys):
+        assert main(
+            ["export", files["accounting"], "--partner", "B"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all("L" not in label.split("#")[:2]
+                   for label in payload["alphabet"])
+
+    def test_export_round_trips(self, files, capsys):
+        from repro.afsa.serialize import afsa_from_json
+
+        main(["export", files["buyer"]])
+        automaton = afsa_from_json(capsys.readouterr().out)
+        assert len(automaton.states) == 5

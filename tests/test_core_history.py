@@ -1,0 +1,131 @@
+"""Unit tests for process version histories (Sect. 8 outlook)."""
+
+import pytest
+
+from repro.afsa.view import project_view
+from repro.core.history import ProcessHistory
+from repro.core.changes import InsertActivity
+from repro.bpel.model import Assign
+from repro.errors import ChoreographyError
+from repro.scenario.procurement import (
+    BUYER,
+    accounting_private,
+    accounting_private_invariant_change,
+    accounting_private_subtractive_change,
+    accounting_private_variant_change,
+    buyer_private,
+)
+
+
+@pytest.fixture
+def history():
+    return ProcessHistory(accounting_private())
+
+
+class TestVersioning:
+    def test_initial_version(self, history):
+        assert len(history) == 1
+        assert history.head.number == 1
+        assert history.head.note == "initial"
+
+    def test_commit_change_operation(self, history):
+        version = history.commit(
+            InsertActivity("accounting process", Assign(name="log"), 0)
+        )
+        assert version.number == 2
+        assert "insert" in version.note
+        assert len(history) == 2
+
+    def test_commit_replacement_process(self, history):
+        version = history.commit(accounting_private_variant_change())
+        assert version.number == 2
+        assert version.process.find("cancel") is not None
+
+    def test_commit_does_not_mutate_previous(self, history):
+        history.commit(
+            InsertActivity("accounting process", Assign(name="log"), 0)
+        )
+        assert history.version(1).process.find("log") is None
+
+    def test_version_out_of_range(self, history):
+        with pytest.raises(ChoreographyError):
+            history.version(5)
+        with pytest.raises(ChoreographyError):
+            history.version(0)
+
+    def test_versions_list(self, history):
+        history.commit(accounting_private_invariant_change())
+        numbers = [version.number for version in history.versions()]
+        assert numbers == [1, 2]
+
+    def test_compiled_cached(self, history):
+        assert history.head.compiled is history.head.compiled
+
+
+class TestClassification:
+    def test_classify_step(self, history):
+        history.commit(accounting_private_invariant_change())
+        classification = history.classify_step(1)
+        assert classification.additive
+        assert not classification.subtractive
+
+    def test_changelog(self, history):
+        history.commit(
+            accounting_private_invariant_change(), note="order_2 format"
+        )
+        history.commit(
+            accounting_private_subtractive_change(),
+            note="bound tracking",
+        )
+        rows = history.changelog()
+        assert rows[0] == (1, "initial", "-")
+        assert rows[1][2] == "additive"
+        assert rows[2][0] == 3
+        # order_2 was dropped again AND the loop removed -> subtractive
+        # at least; the verdict mentions subtractive.
+        assert "subtractive" in rows[2][2]
+
+    def test_render(self, history):
+        history.commit(accounting_private_invariant_change())
+        rendered = history.render()
+        assert "Ver" in rendered
+        assert "additive" in rendered
+
+
+class TestVersionCompatibility:
+    def test_latest_consistent_with_old_partner(self, history):
+        """After a variant change, a non-migrated buyer still matches
+        version 1 but not version 2 (the Sect. 8 migration question)."""
+        from repro.bpel.compile import compile_process
+
+        buyer_public = compile_process(buyer_private()).afsa
+        history.commit(accounting_private_subtractive_change())
+
+        assert history.latest_consistent_with(buyer_public, BUYER) == 1
+
+    def test_latest_matches_head_after_invariant_change(self, history):
+        from repro.bpel.compile import compile_process
+
+        buyer_public = compile_process(buyer_private()).afsa
+        history.commit(accounting_private_invariant_change())
+        assert history.latest_consistent_with(buyer_public, BUYER) == 2
+
+    def test_latest_consistent_none_when_nothing_matches(self):
+        from repro.bpel.compile import compile_process
+        from repro.bpel.model import Invoke, ProcessModel
+
+        history = ProcessHistory(
+            ProcessModel(
+                name="p",
+                party="P",
+                activity=Invoke(partner="Q", operation="x"),
+            )
+        )
+        stranger = compile_process(
+            ProcessModel(
+                name="q",
+                party="Q",
+                activity=Invoke(partner="P", operation="completely_else"),
+            )
+        ).afsa
+        assert history.latest_consistent_with(stranger, "Q") is None

@@ -1,0 +1,134 @@
+"""Unit tests for the MoveActivity (shift) change operation."""
+
+import pytest
+
+from repro.bpel.model import (
+    Invoke,
+    ProcessModel,
+    Receive,
+    Sequence,
+)
+from repro.core.changes import MoveActivity
+from repro.errors import ChangeError, UnknownBlockError
+
+
+def process_with_two_sequences():
+    return ProcessModel(
+        name="demo",
+        party="P",
+        activity=Sequence(
+            name="outer",
+            activities=[
+                Sequence(
+                    name="first",
+                    activities=[
+                        Invoke(partner="Q", operation="a", name="send-a"),
+                        Invoke(partner="Q", operation="b", name="send-b"),
+                    ],
+                ),
+                Sequence(
+                    name="second",
+                    activities=[
+                        Receive(partner="Q", operation="c", name="recv-c"),
+                    ],
+                ),
+            ],
+        ),
+    )
+
+
+class TestMoveActivity:
+    def test_move_between_sequences(self):
+        changed = MoveActivity(
+            name="send-b", target_sequence="second", index=0
+        ).apply(process_with_two_sequences())
+        first = changed.find("first")
+        second = changed.find("second")
+        assert [child.name for child in first.activities] == ["send-a"]
+        assert [child.name for child in second.activities] == [
+            "send-b",
+            "recv-c",
+        ]
+
+    def test_move_appends_by_default(self):
+        changed = MoveActivity(
+            name="send-a", target_sequence="second"
+        ).apply(process_with_two_sequences())
+        second = changed.find("second")
+        assert [child.name for child in second.activities] == [
+            "recv-c",
+            "send-a",
+        ]
+
+    def test_reorder_within_sequence(self):
+        changed = MoveActivity(
+            name="send-b", target_sequence="first", index=0
+        ).apply(process_with_two_sequences())
+        first = changed.find("first")
+        assert [child.name for child in first.activities] == [
+            "send-b",
+            "send-a",
+        ]
+
+    def test_unknown_activity(self):
+        with pytest.raises(UnknownBlockError):
+            MoveActivity(
+                name="ghost", target_sequence="second"
+            ).apply(process_with_two_sequences())
+
+    def test_unknown_target(self):
+        with pytest.raises(UnknownBlockError):
+            MoveActivity(
+                name="send-a", target_sequence="ghost"
+            ).apply(process_with_two_sequences())
+
+    def test_cannot_move_into_own_subtree(self):
+        with pytest.raises(ChangeError, match="own subtree"):
+            MoveActivity(
+                name="outer", target_sequence="first"
+            ).apply(process_with_two_sequences())
+
+    def test_original_untouched(self):
+        process = process_with_two_sequences()
+        MoveActivity(name="send-a", target_sequence="second").apply(
+            process
+        )
+        assert [
+            child.name for child in process.find("first").activities
+        ] == ["send-a", "send-b"]
+
+    def test_describe(self):
+        operation = MoveActivity(name="x", target_sequence="y", index=2)
+        assert "move" in operation.describe()
+        assert "index 2" in operation.describe()
+
+
+class TestMoveSemantics:
+    def test_reordering_sends_is_a_public_change(self):
+        """Shifting a communication activity reorders the message
+        sequence — visible to partners (why shifts are part of the
+        change framework, Sect. 4)."""
+        from repro.afsa.language import accepted_words
+        from repro.bpel.compile import compile_process
+
+        original = process_with_two_sequences()
+        moved = MoveActivity(
+            name="send-b", target_sequence="first", index=0
+        ).apply(original)
+        assert accepted_words(
+            compile_process(original).afsa, 4
+        ) != accepted_words(compile_process(moved).afsa, 4)
+
+    def test_moving_silent_activity_is_local(self):
+        from repro.afsa.equivalence import language_equal
+        from repro.bpel.compile import compile_process
+        from repro.bpel.model import Assign
+
+        process = process_with_two_sequences()
+        process.find("first").activities.append(Assign(name="log"))
+        moved = MoveActivity(
+            name="log", target_sequence="second", index=0
+        ).apply(process)
+        assert language_equal(
+            compile_process(process).afsa, compile_process(moved).afsa
+        )

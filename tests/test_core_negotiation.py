@@ -1,0 +1,192 @@
+"""Unit tests for the decentralized change negotiation (Sect. 6)."""
+
+import pytest
+
+from repro.core.negotiation import (
+    ABORT,
+    ACCEPT,
+    ADAPT,
+    COMMIT,
+    ChangeNegotiation,
+    PartnerAgent,
+    PROPOSAL,
+    REJECT,
+)
+from repro.errors import ChoreographyError
+from repro.scenario.procurement import (
+    accounting_private,
+    accounting_private_invariant_change,
+    accounting_private_subtractive_change,
+    accounting_private_variant_change,
+    buyer_private,
+    logistics_private,
+)
+
+
+@pytest.fixture
+def negotiation():
+    return ChangeNegotiation(
+        [
+            PartnerAgent(buyer_private()),
+            PartnerAgent(accounting_private()),
+            PartnerAgent(logistics_private()),
+        ]
+    )
+
+
+class TestSetup:
+    def test_duplicate_party_rejected(self):
+        with pytest.raises(ChoreographyError):
+            ChangeNegotiation(
+                [
+                    PartnerAgent(buyer_private()),
+                    PartnerAgent(buyer_private()),
+                ]
+            )
+
+    def test_conversation_partners(self, negotiation):
+        assert negotiation.conversation_partners("A") == ["B", "L"]
+        assert negotiation.conversation_partners("B") == ["A"]
+
+    def test_initial_consistency(self, negotiation):
+        assert negotiation.check_consistency()
+
+
+class TestInvariantProposal:
+    def test_accepted_and_committed(self, negotiation):
+        outcome = negotiation.propose_change(
+            "A", accounting_private_invariant_change()
+        )
+        assert outcome.committed
+        assert outcome.replies == {"B": ACCEPT, "L": ACCEPT}
+
+    def test_originator_installed(self, negotiation):
+        negotiation.propose_change(
+            "A", accounting_private_invariant_change()
+        )
+        assert negotiation.agent("A").process.find("order_2") is not None
+
+    def test_partners_unchanged(self, negotiation):
+        before = negotiation.agent("B").process
+        negotiation.propose_change(
+            "A", accounting_private_invariant_change()
+        )
+        assert negotiation.agent("B").process is before
+
+
+class TestVariantProposal:
+    def test_adapted_and_committed(self, negotiation):
+        outcome = negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        assert outcome.committed
+        assert outcome.replies["B"] == ADAPT
+
+    def test_buyer_adapted_locally(self, negotiation):
+        negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        buyer = negotiation.agent("B").process
+        assert buyer.find("delivery alternatives") is not None
+
+    def test_consistency_after_commit(self, negotiation):
+        negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        assert negotiation.check_consistency()
+
+    def test_subtractive_round(self, negotiation):
+        outcome = negotiation.propose_change(
+            "A", accounting_private_subtractive_change()
+        )
+        assert outcome.committed
+        assert outcome.replies["B"] == ADAPT
+        assert negotiation.check_consistency()
+
+
+class TestRejectionAndAbort:
+    def test_non_adapting_partner_rejects(self):
+        negotiation = ChangeNegotiation(
+            [
+                PartnerAgent(buyer_private(), auto_adapt=False),
+                PartnerAgent(accounting_private()),
+                PartnerAgent(logistics_private()),
+            ]
+        )
+        outcome = negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        assert not outcome.committed
+        assert outcome.replies["B"] == REJECT
+
+    def test_abort_leaves_everything_unchanged(self):
+        negotiation = ChangeNegotiation(
+            [
+                PartnerAgent(buyer_private(), auto_adapt=False),
+                PartnerAgent(accounting_private()),
+                PartnerAgent(logistics_private()),
+            ]
+        )
+        negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        assert negotiation.agent("A").process.find("cancel") is None
+        assert negotiation.agent("B").process.find(
+            "delivery alternatives"
+        ) is None
+        assert negotiation.check_consistency()
+
+    def test_abort_messages_in_transcript(self):
+        negotiation = ChangeNegotiation(
+            [
+                PartnerAgent(buyer_private(), auto_adapt=False),
+                PartnerAgent(accounting_private()),
+                PartnerAgent(logistics_private()),
+            ]
+        )
+        outcome = negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        kinds = [message.kind for message in outcome.transcript]
+        assert ABORT in kinds
+        assert COMMIT not in kinds
+
+
+class TestWireDiscipline:
+    """The Sect. 6 claim: only public information crosses the wire."""
+
+    def test_transcript_payloads_are_public_json(self, negotiation):
+        outcome = negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        import json
+
+        for message in outcome.transcript:
+            if message.kind == PROPOSAL:
+                payload = json.loads(message.payload)
+                # A serialized aFSA: no process tree, no conditions,
+                # no internal activities.
+                assert set(payload) == {
+                    "name",
+                    "states",
+                    "start",
+                    "finals",
+                    "alphabet",
+                    "transitions",
+                    "annotations",
+                }
+
+    def test_private_conditions_never_on_wire(self, negotiation):
+        outcome = negotiation.propose_change(
+            "A", accounting_private_variant_change()
+        )
+        for message in outcome.transcript:
+            assert "creditStatus" not in message.payload
+
+    def test_transcript_describe(self, negotiation):
+        outcome = negotiation.propose_change(
+            "A", accounting_private_invariant_change()
+        )
+        description = outcome.describe()
+        assert "A → B: change-proposal" in description
+        assert "committed" in description

@@ -1,0 +1,234 @@
+"""Unit tests for the propagation algorithms (Sect. 5.2 / 5.3)."""
+
+from repro.afsa.emptiness import is_empty
+from repro.afsa.language import accepted_words, accepts
+from repro.afsa.product import intersect
+from repro.core.propagate import (
+    ADDED,
+    REMOVED,
+    propagate_additive,
+    propagate_subtractive,
+    transition_deltas,
+)
+from repro.scenario.procurement import BUYER
+
+
+class TestTransitionDeltas:
+    def test_no_delta_on_identical(self, buyer_compiled):
+        assert transition_deltas(
+            buyer_compiled.afsa, buyer_compiled.afsa
+        ) == []
+
+    def test_added_label_found(self, buyer_compiled,
+                               buyer_fig14_compiled):
+        deltas = transition_deltas(
+            buyer_compiled.afsa, buyer_fig14_compiled.afsa
+        )
+        added = [delta for delta in deltas if delta.kind == ADDED]
+        assert any(
+            str(delta.label) == "A#B#cancelOp" and delta.state == 2
+            for delta in added
+        )
+
+    def test_removed_label_found(self, buyer_compiled,
+                                 buyer_fig18_compiled):
+        deltas = transition_deltas(
+            buyer_compiled.afsa, buyer_fig18_compiled.afsa
+        )
+        removed = [delta for delta in deltas if delta.kind == REMOVED]
+        assert any(
+            str(delta.label) == "B#A#get_statusOp"
+            for delta in removed
+        )
+
+    def test_describe(self, buyer_compiled, buyer_fig14_compiled):
+        deltas = transition_deltas(
+            buyer_compiled.afsa, buyer_fig14_compiled.afsa
+        )
+        assert any("cancelOp" in delta.describe() for delta in deltas)
+
+
+class TestAdditivePropagation:
+    """Sect. 5.2 / Figs. 12-13 on the cancel scenario."""
+
+    def test_difference_contains_cancel_sequence(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        # Fig. 13a: order followed by cancel.
+        assert accepts(
+            result.difference, ["B#A#orderOp", "A#B#cancelOp"]
+        )
+
+    def test_difference_excludes_existing_behavior(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert not accepts(
+            result.difference,
+            ["B#A#orderOp", "A#B#deliveryOp", "B#A#terminateOp"],
+        )
+
+    def test_proposal_unions_old_and_new(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        # Fig. 13b: both the cancel run and the old delivery runs.
+        assert accepts(
+            result.proposed_public, ["B#A#orderOp", "A#B#cancelOp"]
+        )
+        assert accepts(
+            result.proposed_public,
+            ["B#A#orderOp", "A#B#deliveryOp", "B#A#terminateOp"],
+        )
+
+    def test_proposal_keeps_buyer_annotation(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        rendered = {
+            str(f) for f in result.proposed_public.annotations.values()
+        }
+        assert "B#A#get_statusOp AND B#A#terminateOp" in rendered
+
+    def test_delta_at_paper_state_2(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert len(result.deltas) == 1
+        delta = result.deltas[0]
+        assert delta.state == 2
+        assert str(delta.label) == "A#B#cancelOp"
+        assert delta.kind == ADDED
+
+    def test_step5_consistency_restored(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert result.consistent_after
+        assert not is_empty(
+            intersect(result.originator_view, result.proposed_public)
+        )
+
+    def test_describe(self, accounting_variant_compiled, buyer_compiled):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert "additive propagation" in result.describe()
+
+
+class TestSubtractivePropagation:
+    """Sect. 5.3 / Figs. 16-17 on the bounded-tracking scenario."""
+
+    def test_difference_contains_removed_runs(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        result = propagate_subtractive(
+            accounting_subtractive_compiled.afsa, buyer_compiled, BUYER
+        )
+        # Fig. 17a: runs with >= 2 tracking rounds were removed.
+        two_rounds = [
+            "B#A#orderOp",
+            "A#B#deliveryOp",
+            "B#A#get_statusOp",
+            "A#B#statusOp",
+            "B#A#get_statusOp",
+            "A#B#statusOp",
+            "B#A#terminateOp",
+        ]
+        assert accepts(result.difference, two_rounds)
+
+    def test_difference_excludes_supported_runs(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        result = propagate_subtractive(
+            accounting_subtractive_compiled.afsa, buyer_compiled, BUYER
+        )
+        one_round = [
+            "B#A#orderOp",
+            "A#B#deliveryOp",
+            "B#A#get_statusOp",
+            "A#B#statusOp",
+            "B#A#terminateOp",
+        ]
+        assert not accepts(result.difference, one_round)
+
+    def test_proposal_bounds_tracking(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        result = propagate_subtractive(
+            accounting_subtractive_compiled.afsa, buyer_compiled, BUYER
+        )
+        one_round = [
+            "B#A#orderOp",
+            "A#B#deliveryOp",
+            "B#A#get_statusOp",
+            "A#B#statusOp",
+            "B#A#terminateOp",
+        ]
+        two_rounds = one_round[:2] + [
+            "B#A#get_statusOp",
+            "A#B#statusOp",
+        ] * 2 + ["B#A#terminateOp"]
+        assert accepts(result.proposed_public, one_round)
+        assert not accepts(result.proposed_public, two_rounds)
+
+    def test_proposal_annotation_weakened(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        """Fig. 17b: the post-tracking state keeps only the terminate
+        obligation — the stale get_status conjunct is weakened."""
+        result = propagate_subtractive(
+            accounting_subtractive_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert not is_empty(result.proposed_public)
+
+    def test_delta_reports_lost_tracking(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        result = propagate_subtractive(
+            accounting_subtractive_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert any(
+            str(delta.label) == "B#A#get_statusOp"
+            and delta.kind == REMOVED
+            for delta in result.deltas
+        )
+
+    def test_step5_consistency_restored(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        result = propagate_subtractive(
+            accounting_subtractive_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert result.consistent_after
+
+
+class TestNoFalsePropagation:
+    def test_invariant_change_produces_empty_difference(
+        self, accounting_invariant_compiled, buyer_compiled
+    ):
+        """Propagating an invariant additive change is harmless: the
+        difference contains only the new optional sequences and the
+        proposal stays consistent."""
+        result = propagate_additive(
+            accounting_invariant_compiled.afsa, buyer_compiled, BUYER
+        )
+        assert result.consistent_after
+        added_words = accepted_words(result.difference, 3)
+        assert all(
+            any("order_2Op" in label for label in word)
+            for word in added_words
+        )

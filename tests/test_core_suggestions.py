@@ -1,0 +1,158 @@
+"""Unit tests for edit-suggestion derivation (Sect. 5 steps ad 3/ad 4)."""
+
+from repro.bpel.compile import compile_process
+from repro.core.changes import BoundLoop, ReceiveToPick
+from repro.core.propagate import (
+    propagate_additive,
+    propagate_subtractive,
+)
+from repro.core.suggestions import derive_suggestions
+from repro.scenario.procurement import BUYER
+
+
+class TestAdditiveSuggestions:
+    """The Fig. 14 derivation: receive delivery -> pick."""
+
+    def _suggestions(self, accounting_variant_compiled, buyer_compiled):
+        result = propagate_additive(
+            accounting_variant_compiled.afsa, buyer_compiled, BUYER
+        )
+        return derive_suggestions(buyer_compiled, result)
+
+    def test_one_suggestion(self, accounting_variant_compiled,
+                            buyer_compiled):
+        suggestions = self._suggestions(
+            accounting_variant_compiled, buyer_compiled
+        )
+        assert len(suggestions) == 1
+
+    def test_targets_paper_region(self, accounting_variant_compiled,
+                                  buyer_compiled):
+        """The paper: 'the change in the Buyer private process is
+        related to the block specified by the sequence activity labeled
+        "buyer process"'."""
+        (suggestion,) = self._suggestions(
+            accounting_variant_compiled, buyer_compiled
+        )
+        assert suggestion.blocks[0] == "Sequence:buyer process"
+        assert suggestion.state == 2
+
+    def test_executable_receive_to_pick(self,
+                                        accounting_variant_compiled,
+                                        buyer_compiled):
+        (suggestion,) = self._suggestions(
+            accounting_variant_compiled, buyer_compiled
+        )
+        assert suggestion.executable
+        assert isinstance(suggestion.operation, ReceiveToPick)
+        assert suggestion.operation.receive_name == "delivery"
+        operations = [
+            branch.operation
+            for branch in suggestion.operation.alternatives
+        ]
+        assert operations == ["cancelOp"]
+
+    def test_kind_and_description(self, accounting_variant_compiled,
+                                  buyer_compiled):
+        (suggestion,) = self._suggestions(
+            accounting_variant_compiled, buyer_compiled
+        )
+        assert suggestion.kind == "accept-alternative"
+        assert "delivery" in suggestion.description
+        assert "cancelOp" in suggestion.description
+
+    def test_applying_suggestion_restores_consistency(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        """Steps ad 4 / ad 5 executed: apply the suggested edit,
+        recompile, re-check."""
+        from repro.afsa.emptiness import is_empty
+        from repro.afsa.product import intersect
+        from repro.afsa.view import project_view
+
+        (suggestion,) = self._suggestions(
+            accounting_variant_compiled, buyer_compiled
+        )
+        adapted = suggestion.operation.apply(buyer_compiled.process)
+        adapted_public = compile_process(adapted).afsa
+        accounting_view = project_view(
+            accounting_variant_compiled.afsa, BUYER
+        )
+        assert not is_empty(intersect(accounting_view, adapted_public))
+
+
+class TestSubtractiveSuggestions:
+    """The Fig. 18 derivation: bound While:tracking."""
+
+    def _suggestions(self, accounting_subtractive_compiled,
+                     buyer_compiled):
+        result = propagate_subtractive(
+            accounting_subtractive_compiled.afsa, buyer_compiled, BUYER
+        )
+        return derive_suggestions(buyer_compiled, result)
+
+    def test_targets_tracking_loop(self,
+                                   accounting_subtractive_compiled,
+                                   buyer_compiled):
+        """The paper: 'the block While:tracking is the relevant one'."""
+        suggestions = self._suggestions(
+            accounting_subtractive_compiled, buyer_compiled
+        )
+        bound = [
+            suggestion
+            for suggestion in suggestions
+            if suggestion.kind == "bound-loop"
+        ]
+        assert len(bound) == 1
+        assert "While:tracking" in bound[0].blocks
+
+    def test_executable_bound_loop(self,
+                                   accounting_subtractive_compiled,
+                                   buyer_compiled):
+        suggestions = self._suggestions(
+            accounting_subtractive_compiled, buyer_compiled
+        )
+        (suggestion,) = [
+            s for s in suggestions if s.kind == "bound-loop"
+        ]
+        assert isinstance(suggestion.operation, BoundLoop)
+        assert suggestion.operation.while_name == "tracking"
+        assert suggestion.operation.max_iterations == 1
+
+    def test_applying_suggestion_restores_consistency(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        from repro.afsa.emptiness import is_empty
+        from repro.afsa.product import intersect
+        from repro.afsa.view import project_view
+
+        suggestions = self._suggestions(
+            accounting_subtractive_compiled, buyer_compiled
+        )
+        (suggestion,) = [
+            s for s in suggestions if s.kind == "bound-loop"
+        ]
+        adapted = suggestion.operation.apply(buyer_compiled.process)
+        adapted_public = compile_process(adapted).afsa
+        accounting_view = project_view(
+            accounting_subtractive_compiled.afsa, BUYER
+        )
+        assert not is_empty(intersect(accounting_view, adapted_public))
+
+    def test_adapted_process_matches_fig18_language(
+        self, accounting_subtractive_compiled, buyer_compiled,
+        buyer_fig18_compiled
+    ):
+        """The auto-derived adaptation accepts the same conversations
+        as the hand-built Fig. 18 buyer."""
+        from repro.afsa.equivalence import language_equal
+
+        suggestions = self._suggestions(
+            accounting_subtractive_compiled, buyer_compiled
+        )
+        (suggestion,) = [
+            s for s in suggestions if s.kind == "bound-loop"
+        ]
+        adapted = suggestion.operation.apply(buyer_compiled.process)
+        adapted_public = compile_process(adapted).afsa
+        assert language_equal(adapted_public, buyer_fig18_compiled.afsa)

@@ -1,0 +1,198 @@
+"""Error-path and robustness tests across subsystems."""
+
+import pytest
+
+from repro.afsa.automaton import AFSA, AFSABuilder
+from repro.afsa.serialize import afsa_from_dict, afsa_to_dict
+from repro.errors import (
+    ChangeError,
+    ChoreographyError,
+    FormulaParseError,
+    InvalidAutomatonError,
+    MessageLabelError,
+    ProcessParseError,
+    ProcessValidationError,
+    ReproError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ChangeError,
+            ChoreographyError,
+            FormulaParseError,
+            InvalidAutomatonError,
+            MessageLabelError,
+            ProcessParseError,
+            ProcessValidationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        if error_type in (InvalidAutomatonError, ProcessValidationError):
+            instance = error_type(["problem"])
+        else:
+            instance = error_type("problem")
+        assert isinstance(instance, ReproError)
+
+    def test_validation_errors_carry_problem_lists(self):
+        error = ProcessValidationError(["a", "b"])
+        assert error.problems == ["a", "b"]
+        assert "a; b" in str(error)
+
+    def test_parse_error_carries_position(self):
+        error = FormulaParseError("bad", text="x ??", position=2)
+        assert error.position == 2
+        assert error.text == "x ??"
+
+
+class TestAutomatonInvariants:
+    def test_transition_label_outside_alphabet(self):
+        """A transition using a label while declaring a disjoint
+        explicit alphabet is caught at construction."""
+        # The constructor merges used labels into the alphabet, so this
+        # is actually legal; verify the merge happens instead.
+        automaton = AFSA(
+            transitions=[("a", "A#B#x", "b")],
+            start="a",
+            alphabet=["A#B#y"],
+        )
+        assert "A#B#x" in automaton.alphabet
+        assert "A#B#y" in automaton.alphabet
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(InvalidAutomatonError):
+            AFSA(states=["a"], start=None)
+
+    def test_builder_requires_start(self):
+        builder = AFSABuilder()
+        builder.add_state("a")
+        with pytest.raises(InvalidAutomatonError):
+            builder.build()
+
+
+class TestSerializationRobustness:
+    def test_round_trip_with_tuple_states(self):
+        """Algorithms produce tuple states; serialization stringifies
+        them and the result still round-trips as an automaton."""
+        builder = AFSABuilder()
+        builder.add_transition(("a", 1), "A#B#x", ("b", 2))
+        builder.mark_final(("b", 2))
+        automaton = builder.build(start=("a", 1))
+        payload = afsa_to_dict(automaton)
+        rebuilt = afsa_from_dict(payload)
+        assert len(rebuilt.states) == 2
+        assert len(rebuilt.transitions) == 1
+
+    def test_missing_start_key_raises(self):
+        with pytest.raises(KeyError):
+            afsa_from_dict({"states": ["a"]})
+
+    def test_bad_annotation_formula_raises(self):
+        with pytest.raises(FormulaParseError):
+            afsa_from_dict(
+                {
+                    "start": "a",
+                    "states": ["a"],
+                    "annotations": {"a": "AND AND"},
+                }
+            )
+
+
+class TestEngineEdgeCases:
+    def test_wrong_party_process_rejected(self):
+        from repro.core.choreography import Choreography
+        from repro.core.engine import EvolutionEngine
+        from repro.scenario.procurement import (
+            accounting_private,
+            buyer_private,
+        )
+
+        choreography = Choreography()
+        choreography.add_partner(buyer_private())
+        choreography.add_partner(accounting_private())
+        engine = EvolutionEngine(choreography)
+        with pytest.raises(ChoreographyError):
+            # A buyer process offered as the accounting change.
+            engine.apply_private_change("A", buyer_private())
+
+    def test_unknown_party(self):
+        from repro.core.choreography import Choreography
+        from repro.core.engine import EvolutionEngine
+        from repro.scenario.procurement import buyer_private
+
+        choreography = Choreography()
+        choreography.add_partner(buyer_private())
+        engine = EvolutionEngine(choreography)
+        with pytest.raises(ChoreographyError):
+            engine.apply_private_change("Z", buyer_private())
+
+    def test_partnerless_process_evolves_locally(self):
+        """A process with no conversation partners in the choreography
+        evolves without impact records."""
+        from repro.bpel.model import Invoke, ProcessModel
+        from repro.core.choreography import Choreography
+        from repro.core.engine import EvolutionEngine
+        from repro.core.changes import InsertActivity
+        from repro.bpel.model import Assign, Sequence
+
+        loner = ProcessModel(
+            name="loner",
+            party="P",
+            activity=Sequence(
+                name="main",
+                activities=[Invoke(partner="X", operation="op")],
+            ),
+        )
+        choreography = Choreography()
+        choreography.add_partner(loner)
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            "P",
+            InsertActivity("main", Assign(name="log")),
+        )
+        assert report.impacts == []
+
+
+class TestLanguageCaps:
+    def test_max_words_cap_respected(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "a")
+        builder.mark_final("a")
+        automaton = builder.build(start="a")
+        from repro.afsa.language import enumerate_language
+
+        words = list(enumerate_language(automaton, max_length=50,
+                                        max_words=7))
+        assert len(words) == 7
+
+    def test_semantics_enumeration_guard(self):
+        from repro.formula.ast import all_of
+        from repro.formula.semantics import equivalent
+
+        wide = all_of(f"v{index}" for index in range(25))
+        with pytest.raises(ValueError, match="refusing"):
+            equivalent(wide, wide)
+
+
+class TestChangeRobustness:
+    def test_changeset_stops_on_first_error(self):
+        from repro.core.changes import ChangeSet, DeleteActivity
+        from repro.scenario.procurement import buyer_private
+
+        change = ChangeSet(
+            [DeleteActivity("order"), DeleteActivity("order")]
+        )
+        with pytest.raises(ReproError):
+            change.apply(buyer_private())
+
+    def test_delete_root_rejected(self):
+        from repro.bpel.model import Empty, ProcessModel
+        from repro.core.changes import DeleteActivity
+
+        process = ProcessModel(
+            name="p", party="P", activity=Empty(name="root")
+        )
+        with pytest.raises(ChangeError, match="root"):
+            DeleteActivity("root").apply(process)

@@ -1,0 +1,104 @@
+"""Smoke tests: every shipped example runs green and prints its
+headline result.
+
+Examples are executed in-process (imported as modules with a patched
+stdout) to keep the suite fast and debuggable.
+"""
+
+import io
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> str:
+    captured = io.StringIO()
+    old_stdout = sys.stdout
+    old_argv = sys.argv
+    sys.stdout = captured
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.stdout = old_stdout
+        sys.argv = old_argv
+    return captured.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "choreography is consistent" in output
+        assert "auto-adaptation restored consistency" in output
+
+    def test_procurement_evolution(self):
+        output = run_example("procurement_evolution.py")
+        assert "BPEL Block Name" in output  # the Table 1 rendering
+        assert "While:tracking" in output
+        assert "variant" in output
+        assert output.count("choreography is consistent") >= 3
+
+    def test_service_matchmaking(self):
+        output = run_example("service_matchmaking.py")
+        assert "flexible_shipper" in output
+        assert "eager_shipper" in output
+        # The headline row: plain FSA yes, annotated NO.
+        for line in output.splitlines():
+            if line.startswith("eager_shipper"):
+                assert "NO" in line
+                assert "yes" in line
+
+    def test_synthetic_fleet(self):
+        output = run_example("synthetic_fleet.py", ["6", "2", "3"])
+        assert "campaign summary" in output
+        assert "INCONSISTENT" not in output
+
+    def test_version_migration(self):
+        output = run_example("version_migration.py")
+        assert "-> v1" in output or "-> v2" in output
+        assert "-> v4" in output
+
+
+class TestBenchmarkReport:
+    def test_report_renders_verdicts_and_series(self, tmp_path):
+        import json
+        import importlib.util
+
+        payload = {
+            "benchmarks": [
+                {
+                    "name": "test_fig_demo",
+                    "stats": {"mean": 0.001},
+                    "extra_info": {
+                        "experiment": "F0 (demo)",
+                        "paper": "empty",
+                        "measured": "empty",
+                    },
+                },
+                {
+                    "name": "test_scaling_demo[8]",
+                    "stats": {"mean": 0.002},
+                    "group": "demo-group",
+                    "extra_info": {"states": 8},
+                },
+            ]
+        }
+        json_path = tmp_path / "bench.json"
+        json_path.write_text(json.dumps(payload))
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_report",
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "report.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        rendered = module.render(str(json_path))
+        assert "F0 (demo) ✅" in rendered
+        assert "demo-group" in rendered
+        assert "states=8" in rendered

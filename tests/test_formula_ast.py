@@ -1,0 +1,121 @@
+"""Unit tests for the formula AST (Def. 1)."""
+
+import pytest
+
+from repro.formula.ast import (
+    And,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    all_of,
+    any_of,
+    as_formula,
+)
+
+
+class TestConstants:
+    def test_true_renders(self):
+        assert str(TRUE) == "true"
+
+    def test_false_renders(self):
+        assert str(FALSE) == "false"
+
+    def test_constants_are_singleton_equal(self):
+        assert TRUE == TRUE
+        assert FALSE == FALSE
+        assert TRUE != FALSE
+
+    def test_constants_hashable(self):
+        assert len({TRUE, FALSE, TRUE}) == 2
+
+
+class TestVar:
+    def test_var_renders_name(self):
+        assert str(Var("B#A#msg1")) == "B#A#msg1"
+
+    def test_var_equality_is_structural(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_var_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_var_stringifies_label_like_objects(self):
+        from repro.messages.label import MessageLabel
+
+        variable = Var(MessageLabel("A", "B", "op"))
+        assert variable.name == "A#B#op"
+
+
+class TestConnectives:
+    def test_and_renders_infix(self):
+        assert str(And(Var("a"), Var("b"))) == "a AND b"
+
+    def test_or_renders_infix(self):
+        assert str(Or(Var("a"), Var("b"))) == "a OR b"
+
+    def test_not_renders_prefix(self):
+        assert str(Not(Var("a"))) == "NOT a"
+
+    def test_nested_formulas_parenthesized(self):
+        formula = And(Or(Var("a"), Var("b")), Var("c"))
+        assert str(formula) == "(a OR b) AND c"
+
+    def test_paper_example_rendering(self):
+        # The Fig. 5 intersection annotation.
+        inner = And(Var("B#A#msg1"), Var("B#A#msg2"))
+        outer = And(inner, Var("B#A#msg2"))
+        assert str(outer) == "(B#A#msg1 AND B#A#msg2) AND B#A#msg2"
+
+
+class TestOperatorOverloads:
+    def test_ampersand_builds_and(self):
+        assert (Var("a") & Var("b")) == And(Var("a"), Var("b"))
+
+    def test_pipe_builds_or(self):
+        assert (Var("a") | Var("b")) == Or(Var("a"), Var("b"))
+
+    def test_invert_builds_not(self):
+        assert ~Var("a") == Not(Var("a"))
+
+    def test_mixed_with_strings(self):
+        assert (Var("a") & "b") == And(Var("a"), Var("b"))
+        assert ("a" | Var("b")) == Or(Var("a"), Var("b"))
+
+    def test_mixed_with_bools(self):
+        assert (Var("a") & True) == And(Var("a"), TRUE)
+
+
+class TestCoercion:
+    def test_as_formula_passthrough(self):
+        formula = Var("x")
+        assert as_formula(formula) is formula
+
+    def test_as_formula_bool(self):
+        assert as_formula(True) == TRUE
+        assert as_formula(False) == FALSE
+
+    def test_as_formula_string(self):
+        assert as_formula("A#B#op") == Var("A#B#op")
+
+
+class TestFolds:
+    def test_all_of_empty_is_true(self):
+        assert all_of([]) == TRUE
+
+    def test_any_of_empty_is_false(self):
+        assert any_of([]) == FALSE
+
+    def test_all_of_single(self):
+        assert all_of(["a"]) == Var("a")
+
+    def test_all_of_right_fold_shape(self):
+        assert all_of(["a", "b", "c"]) == And(
+            Var("a"), And(Var("b"), Var("c"))
+        )
+
+    def test_any_of_right_fold_shape(self):
+        assert any_of(["a", "b"]) == Or(Var("a"), Var("b"))

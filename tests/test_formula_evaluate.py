@@ -1,0 +1,90 @@
+"""Unit tests for formula evaluation."""
+
+from repro.formula.ast import And, FALSE, Not, Or, TRUE, Var
+from repro.formula.evaluate import evaluate, satisfied_by
+
+
+class TestConstants:
+    def test_true(self):
+        assert evaluate(TRUE) is True
+
+    def test_false(self):
+        assert evaluate(FALSE) is False
+
+
+class TestVariables:
+    def test_assigned_true(self):
+        assert evaluate(Var("a"), {"a": True}) is True
+
+    def test_assigned_false(self):
+        assert evaluate(Var("a"), {"a": False}) is False
+
+    def test_missing_defaults_false(self):
+        assert evaluate(Var("a"), {}) is False
+
+    def test_collection_assignment(self):
+        assert evaluate(Var("a"), {"a"}) is True
+        assert evaluate(Var("a"), {"b"}) is False
+
+    def test_callable_assignment(self):
+        assert evaluate(Var("a"), lambda name: name == "a") is True
+        assert evaluate(Var("b"), lambda name: name == "a") is False
+
+
+class TestConnectives:
+    def test_and_truth_table(self):
+        formula = And(Var("a"), Var("b"))
+        assert evaluate(formula, {"a", "b"}) is True
+        assert evaluate(formula, {"a"}) is False
+        assert evaluate(formula, {"b"}) is False
+        assert evaluate(formula, set()) is False
+
+    def test_or_truth_table(self):
+        formula = Or(Var("a"), Var("b"))
+        assert evaluate(formula, {"a", "b"}) is True
+        assert evaluate(formula, {"a"}) is True
+        assert evaluate(formula, {"b"}) is True
+        assert evaluate(formula, set()) is False
+
+    def test_not(self):
+        assert evaluate(Not(Var("a")), set()) is True
+        assert evaluate(Not(Var("a")), {"a"}) is False
+
+    def test_nested(self):
+        # (a AND NOT b) OR c
+        formula = Or(And(Var("a"), Not(Var("b"))), Var("c"))
+        assert evaluate(formula, {"a"}) is True
+        assert evaluate(formula, {"a", "b"}) is False
+        assert evaluate(formula, {"a", "b", "c"}) is True
+
+
+class TestPaperSemantics:
+    def test_fig5_annotation_fails_without_msg1(self):
+        """The Fig. 5 diagnosis: msg2 is supported, msg1 is not."""
+        annotation = And(
+            And(Var("B#A#msg1"), Var("B#A#msg2")), Var("B#A#msg2")
+        )
+        assert satisfied_by(annotation, {"B#A#msg2"}) is False
+
+    def test_fig5_annotation_holds_with_both(self):
+        annotation = And(
+            And(Var("B#A#msg1"), Var("B#A#msg2")), Var("B#A#msg2")
+        )
+        assert satisfied_by(annotation, {"B#A#msg1", "B#A#msg2"}) is True
+
+
+class TestDeepFormulas:
+    def test_deep_nesting_does_not_recurse(self):
+        """Evaluation is iterative; 10k-deep chains must not blow the
+        Python stack."""
+        formula = Var("a")
+        for _ in range(10_000):
+            formula = And(formula, TRUE)
+        assert evaluate(formula, {"a"}) is True
+
+    def test_deep_negation_chain(self):
+        formula = Var("a")
+        for _ in range(10_001):
+            formula = Not(formula)
+        # Odd number of negations flips the value.
+        assert evaluate(formula, {"a"}) is False

@@ -1,0 +1,132 @@
+"""Unit tests for the formula parser."""
+
+import pytest
+
+from repro.errors import FormulaParseError
+from repro.formula.ast import And, FALSE, Not, Or, TRUE, Var
+from repro.formula.parser import parse_formula
+
+
+class TestAtoms:
+    def test_parse_variable(self):
+        assert parse_formula("B#A#msg1") == Var("B#A#msg1")
+
+    def test_parse_true(self):
+        assert parse_formula("true") == TRUE
+
+    def test_parse_false(self):
+        assert parse_formula("false") == FALSE
+
+    def test_keywords_case_insensitive(self):
+        assert parse_formula("TRUE") == TRUE
+        assert parse_formula("False") == FALSE
+
+    def test_operation_style_variable(self):
+        assert parse_formula("terminateOp") == Var("terminateOp")
+
+
+class TestConnectives:
+    def test_parse_and(self):
+        assert parse_formula("a AND b") == And(Var("a"), Var("b"))
+
+    def test_parse_or(self):
+        assert parse_formula("a OR b") == Or(Var("a"), Var("b"))
+
+    def test_parse_not(self):
+        assert parse_formula("NOT a") == Not(Var("a"))
+
+    def test_lowercase_keywords(self):
+        assert parse_formula("a and b") == And(Var("a"), Var("b"))
+
+    def test_unicode_connectives(self):
+        assert parse_formula("a ∧ b") == And(Var("a"), Var("b"))
+        assert parse_formula("a ∨ b") == Or(Var("a"), Var("b"))
+        assert parse_formula("¬a") == Not(Var("a"))
+
+    def test_ascii_symbol_connectives(self):
+        assert parse_formula("a & b") == And(Var("a"), Var("b"))
+        assert parse_formula("a | b") == Or(Var("a"), Var("b"))
+        assert parse_formula("!a") == Not(Var("a"))
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        assert parse_formula("a OR b AND c") == Or(
+            Var("a"), And(Var("b"), Var("c"))
+        )
+
+    def test_not_binds_tightest(self):
+        assert parse_formula("NOT a AND b") == And(Not(Var("a")), Var("b"))
+
+    def test_parentheses_override(self):
+        assert parse_formula("(a OR b) AND c") == And(
+            Or(Var("a"), Var("b")), Var("c")
+        )
+
+    def test_left_associative_chains(self):
+        assert parse_formula("a AND b AND c") == And(
+            And(Var("a"), Var("b")), Var("c")
+        )
+
+    def test_double_negation(self):
+        assert parse_formula("NOT NOT a") == Not(Not(Var("a")))
+
+
+class TestPaperAnnotations:
+    def test_fig5_annotation(self):
+        formula = parse_formula(
+            "( B#A#msg1 AND B#A#msg2 ) AND B#A#msg2"
+        )
+        assert formula == And(
+            And(Var("B#A#msg1"), Var("B#A#msg2")), Var("B#A#msg2")
+        )
+
+    def test_fig6_annotation(self):
+        formula = parse_formula("terminateOp AND get_statusOp")
+        assert formula == And(Var("terminateOp"), Var("get_statusOp"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "true",
+            "false",
+            "a AND b",
+            "a OR b",
+            "NOT a",
+            "(a OR b) AND NOT c",
+            "B#A#msg1 AND (B#A#msg2 OR NOT B#A#msg0)",
+        ],
+    )
+    def test_render_parse_fixpoint(self, text):
+        parsed = parse_formula(text)
+        assert parse_formula(str(parsed)) == parsed
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("")
+
+    def test_whitespace_only(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("   ")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("(a AND b")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("a b")
+
+    def test_dangling_operator(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("a AND")
+
+    def test_error_reports_position(self):
+        with pytest.raises(FormulaParseError) as info:
+            parse_formula("a AND )")
+        assert info.value.position >= 0

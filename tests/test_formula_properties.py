@@ -1,0 +1,128 @@
+"""Property-based tests for the formula subsystem (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formula.ast import And, FALSE, Formula, Not, Or, TRUE, Var
+from repro.formula.evaluate import evaluate
+from repro.formula.parser import parse_formula
+from repro.formula.semantics import equivalent
+from repro.formula.simplify import simplify
+from repro.formula.transform import (
+    is_positive,
+    substitute,
+    to_dnf,
+    to_nnf,
+    variables,
+)
+
+_VARIABLE_NAMES = st.sampled_from(
+    ["a", "b", "c", "B#A#msg1", "B#A#msg2", "A#B#cancelOp"]
+)
+
+
+def _formulas(max_leaves: int = 12) -> st.SearchStrategy[Formula]:
+    return st.recursive(
+        st.one_of(
+            st.just(TRUE),
+            st.just(FALSE),
+            _VARIABLE_NAMES.map(Var),
+        ),
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda pair: And(*pair)),
+            st.tuples(children, children).map(lambda pair: Or(*pair)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+_ASSIGNMENTS = st.dictionaries(_VARIABLE_NAMES, st.booleans())
+
+
+@given(_formulas(), _ASSIGNMENTS)
+@settings(max_examples=200)
+def test_simplify_preserves_evaluation(formula, assignment):
+    assert evaluate(simplify(formula), assignment) == evaluate(
+        formula, assignment
+    )
+
+
+@given(_formulas())
+@settings(max_examples=200)
+def test_simplify_idempotent(formula):
+    once = simplify(formula)
+    assert simplify(once) == once
+
+
+@given(_formulas())
+@settings(max_examples=200)
+def test_simplify_never_grows_variables(formula):
+    assert variables(simplify(formula)) <= variables(formula)
+
+
+@given(_formulas())
+@settings(max_examples=150)
+def test_render_parse_round_trip(formula):
+    assert parse_formula(str(formula)) == formula
+
+
+@given(_formulas(max_leaves=8), _ASSIGNMENTS)
+@settings(max_examples=150)
+def test_nnf_preserves_evaluation(formula, assignment):
+    assert evaluate(to_nnf(formula), assignment) == evaluate(
+        formula, assignment
+    )
+
+
+@given(_formulas(max_leaves=6))
+@settings(max_examples=75, deadline=None)
+def test_dnf_equivalent(formula):
+    assert equivalent(formula, to_dnf(formula))
+
+
+@given(_formulas(max_leaves=8))
+@settings(max_examples=150)
+def test_nnf_output_has_negations_on_leaves_only(formula):
+    def check(node: Formula) -> None:
+        if isinstance(node, Not):
+            assert isinstance(node.operand, Var)
+        elif isinstance(node, (And, Or)):
+            check(node.left)
+            check(node.right)
+
+    check(to_nnf(formula))
+
+
+@given(_formulas(max_leaves=8), _VARIABLE_NAMES, st.booleans())
+@settings(max_examples=150)
+def test_substitute_constant_matches_forced_assignment(
+    formula, name, value
+):
+    """Substituting a constant equals evaluating with that variable
+    pinned (over assignments where all other variables are false)."""
+    substituted = substitute(formula, {name: value})
+    assignment = {name: value}
+    assert evaluate(substituted, {}) == evaluate(formula, assignment) or (
+        name not in variables(formula)
+    )
+
+
+@given(_formulas(max_leaves=8))
+@settings(max_examples=150)
+def test_double_negation_equivalence(formula):
+    assert equivalent(Not(Not(formula)), formula)
+
+
+@given(_formulas(max_leaves=8))
+@settings(max_examples=100)
+def test_positive_formulas_monotone(formula):
+    """Negation-free formulas are monotone in their assignment: adding
+    true variables never flips them false (the property the emptiness
+    fixpoint relies on)."""
+    if not is_positive(formula):
+        return
+    names = sorted(variables(formula))
+    small = set()
+    large = set(names)
+    if evaluate(formula, small):
+        assert evaluate(formula, large)

@@ -1,0 +1,81 @@
+"""Unit tests for the truth-table semantics helpers."""
+
+import pytest
+
+from repro.formula.ast import Var, all_of
+from repro.formula.parser import parse_formula
+from repro.formula.semantics import (
+    equivalent,
+    is_satisfiable,
+    is_tautology,
+    models,
+)
+
+
+class TestModels:
+    def test_variable_has_one_model(self):
+        result = models(Var("a"))
+        assert result == [{"a": True}]
+
+    def test_and_single_model(self):
+        result = models(parse_formula("a AND b"))
+        assert result == [{"a": True, "b": True}]
+
+    def test_or_three_models(self):
+        assert len(models(parse_formula("a OR b"))) == 3
+
+    def test_contradiction_no_models(self):
+        assert models(parse_formula("a AND NOT a")) == []
+
+
+class TestSatisfiability:
+    def test_satisfiable(self):
+        assert is_satisfiable(parse_formula("a AND NOT b"))
+
+    def test_unsatisfiable(self):
+        assert not is_satisfiable(parse_formula("a AND NOT a"))
+
+    def test_constants(self):
+        assert is_satisfiable(parse_formula("true"))
+        assert not is_satisfiable(parse_formula("false"))
+
+
+class TestTautology:
+    def test_excluded_middle(self):
+        assert is_tautology(parse_formula("a OR NOT a"))
+
+    def test_variable_not_tautology(self):
+        assert not is_tautology(Var("a"))
+
+
+class TestEquivalence:
+    def test_de_morgan(self):
+        assert equivalent(
+            parse_formula("NOT (a AND b)"),
+            parse_formula("NOT a OR NOT b"),
+        )
+
+    def test_commutativity(self):
+        assert equivalent(
+            parse_formula("a AND b"), parse_formula("b AND a")
+        )
+
+    def test_absorption(self):
+        assert equivalent(
+            parse_formula("a AND (a OR b)"), parse_formula("a")
+        )
+
+    def test_inequivalent(self):
+        assert not equivalent(
+            parse_formula("a AND b"), parse_formula("a OR b")
+        )
+
+    def test_different_variable_sets(self):
+        assert not equivalent(Var("a"), Var("b"))
+
+
+class TestEnumerationLimit:
+    def test_too_many_variables_rejected(self):
+        formula = all_of(f"v{index}" for index in range(25))
+        with pytest.raises(ValueError):
+            is_satisfiable(formula)

@@ -1,0 +1,81 @@
+"""Unit tests for formula simplification."""
+
+from repro.formula.ast import And, FALSE, Not, Or, TRUE, Var, all_of
+from repro.formula.parser import parse_formula
+from repro.formula.simplify import conjoin, disjoin, simplify
+
+
+class TestConstantFolding:
+    def test_and_true_identity(self):
+        assert simplify(And(Var("a"), TRUE)) == Var("a")
+
+    def test_and_false_annihilates(self):
+        assert simplify(And(Var("a"), FALSE)) == FALSE
+
+    def test_or_false_identity(self):
+        assert simplify(Or(Var("a"), FALSE)) == Var("a")
+
+    def test_or_true_annihilates(self):
+        assert simplify(Or(Var("a"), TRUE)) == TRUE
+
+    def test_not_constants(self):
+        assert simplify(Not(TRUE)) == FALSE
+        assert simplify(Not(FALSE)) == TRUE
+
+
+class TestIdempotence:
+    def test_duplicate_conjuncts_collapse(self):
+        assert simplify(And(Var("a"), Var("a"))) == Var("a")
+
+    def test_duplicate_disjuncts_collapse(self):
+        assert simplify(Or(Var("a"), Var("a"))) == Var("a")
+
+    def test_fig5_annotation_collapses(self):
+        """(msg1 AND msg2) AND msg2 simplifies to msg1 AND msg2."""
+        formula = parse_formula("(B#A#msg1 AND B#A#msg2) AND B#A#msg2")
+        assert simplify(formula) == And(
+            Var("B#A#msg1"), Var("B#A#msg2")
+        )
+
+    def test_deep_duplicate_chain(self):
+        formula = all_of(["a"] * 50)
+        assert simplify(formula) == Var("a")
+
+
+class TestComplement:
+    def test_contradiction_is_false(self):
+        assert simplify(And(Var("a"), Not(Var("a")))) == FALSE
+
+    def test_excluded_middle_is_true(self):
+        assert simplify(Or(Var("a"), Not(Var("a")))) == TRUE
+
+    def test_double_negation(self):
+        assert simplify(Not(Not(Var("a")))) == Var("a")
+
+
+class TestStability:
+    def test_simplify_is_idempotent(self):
+        samples = [
+            parse_formula("(a AND b) AND b"),
+            parse_formula("a OR (b OR a)"),
+            parse_formula("NOT NOT (a AND true)"),
+            parse_formula("(a AND NOT a) OR c"),
+        ]
+        for formula in samples:
+            once = simplify(formula)
+            assert simplify(once) == once
+
+    def test_preserves_distinct_variables(self):
+        formula = parse_formula("a AND b AND c")
+        simplified = simplify(formula)
+        assert simplified == all_of(["a", "b", "c"])
+
+
+class TestHelpers:
+    def test_conjoin_simplifies(self):
+        assert conjoin(Var("a"), TRUE) == Var("a")
+        assert conjoin(Var("a"), Var("a")) == Var("a")
+
+    def test_disjoin_simplifies(self):
+        assert disjoin(Var("a"), FALSE) == Var("a")
+        assert disjoin(TRUE, Var("a")) == TRUE

@@ -1,0 +1,139 @@
+"""Unit tests for formula transformations (substitution, NNF/DNF)."""
+
+from repro.formula.ast import And, FALSE, Not, Or, TRUE, Var
+from repro.formula.parser import parse_formula
+from repro.formula.semantics import equivalent
+from repro.formula.transform import (
+    is_positive,
+    rename_variables,
+    substitute,
+    to_dnf,
+    to_nnf,
+    variables,
+)
+
+
+class TestVariables:
+    def test_collects_all_names(self):
+        formula = parse_formula("a AND (b OR NOT c)")
+        assert variables(formula) == {"a", "b", "c"}
+
+    def test_constants_have_no_variables(self):
+        assert variables(TRUE) == set()
+        assert variables(FALSE) == set()
+
+    def test_duplicates_counted_once(self):
+        assert variables(parse_formula("a AND a")) == {"a"}
+
+
+class TestSubstitute:
+    def test_mapping_replacement(self):
+        formula = parse_formula("a AND b")
+        result = substitute(formula, {"a": True})
+        assert result == And(TRUE, Var("b"))
+
+    def test_callable_replacement(self):
+        formula = parse_formula("a AND b")
+        result = substitute(
+            formula, lambda name: True if name == "a" else None
+        )
+        assert result == And(TRUE, Var("b"))
+
+    def test_unmapped_variables_kept(self):
+        formula = parse_formula("a OR b")
+        assert substitute(formula, {}) == formula
+
+    def test_formula_replacement(self):
+        formula = Var("a")
+        result = substitute(formula, {"a": parse_formula("x AND y")})
+        assert result == And(Var("x"), Var("y"))
+
+    def test_view_neutralization_pattern(self):
+        """The τ_P pattern: foreign variables become true."""
+        annotation = parse_formula(
+            "B#A#get_statusOp AND A#L#get_statusLOp"
+        )
+        result = substitute(
+            annotation,
+            lambda name: None if "L" not in name.split("#")[:2] else True,
+        )
+        assert result == And(Var("B#A#get_statusOp"), TRUE)
+
+
+class TestRename:
+    def test_rename_with_mapping(self):
+        formula = parse_formula("a AND b")
+        assert rename_variables(formula, {"a": "x"}) == And(
+            Var("x"), Var("b")
+        )
+
+    def test_rename_with_callable(self):
+        formula = parse_formula("a OR b")
+        renamed = rename_variables(formula, lambda name: name.upper())
+        assert renamed == Or(Var("A"), Var("B"))
+
+
+class TestPositivity:
+    def test_positive_formula(self):
+        assert is_positive(parse_formula("a AND (b OR c)")) is True
+
+    def test_negation_detected(self):
+        assert is_positive(parse_formula("a AND NOT b")) is False
+
+    def test_paper_annotations_are_positive(self):
+        assert is_positive(
+            parse_formula("terminateOp AND get_statusOp")
+        ) is True
+
+
+class TestNormalForms:
+    def test_nnf_pushes_negation_to_leaves(self):
+        formula = parse_formula("NOT (a AND b)")
+        assert to_nnf(formula) == Or(Not(Var("a")), Not(Var("b")))
+
+    def test_nnf_de_morgan_or(self):
+        formula = parse_formula("NOT (a OR b)")
+        assert to_nnf(formula) == And(Not(Var("a")), Not(Var("b")))
+
+    def test_nnf_eliminates_double_negation(self):
+        assert to_nnf(parse_formula("NOT NOT a")) == Var("a")
+
+    def test_nnf_semantics_preserved(self):
+        samples = [
+            "NOT (a AND (b OR NOT c))",
+            "NOT (NOT a OR b) AND c",
+            "a AND NOT (b AND NOT c)",
+        ]
+        for text in samples:
+            formula = parse_formula(text)
+            assert equivalent(formula, to_nnf(formula))
+
+    def test_dnf_is_disjunction_of_conjunctions(self):
+        formula = parse_formula("(a OR b) AND c")
+        dnf = to_dnf(formula)
+
+        def is_literal_conjunction(node):
+            if isinstance(node, And):
+                return is_literal_conjunction(
+                    node.left
+                ) and is_literal_conjunction(node.right)
+            return isinstance(node, (Var, Not)) or node in (TRUE, FALSE)
+
+        def check(node):
+            if isinstance(node, Or):
+                check(node.left)
+                check(node.right)
+            else:
+                assert is_literal_conjunction(node)
+
+        check(dnf)
+
+    def test_dnf_semantics_preserved(self):
+        samples = [
+            "(a OR b) AND (c OR d)",
+            "NOT (a AND b) AND c",
+            "a AND (b OR (c AND d))",
+        ]
+        for text in samples:
+            formula = parse_formula(text)
+            assert equivalent(formula, to_dnf(formula))

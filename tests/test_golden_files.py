@@ -1,0 +1,69 @@
+"""Golden-file tests: the shipped process documents in
+``examples/processes/`` must stay in sync with the scenario builders.
+
+These files are the CLI's demo inputs and double as format-stability
+fixtures: a serialization change that breaks old documents fails here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bpel.dsl import process_from_dsl
+from repro.bpel.xml_io import process_from_xml
+from repro.scenario.procurement import (
+    accounting_private,
+    buyer_private,
+    logistics_private,
+)
+
+PROCESSES = Path(__file__).resolve().parent.parent / "examples" / "processes"
+
+FACTORIES = {
+    "buyer": buyer_private,
+    "accounting": accounting_private,
+    "logistics": logistics_private,
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestGoldenFiles:
+    def test_xml_matches_builder(self, name):
+        text = (PROCESSES / f"{name}.xml").read_text()
+        assert process_from_xml(text) == FACTORIES[name]()
+
+    def test_dsl_matches_builder(self, name):
+        text = (PROCESSES / f"{name}.proc").read_text()
+        assert process_from_dsl(text) == FACTORIES[name]()
+
+    def test_formats_agree(self, name):
+        from_xml = process_from_xml(
+            (PROCESSES / f"{name}.xml").read_text()
+        )
+        from_dsl = process_from_dsl(
+            (PROCESSES / f"{name}.proc").read_text()
+        )
+        assert from_xml == from_dsl
+
+
+class TestCliOnGoldenFiles:
+    def test_check_pair(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "check",
+                str(PROCESSES / "buyer.xml"),
+                str(PROCESSES / "accounting.xml"),
+            ]
+        )
+        assert code == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_compile_logistics(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["compile", str(PROCESSES / "logistics.proc")]
+        ) == 0
+        assert "logistics public" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""End-to-end integration tests: the full Fig. 4 loop on the paper's
+scenario, plus cross-validation between the symbolic consistency check
+and the conversation simulator."""
+
+import pytest
+
+from repro.afsa.simulate import COMPLETED, deadlock_probe, simulate_conversation
+from repro.core.choreography import Choreography
+from repro.core.engine import EvolutionEngine
+from repro.scenario.procurement import (
+    ACCOUNTING,
+    BUYER,
+    accounting_private,
+    accounting_private_invariant_change,
+    accounting_private_subtractive_change,
+    accounting_private_variant_change,
+    buyer_private,
+    logistics_private,
+)
+
+
+@pytest.fixture
+def procurement():
+    choreography = Choreography("procurement")
+    choreography.add_partner(buyer_private())
+    choreography.add_partner(accounting_private())
+    choreography.add_partner(logistics_private())
+    return choreography
+
+
+class TestFig4FullLoop:
+    """The complete decision flow of Fig. 4, three change scenarios in
+    sequence on one living choreography."""
+
+    def test_three_generations_of_changes(self, procurement):
+        engine = EvolutionEngine(procurement)
+
+        # Generation 1: invariant additive (Sect. 5.1) - commits freely.
+        report1 = engine.apply_private_change(
+            "A", accounting_private_invariant_change()
+        )
+        assert report1.public_changed
+        assert not report1.requires_propagation
+        assert procurement.check_consistency().consistent
+
+    def test_variant_additive_generation(self, procurement):
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A",
+            accounting_private_variant_change(),
+            auto_adapt=True,
+        )
+        impact = report.impact_for(BUYER)
+        assert impact.classification.propagation == "variant"
+        assert impact.consistent_after_adaptation
+        assert procurement.check_consistency().consistent
+        # The buyer now handles cancellations.
+        assert procurement.private(BUYER).find(
+            "delivery alternatives"
+        ) is not None
+
+    def test_variant_subtractive_generation(self, procurement):
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A",
+            accounting_private_subtractive_change(),
+            auto_adapt=True,
+        )
+        impact = report.impact_for(BUYER)
+        assert impact.classification.propagation == "variant"
+        assert impact.consistent_after_adaptation
+        assert procurement.check_consistency().consistent
+
+
+class TestSimulatorCrossValidation:
+    """Consistency verdicts and executable conversations must agree."""
+
+    def test_consistent_choreography_completes_runs(self, procurement):
+        for seed in range(10):
+            result = simulate_conversation(
+                [
+                    procurement.public(BUYER),
+                    procurement.public(ACCOUNTING),
+                    procurement.public("L"),
+                ],
+                seed=seed,
+                max_steps=300,
+                party_names=[BUYER, ACCOUNTING, "L"],
+            )
+            assert result.outcome == COMPLETED, result.describe()
+
+    def test_variant_change_without_adaptation_deadlocks(
+        self, procurement
+    ):
+        """After the cancel change, the *old* buyer can block: the
+        accounting side may commit to cancelOp."""
+        from repro.afsa.view import project_view
+        from repro.bpel.compile import compile_process
+
+        changed = compile_process(accounting_private_variant_change())
+        accounting_view = project_view(changed.afsa, BUYER)
+        buyer_public = procurement.public(BUYER)
+        assert deadlock_probe(
+            accounting_view,
+            buyer_public,
+            runs=40,
+            party_names=[ACCOUNTING, BUYER],
+        )
+
+    def test_adapted_pair_never_deadlocks(self, procurement):
+        engine = EvolutionEngine(procurement)
+        engine.apply_private_change(
+            "A",
+            accounting_private_variant_change(),
+            auto_adapt=True,
+        )
+        accounting_view = procurement.view(BUYER, on=ACCOUNTING)
+        buyer_public = procurement.public(BUYER)
+        assert not deadlock_probe(
+            accounting_view,
+            buyer_public,
+            runs=40,
+            party_names=[ACCOUNTING, BUYER],
+        )
+
+
+class TestSerializationPipeline:
+    """A change survives a full serialize → parse → evolve round trip
+    (the Sect. 6 deployment story: partners exchange public-process
+    documents)."""
+
+    def test_xml_round_trip_through_engine(self, procurement, tmp_path):
+        from repro.bpel.xml_io import process_from_xml, process_to_xml
+
+        path = tmp_path / "accounting.xml"
+        path.write_text(
+            process_to_xml(accounting_private_variant_change())
+        )
+        loaded = process_from_xml(path.read_text())
+
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A", loaded, auto_adapt=True, commit=False
+        )
+        assert report.impact_for(BUYER).consistent_after_adaptation
+
+    def test_afsa_exchange_round_trip(self, procurement):
+        """Partners only exchange public aFSAs (Sect. 6): the variant
+        verdict is reproducible from the serialized form."""
+        from repro.afsa.emptiness import is_empty
+        from repro.afsa.product import intersect
+        from repro.afsa.serialize import afsa_from_json, afsa_to_json
+        from repro.afsa.view import project_view
+        from repro.bpel.compile import compile_process
+
+        changed = compile_process(accounting_private_variant_change())
+        view = project_view(changed.afsa, BUYER)
+        wire = afsa_to_json(view)
+        received = afsa_from_json(wire)
+        assert is_empty(
+            intersect(received, procurement.public(BUYER))
+        )

@@ -1,0 +1,168 @@
+"""Tests for propagation against *multilateral* partners.
+
+The paper's buyer is bilateral (its public process only talks to
+accounting), so the published algorithms never exercise the case where
+the opponent's public process spans several conversations.  Sect. 3.4
+requires the comparison to be bilateral; these tests pin down that the
+propagation pipeline restricts the opponent to the right conversation
+and still locates regions/edits through the re-keyed mapping table.
+"""
+
+import pytest
+
+from repro.core.choreography import Choreography
+from repro.core.engine import EvolutionEngine
+from repro.core.propagate import propagate_additive
+from repro.core.suggestions import derive_suggestions
+from repro.errors import ChangeError
+from repro.workload.generator import generate_choreography
+from repro.workload.mutations import (
+    inject_variant_additive,
+    inject_variant_subtractive,
+)
+
+
+@pytest.fixture
+def hub_choreography():
+    return generate_choreography(seed=42, spokes=3, steps=3)
+
+
+class TestBilateralRestriction:
+    def test_deltas_confined_to_conversation(self, hub_choreography):
+        """A spoke's change must produce deltas that mention only
+        messages of that spoke's conversation with the hub."""
+        choreography = hub_choreography
+        spoke = "P2"
+        change, _ = inject_variant_additive(
+            choreography.private(spoke), seed=1
+        )
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(spoke, change, commit=False)
+        impact = report.impact_for("H")
+        for propagation in impact.propagations:
+            for delta in propagation.deltas:
+                label = delta.label
+                assert label.involves(spoke)
+                assert label.involves("H")
+
+    def test_opponent_public_is_bilateral(self, hub_choreography):
+        choreography = hub_choreography
+        spoke = "P2"
+        change, _ = inject_variant_additive(
+            choreography.private(spoke), seed=1
+        )
+        changed = change.apply(choreography.private(spoke))
+        from repro.bpel.compile import compile_process
+
+        new_public = compile_process(changed).afsa
+        result = propagate_additive(
+            new_public,
+            choreography.compiled("H"),
+            "H",
+            originator_party=spoke,
+        )
+        partners = result.opponent_public.alphabet.partners()
+        assert partners == {"H", spoke}
+
+    def test_mapping_rekeyed_to_bilateral_states(self, hub_choreography):
+        choreography = hub_choreography
+        spoke = "P2"
+        change, _ = inject_variant_additive(
+            choreography.private(spoke), seed=1
+        )
+        changed = change.apply(choreography.private(spoke))
+        from repro.bpel.compile import compile_process
+
+        new_public = compile_process(changed).afsa
+        result = propagate_additive(
+            new_public,
+            choreography.compiled("H"),
+            "H",
+            originator_party=spoke,
+        )
+        for delta in result.deltas:
+            blocks = result.opponent_mapping.blocks_for_state(
+                delta.state
+            )
+            assert blocks, "delta state must map to private blocks"
+
+
+class TestMultilateralAutoAdaptation:
+    @pytest.mark.parametrize("spoke", ["P1", "P2", "P3"])
+    def test_variant_additive_resolved(self, hub_choreography, spoke):
+        choreography = hub_choreography
+        try:
+            change, _ = inject_variant_additive(
+                choreography.private(spoke), seed=7
+            )
+        except ChangeError:
+            pytest.skip("no anchor")
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            spoke, change, auto_adapt=True, commit=True
+        )
+        impact = report.impact_for("H")
+        if impact.requires_propagation:
+            assert impact.consistent_after_adaptation
+        assert choreography.check_consistency().consistent
+
+    def test_variant_subtractive_resolved(self, hub_choreography):
+        choreography = hub_choreography
+        spoke = "P3"  # the spoke with the tail loop
+        try:
+            change, _ = inject_variant_subtractive(
+                choreography.private(spoke), seed=3
+            )
+        except ChangeError:
+            pytest.skip("no boundable loop")
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            spoke, change, auto_adapt=True, commit=True
+        )
+        impact = report.impact_for("H")
+        if impact.requires_propagation:
+            assert impact.consistent_after_adaptation
+        assert choreography.check_consistency().consistent
+
+    def test_other_spokes_untouched(self, hub_choreography):
+        """Evolving one spoke's conversation never impacts siblings."""
+        choreography = hub_choreography
+        change, _ = inject_variant_additive(
+            choreography.private("P2"), seed=1
+        )
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change("P2", change, commit=False)
+        # Only the hub converses with P2; siblings see no impact entry.
+        assert [impact.party for impact in report.impacts] == ["H"]
+
+
+class TestPickExtensionSuggestion:
+    def test_hub_pick_extended(self, hub_choreography):
+        """When the hub consumes the spoke's messages through a pick,
+        the executable suggestion extends the pick (AddPickBranch),
+        mirroring Fig. 14's receive→pick for the pick case."""
+        choreography = hub_choreography
+        spoke = "P2"
+        change, _ = inject_variant_additive(
+            choreography.private(spoke), seed=1
+        )
+        changed = change.apply(choreography.private(spoke))
+        from repro.bpel.compile import compile_process
+        from repro.core.changes import AddPickBranch, ReceiveToPick
+
+        new_public = compile_process(changed).afsa
+        result = propagate_additive(
+            new_public,
+            choreography.compiled("H"),
+            "H",
+            originator_party=spoke,
+        )
+        suggestions = derive_suggestions(
+            choreography.compiled("H"), result
+        )
+        executable = [s for s in suggestions if s.executable]
+        assert executable
+        assert all(
+            isinstance(s.operation, (AddPickBranch, ReceiveToPick))
+            for s in executable
+        )

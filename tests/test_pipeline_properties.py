@@ -1,0 +1,174 @@
+"""Property-based tests of the end-to-end evolution pipeline.
+
+Random consistent partner pairs + random injected changes of known
+category; the pipeline's verdicts must match the injection ground truth
+and the proposals must verify (Sect. 5 step "ad 5").
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.afsa.emptiness import is_empty
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.bpel.diff import diff_processes
+from repro.core.choreography import Choreography
+from repro.core.engine import EvolutionEngine
+from repro.errors import ChangeError
+from repro.workload.generator import generate_partner_pair
+from repro.workload.mutations import (
+    inject_invariant_additive,
+    inject_variant_additive,
+    inject_variant_subtractive,
+)
+
+_SEEDS = st.integers(min_value=0, max_value=500)
+
+
+def _pair_engine(seed):
+    initiator, responder = generate_partner_pair(seed=seed, steps=3)
+    choreography = Choreography(f"prop-{seed}")
+    choreography.add_partner(initiator)
+    choreography.add_partner(responder)
+    return choreography, initiator, responder
+
+
+@given(_SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_invariant_injection_never_propagates(seed):
+    choreography, initiator, responder = _pair_engine(seed)
+    try:
+        change, _ = inject_invariant_additive(initiator, seed=seed)
+    except ChangeError:
+        return
+    engine = EvolutionEngine(choreography)
+    report = engine.apply_private_change(
+        initiator.party, change, commit=False
+    )
+    for impact in report.impacts:
+        assert impact.classification.propagation == "invariant"
+
+
+@given(_SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_variant_additive_proposal_verifies(seed):
+    choreography, initiator, responder = _pair_engine(seed)
+    try:
+        change, _ = inject_variant_additive(initiator, seed=seed)
+    except ChangeError:
+        return
+    engine = EvolutionEngine(choreography)
+    report = engine.apply_private_change(
+        initiator.party, change, commit=False
+    )
+    impact = report.impact_for(responder.party)
+    assert impact.classification.propagation == "variant"
+    for propagation in impact.propagations:
+        # Step 5: the mechanical proposal restores consistency.
+        assert propagation.consistent_after
+        # Every delta names a message of this bilateral conversation.
+        for delta in propagation.deltas:
+            assert delta.label.involves(initiator.party)
+            assert delta.label.involves(responder.party)
+
+
+@given(_SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_variant_additive_auto_adaptation_verified_end_to_end(seed):
+    choreography, initiator, responder = _pair_engine(seed)
+    try:
+        change, _ = inject_variant_additive(initiator, seed=seed)
+    except ChangeError:
+        return
+    engine = EvolutionEngine(choreography)
+    report = engine.apply_private_change(
+        initiator.party, change, auto_adapt=True, commit=False
+    )
+    impact = report.impact_for(responder.party)
+    if impact.adapted_private is None:
+        return  # no executable suggestion found - allowed
+    # The engine's verdict must agree with an independent re-check.
+    adapted_public = compile_process(impact.adapted_private).afsa
+    new_view = project_view(
+        report.new_compiled.afsa, responder.party
+    )
+    adapted_view = project_view(adapted_public, initiator.party)
+    independently_consistent = not is_empty(
+        intersect(new_view, adapted_view)
+    )
+    assert impact.consistent_after_adaptation == (
+        independently_consistent
+    )
+
+
+@given(_SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_variant_subtractive_on_responder_detected(seed):
+    choreography, initiator, responder = _pair_engine(seed)
+    try:
+        change, _ = inject_variant_subtractive(responder, seed=seed)
+    except ChangeError:
+        return
+    engine = EvolutionEngine(choreography)
+    report = engine.apply_private_change(
+        responder.party, change, commit=False
+    )
+    impact = report.impact_for(initiator.party)
+    assert impact.classification.subtractive
+    assert impact.classification.propagation == "variant"
+
+
+@given(_SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_diff_of_identical_processes_empty(seed):
+    initiator, _ = generate_partner_pair(seed=seed, steps=3)
+    assert diff_processes(initiator, initiator.clone()) == []
+
+
+@given(_SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_diff_detects_injected_change(seed):
+    initiator, _ = generate_partner_pair(seed=seed, steps=3)
+    try:
+        change, _ = inject_variant_additive(initiator, seed=seed)
+    except ChangeError:
+        return
+    changed = change.apply(initiator)
+    assert diff_processes(initiator, changed) != []
+
+
+@given(_SEEDS)
+@settings(max_examples=15, deadline=None)
+def test_negotiation_agrees_with_engine(seed):
+    """The decentralized protocol and the centralized engine must reach
+    the same verdict on the same change."""
+    from repro.core.negotiation import (
+        ACCEPT,
+        ADAPT,
+        ChangeNegotiation,
+        PartnerAgent,
+    )
+
+    choreography, initiator, responder = _pair_engine(seed)
+    try:
+        change, _ = inject_variant_additive(initiator, seed=seed)
+    except ChangeError:
+        return
+    engine = EvolutionEngine(choreography)
+    report = engine.apply_private_change(
+        initiator.party, change, auto_adapt=True, commit=False
+    )
+    impact = report.impact_for(responder.party)
+
+    negotiation = ChangeNegotiation(
+        [PartnerAgent(initiator), PartnerAgent(responder)]
+    )
+    outcome = negotiation.propose_change(initiator.party, change)
+
+    if not impact.requires_propagation:
+        assert outcome.replies[responder.party] == ACCEPT
+    elif impact.consistent_after_adaptation:
+        assert outcome.replies[responder.party] == ADAPT
+        assert outcome.committed
+        assert negotiation.check_consistency()

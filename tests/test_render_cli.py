@@ -1,0 +1,185 @@
+"""Unit tests for text rendering and the command-line interface."""
+
+import pytest
+
+from repro.bpel.dsl import process_to_dsl
+from repro.bpel.xml_io import process_to_xml
+from repro.cli import build_parser, load_process, main
+from repro.render import (
+    render_activity,
+    render_afsa,
+    render_mapping,
+    render_process,
+    shorten,
+)
+
+
+class TestRenderProcess:
+    def test_contains_header(self, buyer_process):
+        rendered = render_process(buyer_process)
+        assert "process buyer (party B)" in rendered
+
+    def test_contains_partner_links(self, buyer_process):
+        rendered = render_process(buyer_process)
+        assert "accBuyer" in rendered
+
+    def test_activity_outline(self, buyer_process):
+        rendered = render_activity(buyer_process.activity)
+        assert "invoke orderOp on A" in rendered
+        assert "while (1 = 1)" in rendered
+        assert "case (continue)" in rendered
+
+    def test_indentation_reflects_nesting(self, buyer_process):
+        rendered = render_activity(buyer_process.activity)
+        lines = rendered.splitlines()
+        switch_line = next(
+            line for line in lines if "switch" in line
+        )
+        while_line = next(line for line in lines if "while" in line)
+        assert len(switch_line) - len(switch_line.lstrip()) > (
+            len(while_line) - len(while_line.lstrip())
+        )
+
+
+class TestRenderAfsa:
+    def test_final_state_marked(self, buyer_compiled):
+        rendered = render_afsa(buyer_compiled.afsa)
+        assert "((5))" in rendered
+
+    def test_annotation_box(self, buyer_compiled):
+        rendered = render_afsa(buyer_compiled.afsa)
+        assert "[ get_statusOp AND terminateOp ]" in rendered
+
+    def test_full_labels_option(self, buyer_compiled):
+        rendered = render_afsa(buyer_compiled.afsa, short_labels=False)
+        assert "B#A#orderOp" in rendered
+
+    def test_shorten(self):
+        assert shorten("B#A#orderOp") == "orderOp"
+        assert shorten("plain") == "plain"
+
+
+class TestRenderMapping:
+    def test_table_shape(self, buyer_compiled):
+        rendered = render_mapping(buyer_compiled.mapping)
+        assert "BPEL Block Name" in rendered
+        assert "While:tracking" in rendered
+
+
+@pytest.fixture
+def process_files(tmp_path, buyer_process, accounting_process):
+    buyer_xml = tmp_path / "buyer.xml"
+    buyer_xml.write_text(process_to_xml(buyer_process))
+    accounting_dsl = tmp_path / "accounting.proc"
+    accounting_dsl.write_text(process_to_dsl(accounting_process))
+    return {"buyer": str(buyer_xml), "accounting": str(accounting_dsl)}
+
+
+class TestCliLoading:
+    def test_load_xml(self, process_files):
+        process = load_process(process_files["buyer"])
+        assert process.name == "buyer"
+
+    def test_load_dsl(self, process_files):
+        process = load_process(process_files["accounting"])
+        assert process.name == "accounting"
+
+
+class TestCliCommands:
+    def test_compile(self, process_files, capsys):
+        assert main(["compile", process_files["buyer"]]) == 0
+        output = capsys.readouterr().out
+        assert "buyer public" in output
+        assert "While:tracking" in output
+
+    def test_compile_dot(self, process_files, capsys):
+        assert main(["--dot", "compile", process_files["buyer"]]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_view(self, process_files, capsys):
+        assert main(
+            ["view", process_files["accounting"], "--partner", "B"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "orderOp" in output
+        assert "deliverOp" not in output
+
+    def test_check_consistent(self, process_files, capsys):
+        code = main(
+            ["check", process_files["buyer"], process_files["accounting"]]
+        )
+        assert code == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_diff_neutral(self, process_files, capsys):
+        code = main(
+            ["diff", process_files["buyer"], process_files["buyer"]]
+        )
+        assert code == 0
+        assert "neutral" in capsys.readouterr().out
+
+    def test_propagate_invariant(self, tmp_path, process_files, capsys):
+        from repro.bpel.xml_io import process_to_xml
+        from repro.scenario.procurement import (
+            accounting_private_invariant_change,
+        )
+
+        new_file = tmp_path / "accounting2.xml"
+        new_file.write_text(
+            process_to_xml(accounting_private_invariant_change())
+        )
+        code = main(
+            [
+                "propagate",
+                process_files["accounting"],
+                str(new_file),
+                process_files["buyer"],
+            ]
+        )
+        assert code == 0
+        assert "invariant" in capsys.readouterr().out
+
+    def test_propagate_variant(self, tmp_path, process_files, capsys):
+        from repro.bpel.xml_io import process_to_xml
+        from repro.scenario.procurement import (
+            accounting_private_variant_change,
+        )
+
+        new_file = tmp_path / "accounting-cancel.xml"
+        new_file.write_text(
+            process_to_xml(accounting_private_variant_change())
+        )
+        code = main(
+            [
+                "propagate",
+                process_files["accounting"],
+                str(new_file),
+                process_files["buyer"],
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "variant" in output
+        assert "cancelOp" in output
+        assert "pick" in output
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "choreography is consistent" in output
+        assert "variant" in output
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["compile", "/nonexistent/file.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<nonsense/>")
+        assert main(["compile", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["compile", "x.xml"])
+        assert args.command == "compile"

@@ -1,0 +1,401 @@
+"""Reproduction tests: every figure and table of the paper.
+
+One test class per published artifact; each asserts the paper's stated,
+machine-checkable verdict.  These are the reproduction contract — the
+benchmark harness re-runs the same derivations and records timings in
+EXPERIMENTS.md.
+"""
+
+from repro.afsa.emptiness import is_empty, non_emptiness_witness
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.model import Pick, Switch, While
+from repro.scenario.figures import (
+    fig5_intersection,
+    fig5_party_a,
+    fig5_party_b,
+    fig6_buyer_public,
+    fig7_accounting_public,
+    fig8_views,
+    table1_mapping,
+)
+from repro.scenario.procurement import (
+    ACCOUNTING,
+    BUYER,
+    LOGISTICS,
+)
+
+
+class TestFig1Scenario:
+    """Fig. 1: partners and message kinds of the procurement example."""
+
+    def test_partner_inventory(self, buyer_process, accounting_process,
+                               logistics_process):
+        assert buyer_process.party == BUYER
+        assert accounting_process.party == ACCOUNTING
+        assert logistics_process.party == LOGISTICS
+        assert accounting_process.partners() == {BUYER, LOGISTICS}
+
+    def test_message_inventory(self, accounting_compiled):
+        operations = accounting_compiled.afsa.alphabet.operations()
+        assert operations == {
+            "orderOp",
+            "deliverOp",
+            "deliver_confOp",
+            "deliveryOp",
+            "get_statusOp",
+            "statusOp",
+            "get_statusLOp",
+            "terminateOp",
+            "terminateLOp",
+        }
+
+
+class TestFig2AccountingPrivate:
+    def test_structure(self, accounting_process):
+        loop = accounting_process.find("parcel tracking")
+        assert isinstance(loop, While)
+        assert loop.never_exits
+        pick = accounting_process.find("tracking or termination")
+        assert isinstance(pick, Pick)
+        assert {branch.operation for branch in pick.branches} == {
+            "get_statusOp",
+            "terminateOp",
+        }
+
+    def test_synchronous_get_statusL(self, accounting_process):
+        invoke = accounting_process.find("getStatusL")
+        assert invoke.synchronous
+
+
+class TestFig3BuyerPrivate:
+    def test_block_structure_as_listed(self, buyer_process):
+        """Fig. 3 lists: BPELProcess / Sequence:buyer process /
+        While:tracking / Switch:termination? / cond continue+terminate."""
+        paths = buyer_process.block_paths()
+        assert (
+            "BPELProcess",
+            "Sequence:buyer process",
+            "While:tracking",
+            "Switch:termination?",
+            "Sequence:cond continue",
+        ) in paths
+        assert (
+            "BPELProcess",
+            "Sequence:buyer process",
+            "While:tracking",
+            "Switch:termination?",
+            "Sequence:cond terminate",
+        ) in paths
+
+    def test_switch_is_internal_choice(self, buyer_process):
+        switch = buyer_process.find("termination?")
+        assert isinstance(switch, Switch)
+
+
+class TestFig5AfsaExample:
+    def test_operands_non_empty(self):
+        assert not is_empty(fig5_party_a())
+        assert not is_empty(fig5_party_b())
+
+    def test_party_b_annotation(self):
+        party_b = fig5_party_b()
+        rendered = {str(f) for f in party_b.annotations.values()}
+        assert rendered == {"B#A#msg1 AND B#A#msg2"}
+
+    def test_intersection_empty(self):
+        """The paper's canonical verdict: 'This aFSA is empty since it
+        does not contain the mandatory transition labeled B#A#msg1.'"""
+        assert is_empty(fig5_intersection())
+
+    def test_diagnosis_names_msg1(self):
+        witness = non_emptiness_witness(fig5_intersection())
+        missing = {
+            name
+            for names in witness.missing_variables.values()
+            for name in names
+        }
+        assert missing == {"B#A#msg1"}
+
+    def test_intersection_annotation_conjoined(self):
+        """QA of Def. 3: (msg1 AND msg2) AND true, simplified."""
+        intersection = fig5_intersection()
+        rendered = {str(f) for f in intersection.annotations.values()}
+        assert rendered == {"B#A#msg1 AND B#A#msg2"}
+
+
+class TestFig6BuyerPublic:
+    def test_five_states(self):
+        public = fig6_buyer_public().afsa
+        assert len(public.states) == 5
+        assert public.start == 1
+        assert public.finals == {5}
+
+    def test_transition_structure(self):
+        public = fig6_buyer_public().afsa
+        edges = {
+            (t.source, str(t.label), t.target)
+            for t in public.transitions
+        }
+        assert edges == {
+            (1, "B#A#orderOp", 2),
+            (2, "A#B#deliveryOp", 3),
+            (3, "B#A#get_statusOp", 4),
+            (4, "A#B#statusOp", 3),
+            (3, "B#A#terminateOp", 5),
+        }
+
+    def test_annotation_at_state_3(self):
+        public = fig6_buyer_public().afsa
+        assert str(public.annotation(3)) == (
+            "B#A#get_statusOp AND B#A#terminateOp"
+        )
+        assert set(public.annotations) == {3}
+
+
+class TestTable1:
+    def test_all_rows(self):
+        mapping = table1_mapping()
+        expected = {
+            1: ["BPELProcess", "Sequence:buyer process"],
+            2: ["Sequence:buyer process"],
+            3: [
+                "Sequence:buyer process",
+                "While:tracking",
+                "Switch:termination?",
+                "Sequence:cond continue",
+                "Sequence:cond terminate",
+            ],
+            4: ["Sequence:cond continue"],
+            5: ["Sequence:cond terminate"],
+        }
+        assert dict(mapping.rows()) == expected
+
+
+class TestFig7AccountingPublic:
+    def test_ten_states(self):
+        public = fig7_accounting_public().afsa
+        assert len(public.states) == 10
+
+    def test_sync_invoke_two_transitions(self):
+        public = fig7_accounting_public().afsa
+        labels = {str(t.label) for t in public.transitions}
+        assert "A#L#get_statusLOp" in labels
+        assert "L#A#get_statusLOp" in labels
+
+    def test_main_sequence(self):
+        public = fig7_accounting_public().afsa
+        labels = [
+            str(t.label)
+            for t in sorted(
+                public.transitions, key=lambda t: (t.source, str(t.label))
+            )
+            if t.source in (1, 2, 3, 4)
+        ]
+        assert labels == [
+            "B#A#orderOp",
+            "A#L#deliverOp",
+            "L#A#deliver_confOp",
+            "A#B#deliveryOp",
+        ]
+
+
+class TestFig8Views:
+    def test_buyer_view_five_states(self):
+        buyer_view, _ = fig8_views()
+        assert len(buyer_view.states) == 5
+        assert {label.operation for label in buyer_view.alphabet} == {
+            "orderOp",
+            "deliveryOp",
+            "get_statusOp",
+            "statusOp",
+            "terminateOp",
+        }
+
+    def test_logistics_view_five_states(self):
+        _, logistics_view = fig8_views()
+        assert len(logistics_view.states) == 5
+        assert {
+            label.operation for label in logistics_view.alphabet
+        } == {
+            "deliverOp",
+            "deliver_confOp",
+            "get_statusLOp",
+            "terminateLOp",
+        }
+
+    def test_views_consistent_with_partners(
+        self, buyer_compiled, logistics_compiled
+    ):
+        buyer_view, logistics_view = fig8_views()
+        assert not is_empty(intersect(buyer_view, buyer_compiled.afsa))
+        assert not is_empty(
+            intersect(
+                logistics_view,
+                project_view(logistics_compiled.afsa, ACCOUNTING),
+            )
+        )
+
+
+class TestFig9Fig10InvariantChange:
+    def test_order2_branch_added(self, accounting_invariant_compiled):
+        labels = {
+            str(label)
+            for label in accounting_invariant_compiled.afsa.alphabet
+        }
+        assert "B#A#order_2Op" in labels
+
+    def test_fig10a_view_offers_both_orders(
+        self, accounting_invariant_compiled
+    ):
+        view = project_view(accounting_invariant_compiled.afsa, BUYER)
+        start_labels = {
+            str(label) for label in view.labels_from(view.start)
+        }
+        assert start_labels == {"B#A#orderOp", "B#A#order_2Op"}
+
+    def test_fig10b_intersection_non_empty(
+        self, accounting_invariant_compiled, buyer_compiled
+    ):
+        """Paper: 'no change propagation and therefore no further
+        actions are required.'"""
+        view = project_view(accounting_invariant_compiled.afsa, BUYER)
+        assert not is_empty(intersect(view, buyer_compiled.afsa))
+
+
+class TestFig11Fig12VariantAdditiveChange:
+    def test_fig12a_annotation(self, accounting_variant_compiled):
+        """Fig. 12a: the credit-check switch makes cancelOp and
+        deliveryOp mandatory (first buyer-visible messages)."""
+        view = project_view(accounting_variant_compiled.afsa, BUYER)
+        rendered = {str(f) for f in view.annotations.values()}
+        assert "A#B#cancelOp AND A#B#deliveryOp" in rendered
+
+    def test_fig12b_intersection_empty(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        """Paper: 'this automaton is empty since there exists no
+        transition labeled A#B#cancelOp on any path to a final
+        state.'"""
+        view = project_view(accounting_variant_compiled.afsa, BUYER)
+        intersection = intersect(view, buyer_compiled.afsa)
+        assert is_empty(intersection)
+
+    def test_fig12b_diagnosis_names_cancel(
+        self, accounting_variant_compiled, buyer_compiled
+    ):
+        view = project_view(accounting_variant_compiled.afsa, BUYER)
+        witness = non_emptiness_witness(
+            intersect(view, buyer_compiled.afsa)
+        )
+        missing = {
+            name
+            for names in witness.missing_variables.values()
+            for name in names
+        }
+        assert "A#B#cancelOp" in missing
+
+
+class TestFig14PropagatedBuyer:
+    def test_pick_replaces_receive(self, buyer_fig14_compiled):
+        process = buyer_fig14_compiled.process
+        pick = process.find("delivery or cancel")
+        assert isinstance(pick, Pick)
+        assert {branch.operation for branch in pick.branches} == {
+            "deliveryOp",
+            "cancelOp",
+        }
+
+    def test_consistent_with_changed_accounting(
+        self, accounting_variant_compiled, buyer_fig14_compiled
+    ):
+        view = project_view(accounting_variant_compiled.afsa, BUYER)
+        assert not is_empty(
+            intersect(view, buyer_fig14_compiled.afsa)
+        )
+
+
+class TestFig15Fig16SubtractiveChange:
+    def test_loop_removed(self, accounting_subtractive_compiled):
+        process = accounting_subtractive_compiled.process
+        loops = [
+            activity
+            for activity in process.walk()
+            if isinstance(activity, While)
+        ]
+        assert loops == []
+
+    def test_fig16a_annotation(self, accounting_subtractive_compiled):
+        """Fig. 16a carries terminateOp AND get_statusOp — from the
+        accounting-side tracking-once switch."""
+        view = project_view(
+            accounting_subtractive_compiled.afsa, BUYER
+        )
+        rendered = {str(f) for f in view.annotations.values()}
+        assert (
+            "B#A#get_statusOp AND B#A#terminateOp" in rendered
+        )
+
+    def test_fig16b_intersection_empty(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        """Paper: 'The intersection automaton is empty, since there
+        exists an annotation containing the get_statusOp message which
+        is not available as a transition.'"""
+        view = project_view(
+            accounting_subtractive_compiled.afsa, BUYER
+        )
+        assert is_empty(intersect(view, buyer_compiled.afsa))
+
+    def test_fig16b_diagnosis_names_get_status(
+        self, accounting_subtractive_compiled, buyer_compiled
+    ):
+        view = project_view(
+            accounting_subtractive_compiled.afsa, BUYER
+        )
+        witness = non_emptiness_witness(
+            intersect(view, buyer_compiled.afsa)
+        )
+        missing = {
+            name
+            for names in witness.missing_variables.values()
+            for name in names
+        }
+        assert "B#A#get_statusOp" in missing
+
+
+class TestFig18PropagatedBuyer:
+    def test_no_loop_left(self, buyer_fig18_compiled):
+        loops = [
+            activity
+            for activity in buyer_fig18_compiled.process.walk()
+            if isinstance(activity, While)
+        ]
+        assert loops == []
+
+    def test_consistent_with_changed_accounting(
+        self, accounting_subtractive_compiled, buyer_fig18_compiled
+    ):
+        """Paper: 'after this propagation of changes, the intersection
+        … is non-empty, that is they are bilaterally consistent
+        again.'"""
+        view = project_view(
+            accounting_subtractive_compiled.afsa, BUYER
+        )
+        assert not is_empty(
+            intersect(view, buyer_fig18_compiled.afsa)
+        )
+
+    def test_tracking_bounded_to_one(self, buyer_fig18_compiled):
+        from repro.afsa.language import accepts
+
+        two_rounds = [
+            "B#A#orderOp",
+            "A#B#deliveryOp",
+            "B#A#get_statusOp",
+            "A#B#statusOp",
+            "B#A#get_statusOp",
+            "A#B#statusOp",
+            "B#A#terminateOp",
+        ]
+        assert not accepts(buyer_fig18_compiled.afsa, two_rounds)

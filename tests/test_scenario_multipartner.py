@@ -1,0 +1,219 @@
+"""Multi-partner propagation: changes that hit several conversations.
+
+Sect. 5.3 closes with "the propagation with the logistics has to be
+performed in a similar way" — the paper never shows it.  These tests
+construct accounting changes that break the buyer conversation, the
+logistics conversation, or both, and verify the engine propagates to
+exactly the affected partners.
+"""
+
+import pytest
+
+from repro.bpel.model import (
+    Case,
+    Invoke,
+    ProcessModel,
+    Receive,
+    Sequence,
+    Switch,
+    Terminate,
+)
+from repro.core.choreography import Choreography
+from repro.core.engine import EvolutionEngine
+from repro.scenario.procurement import (
+    ACCOUNTING,
+    BUYER,
+    LOGISTICS,
+    _accounting_links,
+    _accounting_tracking_loop,
+    accounting_private,
+    buyer_private,
+    logistics_private,
+)
+
+
+def accounting_with_expedited_delivery() -> ProcessModel:
+    """Accounting internally decides between normal and expedited
+    delivery requests to logistics — variant for L, invisible to B."""
+    return ProcessModel(
+        name="accounting",
+        party=ACCOUNTING,
+        partner_links=_accounting_links(),
+        activity=Sequence(
+            name="accounting process",
+            activities=[
+                Receive(partner=BUYER, operation="orderOp", name="order"),
+                Switch(
+                    name="shipping speed",
+                    cases=[
+                        Case(
+                            condition="urgent",
+                            activity=Invoke(
+                                partner=LOGISTICS,
+                                operation="deliver_expressOp",
+                                name="deliver express",
+                            ),
+                        ),
+                    ],
+                    otherwise=Invoke(
+                        partner=LOGISTICS,
+                        operation="deliverOp",
+                        name="deliver",
+                    ),
+                ),
+                Receive(partner=LOGISTICS, operation="deliver_confOp",
+                        name="deliver_conf"),
+                Invoke(partner=BUYER, operation="deliveryOp",
+                       name="delivery"),
+                _accounting_tracking_loop(),
+            ],
+        ),
+    )
+
+
+def accounting_with_cancel_and_express() -> ProcessModel:
+    """Both changes at once: cancel option (breaks B) and expedited
+    delivery (breaks L)."""
+    process = accounting_with_expedited_delivery()
+    root: Sequence = process.activity  # type: ignore[assignment]
+    root.activities[1] = Switch(
+        name="credit check",
+        cases=[
+            Case(
+                condition="credit bad",
+                activity=Sequence(
+                    name="cond cancel",
+                    activities=[
+                        Invoke(partner=BUYER, operation="cancelOp",
+                               name="cancel"),
+                        Terminate(),
+                    ],
+                ),
+            ),
+        ],
+        otherwise=root.activities[1],
+    )
+    return process
+
+
+@pytest.fixture
+def procurement():
+    choreography = Choreography("procurement")
+    choreography.add_partner(buyer_private())
+    choreography.add_partner(accounting_private())
+    choreography.add_partner(logistics_private())
+    return choreography
+
+
+class TestLogisticsOnlyVariant:
+    def test_variant_for_logistics_invariant_for_buyer(self, procurement):
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A", accounting_with_expedited_delivery(), commit=False
+        )
+        assert report.impact_for(BUYER).classification.propagation == (
+            "invariant"
+        )
+        assert report.impact_for(
+            LOGISTICS
+        ).classification.propagation == "variant"
+
+    def test_logistics_delta_names_express(self, procurement):
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A", accounting_with_expedited_delivery(), commit=False
+        )
+        impact = report.impact_for(LOGISTICS)
+        labels = {
+            str(delta.label)
+            for propagation in impact.propagations
+            for delta in propagation.deltas
+        }
+        assert "A#L#deliver_expressOp" in labels
+
+    def test_logistics_auto_adaptation(self, procurement):
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A",
+            accounting_with_expedited_delivery(),
+            auto_adapt=True,
+            commit=True,
+        )
+        impact = report.impact_for(LOGISTICS)
+        assert impact.consistent_after_adaptation
+        assert procurement.check_consistency().consistent
+        logistics = procurement.private(LOGISTICS)
+        assert logistics.find("deliver_expressOp") is not None
+
+
+class TestBothPartnersVariant:
+    def test_both_flagged_variant(self, procurement):
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A", accounting_with_cancel_and_express(), commit=False
+        )
+        assert report.impact_for(BUYER).classification.propagation == (
+            "variant"
+        )
+        assert report.impact_for(
+            LOGISTICS
+        ).classification.propagation == "variant"
+
+    def test_both_adapted_and_committed(self, procurement):
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A",
+            accounting_with_cancel_and_express(),
+            auto_adapt=True,
+            commit=True,
+        )
+        for party in (BUYER, LOGISTICS):
+            impact = report.impact_for(party)
+            assert impact.consistent_after_adaptation, party
+        assert procurement.check_consistency().consistent
+
+    def test_adaptations_are_independent(self, procurement):
+        """The buyer's edit concerns cancelOp, the logistics edit
+        concerns deliver_expressOp; neither partner learns about the
+        other conversation."""
+        engine = EvolutionEngine(procurement)
+        report = engine.apply_private_change(
+            "A",
+            accounting_with_cancel_and_express(),
+            auto_adapt=True,
+            commit=False,
+        )
+        buyer_ops = {
+            suggestion.operation.describe()
+            for suggestion in report.impact_for(BUYER).suggestions
+            if suggestion.operation
+        }
+        logistics_ops = {
+            suggestion.operation.describe()
+            for suggestion in report.impact_for(LOGISTICS).suggestions
+            if suggestion.operation
+        }
+        assert any("cancelOp" in op for op in buyer_ops)
+        assert all("deliver_express" not in op for op in buyer_ops)
+        assert any("deliver_express" in op for op in logistics_ops)
+        assert all("cancelOp" not in op for op in logistics_ops)
+
+
+class TestNegotiationAcrossPartners:
+    def test_two_partner_adaptation_via_negotiation(self):
+        from repro.core.negotiation import ChangeNegotiation, PartnerAgent
+
+        negotiation = ChangeNegotiation(
+            [
+                PartnerAgent(buyer_private()),
+                PartnerAgent(accounting_private()),
+                PartnerAgent(logistics_private()),
+            ]
+        )
+        outcome = negotiation.propose_change(
+            "A", accounting_with_cancel_and_express()
+        )
+        assert outcome.committed
+        assert outcome.replies[BUYER] == "adapt"
+        assert outcome.replies[LOGISTICS] == "adapt"
+        assert negotiation.check_consistency()

@@ -1,0 +1,99 @@
+"""Cross-validation: the symbolic consistency check vs. the executable
+conversation simulator, at workload scale.
+
+The paper's Sect. 3.2 claim — non-empty annotated intersection ⇔
+deadlock-free execution — is checked in both directions on seeded
+synthetic pairs:
+
+* consistent pairs: no sender-commit run may deadlock;
+* pairs broken by an injected mandatory alternative: the deadlock must
+  be observable within a bounded number of runs (the injected cancel
+  branch is committed with positive probability per visit).
+"""
+
+import pytest
+
+from repro.afsa.simulate import deadlock_probe
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.errors import ChangeError
+from repro.workload.generator import generate_partner_pair
+from repro.workload.mutations import inject_variant_additive
+
+SEEDS = [0, 1, 2, 3, 4, 5]
+
+
+def bilateral_views(initiator, responder):
+    left = compile_process(initiator).afsa
+    right = compile_process(responder).afsa
+    return (
+        project_view(left, responder.party),
+        project_view(right, initiator.party),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_consistent_pairs_never_deadlock(seed):
+    initiator, responder = generate_partner_pair(seed=seed, steps=3)
+    view_left, view_right = bilateral_views(initiator, responder)
+    assert not deadlock_probe(
+        view_left,
+        view_right,
+        runs=30,
+        party_names=[initiator.party, responder.party],
+        seed=seed * 100,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_broken_pairs_deadlock_observably(seed):
+    initiator, responder = generate_partner_pair(seed=seed, steps=3)
+    try:
+        change, _ = inject_variant_additive(initiator, seed=seed)
+    except ChangeError:
+        pytest.skip("no anchor")
+    broken = change.apply(initiator)
+    view_left, view_right = bilateral_views(broken, responder)
+    assert deadlock_probe(
+        view_left,
+        view_right,
+        runs=60,
+        party_names=[initiator.party, responder.party],
+        seed=seed * 100,
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_adapted_pairs_recover(seed):
+    """After engine auto-adaptation, the deadlock disappears again."""
+    from repro.core.choreography import Choreography
+    from repro.core.engine import EvolutionEngine
+
+    initiator, responder = generate_partner_pair(seed=seed, steps=3)
+    try:
+        change, _ = inject_variant_additive(initiator, seed=seed)
+    except ChangeError:
+        pytest.skip("no anchor")
+
+    choreography = Choreography(f"oracle-{seed}")
+    choreography.add_partner(initiator)
+    choreography.add_partner(responder)
+    engine = EvolutionEngine(choreography)
+    report = engine.apply_private_change(
+        initiator.party, change, auto_adapt=True, commit=True
+    )
+    impact = report.impact_for(responder.party)
+    if not impact.requires_propagation:
+        pytest.skip("change was invariant for this seed")
+    if not impact.consistent_after_adaptation:
+        pytest.skip("no executable adaptation for this seed")
+
+    view_left = choreography.view(responder.party, on=initiator.party)
+    view_right = choreography.view(initiator.party, on=responder.party)
+    assert not deadlock_probe(
+        view_left,
+        view_right,
+        runs=30,
+        party_names=[initiator.party, responder.party],
+        seed=seed * 100,
+    )

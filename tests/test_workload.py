@@ -1,0 +1,207 @@
+"""Unit tests for the synthetic workload generator and mutations."""
+
+import pytest
+
+from repro.afsa.emptiness import is_empty
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.bpel.validate import validate_process
+from repro.core.engine import EvolutionEngine
+from repro.errors import ChangeError
+from repro.workload.generator import (
+    generate_choreography,
+    generate_conversation,
+    generate_partner_pair,
+    random_afsa,
+    realize_process,
+)
+from repro.workload.mutations import (
+    inject_invariant_additive,
+    inject_variant_additive,
+    inject_variant_subtractive,
+    random_change,
+)
+
+
+class TestConversationSpec:
+    def test_deterministic(self):
+        first = generate_conversation("I", "R", seed=5)
+        second = generate_conversation("I", "R", seed=5)
+        assert first.operations() == second.operations()
+
+    def test_distinct_operations(self):
+        spec = generate_conversation("I", "R", seed=1, steps=6)
+        operations = spec.operations()
+        assert len(operations) == len(set(operations))
+
+    def test_loop_optional(self):
+        spec = generate_conversation("I", "R", seed=1, with_loop=False)
+        from repro.workload.generator import Loop
+
+        assert not any(
+            isinstance(step, Loop) for step in spec.steps
+        )
+
+
+class TestPartnerPairs:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pairs_validate(self, seed):
+        initiator, responder = generate_partner_pair(seed=seed, steps=3)
+        validate_process(initiator)
+        validate_process(responder)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pairs_consistent_by_construction(self, seed):
+        initiator, responder = generate_partner_pair(seed=seed, steps=3)
+        left = compile_process(initiator).afsa
+        right = compile_process(responder).afsa
+        view_left = project_view(left, responder.party)
+        view_right = project_view(right, initiator.party)
+        assert not is_empty(intersect(view_left, view_right))
+
+    def test_mirrored_alphabets(self):
+        initiator, responder = generate_partner_pair(seed=3, steps=4)
+        left = compile_process(initiator).afsa
+        right = compile_process(responder).afsa
+        assert left.alphabet == right.alphabet
+
+
+class TestChoreographyGeneration:
+    @pytest.mark.parametrize("spokes", [1, 2, 4])
+    def test_consistent(self, spokes):
+        choreography = generate_choreography(
+            seed=11, spokes=spokes, steps=2
+        )
+        report = choreography.check_consistency()
+        assert report.consistent
+        assert len(report.checks) == spokes
+
+    def test_party_naming(self):
+        choreography = generate_choreography(seed=2, spokes=3, steps=2)
+        assert choreography.parties() == ["H", "P1", "P2", "P3"]
+
+
+class TestRandomAfsa:
+    def test_deterministic(self):
+        assert random_afsa(seed=9) == random_afsa(seed=9)
+
+    def test_start_reaches_everything(self):
+        automaton = random_afsa(seed=4, states=12)
+        assert automaton.reachable_states() == set(automaton.states)
+
+    def test_has_finals(self):
+        assert random_afsa(seed=1).finals
+
+    def test_size_parameters(self):
+        automaton = random_afsa(seed=0, states=15, labels=6)
+        assert len(automaton.states) == 15
+        assert len(automaton.alphabet) == 6
+
+    def test_annotations_reference_local_labels(self):
+        automaton = random_afsa(
+            seed=3, states=10, annotation_probability=1.0
+        )
+        for state, formula in automaton.annotations.items():
+            from repro.formula.transform import variables
+
+            outgoing = {
+                str(t.label) for t in automaton.transitions_from(state)
+            }
+            assert variables(formula) <= outgoing
+
+
+class TestMutationCategories:
+    """Each injector must produce its ground-truth classification when
+    applied to the responder/initiator of a generated pair."""
+
+    def _engine(self, seed):
+        from repro.core.choreography import Choreography
+
+        initiator, responder = generate_partner_pair(
+            seed=seed, steps=3
+        )
+        choreography = Choreography(f"pair-{seed}")
+        choreography.add_partner(initiator)
+        choreography.add_partner(responder)
+        return choreography, initiator, responder
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_invariant_additive(self, seed):
+        choreography, initiator, _ = self._engine(seed)
+        try:
+            change, _ = inject_invariant_additive(initiator, seed=seed)
+        except ChangeError:
+            pytest.skip("no anchor in this seed")
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            initiator.party, change, commit=False
+        )
+        if report.public_changed:
+            for impact in report.impacts:
+                assert impact.classification.propagation == "invariant"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_variant_additive(self, seed):
+        choreography, initiator, responder = self._engine(seed)
+        try:
+            change, _ = inject_variant_additive(initiator, seed=seed)
+        except ChangeError:
+            pytest.skip("no anchor in this seed")
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            initiator.party, change, commit=False
+        )
+        impact = report.impact_for(responder.party)
+        assert impact.classification.additive
+        assert impact.classification.propagation == "variant"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_variant_subtractive(self, seed):
+        choreography, initiator, responder = self._engine(seed)
+        try:
+            change, _ = inject_variant_subtractive(
+                responder, seed=seed
+            )
+        except ChangeError:
+            pytest.skip("no boundable loop in this seed")
+        engine = EvolutionEngine(choreography)
+        report = engine.apply_private_change(
+            responder.party, change, commit=False
+        )
+        impact = report.impact_for(initiator.party)
+        assert impact.classification.subtractive
+        assert impact.classification.propagation == "variant"
+
+    def test_random_change_returns_category(self):
+        initiator, _ = generate_partner_pair(seed=0, steps=3)
+        category, operation, description = random_change(
+            initiator, seed=0
+        )
+        assert category in {
+            "invariant-additive",
+            "variant-additive",
+            "variant-subtractive",
+        }
+        assert description
+
+    def test_injectors_raise_without_anchor(self):
+        from repro.bpel.model import Assign, ProcessModel
+
+        bare = ProcessModel(name="bare", party="P", activity=Assign())
+        with pytest.raises(ChangeError):
+            inject_variant_additive(bare)
+        with pytest.raises(ChangeError):
+            inject_invariant_additive(bare)
+        with pytest.raises(ChangeError):
+            inject_variant_subtractive(bare)
+
+
+class TestRealizeProcess:
+    def test_both_sides_share_spec_language(self):
+        spec = generate_conversation("I", "R", seed=6, steps=3)
+        left = compile_process(realize_process(spec, "I")).afsa
+        right = compile_process(realize_process(spec, "R")).afsa
+        from repro.afsa.equivalence import language_equal
+
+        assert language_equal(left, right)
