@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate the golden process documents in ``examples/processes/``.
+
+The files are the serialized forms of the scenario builders in
+:mod:`repro.scenario.procurement` (the paper's Fig. 2/3 private
+processes) and are verified against the builders by
+``tests/test_golden_files.py``.  Re-run this script whenever a builder
+or a serialization format changes intentionally::
+
+    PYTHONPATH=src python examples/regenerate_golden.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bpel.dsl import process_to_dsl
+from repro.bpel.xml_io import process_to_xml
+from repro.scenario.procurement import (
+    accounting_private,
+    buyer_private,
+    logistics_private,
+)
+
+PROCESSES = Path(__file__).resolve().parent / "processes"
+
+FACTORIES = {
+    "buyer": buyer_private,
+    "accounting": accounting_private,
+    "logistics": logistics_private,
+}
+
+
+def main() -> int:
+    PROCESSES.mkdir(parents=True, exist_ok=True)
+    for name, factory in sorted(FACTORIES.items()):
+        process = factory()
+        xml_path = PROCESSES / f"{name}.xml"
+        dsl_path = PROCESSES / f"{name}.proc"
+        xml_path.write_text(process_to_xml(process), encoding="utf-8")
+        dsl_path.write_text(process_to_dsl(process), encoding="utf-8")
+        print(f"wrote {xml_path.name} and {dsl_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ built on:
 
 ========================  ====================================================
 :mod:`.automaton`         the aFSA type, builder, structural validation
+:mod:`.kernel`            interned integer-dense kernel the algorithms run on
 :mod:`.epsilon`           ε-closure and ε-elimination
 :mod:`.determinize`       subset construction (annotations conjoined)
 :mod:`.complete`          completion with a sink state (Def. 4 prerequisite)
@@ -29,6 +30,7 @@ built on:
 """
 
 from repro.afsa.automaton import AFSA, AFSABuilder, Transition
+from repro.afsa.kernel import Kernel, kernel_of, materialize
 from repro.afsa.annotations import (
     strip_annotations,
     weaken_unsupported_annotations,
@@ -76,6 +78,7 @@ __all__ = [
     "AFSABuilder",
     "ConversationResult",
     "EmptinessWitness",
+    "Kernel",
     "Transition",
     "AfsaMetrics",
     "accepted_words",
@@ -99,9 +102,11 @@ __all__ = [
     "is_consistent",
     "is_deterministic",
     "is_empty",
+    "kernel_of",
     "language_equal",
     "language_equal_bounded",
     "language_included",
+    "materialize",
     "minimize",
     "non_emptiness_witness",
     "project_view",

@@ -112,6 +112,8 @@ class AFSA:
         "name",
         "_by_source",
         "_by_source_label",
+        "_kernel",
+        "_view_memo",
     )
 
     def __init__(
@@ -181,19 +183,67 @@ class AFSA:
         self._alphabet = sigma
         self.name = name
 
-        # Derived indexes for O(1) successor queries.
-        by_source: dict[State, list[Transition]] = {}
-        by_source_label: dict[tuple[State, Label], set[State]] = {}
-        for transition in transition_objects:
-            by_source.setdefault(transition.source, []).append(transition)
-            key = (transition.source, transition.label)
-            by_source_label.setdefault(key, set()).add(transition.target)
-        self._by_source = by_source
-        self._by_source_label = by_source_label
+        # Successor indexes and the dense kernel are built lazily: many
+        # intermediate automata are only ever consumed through the
+        # kernel-backed algorithms and never answer successor queries.
+        self._by_source = None
+        self._by_source_label = None
+        self._kernel = None
+        self._view_memo = None
 
         problems = self._structural_problems()
         if problems:
             raise InvalidAutomatonError(problems)
+
+    @classmethod
+    def _trusted(
+        cls,
+        states: frozenset,
+        transitions: frozenset,
+        start: State,
+        finals: frozenset,
+        annotations: dict,
+        alphabet: "Alphabet",
+        name: str = "",
+    ) -> "AFSA":
+        """Internal constructor bypassing normalization and validation.
+
+        Callers (the kernel materializer, :meth:`with_name`) guarantee
+        the invariants the public constructor establishes: frozenset
+        components, parsed labels, simplified annotations with no
+        trivially-true entries, and structural consistency.
+        """
+        self = object.__new__(cls)
+        self._states = states
+        self._transitions = transitions
+        self._start = start
+        self._finals = finals
+        self._annotations = annotations
+        self._alphabet = alphabet
+        self.name = name
+        self._by_source = None
+        self._by_source_label = None
+        self._kernel = None
+        self._view_memo = None
+        return self
+
+    def _indexes(self) -> tuple[dict, dict]:
+        """Build (once) and return the successor indexes."""
+        by_source = self._by_source
+        if by_source is None:
+            by_source = {}
+            by_source_label: dict[tuple[State, Label], set[State]] = {}
+            for transition in self._transitions:
+                by_source.setdefault(transition.source, []).append(
+                    transition
+                )
+                key = (transition.source, transition.label)
+                by_source_label.setdefault(key, set()).add(
+                    transition.target
+                )
+            self._by_source = by_source
+            self._by_source_label = by_source_label
+        return self._by_source, self._by_source_label
 
     # -- components (Def. 2 tuple) ----------------------------------------
 
@@ -239,19 +289,20 @@ class AFSA:
 
     def transitions_from(self, state: State) -> list[Transition]:
         """Return all transitions whose source is *state*."""
-        return list(self._by_source.get(state, ()))
+        by_source, _ = self._indexes()
+        return list(by_source.get(state, ()))
 
     def successors(self, state: State, label: Label) -> set[State]:
         """Return ``{q' | (state, label, q') ∈ Δ}``."""
-        return set(
-            self._by_source_label.get((state, parse_label(label)), ())
-        )
+        _, by_source_label = self._indexes()
+        return set(by_source_label.get((state, parse_label(label)), ()))
 
     def labels_from(self, state: State) -> set[Label]:
         """Return the non-ε labels available from *state*."""
+        by_source, _ = self._indexes()
         return {
             transition.label
-            for transition in self._by_source.get(state, ())
+            for transition in by_source.get(state, ())
             if not transition.is_silent
         }
 
@@ -263,11 +314,12 @@ class AFSA:
 
     def reachable_states(self) -> set[State]:
         """Return states reachable from q0 (over Σ ∪ {ε})."""
+        by_source, _ = self._indexes()
         seen = {self._start}
         frontier = [self._start]
         while frontier:
             state = frontier.pop()
-            for transition in self._by_source.get(state, ()):
+            for transition in by_source.get(state, ()):
                 if transition.target not in seen:
                     seen.add(transition.target)
                     frontier.append(transition.target)
@@ -301,7 +353,7 @@ class AFSA:
 
     def with_name(self, name: str) -> "AFSA":
         """Return a copy of this automaton carrying *name*."""
-        return AFSA(
+        copy = AFSA._trusted(
             states=self._states,
             transitions=self._transitions,
             start=self._start,
@@ -310,6 +362,11 @@ class AFSA:
             alphabet=self._alphabet,
             name=name,
         )
+        # Share the derived structures: they do not depend on the name.
+        copy._by_source = self._by_source
+        copy._by_source_label = self._by_source_label
+        copy._kernel = self._kernel
+        return copy
 
     def trimmed(self) -> "AFSA":
         """Return the sub-automaton of reachable states.
@@ -346,6 +403,7 @@ class AFSA:
         (unreachable states last, in sorted-repr order) so repeated runs
         produce identical names — handy for golden tests and rendering.
         """
+        by_source, _ = self._indexes()
         order: list[State] = []
         seen: set[State] = set()
         queue = [self._start]
@@ -356,7 +414,7 @@ class AFSA:
             seen.add(state)
             order.append(state)
             outgoing = sorted(
-                self._by_source.get(state, ()),
+                by_source.get(state, ()),
                 key=lambda transition: (
                     label_text(transition.label),
                     repr(transition.target),

@@ -6,7 +6,8 @@ union (Sect. 5.2 step "ad 2": ``A ∪ B ≡ ¬(¬A ∩ ¬B)``).  Complementing a
 requirements on a partner, and "everything except these conversations"
 carries no requirement structure — so :func:`complement` drops
 annotations and complements the unannotated language: determinize,
-complete, swap final and non-final states.
+complete, swap final and non-final states.  All three steps run on the
+integer-dense kernel (:mod:`repro.afsa.kernel`).
 """
 
 from __future__ import annotations
@@ -14,8 +15,14 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.afsa.automaton import AFSA
-from repro.afsa.complete import complete
-from repro.afsa.determinize import determinize
+from repro.afsa.kernel import (
+    Kernel,
+    interned_label_ids,
+    k_complete,
+    k_determinize,
+    kernel_of,
+    materialize,
+)
 from repro.messages.label import Label
 
 
@@ -31,16 +38,22 @@ def complement(
             to the automaton's own Σ.
         name: optional name for the result.
     """
-    dfa = complete(determinize(automaton), alphabet=alphabet)
-    finals = [state for state in dfa.states if state not in dfa.finals]
+    dfa = k_complete(
+        k_determinize(kernel_of(automaton)), interned_label_ids(alphabet)
+    )
+    flipped = Kernel(
+        n=dfa.n,
+        start=dfa.start,
+        names=list(dfa.names),
+        finals=frozenset(
+            state for state in range(dfa.n) if state not in dfa.finals
+        ),
+        ann={},
+        adj=dfa.adj,
+        eps=dfa.eps,
+        alphabet_ids=dfa.alphabet_ids,
+    )
+    flipped._deterministic = True
     if not name:
         name = f"¬({automaton.name or 'A'})"
-    return AFSA(
-        states=dfa.states,
-        transitions=[t.as_tuple() for t in dfa.transitions],
-        start=dfa.start,
-        finals=finals,
-        annotations={},
-        alphabet=dfa.alphabet,
-        name=name,
-    )
+    return materialize(flipped, name=name)

@@ -3,21 +3,25 @@
 Def. 4 (difference) "requires that the automata are complete; i.e., for
 every state there exists an outgoing transition for each element of the
 alphabet Σ".  :func:`complete` adds the classic trap/sink state carrying
-the default annotation ``true``.
+the default annotation ``true``.  Runs on the integer-dense kernel
+(:mod:`repro.afsa.kernel`), so the completeness check is a cheap
+per-source key-subset test instead of a per-label set probe.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from repro.afsa.kernel import (
+    SINK_NAME,
+    interned_label_ids,
+    k_complete,
+    k_is_complete,
+    kernel_of,
+    materialize,
+)
 from repro.afsa.automaton import AFSA
-from repro.messages.alphabet import Alphabet
 from repro.messages.label import Label
-
-#: Name of the synthetic sink state added by :func:`complete`.  A plain
-#: string keeps serialized automata readable; collision with user states
-#: is handled by suffixing.
-SINK_NAME = "__sink__"
 
 
 def is_complete(
@@ -29,15 +33,12 @@ def is_complete(
         alphabet: check against this alphabet instead of the automaton's
             own Σ (difference completes over Σ1 ∪ Σ2).
     """
-    sigma = Alphabet(alphabet) if alphabet is not None else automaton.alphabet
-    if automaton.has_epsilon():
-        return False
-    for state in automaton.states:
-        available = automaton.labels_from(state)
-        for label in sigma:
-            if label not in available:
-                return False
-    return True
+    kernel = kernel_of(automaton)
+    if alphabet is not None:
+        sigma = interned_label_ids(alphabet)
+    else:
+        sigma = kernel.alphabet_ids
+    return k_is_complete(kernel, sigma)
 
 
 def complete(
@@ -50,42 +51,8 @@ def complete(
     ε-transitions first); already-complete automata are returned with the
     extended alphabet only.
     """
-    if automaton.has_epsilon():
-        raise ValueError(
-            "complete() requires an ε-free automaton; "
-            "call remove_epsilon() first"
-        )
-    sigma = automaton.alphabet
-    if alphabet is not None:
-        sigma = sigma.union(Alphabet(alphabet))
-
-    sink = SINK_NAME
-    while sink in automaton.states:
-        sink += "_"
-
-    transitions = [
-        transition.as_tuple() for transition in automaton.transitions
-    ]
-    sink_needed = False
-    for state in automaton.states:
-        available = automaton.labels_from(state)
-        for label in sigma:
-            if label not in available:
-                transitions.append((state, label, sink))
-                sink_needed = True
-
-    states = set(automaton.states)
-    if sink_needed:
-        states.add(sink)
-        for label in sigma:
-            transitions.append((sink, label, sink))
-
-    return AFSA(
-        states=states,
-        transitions=transitions,
-        start=automaton.start,
-        finals=automaton.finals,
-        annotations=automaton.annotations,
-        alphabet=sigma,
-        name=automaton.name,
-    )
+    kernel = kernel_of(automaton)
+    result = k_complete(kernel, interned_label_ids(alphabet))
+    if result is kernel:
+        return automaton
+    return materialize(result, name=automaton.name)

@@ -14,28 +14,22 @@ conservative: the unannotated language is preserved exactly, while the
 annotated language may shrink (never grow).  The paper's own pipelines
 only determinize automata whose merged states carry compatible
 annotations, where the construction is exact.
+
+The construction runs on the integer-dense kernel
+(:mod:`repro.afsa.kernel`); the determinized kernel is memoized on the
+operand so repeated determinization (difference, complement, minimize)
+pays once.
 """
 
 from __future__ import annotations
 
 from repro.afsa.automaton import AFSA
-from repro.afsa.epsilon import remove_epsilon
-from repro.formula.ast import TRUE, Formula
-from repro.formula.simplify import conjoin
-from repro.messages.label import label_text
+from repro.afsa.kernel import k_determinize, kernel_of, materialize
 
 
 def is_deterministic(automaton: AFSA) -> bool:
     """Return True if the automaton is ε-free with ≤1 successor per label."""
-    if automaton.has_epsilon():
-        return False
-    seen: set[tuple] = set()
-    for transition in automaton.transitions:
-        key = (transition.source, transition.label)
-        if key in seen:
-            return False
-        seen.add(key)
-    return True
+    return kernel_of(automaton).deterministic
 
 
 def determinize(automaton: AFSA) -> AFSA:
@@ -45,46 +39,8 @@ def determinize(automaton: AFSA) -> AFSA:
     ε-transitions are eliminated first.  Macro states are frozensets of
     original states; use :meth:`AFSA.relabel_states` for compact names.
     """
-    base = remove_epsilon(automaton)
-    if is_deterministic(base):
-        return base
-
-    start = frozenset({base.start})
-    macro_states = {start}
-    transitions = []
-    frontier = [start]
-    while frontier:
-        macro = frontier.pop()
-        by_label: dict = {}
-        for member in macro:
-            for transition in base.transitions_from(member):
-                by_label.setdefault(transition.label, set()).add(
-                    transition.target
-                )
-        for label in sorted(by_label, key=label_text):
-            successor = frozenset(by_label[label])
-            transitions.append((macro, label, successor))
-            if successor not in macro_states:
-                macro_states.add(successor)
-                frontier.append(successor)
-
-    finals = [
-        macro for macro in macro_states if macro & base.finals
-    ]
-    annotations: dict[frozenset, Formula] = {}
-    for macro in macro_states:
-        formula: Formula = TRUE
-        for member in sorted(macro, key=repr):
-            formula = conjoin(formula, base.annotation(member))
-        if formula != TRUE:
-            annotations[macro] = formula
-
-    return AFSA(
-        states=macro_states,
-        transitions=transitions,
-        start=start,
-        finals=finals,
-        annotations=annotations,
-        alphabet=base.alphabet,
-        name=base.name,
-    )
+    kernel = kernel_of(automaton)
+    result = k_determinize(kernel)
+    if result is kernel:
+        return automaton
+    return materialize(result, name=automaton.name)

@@ -20,15 +20,16 @@ Two implementation notes (both recorded as deviations in DESIGN.md):
 
 Per Def. 4 the result keeps **QA1 only** — annotations of the left
 operand; the subtrahend contributes no requirements.
+
+Runs on the integer-dense kernel (:mod:`repro.afsa.kernel`): the
+determinized operand kernels are memoized, so classifying one change
+against N partners determinizes each public process once, not N times.
 """
 
 from __future__ import annotations
 
 from repro.afsa.automaton import AFSA
-from repro.afsa.complete import complete
-from repro.afsa.determinize import determinize
-from repro.formula.ast import TRUE, Formula
-from repro.messages.label import label_text
+from repro.afsa.kernel import k_difference, kernel_of, materialize
 
 
 def difference(left: AFSA, right: AFSA, name: str = "") -> AFSA:
@@ -37,52 +38,10 @@ def difference(left: AFSA, right: AFSA, name: str = "") -> AFSA:
     Both operands are determinized and completed over ``Σ1 ∪ Σ2``; the
     result carries the left operand's annotations (QA1).
     """
-    sigma = left.alphabet.union(right.alphabet)
-    a = complete(determinize(left), alphabet=sigma)
-    b = complete(determinize(right), alphabet=sigma)
-
-    start = (a.start, b.start)
-    states = {start}
-    transitions = []
-    frontier = [start]
-    while frontier:
-        state = frontier.pop()
-        state_a, state_b = state
-        for label in sorted(sigma, key=label_text):
-            targets_a = a.successors(state_a, label)
-            targets_b = b.successors(state_b, label)
-            # Completion + determinization guarantee exactly one successor.
-            for target_a in targets_a:
-                for target_b in targets_b:
-                    target = (target_a, target_b)
-                    transitions.append((state, label, target))
-                    if target not in states:
-                        states.add(target)
-                        frontier.append(target)
-
-    finals = [
-        (state_a, state_b)
-        for (state_a, state_b) in states
-        if state_a in a.finals and state_b not in b.finals
-    ]
-
-    annotations: dict[tuple, Formula] = {}
-    for state in states:
-        formula = a.annotation(state[0])
-        if formula != TRUE:
-            annotations[state] = formula
-
     if not name:
         left_name = left.name or "A"
         right_name = right.name or "B"
         name = f"({left_name} \\ {right_name})"
-
-    return AFSA(
-        states=states,
-        transitions=transitions,
-        start=start,
-        finals=finals,
-        annotations=annotations,
-        alphabet=sigma,
-        name=name,
+    return materialize(
+        k_difference(kernel_of(left), kernel_of(right)), name=name
     )

@@ -38,7 +38,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.afsa.automaton import AFSA, State
-from repro.afsa.product import intersect
+from repro.afsa.kernel import (
+    k_good_states,
+    k_intersect,
+    k_is_empty,
+    kernel_of,
+)
 from repro.formula.ast import TRUE
 from repro.formula.evaluate import evaluate
 from repro.formula.transform import variables as formula_variables
@@ -48,46 +53,9 @@ from repro.messages.label import Label, label_text
 def good_states(automaton: AFSA) -> set:
     """Return the set of *good* states (greatest fixpoint, see module
     docstring)."""
-    good: set = set(automaton.states)
-    while True:
-        live = _live_within(automaton, good)
-        survivors = {
-            state
-            for state in live
-            if _annotation_holds(automaton, state, live)
-        }
-        if survivors == good:
-            return survivors
-        good = survivors
-
-
-def _live_within(automaton: AFSA, good: set) -> set:
-    """States in *good* from which a final state is reachable through
-    *good* states only (backward reachability from the good finals)."""
-    inverse: dict[State, set[State]] = {}
-    for transition in automaton.transitions:
-        if transition.source in good and transition.target in good:
-            inverse.setdefault(transition.target, set()).add(
-                transition.source
-            )
-    live = {state for state in automaton.finals if state in good}
-    frontier = list(live)
-    while frontier:
-        state = frontier.pop()
-        for predecessor in inverse.get(state, ()):
-            if predecessor not in live:
-                live.add(predecessor)
-                frontier.append(predecessor)
-    return live
-
-
-def _annotation_holds(automaton: AFSA, state: State, good: set) -> bool:
-    supported = {
-        label_text(transition.label)
-        for transition in automaton.transitions_from(state)
-        if not transition.is_silent and transition.target in good
-    }
-    return evaluate(automaton.annotation(state), supported)
+    kernel = kernel_of(automaton)
+    names = kernel.names
+    return {names[i] for i in k_good_states(kernel)}
 
 
 def is_empty(automaton: AFSA, annotated: bool = True) -> bool:
@@ -100,19 +68,18 @@ def is_empty(automaton: AFSA, annotated: bool = True) -> bool:
             what a plain-FSA consistency check would do — the ablation
             benches quantify how much it misses.
     """
-    if annotated:
-        return automaton.start not in good_states(automaton)
-    reachable = automaton.reachable_states()
-    return not (reachable & set(automaton.finals))
+    return k_is_empty(kernel_of(automaton), annotated=annotated)
 
 
 def is_consistent(left: AFSA, right: AFSA, annotated: bool = True) -> bool:
     """Bilateral consistency: ``left ∩ right ≠ ∅`` (Sect. 3.2).
 
     Non-emptiness of the intersection guarantees deadlock-free execution
-    of the two public processes.
+    of the two public processes.  The product and the emptiness test run
+    entirely on the kernel; no public intersection automaton is built.
     """
-    return not is_empty(intersect(left, right), annotated=annotated)
+    product = k_intersect(kernel_of(left), kernel_of(right))
+    return not k_is_empty(product, annotated=annotated)
 
 
 @dataclass

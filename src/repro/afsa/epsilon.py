@@ -10,26 +10,29 @@ anything, so the partner must satisfy the requirements of every state in
 the closure — annotations across an ε-closure are **conjoined** (see
 DESIGN.md).  This choice reproduces the annotation placement of the
 paper's Figs. 8, 10a, 12a and 16a.
+
+The heavy lifting happens on the integer-dense kernel
+(:mod:`repro.afsa.kernel`): ε-closures are computed once per automaton
+and memoized, and an automaton that is already ε-free and trimmed is
+returned unchanged instead of being copied.
 """
 
 from __future__ import annotations
 
 from repro.afsa.automaton import AFSA, State
+from repro.afsa.kernel import k_remove_epsilon, kernel_of, materialize
 from repro.formula.ast import TRUE, Formula
 from repro.formula.simplify import conjoin
 
 
 def epsilon_closure(automaton: AFSA, state: State) -> frozenset:
     """Return the set of states reachable from *state* via ε-moves only."""
-    closure = {state}
-    frontier = [state]
-    while frontier:
-        current = frontier.pop()
-        for transition in automaton.transitions_from(current):
-            if transition.is_silent and transition.target not in closure:
-                closure.add(transition.target)
-                frontier.append(transition.target)
-    return frozenset(closure)
+    kernel = kernel_of(automaton)
+    index = kernel.index().get(state)
+    if index is None:
+        return frozenset({state})
+    names = kernel.names
+    return frozenset(names[i] for i in kernel.closures()[index])
 
 
 def closure_annotation(automaton: AFSA, closure: frozenset) -> Formula:
@@ -45,39 +48,11 @@ def remove_epsilon(automaton: AFSA) -> AFSA:
 
     Each original state keeps its identity; it inherits the non-ε
     transitions, finality, and (conjoined) annotations of its ε-closure.
-    Unreachable states are dropped.
+    Unreachable states are dropped.  Already ε-free, fully reachable
+    automata are returned as-is (the kernel memo makes the check free).
     """
-    if not automaton.has_epsilon():
-        return automaton.trimmed()
-
-    closures = {
-        state: epsilon_closure(automaton, state)
-        for state in automaton.states
-    }
-
-    transitions = []
-    finals = []
-    annotations: dict[State, Formula] = {}
-    for state, closure in closures.items():
-        if closure & automaton.finals:
-            finals.append(state)
-        formula = closure_annotation(automaton, closure)
-        if formula != TRUE:
-            annotations[state] = formula
-        for member in closure:
-            for transition in automaton.transitions_from(member):
-                if not transition.is_silent:
-                    transitions.append(
-                        (state, transition.label, transition.target)
-                    )
-
-    result = AFSA(
-        states=automaton.states,
-        transitions=transitions,
-        start=automaton.start,
-        finals=finals,
-        annotations=annotations,
-        alphabet=automaton.alphabet,
-        name=automaton.name,
-    )
-    return result.trimmed()
+    kernel = kernel_of(automaton)
+    result = k_remove_epsilon(kernel)
+    if result is kernel:
+        return automaton
+    return materialize(result, name=automaton.name)

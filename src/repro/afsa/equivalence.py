@@ -5,19 +5,23 @@ The propagation criterion of Sect. 4.2 starts from protocol equivalence:
 helpers implement the language-level building blocks: inclusion and
 equality via emptiness of differences, plus a bounded enumeration check
 used to cross-validate the symbolic operators in the test suite.
+
+Inclusion runs entirely on the integer-dense kernel
+(:mod:`repro.afsa.kernel`): the Def. 4 difference product is explored on
+the fly and short-circuits at the first accepting pair, without ever
+materializing the difference automaton.
 """
 
 from __future__ import annotations
 
 from repro.afsa.automaton import AFSA
-from repro.afsa.difference import difference
-from repro.afsa.emptiness import is_empty
+from repro.afsa.kernel import k_language_included, kernel_of
 from repro.afsa.language import accepted_words
 
 
 def language_included(left: AFSA, right: AFSA) -> bool:
     """Return True iff L(left) ⊆ L(right) (unannotated languages)."""
-    return is_empty(difference(left, right), annotated=False)
+    return k_language_included(kernel_of(left), kernel_of(right))
 
 
 def language_equal(left: AFSA, right: AFSA) -> bool:

@@ -1,0 +1,893 @@
+"""The interned integer-dense kernel behind the aFSA operator algebra.
+
+Every algorithm in this package (ε-elimination, subset construction,
+product, difference, completion, minimization, emptiness) used to run
+directly on :class:`~repro.afsa.automaton.AFSA` instances: hashable
+arbitrary state objects, frozensets everywhere, and a full validating
+``AFSA.__init__`` for every intermediate result.  The kernel replaces
+that with a dense representation:
+
+* states are contiguous ints ``0..n-1`` (original identities kept in
+  :attr:`Kernel.names` for materialization at API boundaries),
+* labels are interned to ints via the process-wide
+  :data:`repro.messages.alphabet.INTERNER` table, shared across all
+  kernels so products and differences compare label ids directly,
+* transitions live in per-source adjacency dicts grouped by label id
+  (``adj[source][label_id] -> (target, ...)``) with ε-moves in a
+  separate ``eps[source]`` array,
+* derived facts — ε-closures, reachability, the determinism flag, the
+  ε-free and determinized forms — are computed once and memoized on the
+  kernel instead of being recomputed by every operator call.
+
+Public ``AFSA`` values are only materialized at API boundaries via
+:func:`materialize`, which uses the trusted ``AFSA._trusted``
+constructor (no revalidation, no label re-parsing, no annotation
+re-simplification) and attaches the kernel to the result so chained
+operator calls never rebuild it.
+
+State-naming conventions of the original operators are preserved
+exactly: ε-elimination keeps original identities, determinization
+produces frozensets of base states, products produce pairs, completion
+adds the ``__sink__`` state, and minimization numbers blocks ``m0…`` in
+BFS order — so golden tests and the paper-figure reproductions are
+bit-for-bit unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.afsa.automaton import AFSA, Transition
+from repro.formula.ast import TRUE, Formula
+from repro.formula.evaluate import evaluate
+from repro.formula.simplify import conjoin
+from repro.messages.alphabet import Alphabet, INTERNER
+from repro.messages.label import EPSILON
+
+#: Name of the synthetic sink state added by completion (kept in sync
+#: with the historical ``repro.afsa.complete.SINK_NAME``).
+SINK_NAME = "__sink__"
+
+
+def interned_label_ids(labels) -> frozenset:
+    """Intern an optional label iterable to a frozenset of label ids.
+
+    ``None`` (the "no extra alphabet" convention of completion and
+    complement) becomes the empty set; ε is never interned.
+    """
+    if labels is None:
+        return frozenset()
+    return frozenset(
+        INTERNER.intern(label) for label in Alphabet(labels)._labels
+    )
+
+
+class Kernel:
+    """A dense aFSA: int states, interned int labels, memoized facts."""
+
+    __slots__ = (
+        "n",
+        "start",
+        "names",
+        "finals",
+        "ann",
+        "adj",
+        "eps",
+        "alphabet_ids",
+        "has_epsilon",
+        "_index",
+        "_closures",
+        "_reachable",
+        "_deterministic",
+        "_eps_free",
+        "_det",
+        "_sorted_labels",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        start: int,
+        names: list,
+        finals: frozenset,
+        ann: dict,
+        adj: list,
+        eps: list,
+        alphabet_ids: frozenset,
+    ):
+        self.n = n
+        self.start = start
+        self.names = names
+        self.finals = finals
+        self.ann = ann
+        self.adj = adj
+        self.eps = eps
+        self.alphabet_ids = alphabet_ids
+        self.has_epsilon = any(eps)
+        self._index = None
+        self._closures = None
+        self._reachable = None
+        self._deterministic = None
+        self._eps_free = None
+        self._det = None
+        self._sorted_labels = None
+
+    # -- memoized derived facts -------------------------------------------
+
+    def index(self) -> dict:
+        """Return (and cache) the name → int mapping."""
+        if self._index is None:
+            self._index = {
+                name: i for i, name in enumerate(self.names)
+            }
+        return self._index
+
+    @property
+    def deterministic(self) -> bool:
+        """ε-free with at most one successor per (state, label)."""
+        if self._deterministic is None:
+            self._deterministic = not self.has_epsilon and all(
+                len(targets) <= 1
+                for row in self.adj
+                for targets in row.values()
+            )
+        return self._deterministic
+
+    def closures(self) -> list:
+        """Return (and cache) the ε-closure of every state as a tuple."""
+        if self._closures is None:
+            eps = self.eps
+            closures: list = [None] * self.n
+            for state in range(self.n):
+                if not eps[state]:
+                    closures[state] = (state,)
+                    continue
+                seen = {state}
+                frontier = [state]
+                while frontier:
+                    current = frontier.pop()
+                    for target in eps[current]:
+                        if target not in seen:
+                            seen.add(target)
+                            frontier.append(target)
+                closures[state] = tuple(seen)
+            self._closures = closures
+        return self._closures
+
+    def reachable(self) -> frozenset:
+        """Return (and cache) states reachable from start (Σ ∪ {ε})."""
+        if self._reachable is None:
+            seen = {self.start}
+            frontier = [self.start]
+            adj = self.adj
+            eps = self.eps
+            while frontier:
+                state = frontier.pop()
+                for targets in adj[state].values():
+                    for target in targets:
+                        if target not in seen:
+                            seen.add(target)
+                            frontier.append(target)
+                for target in eps[state]:
+                    if target not in seen:
+                        seen.add(target)
+                        frontier.append(target)
+            self._reachable = frozenset(seen)
+        return self._reachable
+
+    def sorted_label_ids(self) -> list:
+        """Return Σ's label ids sorted by canonical label text."""
+        if self._sorted_labels is None:
+            self._sorted_labels = sorted(
+                self.alphabet_ids, key=INTERNER.text
+            )
+        return self._sorted_labels
+
+    def annotation(self, state: int) -> Formula:
+        """Return the annotation of int state *state* (default true)."""
+        return self.ann.get(state, TRUE)
+
+
+# -- AFSA ⇄ kernel conversion ------------------------------------------------
+
+
+def kernel_of(automaton: AFSA) -> Kernel:
+    """Return (building and caching on first use) *automaton*'s kernel."""
+    kernel = automaton._kernel
+    if kernel is None:
+        kernel = _build_kernel(automaton)
+        automaton._kernel = kernel
+    return kernel
+
+
+def _build_kernel(automaton: AFSA) -> Kernel:
+    names = list(automaton.states)
+    index = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    intern = INTERNER.intern
+
+    adj_lists: list = [None] * n
+    eps_lists: list = [None] * n
+    for transition in automaton.transitions:
+        source = index[transition.source]
+        target = index[transition.target]
+        if transition.is_silent:
+            bucket = eps_lists[source]
+            if bucket is None:
+                bucket = eps_lists[source] = []
+            bucket.append(target)
+        else:
+            row = adj_lists[source]
+            if row is None:
+                row = adj_lists[source] = {}
+            row.setdefault(intern(transition.label), []).append(target)
+
+    adj = [
+        {}
+        if row is None
+        else {lid: tuple(targets) for lid, targets in row.items()}
+        for row in adj_lists
+    ]
+    eps = [() if bucket is None else tuple(bucket) for bucket in eps_lists]
+
+    kernel = Kernel(
+        n=n,
+        start=index[automaton.start],
+        names=names,
+        finals=frozenset(index[name] for name in automaton.finals),
+        ann={
+            index[name]: formula
+            for name, formula in automaton._annotations.items()
+        },
+        adj=adj,
+        eps=eps,
+        alphabet_ids=frozenset(
+            intern(label) for label in automaton.alphabet._labels
+        ),
+    )
+    kernel._index = index
+    return kernel
+
+
+def materialize(kernel: Kernel, name: str = "") -> AFSA:
+    """Materialize a public :class:`AFSA` from *kernel* (trusted path)."""
+    label_of = INTERNER.label
+    names = kernel.names
+    transitions = []
+    for source, row in enumerate(kernel.adj):
+        source_name = names[source]
+        for lid, targets in row.items():
+            label = label_of(lid)
+            for target in targets:
+                transitions.append(
+                    Transition(source_name, label, names[target])
+                )
+    for source, targets in enumerate(kernel.eps):
+        source_name = names[source]
+        for target in targets:
+            transitions.append(
+                Transition(source_name, EPSILON, names[target])
+            )
+
+    automaton = AFSA._trusted(
+        states=frozenset(names),
+        transitions=frozenset(transitions),
+        start=names[kernel.start],
+        finals=frozenset(names[i] for i in kernel.finals),
+        annotations={
+            names[i]: formula for i, formula in kernel.ann.items()
+        },
+        alphabet=Alphabet._from_parsed(
+            frozenset(label_of(lid) for lid in kernel.alphabet_ids)
+        ),
+        name=name,
+    )
+    automaton._kernel = kernel
+    return automaton
+
+
+# -- core constructions ------------------------------------------------------
+
+
+def k_trim(kernel: Kernel) -> Kernel:
+    """Restrict *kernel* to the states reachable from start."""
+    reachable = kernel.reachable()
+    if len(reachable) == kernel.n:
+        return kernel
+    order = sorted(reachable)
+    remap = {old: new for new, old in enumerate(order)}
+    trimmed = Kernel(
+        n=len(order),
+        start=remap[kernel.start],
+        names=[kernel.names[old] for old in order],
+        finals=frozenset(
+            remap[state] for state in kernel.finals if state in reachable
+        ),
+        ann={
+            remap[state]: formula
+            for state, formula in kernel.ann.items()
+            if state in reachable
+        },
+        adj=[
+            {
+                lid: tuple(remap[t] for t in targets)
+                for lid, targets in kernel.adj[old].items()
+            }
+            for old in order
+        ],
+        eps=[
+            tuple(remap[t] for t in kernel.eps[old]) for old in order
+        ],
+        alphabet_ids=kernel.alphabet_ids,
+    )
+    return trimmed
+
+
+def k_remove_epsilon(kernel: Kernel) -> Kernel:
+    """ε-free equivalent with the original state identities (trimmed).
+
+    Matches the historical ``remove_epsilon``: every state inherits the
+    non-ε transitions, finality, and conjoined annotations of its
+    ε-closure (conjunction ordered by the repr of the member names);
+    unreachable states are dropped.
+    """
+    if kernel._eps_free is not None:
+        return kernel._eps_free
+
+    if not kernel.has_epsilon:
+        result = k_trim(kernel)
+    else:
+        closures = kernel.closures()
+        names = kernel.names
+        finals = kernel.finals
+        ann = kernel.ann
+        adj = kernel.adj
+
+        new_finals = set()
+        new_ann: dict = {}
+        new_adj: list = []
+        for state in range(kernel.n):
+            closure = closures[state]
+            if len(closure) == 1:
+                if state in finals:
+                    new_finals.add(state)
+                formula = ann.get(state, TRUE)
+                row = dict(adj[state])
+            else:
+                if any(member in finals for member in closure):
+                    new_finals.add(state)
+                formula = TRUE
+                for member in sorted(
+                    closure, key=lambda i: repr(names[i])
+                ):
+                    member_formula = ann.get(member)
+                    if member_formula is not None:
+                        formula = conjoin(formula, member_formula)
+                merged: dict = {}
+                for member in closure:
+                    for lid, targets in adj[member].items():
+                        bucket = merged.get(lid)
+                        if bucket is None:
+                            merged[lid] = set(targets)
+                        else:
+                            bucket.update(targets)
+                row = {
+                    lid: tuple(targets)
+                    for lid, targets in merged.items()
+                }
+            if formula != TRUE:
+                new_ann[state] = formula
+            new_adj.append(row)
+
+        intermediate = Kernel(
+            n=kernel.n,
+            start=kernel.start,
+            names=list(names),
+            finals=frozenset(new_finals),
+            ann=new_ann,
+            adj=new_adj,
+            eps=[()] * kernel.n,
+            alphabet_ids=kernel.alphabet_ids,
+        )
+        result = k_trim(intermediate)
+
+    result._eps_free = result
+    kernel._eps_free = result
+    return result
+
+
+def k_determinize(kernel: Kernel) -> Kernel:
+    """Subset construction (annotations conjoined per macro state).
+
+    Macro-state names are frozensets of the ε-free base-state names,
+    exactly as the historical ``determinize`` produced.
+    """
+    if kernel._det is not None:
+        return kernel._det
+    base = k_remove_epsilon(kernel)
+    if base.deterministic:
+        kernel._det = base
+        return base
+    if base._det is not None:
+        kernel._det = base._det
+        return base._det
+
+    names = base.names
+    adj = base.adj
+
+    start_key = frozenset({base.start})
+    macro_ids: dict = {start_key: 0}
+    macro_members: list = [start_key]
+    transitions: list = [{}]
+    frontier = [start_key]
+    while frontier:
+        macro = frontier.pop()
+        macro_id = macro_ids[macro]
+        by_label: dict = {}
+        for member in macro:
+            for lid, targets in adj[member].items():
+                bucket = by_label.get(lid)
+                if bucket is None:
+                    by_label[lid] = set(targets)
+                else:
+                    bucket.update(targets)
+        row = transitions[macro_id]
+        for lid, successor_set in by_label.items():
+            successor = frozenset(successor_set)
+            successor_id = macro_ids.get(successor)
+            if successor_id is None:
+                successor_id = len(macro_members)
+                macro_ids[successor] = successor_id
+                macro_members.append(successor)
+                transitions.append({})
+                frontier.append(successor)
+            row[lid] = (successor_id,)
+
+    base_finals = base.finals
+    base_ann = base.ann
+    finals = set()
+    ann: dict = {}
+    macro_names: list = []
+    for macro_id, members in enumerate(macro_members):
+        macro_names.append(frozenset(names[i] for i in members))
+        if any(member in base_finals for member in members):
+            finals.add(macro_id)
+        formula: Formula = TRUE
+        for member in sorted(members, key=lambda i: repr(names[i])):
+            member_formula = base_ann.get(member)
+            if member_formula is not None:
+                formula = conjoin(formula, member_formula)
+        if formula != TRUE:
+            ann[macro_id] = formula
+
+    result = Kernel(
+        n=len(macro_members),
+        start=0,
+        names=macro_names,
+        finals=frozenset(finals),
+        ann=ann,
+        adj=transitions,
+        eps=[()] * len(macro_members),
+        alphabet_ids=base.alphabet_ids,
+    )
+    result._deterministic = True
+    result._eps_free = result
+    result._det = result
+    base._det = result
+    kernel._det = result
+    return result
+
+
+def k_is_complete(kernel: Kernel, sigma_ids: frozenset) -> bool:
+    """True if every state has a transition for every label in Σ."""
+    if kernel.has_epsilon:
+        return False
+    return all(
+        sigma_ids <= row.keys() for row in kernel.adj
+    )
+
+
+def k_complete(kernel: Kernel, sigma_ids: frozenset) -> Kernel:
+    """Complete *kernel* over Σ ∪ *sigma_ids* with a non-final sink.
+
+    The input must be ε-free.  Already-complete kernels are returned
+    with the extended alphabet only.
+    """
+    if kernel.has_epsilon:
+        raise ValueError(
+            "complete() requires an ε-free automaton; "
+            "call remove_epsilon() first"
+        )
+    sigma = kernel.alphabet_ids | sigma_ids
+    missing = [
+        (state, [lid for lid in sigma if lid not in kernel.adj[state]])
+        for state in range(kernel.n)
+    ]
+    if not any(lids for _, lids in missing):
+        if sigma == kernel.alphabet_ids:
+            return kernel
+        result = Kernel(
+            n=kernel.n,
+            start=kernel.start,
+            names=list(kernel.names),
+            finals=kernel.finals,
+            ann=dict(kernel.ann),
+            adj=kernel.adj,
+            eps=kernel.eps,
+            alphabet_ids=sigma,
+        )
+        return result
+
+    sink_name = SINK_NAME
+    existing = set(kernel.names)
+    while sink_name in existing:
+        sink_name += "_"
+    sink = kernel.n
+
+    adj = []
+    for state, lids in missing:
+        row = dict(kernel.adj[state])
+        for lid in lids:
+            row[lid] = (sink,)
+        adj.append(row)
+    adj.append({lid: (sink,) for lid in sigma})
+
+    result = Kernel(
+        n=kernel.n + 1,
+        start=kernel.start,
+        names=list(kernel.names) + [sink_name],
+        finals=kernel.finals,
+        ann=dict(kernel.ann),
+        adj=adj,
+        eps=[()] * (kernel.n + 1),
+        alphabet_ids=sigma,
+    )
+    return result
+
+
+def k_intersect(left: Kernel, right: Kernel) -> Kernel:
+    """Annotated intersection (Def. 3) of two kernels.
+
+    Operands are ε-eliminated (a cheap memo hit when already ε-free);
+    product-state names are ``(left_name, right_name)`` pairs and
+    annotations are the conjunction of the operand annotations.
+    """
+    a = k_remove_epsilon(left)
+    b = k_remove_epsilon(right)
+
+    a_adj, b_adj = a.adj, b.adj
+    a_ann, b_ann = a.ann, b.ann
+    a_finals, b_finals = a.finals, b.finals
+
+    start = (a.start, b.start)
+    pair_ids: dict = {start: 0}
+    pairs: list = [start]
+    adj: list = [{}]
+    frontier = [start]
+    while frontier:
+        pair = frontier.pop()
+        state_a, state_b = pair
+        row_a = a_adj[state_a]
+        row_b = b_adj[state_b]
+        # Iterate the smaller row's labels when probing for shared ones.
+        if len(row_b) < len(row_a):
+            shared = [lid for lid in row_b if lid in row_a]
+        else:
+            shared = [lid for lid in row_a if lid in row_b]
+        row = adj[pair_ids[pair]]
+        for lid in shared:
+            bucket = []
+            for target_a in row_a[lid]:
+                for target_b in row_b[lid]:
+                    target = (target_a, target_b)
+                    target_id = pair_ids.get(target)
+                    if target_id is None:
+                        target_id = len(pairs)
+                        pair_ids[target] = target_id
+                        pairs.append(target)
+                        adj.append({})
+                        frontier.append(target)
+                    bucket.append(target_id)
+            row[lid] = tuple(bucket)
+
+    a_names, b_names = a.names, b.names
+    finals = set()
+    ann: dict = {}
+    names: list = []
+    for pair_id, (state_a, state_b) in enumerate(pairs):
+        names.append((a_names[state_a], b_names[state_b]))
+        if state_a in a_finals and state_b in b_finals:
+            finals.add(pair_id)
+        formula_a = a_ann.get(state_a)
+        formula_b = b_ann.get(state_b)
+        if formula_a is None and formula_b is None:
+            continue
+        formula = conjoin(
+            formula_a if formula_a is not None else TRUE,
+            formula_b if formula_b is not None else TRUE,
+        )
+        if formula != TRUE:
+            ann[pair_id] = formula
+
+    result = Kernel(
+        n=len(pairs),
+        start=0,
+        names=names,
+        finals=frozenset(finals),
+        ann=ann,
+        adj=adj,
+        eps=[()] * len(pairs),
+        alphabet_ids=a.alphabet_ids & b.alphabet_ids,
+    )
+    return result
+
+
+def k_difference(left: Kernel, right: Kernel) -> Kernel:
+    """Difference (Def. 4): determinize + complete over Σ1 ∪ Σ2, then
+    the product with ``F = F1 × (Q2 \\ F2)``; left annotations only."""
+    sigma = left.alphabet_ids | right.alphabet_ids
+    a = k_complete(k_determinize(left), sigma)
+    b = k_complete(k_determinize(right), sigma)
+
+    a_adj, b_adj = a.adj, b.adj
+    start = (a.start, b.start)
+    pair_ids: dict = {start: 0}
+    pairs: list = [start]
+    adj: list = [{}]
+    frontier = [start]
+    while frontier:
+        pair = frontier.pop()
+        state_a, state_b = pair
+        row = adj[pair_ids[pair]]
+        row_b = b_adj[state_b]
+        for lid, targets_a in a_adj[state_a].items():
+            # Completion + determinization guarantee one successor each.
+            target = (targets_a[0], row_b[lid][0])
+            target_id = pair_ids.get(target)
+            if target_id is None:
+                target_id = len(pairs)
+                pair_ids[target] = target_id
+                pairs.append(target)
+                adj.append({})
+                frontier.append(target)
+            row[lid] = (target_id,)
+
+    a_names, b_names = a.names, b.names
+    a_finals, b_finals = a.finals, b.finals
+    a_ann = a.ann
+    finals = set()
+    ann: dict = {}
+    names: list = []
+    for pair_id, (state_a, state_b) in enumerate(pairs):
+        names.append((a_names[state_a], b_names[state_b]))
+        if state_a in a_finals and state_b not in b_finals:
+            finals.add(pair_id)
+        formula = a_ann.get(state_a)
+        if formula is not None:
+            ann[pair_id] = formula
+
+    result = Kernel(
+        n=len(pairs),
+        start=0,
+        names=names,
+        finals=frozenset(finals),
+        ann=ann,
+        adj=adj,
+        eps=[()] * len(pairs),
+        alphabet_ids=sigma,
+    )
+    result._deterministic = True
+    result._eps_free = result
+    return result
+
+
+def k_minimize(kernel: Kernel) -> Kernel:
+    """Annotation-aware Moore minimization with canonical ``m0…`` names.
+
+    Reproduces the historical ``minimize`` exactly: determinize + trim,
+    initial partition by (finality, annotation), refinement on successor
+    blocks, block naming in BFS order over labels sorted by text.
+    """
+    dfa = k_trim(k_determinize(kernel))
+    n = dfa.n
+    labels = dfa.sorted_label_ids()
+
+    # succ[s][li] = successor of state s on label index li, or -1.
+    succ = []
+    for state in range(n):
+        row = dfa.adj[state]
+        succ.append(
+            [
+                row[lid][0] if lid in row else -1
+                for lid in labels
+            ]
+        )
+
+    # Initial partition: (finality, annotation) classes.
+    finals = dfa.finals
+    ann = dfa.ann
+    class_ids: dict = {}
+    block_of = [0] * n
+    for state in range(n):
+        key = (state in finals, ann.get(state, TRUE))
+        block = class_ids.get(key)
+        if block is None:
+            block = len(class_ids)
+            class_ids[key] = block
+        block_of[state] = block
+    block_count = len(class_ids)
+
+    while True:
+        signature_ids: dict = {}
+        new_block_of = [0] * n
+        for state in range(n):
+            signature = (
+                block_of[state],
+                tuple(
+                    block_of[target] if target >= 0 else -1
+                    for target in succ[state]
+                ),
+            )
+            block = signature_ids.get(signature)
+            if block is None:
+                block = len(signature_ids)
+                signature_ids[signature] = block
+            new_block_of[state] = block
+        if len(signature_ids) == block_count:
+            block_of = new_block_of
+            break
+        block_count = len(signature_ids)
+        block_of = new_block_of
+
+    # One representative per block (all members agree on successors,
+    # finality, and annotation).
+    representative: dict = {}
+    for state in range(n):
+        representative.setdefault(block_of[state], state)
+
+    # Name blocks in BFS order from the start block.
+    start_block = block_of[dfa.start]
+    order = [start_block]
+    seen = {start_block}
+    cursor = 0
+    while cursor < len(order):
+        block = order[cursor]
+        cursor += 1
+        rep = representative[block]
+        for target in succ[rep]:
+            if target >= 0:
+                successor_block = block_of[target]
+                if successor_block not in seen:
+                    seen.add(successor_block)
+                    order.append(successor_block)
+    for block in sorted(representative):  # unreachable blocks, stable
+        if block not in seen:
+            seen.add(block)
+            order.append(block)
+
+    position = {block: i for i, block in enumerate(order)}
+    names = [f"m{i}" for i in range(len(order))]
+    adj: list = [dict() for _ in range(len(order))]
+    new_finals = set()
+    new_ann: dict = {}
+    for block in order:
+        rep = representative[block]
+        row = adj[position[block]]
+        for li, lid in enumerate(labels):
+            target = succ[rep][li]
+            if target >= 0:
+                row[lid] = (position[block_of[target]],)
+        if rep in finals:
+            new_finals.add(position[block])
+        formula = ann.get(rep)
+        if formula is not None:
+            new_ann[position[block]] = formula
+
+    result = Kernel(
+        n=len(order),
+        start=position[start_block],
+        names=names,
+        finals=frozenset(new_finals),
+        ann=new_ann,
+        adj=adj,
+        eps=[()] * len(order),
+        alphabet_ids=dfa.alphabet_ids,
+    )
+    result._deterministic = True
+    result._eps_free = result
+    result._det = result
+    return result
+
+
+# -- emptiness ----------------------------------------------------------------
+
+
+def k_good_states(kernel: Kernel) -> set:
+    """The greatest-fixpoint *good* set of the annotated emptiness test
+    (Sect. 3.2), as int states."""
+    n = kernel.n
+    adj = kernel.adj
+    eps = kernel.eps
+    text_of = INTERNER.text
+
+    # Predecessor lists over all transitions (incl. ε).
+    predecessors: list = [[] for _ in range(n)]
+    for source in range(n):
+        for targets in adj[source].values():
+            for target in targets:
+                predecessors[target].append(source)
+        for target in eps[source]:
+            predecessors[target].append(source)
+
+    # Per annotated state: the labeled out-edges backing its variables.
+    annotated = [
+        (state, formula, [
+            (text_of(lid), targets)
+            for lid, targets in adj[state].items()
+        ])
+        for state, formula in kernel.ann.items()
+    ]
+
+    good = set(range(n))
+    finals = kernel.finals
+    while True:
+        # Backward reachability from the good finals through good states.
+        live = {state for state in finals if state in good}
+        frontier = list(live)
+        while frontier:
+            state = frontier.pop()
+            for predecessor in predecessors[state]:
+                if predecessor in good and predecessor not in live:
+                    live.add(predecessor)
+                    frontier.append(predecessor)
+
+        survivors = set(live)
+        for state, formula, edges in annotated:
+            if state not in live:
+                continue
+            supported = {
+                text
+                for text, targets in edges
+                if any(target in live for target in targets)
+            }
+            if not evaluate(formula, supported):
+                survivors.discard(state)
+
+        if survivors == good:
+            return survivors
+        good = survivors
+
+
+def k_is_empty(kernel: Kernel, annotated: bool = True) -> bool:
+    """Emptiness on the kernel (annotated test by default)."""
+    if annotated:
+        return kernel.start not in k_good_states(kernel)
+    return not (kernel.reachable() & kernel.finals)
+
+
+def k_language_included(left: Kernel, right: Kernel) -> bool:
+    """``L(left) ⊆ L(right)`` without materializing the difference.
+
+    Runs the Def. 4 product on the fly and short-circuits on the first
+    reachable ``(final, non-final)`` pair.
+    """
+    sigma = left.alphabet_ids | right.alphabet_ids
+    a = k_complete(k_determinize(left), sigma)
+    b = k_complete(k_determinize(right), sigma)
+
+    a_adj, b_adj = a.adj, b.adj
+    a_finals, b_finals = a.finals, b.finals
+    start = (a.start, b.start)
+    if start[0] in a_finals and start[1] not in b_finals:
+        return False
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state_a, state_b = frontier.pop()
+        row_b = b_adj[state_b]
+        for lid, targets_a in a_adj[state_a].items():
+            target = (targets_a[0], row_b[lid][0])
+            if target not in seen:
+                if target[0] in a_finals and target[1] not in b_finals:
+                    return False
+                seen.add(target)
+                frontier.append(target)
+    return True

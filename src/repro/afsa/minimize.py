@@ -10,15 +10,15 @@ final block have isomorphic annotated behaviors, so merging preserves
 both the language and the emptiness verdict (property-tested).
 
 Input is determinized first (NFA minimization is not canonical), so the
-result is the unique minimal DFA refined by annotations.
+result is the unique minimal DFA refined by annotations.  The
+refinement runs on the integer-dense kernel (:mod:`repro.afsa.kernel`)
+with flat successor arrays instead of per-label frozenset queries.
 """
 
 from __future__ import annotations
 
-from repro.afsa.automaton import AFSA, State
-from repro.afsa.determinize import determinize
-from repro.formula.ast import Formula, TRUE
-from repro.messages.label import label_text
+from repro.afsa.automaton import AFSA
+from repro.afsa.kernel import k_minimize, kernel_of, materialize
 
 
 def minimize(automaton: AFSA) -> AFSA:
@@ -27,94 +27,6 @@ def minimize(automaton: AFSA) -> AFSA:
     States of the result are canonical block names ``m0`` (start), ``m1``
     …, numbered in breadth-first order for reproducible output.
     """
-    dfa = determinize(automaton).trimmed()
-    labels = sorted(dfa.alphabet, key=label_text)
-
-    # Initial partition: (finality, annotation) classes.
-    initial: dict[tuple, set] = {}
-    for state in dfa.states:
-        key = (state in dfa.finals, dfa.annotation(state))
-        initial.setdefault(key, set()).add(state)
-    partition: list[set] = list(initial.values())
-
-    changed = True
-    while changed:
-        changed = False
-        block_of: dict[State, int] = {}
-        for index, block in enumerate(partition):
-            for state in block:
-                block_of[state] = index
-        new_partition: list[set] = []
-        for block in partition:
-            by_signature: dict[tuple, set] = {}
-            for state in block:
-                signature = []
-                for label in labels:
-                    successors = dfa.successors(state, label)
-                    if successors:
-                        (successor,) = successors
-                        signature.append(block_of[successor])
-                    else:
-                        signature.append(-1)
-                by_signature.setdefault(tuple(signature), set()).add(state)
-            if len(by_signature) > 1:
-                changed = True
-            new_partition.extend(by_signature.values())
-        partition = new_partition
-
-    final_block_of: dict[State, int] = {}
-    for index, block in enumerate(partition):
-        for state in block:
-            final_block_of[state] = index
-
-    # Name blocks in BFS order from the start block.
-    start_block = final_block_of[dfa.start]
-    order: list[int] = [start_block]
-    seen = {start_block}
-    cursor = 0
-    while cursor < len(order):
-        block_index = order[cursor]
-        cursor += 1
-        representative = next(iter(partition[block_index]))
-        for label in labels:
-            for successor in dfa.successors(representative, label):
-                successor_block = final_block_of[successor]
-                if successor_block not in seen:
-                    seen.add(successor_block)
-                    order.append(successor_block)
-    for index in range(len(partition)):  # unreachable blocks, stable order
-        if index not in seen:
-            seen.add(index)
-            order.append(index)
-
-    names = {
-        block_index: f"m{position}"
-        for position, block_index in enumerate(order)
-    }
-
-    transitions = set()
-    for transition in dfa.transitions:
-        transitions.add(
-            (
-                names[final_block_of[transition.source]],
-                transition.label,
-                names[final_block_of[transition.target]],
-            )
-        )
-    finals = {names[final_block_of[state]] for state in dfa.finals}
-    annotations: dict[str, Formula] = {}
-    for block_index in order:
-        representative = next(iter(partition[block_index]))
-        formula = dfa.annotation(representative)
-        if formula != TRUE:
-            annotations[names[block_index]] = formula
-
-    return AFSA(
-        states=names.values(),
-        transitions=transitions,
-        start=names[start_block],
-        finals=finals,
-        annotations=annotations,
-        alphabet=dfa.alphabet,
-        name=automaton.name,
+    return materialize(
+        k_minimize(kernel_of(automaton)), name=automaton.name
     )

@@ -14,15 +14,18 @@ are deliberately *kept* (not trimmed): the emptiness test must see them
 to falsify mandatory variables, exactly as in the paper's Fig. 5 example
 where the intersection contains a reachable state whose annotation
 demands the absent transition ``B#A#msg1``.
+
+The product runs on the integer-dense kernel
+(:mod:`repro.afsa.kernel`): ε-elimination of the operands is a memo hit
+when they are already ε-free (the common case — public processes are
+minimized DFAs), and the pair-exploration works on int adjacency rows
+instead of frozenset successor queries.
 """
 
 from __future__ import annotations
 
 from repro.afsa.automaton import AFSA
-from repro.afsa.epsilon import remove_epsilon
-from repro.formula.ast import TRUE, Formula
-from repro.formula.simplify import conjoin
-from repro.messages.label import label_text
+from repro.afsa.kernel import k_intersect, kernel_of, materialize
 
 
 def intersect(left: AFSA, right: AFSA, name: str = "") -> AFSA:
@@ -37,56 +40,10 @@ def intersect(left: AFSA, right: AFSA, name: str = "") -> AFSA:
     * ``Δ``: synchronized moves on shared labels (ε resolved up front),
     * ``QA = {((q1, q2), e1 ∧ e2)}``.
     """
-    a = remove_epsilon(left)
-    b = remove_epsilon(right)
-
-    sigma = a.alphabet.intersection(b.alphabet)
-
-    start = (a.start, b.start)
-    states = {start}
-    transitions = []
-    frontier = [start]
-    while frontier:
-        state = frontier.pop()
-        state_a, state_b = state
-        labels = sorted(
-            a.labels_from(state_a) & b.labels_from(state_b), key=label_text
-        )
-        for label in labels:
-            for target_a in sorted(a.successors(state_a, label), key=repr):
-                for target_b in sorted(
-                    b.successors(state_b, label), key=repr
-                ):
-                    target = (target_a, target_b)
-                    transitions.append((state, label, target))
-                    if target not in states:
-                        states.add(target)
-                        frontier.append(target)
-
-    finals = [
-        (state_a, state_b)
-        for (state_a, state_b) in states
-        if state_a in a.finals and state_b in b.finals
-    ]
-
-    annotations: dict[tuple, Formula] = {}
-    for state in states:
-        state_a, state_b = state
-        formula = conjoin(a.annotation(state_a), b.annotation(state_b))
-        if formula != TRUE:
-            annotations[state] = formula
-
     if not name:
         left_name = left.name or "A"
         right_name = right.name or "B"
         name = f"({left_name} ∩ {right_name})"
-
-    return AFSA(
-        states=states,
-        transitions=transitions,
-        start=start,
-        finals=finals,
-        annotations=annotations,
-        alphabet=sigma,
-        name=name,
+    return materialize(
+        k_intersect(kernel_of(left), kernel_of(right)), name=name
     )

@@ -153,7 +153,14 @@ class Choreography:
         return self.compiled(party).afsa
 
     def view(self, viewer: str, on: str) -> AFSA:
-        """Return τ_viewer(public process of *on*) (Sect. 3.4)."""
+        """Return τ_viewer(public process of *on*) (Sect. 3.4).
+
+        Effectively cached per process version: :func:`project_view`
+        memoizes per public-aFSA instance and :meth:`compiled` serves
+        the same instance until :meth:`replace_private` evicts it, so
+        the consistency sweep and the evolution engine project each
+        public process once per partner, not once per check.
+        """
         self._require(viewer)
         return project_view(self.public(on), viewer)
 

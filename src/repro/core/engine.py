@@ -232,7 +232,9 @@ class EvolutionEngine:
         old_public = choreography.public(originator)
         new_public = new_compiled.afsa
         other_compiled = choreography.compiled(other)
-        other_view = project_view(other_compiled.afsa, originator)
+        # Cached per (other, originator) process version — assessing N
+        # partners projects each partner's public process once.
+        other_view = choreography.view(originator, on=other)
 
         classification = classify_against_partner(
             old_public, new_public, other_view, partner=other

@@ -16,8 +16,54 @@ from repro.messages.label import (
     Label,
     MessageLabel,
     is_epsilon,
+    label_text,
     parse_label,
 )
+
+
+class LabelInterner:
+    """Process-wide interning of message labels to dense integers.
+
+    The aFSA kernel (:mod:`repro.afsa.kernel`) stores transitions as
+    integer adjacency structures; all kernels share this one table so a
+    label interned while building one automaton keeps the same id in
+    every product/difference/view derived from it.  The table only ever
+    grows, which is fine: a choreography uses a few dozen distinct
+    message labels, not millions.
+    """
+
+    __slots__ = ("_ids", "_labels", "_texts")
+
+    def __init__(self):
+        self._ids: dict = {}
+        self._labels: list = []
+        self._texts: list = []
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def intern(self, label: Label) -> int:
+        """Return the dense id of *label* (assigning one if new)."""
+        parsed = parse_label(label)
+        index = self._ids.get(parsed)
+        if index is None:
+            index = len(self._labels)
+            self._ids[parsed] = index
+            self._labels.append(parsed)
+            self._texts.append(label_text(parsed))
+        return index
+
+    def label(self, index: int) -> Label:
+        """Return the label object for dense id *index*."""
+        return self._labels[index]
+
+    def text(self, index: int) -> str:
+        """Return the canonical text of the label with id *index*."""
+        return self._texts[index]
+
+
+#: The shared interning table used by every kernel in the process.
+INTERNER = LabelInterner()
 
 
 class Alphabet:
@@ -35,6 +81,18 @@ class Alphabet:
                 continue
             normalized.add(parse_label(label))
         self._labels: frozenset = frozenset(normalized)
+
+    @classmethod
+    def _from_parsed(cls, labels: frozenset) -> "Alphabet":
+        """Trusted constructor: *labels* are already parsed and ε-free.
+
+        Used by the kernel when materializing an :class:`AFSA` — the
+        labels come out of the interner, which only stores normalized
+        parsed labels.
+        """
+        self = object.__new__(cls)
+        self._labels = labels
+        return self
 
     def __contains__(self, label: Label) -> bool:
         if is_epsilon(label):

@@ -1,0 +1,227 @@
+"""Property tests for the integer-dense aFSA kernel.
+
+The kernel (:mod:`repro.afsa.kernel`) re-implements the operator
+algebra on interned int states/labels; these tests pin it to the
+language-level semantics of :mod:`repro.afsa.language` on randomized
+:mod:`repro.workload.generator` automata, and check the memoized
+derived facts against their definitions.
+"""
+
+import pytest
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.complete import complete, is_complete
+from repro.afsa.determinize import determinize, is_deterministic
+from repro.afsa.difference import difference
+from repro.afsa.emptiness import is_empty, non_emptiness_witness
+from repro.afsa.epsilon import epsilon_closure, remove_epsilon
+from repro.afsa.kernel import kernel_of, materialize
+from repro.afsa.language import accepted_words, annotated_accepts
+from repro.afsa.minimize import minimize
+from repro.afsa.product import intersect
+from repro.afsa.view import project_view
+from repro.bpel.compile import compile_process
+from repro.messages.alphabet import INTERNER
+from repro.workload.generator import generate_partner_pair, random_afsa
+
+SEEDS = range(8)
+
+#: Enumeration bound: longest word compared by the language oracle.
+BOUND = 6
+
+
+def _random(seed, **overrides):
+    params = dict(states=10, labels=4, density=0.35,
+                  annotation_probability=0.3)
+    params.update(overrides)
+    return random_afsa(seed=seed, **params)
+
+
+def _raw_compiled(seed):
+    """A compiler-produced automaton with real ε-transitions."""
+    initiator, _ = generate_partner_pair(seed=seed, steps=3, with_loop=True)
+    return compile_process(initiator).raw
+
+
+class TestKernelRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_materialize_inverts_kernel_of(self, seed):
+        automaton = _random(seed)
+        rebuilt = materialize(kernel_of(automaton), name=automaton.name)
+        assert rebuilt == automaton
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_round_trip_with_epsilon(self, seed):
+        automaton = _raw_compiled(seed)
+        rebuilt = materialize(kernel_of(automaton), name=automaton.name)
+        assert rebuilt == automaton
+
+    def test_kernel_is_cached_on_instance(self):
+        automaton = _random(0)
+        assert kernel_of(automaton) is kernel_of(automaton)
+
+    def test_interner_is_shared_across_automata(self):
+        left = _random(0)
+        right = _random(1)
+        kernel_of(left)
+        kernel_of(right)
+        label = next(iter(left.alphabet))
+        assert INTERNER.label(INTERNER.intern(label)) == label
+
+
+class TestMemoizedFacts:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_determinism_flag_matches_definition(self, seed):
+        automaton = _random(seed)
+        kernel = kernel_of(automaton)
+        pairs = {
+            (t.source, t.label)
+            for t in automaton.transitions
+            if not t.is_silent
+        }
+        brute = not automaton.has_epsilon() and len(pairs) == len(
+            [t for t in automaton.transitions if not t.is_silent]
+        )
+        assert kernel.deterministic == brute
+        assert is_deterministic(automaton) == brute
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_epsilon_closures_match_brute_force(self, seed):
+        automaton = _raw_compiled(seed)
+        for state in automaton.states:
+            closure = {state}
+            frontier = [state]
+            while frontier:
+                current = frontier.pop()
+                for transition in automaton.transitions_from(current):
+                    if (
+                        transition.is_silent
+                        and transition.target not in closure
+                    ):
+                        closure.add(transition.target)
+                        frontier.append(transition.target)
+            assert epsilon_closure(automaton, state) == closure
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reachability_matches_afsa(self, seed):
+        automaton = _random(seed)
+        kernel = kernel_of(automaton)
+        names = {kernel.names[i] for i in kernel.reachable()}
+        assert names == automaton.reachable_states()
+
+
+class TestLanguageAgreement:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_determinize_preserves_language(self, seed):
+        automaton = _random(seed)
+        dfa = determinize(automaton)
+        assert is_deterministic(dfa)
+        assert accepted_words(dfa, max_length=BOUND) == accepted_words(
+            automaton, max_length=BOUND
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_determinize_epsilon_input(self, seed):
+        automaton = _raw_compiled(seed)
+        dfa = determinize(automaton)
+        assert is_deterministic(dfa)
+        assert accepted_words(dfa, max_length=BOUND) == accepted_words(
+            automaton, max_length=BOUND
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_minimize_preserves_language(self, seed):
+        automaton = _random(seed)
+        minimal = minimize(automaton)
+        assert is_deterministic(minimal)
+        assert accepted_words(minimal, max_length=BOUND) == accepted_words(
+            automaton, max_length=BOUND
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_product_is_language_intersection(self, seed):
+        left = _random(seed)
+        right = _random(seed + 100)
+        product = intersect(left, right)
+        expected = accepted_words(left, max_length=BOUND) & accepted_words(
+            right, max_length=BOUND
+        )
+        assert accepted_words(product, max_length=BOUND) == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_difference_is_language_difference(self, seed):
+        left = _random(seed)
+        right = _random(seed + 200)
+        result = difference(left, right)
+        expected = accepted_words(left, max_length=BOUND) - accepted_words(
+            right, max_length=BOUND
+        )
+        assert accepted_words(result, max_length=BOUND) == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_classical_emptiness_matches_enumeration(self, seed):
+        automaton = _random(seed)
+        # A shortest accepted word is a simple path: |Q| bounds it.
+        words = accepted_words(
+            automaton, max_length=len(automaton.states)
+        )
+        assert is_empty(automaton, annotated=False) == (not words)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_annotated_witness_is_annotated_accepted(self, seed):
+        automaton = _random(seed)
+        witness = non_emptiness_witness(automaton)
+        assert witness.empty == is_empty(automaton)
+        if not witness.empty:
+            assert annotated_accepts(automaton, witness.word)
+
+
+class TestEpsilonFreeFastPaths:
+    """The intersect/difference operands must not be copied when they
+    are already ε-free (the historical code always re-eliminated)."""
+
+    def test_remove_epsilon_returns_same_object_when_trim_and_free(self):
+        automaton = minimize(_random(3))
+        assert remove_epsilon(automaton) is automaton
+
+    def test_complete_returns_same_object_when_complete(self):
+        automaton = complete(determinize(_random(4)))
+        assert is_complete(automaton)
+        assert complete(automaton) is automaton
+
+    def test_intersect_reuses_eps_free_kernel(self):
+        left = minimize(_random(5))
+        right = minimize(_random(6))
+        kernel = kernel_of(left)
+        intersect(left, right)
+        # ε-elimination of an ε-free trimmed kernel is the kernel itself.
+        assert kernel._eps_free is kernel
+
+    def test_view_projection_is_memoized(self):
+        initiator, _ = generate_partner_pair(seed=9, steps=3)
+        public = compile_process(initiator).afsa
+        assert project_view(public, "R") is project_view(public, "R")
+        assert project_view(public, "R") is not project_view(
+            public, "R", minimize=False
+        )
+
+
+class TestMaterializedEquality:
+    """Kernel-backed operators must produce results structurally equal
+    to a direct (validating) AFSA reconstruction."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 5])
+    def test_result_survives_validating_reconstruction(self, seed):
+        result = minimize(
+            intersect(_random(seed), _random(seed + 50))
+        )
+        rebuilt = AFSA(
+            states=result.states,
+            transitions=result.transitions,
+            start=result.start,
+            finals=result.finals,
+            annotations=result.annotations,
+            alphabet=result.alphabet,
+            name=result.name,
+        )
+        assert rebuilt == result
