@@ -10,17 +10,23 @@ per parameter point through pytest-benchmark's grouping.
 import pytest
 
 from repro.afsa.difference import difference
-from repro.afsa.emptiness import good_states, is_empty
+from repro.afsa.emptiness import is_empty
+from repro.afsa.kernel import k_good_states, kernel_of
 from repro.afsa.minimize import minimize
 from repro.afsa.product import intersect
 from repro.afsa.view import project_view
 from repro.workload.generator import (
     generate_partner_pair,
     random_afsa,
+    random_annotated_afsa,
 )
 from repro.bpel.compile import compile_process
 
 SIZES = [8, 32, 128, 512]
+
+#: The emptiness fixpoint scales further than the quadratic operators;
+#: the extra size shows the near-linear SCC/worklist behavior.
+EMPTINESS_SIZES = SIZES + [2048]
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -37,15 +43,37 @@ def test_scaling_intersection(benchmark, size):
     benchmark(run)
 
 
-@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("size", EMPTINESS_SIZES)
 def test_scaling_emptiness(benchmark, size):
     """The greatest-fixpoint good-state computation alone."""
     automaton = random_afsa(
         seed=3, states=size, labels=8, annotation_probability=0.5
     )
+    kernel = kernel_of(automaton)
     benchmark.group = "emptiness-fixpoint"
     benchmark.extra_info["states"] = size
-    benchmark(lambda: good_states(automaton))
+
+    # use_cache=False: measure the fixpoint, not the PR-2 memo hit.
+    benchmark(lambda: k_good_states(kernel, use_cache=False))
+
+
+@pytest.mark.parametrize("size", EMPTINESS_SIZES)
+def test_scaling_emptiness_cyclic(benchmark, size):
+    """The fixpoint on tracking-loop-style cyclic mandatory annotations
+    (the shape that forces the SCC machinery, not just support counts)."""
+    automaton = random_annotated_afsa(
+        seed=3,
+        states=size,
+        labels=8,
+        loops=max(1, size // 16),
+        annotation_probability=0.5,
+    )
+    kernel = kernel_of(automaton)
+    benchmark.group = "emptiness-fixpoint-cyclic"
+    benchmark.extra_info["states"] = size
+
+    # use_cache=False: measure the fixpoint, not the PR-2 memo hit.
+    benchmark(lambda: k_good_states(kernel, use_cache=False))
 
 
 @pytest.mark.parametrize("size", [8, 32, 128])

@@ -1,0 +1,79 @@
+"""Scaling benchmarks: the batched multiparty consistency sweep engine.
+
+Two axes:
+
+* **hub topology** — the Sect. 6 decentralized scheme over a generated
+  hub-and-spokes choreography, checked through
+  :func:`repro.core.sweep.sweep_choreography` (shared view memos, one
+  fixpoint per pair, witnesses only on failure);
+* **pair grid fan-out** — a grid of heavyweight random aFSA pairs
+  (each check is an intersection + annotated emptiness in the tens of
+  milliseconds) dispatched serially and across ``multiprocessing``
+  workers.  Verdicts are asserted identical across worker counts inside
+  the bench, so the JSON doubles as a determinism record.
+"""
+
+import pytest
+
+from repro.core.sweep import (
+    WITNESS_NONE,
+    sweep_choreography,
+    sweep_pairs,
+)
+from repro.workload.generator import generate_choreography, random_afsa
+
+GRID_PAIRS = 8
+GRID_STATES = 128
+
+
+@pytest.mark.parametrize("spokes", [4, 8, 16])
+def test_scaling_sweep_hub(benchmark, spokes):
+    """Batched sweep over a hub-and-spokes choreography."""
+    choreography = generate_choreography(seed=31, spokes=spokes, steps=3)
+    # Warm compile + view memos: measure checking, not compilation.
+    for party in choreography.parties():
+        choreography.compiled(party)
+    sweep_choreography(choreography)
+
+    benchmark.group = "sweep-hub"
+    benchmark.extra_info["partners"] = spokes + 1
+    report = benchmark(lambda: sweep_choreography(choreography))
+    assert report.consistent
+    assert len(report.outcomes) == spokes
+
+
+def _grid():
+    return [
+        (
+            random_afsa(
+                seed=2 * index, states=GRID_STATES, labels=8,
+                annotation_probability=0.3,
+            ),
+            random_afsa(
+                seed=2 * index + 1, states=GRID_STATES, labels=8,
+                annotation_probability=0.3,
+            ),
+        )
+        for index in range(GRID_PAIRS)
+    ]
+
+
+@pytest.mark.parametrize("workers", [0, 2, 4])
+def test_scaling_pair_grid(benchmark, workers):
+    """Heavy pair grid, serial vs. multiprocessing fan-out."""
+    pairs = _grid()
+    serial = [
+        consistent
+        for consistent, _ in sweep_pairs(pairs, witnesses=WITNESS_NONE)
+    ]
+
+    benchmark.group = "sweep-pair-grid"
+    benchmark.extra_info["pairs"] = GRID_PAIRS
+    benchmark.extra_info["states"] = GRID_STATES
+    benchmark.extra_info["workers"] = workers
+    results = benchmark(
+        lambda: sweep_pairs(
+            pairs, witnesses=WITNESS_NONE, workers=workers
+        )
+    )
+    assert [consistent for consistent, _ in results] == serial

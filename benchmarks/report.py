@@ -1,23 +1,38 @@
 #!/usr/bin/env python3
-"""Render a paper-vs-measured report from pytest-benchmark JSON output.
+"""Render a paper-vs-measured report from pytest-benchmark JSON output,
+and optionally gate against a committed baseline.
 
 Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/report.py bench.json
+    python benchmarks/report.py bench.json \\
+        --compare BENCH_scaling_kernel.json --max-regress 1.25
 
-Prints the per-experiment verdict table (the EXPERIMENTS.md record) and
-the scaling series grouped by sweep parameter.
+Without ``--compare`` it prints the per-experiment verdict table (the
+EXPERIMENTS.md record) and the scaling series grouped by sweep
+parameter.  With ``--compare`` it additionally matches benchmarks by
+name against the baseline JSON and **fails (exit code 1)** when any
+bench's median-of-rounds regressed by more than ``--max-regress``
+(a ratio: 1.25 = fail beyond +25%).  Medians are used instead of means
+and benches whose medians sit below ``--min-median-ms`` on both sides
+are skipped, so one garbage-collector hiccup or a sub-millisecond
+timer-noise bench cannot fail CI.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 
 
 def _mean_ms(entry: dict) -> float:
     return entry["stats"]["mean"] * 1e3
+
+
+def _median_ms(entry: dict) -> float:
+    return entry["stats"]["median"] * 1e3
 
 
 def render(path: str) -> str:
@@ -77,13 +92,181 @@ def render(path: str) -> str:
     return "\n".join(lines)
 
 
-def main(argv: list[str]) -> int:
-    if len(argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    print(render(argv[1]))
+def compare(
+    run_path: str,
+    baseline_path: str,
+    max_regress: float = 1.25,
+    min_median_ms: float = 1.0,
+    calibrate: bool = False,
+) -> tuple[str, list[str]]:
+    """Compare a benchmark run against a committed baseline.
+
+    Benchmarks are matched by ``name`` (which includes the sweep
+    parameter, e.g. ``test_scaling_emptiness[512]``); benches present
+    on only one side are reported but never gate.  Returns the rendered
+    comparison table and the list of regressed bench names.
+
+    With ``calibrate=True`` every per-bench ratio is divided by the
+    **median ratio across all compared benches** before gating, clamped
+    to at least 1.0.  That cancels the constant machine-speed factor
+    between the box that recorded the baseline and the box running the
+    comparison (a CI runner is not the committer's laptop), so only
+    benches that moved relative to the rest of the run fail the gate.
+    The clamp means calibration can only ever *relax* a ratio, never
+    tighten it: a PR that legitimately speeds up most benches (median
+    ratio < 1) must not turn the untouched benches' 1.0× into failures.
+    The tradeoffs are deliberate: a change that slows *every* bench by
+    the same factor is indistinguishable from a slower machine and
+    passes, and a faster machine can mask a small regression —
+    per-bench regressions on comparable hardware are what the gate is
+    for.
+    """
+    with open(run_path, encoding="utf-8") as handle:
+        run = json.load(handle)
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    run_by_name = {entry["name"]: entry for entry in run["benchmarks"]}
+    base_by_name = {
+        entry["name"]: entry for entry in baseline["benchmarks"]
+    }
+
+    # Pass 1: ratios of the gateable (common, above-floor) benches.
+    ratios: dict[str, float] = {}
+    for name, entry in run_by_name.items():
+        base_entry = base_by_name.get(name)
+        if base_entry is None:
+            continue
+        run_median = _median_ms(entry)
+        base_median = _median_ms(base_entry)
+        if run_median < min_median_ms and base_median < min_median_ms:
+            continue
+        ratios[name] = (
+            run_median / base_median if base_median else float("inf")
+        )
+
+    scale = 1.0
+    if calibrate and ratios:
+        ordered = sorted(ratios.values())
+        middle = len(ordered) // 2
+        median_ratio = (
+            ordered[middle]
+            if len(ordered) % 2
+            else (ordered[middle - 1] + ordered[middle]) / 2
+        )
+        # Only relax (slower machine), never tighten (broad speedups).
+        scale = max(median_ratio, 1.0)
+
+    lines = [
+        "# Regression gate "
+        f"(median-of-rounds, fail ratio > {max_regress:.2f}, "
+        f"noise floor {min_median_ms:.2f} ms"
+        + (f", machine calibration {scale:.2f}×" if calibrate else "")
+        + ")",
+        "",
+        "| Benchmark | Baseline | Run | Ratio | Status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    regressions: list[str] = []
+    for name in sorted(run_by_name):
+        run_median = _median_ms(run_by_name[name])
+        base_entry = base_by_name.get(name)
+        if base_entry is None:
+            lines.append(
+                f"| {name} | — | {run_median:.3f} ms | — | new |"
+            )
+            continue
+        base_median = _median_ms(base_entry)
+        if name not in ratios:
+            lines.append(
+                f"| {name} | {base_median:.3f} ms | {run_median:.3f} ms "
+                f"| — | below noise floor |"
+            )
+            continue
+        ratio = ratios[name] / scale
+        if ratio > max_regress:
+            regressions.append(name)
+            status = f"❌ REGRESSED (> {max_regress:.2f}×)"
+        else:
+            status = "✅ ok"
+        lines.append(
+            f"| {name} | {base_median:.3f} ms | {run_median:.3f} ms "
+            f"| {ratio:.2f}× | {status} |"
+        )
+    for name in sorted(set(base_by_name) - set(run_by_name)):
+        lines.append(f"| {name} | … | — | — | not in this run |")
+
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"**GATE FAILED**: {len(regressions)} bench(es) regressed "
+            f"beyond {max_regress:.2f}×: " + ", ".join(regressions)
+        )
+    else:
+        lines.append("**GATE PASSED**: no bench regressed beyond the limit.")
+    return "\n".join(lines), regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("run", help="pytest-benchmark JSON of this run")
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="baseline pytest-benchmark JSON to gate against",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=1.25,
+        help="fail when run/baseline median ratio exceeds this (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-median-ms",
+        type=float,
+        default=1.0,
+        help="skip benches whose medians are below this on both sides "
+        "(timer-noise tolerance, default 1.0 ms)",
+    )
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="divide every ratio by the run's median ratio (clamped to "
+        "≥1), cancelling the constant speed difference between the "
+        "baseline machine and this one (use when gating CI runs "
+        "against a committed baseline recorded elsewhere)",
+    )
+    parser.add_argument(
+        "--no-render",
+        action="store_true",
+        help="skip the paper-vs-measured report and print only the "
+        "comparison table (for CI steps that publish the report "
+        "separately)",
+    )
+    args = parser.parse_args(argv)
+    if args.no_render and not args.compare:
+        parser.error("--no-render without --compare would print nothing")
+
+    if not args.no_render:
+        print(render(args.run))
+    if args.compare:
+        table, regressions = compare(
+            args.run,
+            args.compare,
+            max_regress=args.max_regress,
+            min_median_ms=args.min_median_ms,
+            calibrate=args.calibrate,
+        )
+        if not args.no_render:
+            print()
+        print(table)
+        if regressions:
+            return 1
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

@@ -35,10 +35,12 @@ therefore the predicate everything in :mod:`repro.core` revolves around.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
-from repro.afsa.automaton import AFSA, State
+from repro.afsa.automaton import AFSA
 from repro.afsa.kernel import (
+    Kernel,
     k_good_states,
     k_intersect,
     k_is_empty,
@@ -47,7 +49,8 @@ from repro.afsa.kernel import (
 from repro.formula.ast import TRUE
 from repro.formula.evaluate import evaluate
 from repro.formula.transform import variables as formula_variables
-from repro.messages.label import Label, label_text
+from repro.messages.alphabet import INTERNER
+from repro.messages.label import EPSILON, Label, label_text
 
 
 def good_states(automaton: AFSA) -> set:
@@ -120,6 +123,94 @@ class EmptinessWitness:
         return "empty: " + "; ".join(parts)
 
 
+def kernel_witness(kernel: Kernel) -> EmptinessWitness:
+    """Run the annotated emptiness test on *kernel* and explain the
+    outcome, without materializing a public automaton.
+
+    This is the engine behind :func:`non_emptiness_witness` and the
+    batched consistency sweep (:mod:`repro.core.sweep`): the good set is
+    the kernel's cached fixpoint, the shortest-witness search is a
+    :class:`~collections.deque` BFS directly over the kernel adjacency
+    (labels sorted by text once per visited state, instead of re-sorting
+    public ``Transition`` objects), and the blocked-state diagnosis
+    walks states in kernel index order, which makes its report order
+    deterministic.
+    """
+    good = k_good_states(kernel)
+    names = kernel.names
+    label_of = INTERNER.label
+    text_of = INTERNER.text
+
+    if kernel.start not in good:
+        reachable = kernel.reachable()
+        blocked = []
+        missing: dict = {}
+        for state in range(kernel.n):
+            if state not in reachable or state in good:
+                continue
+            annotation = kernel.ann.get(state)
+            if annotation is None or annotation == TRUE:
+                continue
+            supported = {
+                text_of(lid)
+                for lid, targets in kernel.adj[state].items()
+                if any(target in good for target in targets)
+            }
+            if not evaluate(annotation, supported):
+                unsupported = sorted(
+                    name
+                    for name in formula_variables(annotation)
+                    if name not in supported
+                )
+                blocked.append(names[state])
+                missing[names[state]] = unsupported
+        return EmptinessWitness(
+            empty=True, blocked_states=blocked, missing_variables=missing
+        )
+
+    # Shortest accepted word: BFS through good states only, expanding
+    # each state's edges in (label text, target repr) order so witness
+    # words are deterministic (ε sorts as "ε" exactly as before).
+    finals = kernel.finals
+    parents: dict[int, tuple[int, Label] | None] = {kernel.start: None}
+    queue: deque = deque([kernel.start])
+    final = None
+    while queue:
+        state = queue.popleft()
+        if state in finals:
+            final = state
+            break
+        edges = [
+            (text_of(lid), repr(names[target]), label_of(lid), target)
+            for lid, targets in kernel.adj[state].items()
+            for target in targets
+        ]
+        edges.extend(
+            ("ε", repr(names[target]), EPSILON, target)
+            for target in kernel.eps[state]
+        )
+        edges.sort(key=lambda item: (item[0], item[1]))
+        for _, _, label, target in edges:
+            if target in good and target not in parents:
+                parents[target] = (state, label)
+                queue.append(target)
+
+    word: list = []
+    path: list = []
+    if final is not None:
+        cursor: int | None = final
+        path.append(names[final])
+        while parents[cursor] is not None:
+            previous, label = parents[cursor]  # type: ignore[misc]
+            if label_text(label) != "ε":
+                word.append(label)
+            path.append(names[previous])
+            cursor = previous
+        word.reverse()
+        path.reverse()
+    return EmptinessWitness(empty=False, word=word, path=path)
+
+
 def non_emptiness_witness(automaton: AFSA) -> EmptinessWitness:
     """Run the annotated emptiness test and explain the outcome.
 
@@ -130,62 +221,4 @@ def non_emptiness_witness(automaton: AFSA) -> EmptinessWitness:
     the paper's diagnosis of Fig. 5 ("does not contain the mandatory
     transition labeled B#A#msg1").
     """
-    good = good_states(automaton)
-    if automaton.start not in good:
-        blocked = []
-        missing: dict = {}
-        for state in automaton.reachable_states():
-            if state in good:
-                continue
-            annotation = automaton.annotation(state)
-            if annotation == TRUE:
-                continue
-            supported = {
-                label_text(transition.label)
-                for transition in automaton.transitions_from(state)
-                if not transition.is_silent and transition.target in good
-            }
-            if not evaluate(annotation, supported):
-                unsupported = sorted(
-                    name
-                    for name in formula_variables(annotation)
-                    if name not in supported
-                )
-                blocked.append(state)
-                missing[state] = unsupported
-        return EmptinessWitness(
-            empty=True, blocked_states=blocked, missing_variables=missing
-        )
-
-    # BFS through good states only.
-    parents: dict[State, tuple[State, Label] | None] = {automaton.start: None}
-    queue = [automaton.start]
-    final = None
-    while queue:
-        state = queue.pop(0)
-        if automaton.is_final(state):
-            final = state
-            break
-        for transition in sorted(
-            automaton.transitions_from(state),
-            key=lambda item: (label_text(item.label), repr(item.target)),
-        ):
-            target = transition.target
-            if target in good and target not in parents:
-                parents[target] = (state, transition.label)
-                queue.append(target)
-
-    word: list = []
-    path: list = []
-    if final is not None:
-        cursor: State | None = final
-        path.append(final)
-        while parents[cursor] is not None:
-            previous, label = parents[cursor]  # type: ignore[misc]
-            if label_text(label) != "ε":
-                word.append(label)
-            path.append(previous)
-            cursor = previous
-        word.reverse()
-        path.reverse()
-    return EmptinessWitness(empty=False, word=word, path=path)
+    return kernel_witness(kernel_of(automaton))

@@ -11,6 +11,8 @@
   suggestions (receive → pick, loop unfolding);
 * :mod:`.choreography` — the multi-party choreography container with
   bilateral and decentralized consistency checking;
+* :mod:`.sweep` — the batched (optionally multiprocessing) consistency
+  sweep engine behind every pairwise check;
 * :mod:`.engine` — the Fig. 4 evolution loop tying everything together.
 """
 
@@ -49,6 +51,12 @@ from repro.core.propagate import (
 )
 from repro.core.suggestions import EditSuggestion, derive_suggestions
 from repro.core.choreography import Choreography, ConsistencyReport
+from repro.core.sweep import (
+    PairOutcome,
+    SweepReport,
+    sweep_choreography,
+    sweep_pairs,
+)
 from repro.core.history import ProcessHistory, ProcessVersion
 from repro.core.negotiation import (
     ChangeNegotiation,
@@ -79,6 +87,7 @@ __all__ = [
     "MoveActivity",
     "NEUTRAL",
     "NegotiationOutcome",
+    "PairOutcome",
     "PartnerAgent",
     "ProcessHistory",
     "ProcessVersion",
@@ -90,6 +99,7 @@ __all__ = [
     "RemoveSwitchBranch",
     "ReplaceActivity",
     "SUBTRACTIVE",
+    "SweepReport",
     "UnfoldLoop",
     "VARIANT",
     "classify_against_partner",
@@ -97,4 +107,6 @@ __all__ = [
     "derive_suggestions",
     "propagate_additive",
     "propagate_subtractive",
+    "sweep_choreography",
+    "sweep_pairs",
 ]

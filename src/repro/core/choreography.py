@@ -15,13 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.afsa.automaton import AFSA
-from repro.afsa.emptiness import (
-    EmptinessWitness,
-    is_empty,
-    non_emptiness_witness,
-)
+from repro.afsa.emptiness import EmptinessWitness, is_consistent
 from repro.afsa.product import intersect
 from repro.afsa.view import project_view
+from repro.core.sweep import WITNESS_ALL, sweep_choreography
 from repro.bpel.compile import CompiledProcess, compile_process
 from repro.bpel.model import ProcessModel
 from repro.errors import ChoreographyError
@@ -182,32 +179,39 @@ class Choreography:
         return intersect(view_of_right, view_of_left)
 
     def bilateral_consistent(self, left: str, right: str) -> bool:
-        """Bilateral consistency (deadlock freedom) of two parties."""
-        return not is_empty(self.bilateral_intersection(left, right))
+        """Bilateral consistency (deadlock freedom) of two parties.
 
-    def check_consistency(self) -> ConsistencyReport:
+        Runs entirely on the interned kernels; no public intersection
+        automaton is materialized.
+        """
+        return is_consistent(
+            self.view(right, on=left), self.view(left, on=right)
+        )
+
+    def check_consistency(self, workers: int | None = None) -> ConsistencyReport:
         """Run all pairwise checks (decentralized scheme of Sect. 6).
 
         Only pairs that actually exchange messages are checked; each
         check needs nothing but the two public processes, which is
-        exactly the information partners exchange.
+        exactly the information partners exchange.  The pair grid is
+        dispatched through the batched sweep engine
+        (:mod:`repro.core.sweep`): verdict and witness come from one
+        fixpoint run per pair, and ``workers > 1`` fans the grid out
+        over a process pool without changing any verdict.
         """
+        sweep = sweep_choreography(
+            self, witnesses=WITNESS_ALL, workers=workers
+        )
         report = ConsistencyReport()
-        parties = self.parties()
-        for index, left in enumerate(parties):
-            for right in parties[index + 1:]:
-                if right not in self.conversation_partners(left):
-                    continue
-                intersection = self.bilateral_intersection(left, right)
-                witness = non_emptiness_witness(intersection)
-                report.checks.append(
-                    BilateralCheck(
-                        left=self._private[left].name,
-                        right=self._private[right].name,
-                        consistent=not witness.empty,
-                        witness=witness,
-                    )
+        for outcome in sweep.outcomes:
+            report.checks.append(
+                BilateralCheck(
+                    left=self._private[outcome.left].name,
+                    right=self._private[outcome.right].name,
+                    consistent=outcome.consistent,
+                    witness=outcome.witness,
                 )
+            )
         return report
 
     # -- internal ---------------------------------------------------------

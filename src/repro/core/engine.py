@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.afsa.emptiness import is_empty
+from repro.afsa.emptiness import is_consistent
 from repro.afsa.equivalence import language_equal
-from repro.afsa.product import intersect
 from repro.afsa.view import project_view
 from repro.bpel.compile import CompiledProcess, compile_process
 from repro.bpel.model import ProcessModel
@@ -296,7 +295,7 @@ class EvolutionEngine:
         adapted_compiled = compile_process(process)
         view = project_view(new_public, other)
         adapted_view = project_view(adapted_compiled.afsa, originator)
-        consistent = not is_empty(intersect(view, adapted_view))
+        consistent = is_consistent(view, adapted_view)
         impact.adapted_private = process
         impact.consistent_after_adaptation = consistent
 

@@ -35,8 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.afsa.emptiness import is_empty
-from repro.afsa.product import intersect
+from repro.afsa.emptiness import is_consistent
 from repro.afsa.serialize import afsa_from_json, afsa_to_json
 from repro.afsa.view import project_view
 from repro.bpel.compile import CompiledProcess, compile_process
@@ -47,6 +46,7 @@ from repro.core.propagate import (
     propagate_subtractive,
 )
 from repro.core.suggestions import derive_suggestions
+from repro.core.sweep import WITNESS_NONE, sweep_serialized_pairs
 from repro.errors import ChoreographyError
 
 #: Message kinds on the negotiation wire.
@@ -118,7 +118,7 @@ class PartnerAgent:
         """
         new_view = afsa_from_json(new_view_json)
         own_view = project_view(self.compiled.afsa, originator)
-        if not is_empty(intersect(new_view, own_view)):
+        if is_consistent(new_view, own_view):
             self._staged = None
             return ACCEPT, "invariant - no local change needed"
 
@@ -157,7 +157,7 @@ class PartnerAgent:
             process = operation.apply(process)
         adapted_public = compile_process(process).afsa
         adapted_view = project_view(adapted_public, originator)
-        if is_empty(intersect(new_view, adapted_view)):
+        if not is_consistent(new_view, adapted_view):
             return None
         return process
 
@@ -269,20 +269,43 @@ class ChangeNegotiation:
             outcome.committed = True
         return outcome
 
-    def check_consistency(self) -> bool:
+    def check_consistency(self, workers: int | None = None) -> bool:
         """Decentralized post-negotiation check: every conversing pair
-        exchanges views and verifies locally."""
+        exchanges views and verifies locally.
+
+        The pair grid goes through the batched sweep engine; the views
+        crossing the "wire" stay exactly the serialized public views
+        partners exchange (no decode/re-encode round-trip), and
+        ``workers > 1`` distributes the checks without changing the
+        verdict.  The serial path short-circuits on the first
+        inconsistent pair.
+        """
         parties = sorted(self.agents)
-        for index, left in enumerate(parties):
-            for right in parties[index + 1:]:
-                if right not in self.conversation_partners(left):
-                    continue
-                left_view = afsa_from_json(
-                    self.agents[left].public_view_for(right)
+        party_pairs = [
+            (left, right)
+            for index, left in enumerate(parties)
+            for right in parties[index + 1:]
+            if right in self.conversation_partners(left)
+        ]
+        if workers and workers > 1:
+            wire_pairs = [
+                (
+                    self.agents[left].public_view_for(right),
+                    self.agents[right].public_view_for(left),
                 )
-                right_view = afsa_from_json(
-                    self.agents[right].public_view_for(left)
-                )
-                if is_empty(intersect(left_view, right_view)):
-                    return False
+                for left, right in party_pairs
+            ]
+            results = sweep_serialized_pairs(
+                wire_pairs, witnesses=WITNESS_NONE, workers=workers
+            )
+            return all(consistent for consistent, _ in results)
+        for left, right in party_pairs:
+            left_view = afsa_from_json(
+                self.agents[left].public_view_for(right)
+            )
+            right_view = afsa_from_json(
+                self.agents[right].public_view_for(left)
+            )
+            if not is_consistent(left_view, right_view):
+                return False
         return True

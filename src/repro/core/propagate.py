@@ -41,9 +41,8 @@ from repro.afsa.annotations import (
 )
 from repro.afsa.automaton import AFSA, State
 from repro.afsa.difference import difference
-from repro.afsa.emptiness import is_empty
+from repro.afsa.emptiness import is_consistent
 from repro.afsa.minimize import minimize
-from repro.afsa.product import intersect
 from repro.afsa.prune import prune_dead_states
 from repro.afsa.union import union
 from repro.afsa.view import project_view, project_view_raw
@@ -258,8 +257,9 @@ def propagate_additive(
         if delta.kind == ADDED
     ]
 
-    # Step 5: would the proposal restore consistency?
-    consistent = not is_empty(intersect(view, proposal))
+    # Step 5: would the proposal restore consistency?  (Kernel-level
+    # check; no public product automaton is materialized.)
+    consistent = is_consistent(view, proposal)
 
     return PropagationResult(
         opponent=opponent.process.name,
@@ -308,7 +308,7 @@ def propagate_subtractive(
         if delta.kind == REMOVED
     ]
 
-    consistent = not is_empty(intersect(view, proposal))
+    consistent = is_consistent(view, proposal)
 
     return PropagationResult(
         opponent=opponent.process.name,

@@ -1,0 +1,219 @@
+"""Batched multiparty consistency sweeps (Sect. 6, scaled out).
+
+The decentralized deployment scheme checks consistency *pairwise*:
+every conversing pair of partners intersects their mutual views and
+runs the annotated emptiness test.  Before this module, every caller
+hand-rolled that loop (``Choreography.check_consistency``,
+``ChangeNegotiation.check_consistency``, the multiparty benches) and
+each check materialized a public intersection automaton, recomputed the
+good-state fixpoint twice (once for the verdict, once for the witness),
+and ran strictly serially.
+
+The sweep engine batches the whole pair grid into one pass:
+
+* **kernel-only checks** — :func:`check_pair` intersects the interned
+  kernels directly (:func:`~repro.afsa.kernel.k_intersect`), runs the
+  SCC/worklist fixpoint once, and derives the verdict *and* the witness
+  from the same cached good set; no public product automaton is ever
+  built;
+* **shared memos** — operand views are projected once per partner and
+  their ε-free/determinized kernel forms are memo hits across every
+  pair they participate in;
+* **optional fan-out** — with ``workers > 1`` the pair grid is
+  distributed over a :mod:`multiprocessing` pool.  Pairs travel as the
+  same serialized JSON views partners exchange on the negotiation wire,
+  and results come back in input order, so verdicts and witnesses are
+  identical regardless of worker count (the determinism the test suite
+  asserts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+
+from repro.afsa.automaton import AFSA
+from repro.afsa.emptiness import EmptinessWitness, kernel_witness
+from repro.afsa.kernel import k_good_states, k_intersect, kernel_of
+from repro.afsa.serialize import afsa_from_json, afsa_to_json
+
+#: Witness policies: compute no witnesses, only for inconsistent pairs,
+#: or for every pair (the full diagnostic report).
+WITNESS_NONE = "none"
+WITNESS_FAILURES = "failures"
+WITNESS_ALL = "all"
+
+
+@dataclass
+class PairOutcome:
+    """Verdict of one bilateral check inside a sweep.
+
+    Attributes:
+        left, right: identifiers of the checked pair (party ids when
+            produced by :func:`sweep_choreography`).
+        consistent: non-emptiness of the intersection of mutual views.
+        witness: diagnosis, present according to the witness policy.
+    """
+
+    left: str
+    right: str
+    consistent: bool
+    witness: EmptinessWitness | None = None
+
+    def describe(self) -> str:
+        status = "consistent" if self.consistent else "INCONSISTENT"
+        detail = f" ({self.witness.describe()})" if self.witness else ""
+        return f"{self.left} ↔ {self.right}: {status}{detail}"
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of one batched consistency sweep."""
+
+    outcomes: list[PairOutcome] = field(default_factory=list)
+    workers: int = 1
+
+    @property
+    def consistent(self) -> bool:
+        """True when every checked pair is deadlock-free."""
+        return all(outcome.consistent for outcome in self.outcomes)
+
+    def failures(self) -> list[PairOutcome]:
+        """Return the inconsistent pairs."""
+        return [
+            outcome for outcome in self.outcomes if not outcome.consistent
+        ]
+
+    def describe(self) -> str:
+        lines = [outcome.describe() for outcome in self.outcomes]
+        verdict = (
+            "sweep: all pairs consistent"
+            if self.consistent
+            else f"sweep: {len(self.failures())} inconsistent pair(s)"
+        )
+        return "\n".join(lines + [verdict])
+
+
+def check_pair(
+    left: AFSA, right: AFSA, witnesses: str = WITNESS_FAILURES
+) -> tuple[bool, EmptinessWitness | None]:
+    """One bilateral check, entirely on the kernel.
+
+    Returns ``(consistent, witness)``; the witness (when requested by
+    the policy) reuses the good set cached by the verdict instead of
+    recomputing the fixpoint.
+    """
+    product = k_intersect(kernel_of(left), kernel_of(right))
+    consistent = product.start in k_good_states(product)
+    witness = None
+    if witnesses == WITNESS_ALL or (
+        witnesses == WITNESS_FAILURES and not consistent
+    ):
+        witness = kernel_witness(product)
+    return consistent, witness
+
+
+def _check_serialized_pair(payload):
+    """Pool worker: rebuild the two wire-format views, check them."""
+    left_json, right_json, witnesses = payload
+    return check_pair(
+        afsa_from_json(left_json), afsa_from_json(right_json), witnesses
+    )
+
+
+def sweep_serialized_pairs(
+    pairs,
+    witnesses: str = WITNESS_FAILURES,
+    workers: int | None = None,
+) -> list[tuple[bool, EmptinessWitness | None]]:
+    """Check a batch of ``(left_json, right_json)`` wire-format pairs.
+
+    The entry point for callers that already hold the serialized public
+    views (the negotiation protocol does): the JSON goes straight to
+    the workers without a decode/re-encode round-trip.
+    """
+    pairs = list(pairs)
+    payloads = [
+        (left_json, right_json, witnesses)
+        for left_json, right_json in pairs
+    ]
+    if workers and workers > 1 and len(pairs) > 1:
+        with get_context().Pool(min(workers, len(pairs))) as pool:
+            return pool.map(_check_serialized_pair, payloads)
+    return [_check_serialized_pair(payload) for payload in payloads]
+
+
+def sweep_pairs(
+    pairs,
+    witnesses: str = WITNESS_FAILURES,
+    workers: int | None = None,
+) -> list[tuple[bool, EmptinessWitness | None]]:
+    """Check a batch of ``(left, right)`` view pairs.
+
+    Args:
+        pairs: sequence of ``(AFSA, AFSA)`` mutual-view pairs.
+        witnesses: witness policy (:data:`WITNESS_NONE`,
+            :data:`WITNESS_FAILURES`, :data:`WITNESS_ALL`).
+        workers: fan the grid out over this many worker processes;
+            ``None``/``0``/``1`` checks serially in-process.
+
+    Returns:
+        ``(consistent, witness)`` per pair, **in input order** — worker
+        count never changes the result.
+    """
+    pairs = list(pairs)
+    if workers and workers > 1 and len(pairs) > 1:
+        return sweep_serialized_pairs(
+            [
+                (afsa_to_json(left), afsa_to_json(right))
+                for left, right in pairs
+            ],
+            witnesses=witnesses,
+            workers=workers,
+        )
+    return [
+        check_pair(left, right, witnesses) for left, right in pairs
+    ]
+
+
+def conversing_pairs(choreography) -> list[tuple[str, str]]:
+    """The pair grid of a choreography: sorted party pairs that
+    actually exchange messages (the only ones Sect. 6 checks)."""
+    parties = choreography.parties()
+    return [
+        (left, right)
+        for index, left in enumerate(parties)
+        for right in parties[index + 1:]
+        if right in choreography.conversation_partners(left)
+    ]
+
+
+def sweep_choreography(
+    choreography,
+    pairs: list[tuple[str, str]] | None = None,
+    witnesses: str = WITNESS_FAILURES,
+    workers: int | None = None,
+) -> SweepReport:
+    """Check all (or the given) partner pairs of a choreography.
+
+    Views are projected once per (viewer, viewed) partner combination —
+    :meth:`Choreography.view` memoizes per process version — and the
+    resulting view pairs are dispatched through :func:`sweep_pairs`.
+    """
+    if pairs is None:
+        pairs = conversing_pairs(choreography)
+    view_pairs = [
+        (
+            choreography.view(right, on=left),
+            choreography.view(left, on=right),
+        )
+        for left, right in pairs
+    ]
+    results = sweep_pairs(view_pairs, witnesses=witnesses, workers=workers)
+    outcomes = [
+        PairOutcome(
+            left=left, right=right, consistent=consistent, witness=witness
+        )
+        for (left, right), (consistent, witness) in zip(pairs, results)
+    ]
+    return SweepReport(outcomes=outcomes, workers=workers or 1)

@@ -440,3 +440,72 @@ def random_afsa(
         alphabet=label_pool,
         name=f"random-{seed}",
     )
+
+
+def random_annotated_afsa(
+    seed: int = 0,
+    states: int = 8,
+    labels: int = 4,
+    loops: int = 1,
+    **afsa_kwargs,
+) -> AFSA:
+    """A :func:`random_afsa` with guaranteed *cyclic mandatory*
+    annotations — the buyer tracking-loop pattern of the paper, writ
+    random.
+
+    Each of the *loops* gadgets grafts, onto a random anchor state of
+    the base automaton, a two-state cycle plus a terminating exit::
+
+        anchor ──enter──▶ loop ──get──▶ mid ──status──▶ loop
+                           │
+                           └──term──▶ end (final)
+
+    with the conjunction ``get ∧ term`` annotated on ``loop``: the
+    mandatory ``get`` transition leads straight back into the annotated
+    cycle, so the annotation is only satisfiable under the *greatest*
+    fixpoint reading of the emptiness test (Sect. 3.2) — exactly the
+    case the SCC/worklist good-state algorithm must not lose.  These
+    instances stress both the property suite and the annotated-emptiness
+    benches with the hardest shape the paper produces.
+    """
+    rng = random.Random(seed * 7919 + loops)
+    base = random_afsa(seed=seed, states=states, labels=labels, **afsa_kwargs)
+
+    base_names = [f"q{index}" for index in range(states)]
+    transitions = [t.as_tuple() for t in base.transitions]
+    all_states = list(base_names)
+    finals = set(base.finals)
+    annotations = dict(base.annotations)
+    alphabet = [str(label) for label in base.alphabet]
+
+    for index in range(loops):
+        anchor = base_names[rng.randrange(states)]
+        loop = f"loop{index}"
+        mid = f"mid{index}"
+        end = f"end{index}"
+        enter = f"X#Y#enter{index}"
+        get = f"X#Y#get{index}"
+        status = f"X#Y#status{index}"
+        term = f"X#Y#term{index}"
+        transitions.extend(
+            [
+                (anchor, enter, loop),
+                (loop, get, mid),
+                (mid, status, loop),
+                (loop, term, end),
+            ]
+        )
+        all_states.extend([loop, mid, end])
+        finals.add(end)
+        annotations[loop] = all_of((Var(get), Var(term)))
+        alphabet.extend([enter, get, status, term])
+
+    return AFSA(
+        states=all_states,
+        transitions=transitions,
+        start=base_names[0],
+        finals=finals,
+        annotations=annotations,
+        alphabet=alphabet,
+        name=f"random-annotated-{seed}",
+    )

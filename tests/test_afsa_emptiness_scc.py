@@ -1,0 +1,168 @@
+"""Property and unit tests for the SCC/worklist good-state algorithm.
+
+``k_good_states`` (PR 2: Tarjan seed + support-count worklist) must
+agree **state for state** with the retained round-based reference
+``k_good_states_naive`` on every negation-free input — including the
+cyclic mandatory-annotation shapes (the buyer tracking loop) where a
+least-fixpoint reading would differ, and the stranded-cycle shapes
+where plain support counting without the liveness recheck would be
+wrong.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.kernel import (
+    _build_kernel,
+    _tarjan_sccs,
+    k_good_states,
+    k_good_states_naive,
+    kernel_of,
+)
+from repro.formula.parser import parse_formula
+from repro.workload.generator import random_afsa, random_annotated_afsa
+
+_SEEDS = st.integers(min_value=0, max_value=10_000)
+_SIZES = st.integers(min_value=2, max_value=24)
+_PROBS = st.sampled_from([0.0, 0.2, 0.5, 0.8])
+
+
+def _agree(automaton):
+    kernel = _build_kernel(automaton)  # fresh: no cached good set
+    assert k_good_states(kernel) == k_good_states_naive(kernel)
+
+
+class TestPropertyAgreement:
+    @given(_SEEDS, _SIZES, _PROBS)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_on_random_afsa(self, seed, size, prob):
+        _agree(
+            random_afsa(
+                seed=seed, states=size, labels=6,
+                annotation_probability=prob,
+            )
+        )
+
+    @given(_SEEDS, _SIZES, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_on_cyclic_mandatory(self, seed, size, loops):
+        """Tracking-loop gadgets: annotated cycles whose mandatory
+        transition leads back into the annotated state."""
+        _agree(
+            random_annotated_afsa(
+                seed=seed, states=size, labels=6, loops=loops,
+                annotation_probability=0.5,
+            )
+        )
+
+    @given(_SEEDS, _SIZES)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_on_dense_random_afsa(self, seed, size):
+        """Denser graphs → bigger SCCs → the recheck path is exercised."""
+        _agree(
+            random_afsa(
+                seed=seed, states=size, labels=4, density=0.8,
+                annotation_probability=0.6,
+            )
+        )
+
+
+class TestWorklistCornerCases:
+    def test_buyer_tracking_loop_survives(self):
+        """Greatest-fixpoint reading: the mandatory get leads back into
+        the annotated cycle and must still count as support."""
+        builder = AFSABuilder()
+        builder.add_transition("loop", "B#A#get", "mid")
+        builder.add_transition("mid", "A#B#status", "loop")
+        builder.add_transition("loop", "B#A#term", "final")
+        builder.annotate("loop", parse_formula("B#A#get AND B#A#term"))
+        builder.mark_final("final")
+        kernel = kernel_of(builder.build(start="loop"))
+        good = k_good_states(kernel)
+        assert good == set(range(kernel.n))
+        assert good == k_good_states_naive(kernel)
+
+    def test_stranded_cycle_is_deleted(self):
+        """Support counting alone would keep the c↔d cycle alive (its
+        states keep each other's out-counts positive) after its only
+        exit path dies; the liveness recheck must delete it."""
+        builder = AFSABuilder()
+        builder.add_transition("s", "A#B#go", "b")
+        builder.add_transition("s", "A#B#in", "c")
+        builder.add_transition("b", "A#B#ok", "f")
+        builder.add_transition("c", "A#B#v", "d")
+        builder.add_transition("d", "A#B#w", "c")
+        builder.add_transition("d", "A#B#x", "b")
+        builder.annotate("b", parse_formula("A#B#missing"))
+        builder.mark_final("f")
+        automaton = builder.build(start="s")
+        kernel = kernel_of(automaton)
+        good = k_good_states(kernel)
+        names = {kernel.names[state] for state in good}
+        assert names == {"f"}
+        assert good == k_good_states_naive(kernel)
+
+    def test_annotation_cascade_through_supports(self):
+        """Deleting one annotated state must flip its predecessors'
+        variable counts and cascade."""
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "b")
+        builder.add_transition("a", "A#B#y", "f")
+        builder.add_transition("b", "A#B#z", "f")
+        builder.annotate("a", parse_formula("A#B#x AND A#B#y"))
+        builder.annotate("b", parse_formula("A#B#dead"))
+        builder.mark_final("f")
+        kernel = kernel_of(builder.build(start="a"))
+        good = k_good_states(kernel)
+        names = {kernel.names[state] for state in good}
+        # b fails directly; a loses its only A#B#x support and follows.
+        assert names == {"f"}
+        assert good == k_good_states_naive(kernel)
+
+    def test_disjunction_survives_single_support_loss(self):
+        """Non-conjunctive formulas are re-evaluated, not short-circuited:
+        losing one disjunct must not delete the state."""
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "dead")
+        builder.add_transition("a", "A#B#y", "f")
+        builder.annotate("a", parse_formula("A#B#x OR A#B#y"))
+        builder.mark_final("f")
+        kernel = kernel_of(builder.build(start="a"))
+        good = k_good_states(kernel)
+        names = {kernel.names[state] for state in good}
+        assert names == {"a", "f"}
+        assert good == k_good_states_naive(kernel)
+
+    def test_good_set_is_cached_on_kernel(self):
+        automaton = random_afsa(seed=7, states=12, labels=4)
+        kernel = kernel_of(automaton)
+        assert k_good_states(kernel) is k_good_states(kernel)
+
+    def test_use_cache_false_recomputes(self):
+        automaton = random_afsa(seed=7, states=12, labels=4)
+        kernel = kernel_of(automaton)
+        cached = k_good_states(kernel)
+        fresh = k_good_states(kernel, use_cache=False)
+        assert fresh is not cached
+        assert fresh == cached
+
+
+class TestTarjan:
+    def test_components_partition_and_order(self):
+        # 0→1→2→0 cycle, 2→3, 3→4 (chain): cycle {0,1,2}, then 3, 4.
+        succs = [[1], [2], [0, 3], [4], []]
+        comp, components = _tarjan_sccs(succs)
+        assert sorted(sorted(members) for members in components) == [
+            [0, 1, 2], [3], [4],
+        ]
+        # Sinks first: every successor component precedes its sources.
+        for state, row in enumerate(succs):
+            for target in row:
+                if comp[target] != comp[state]:
+                    assert comp[target] < comp[state]
+
+    def test_self_loop_is_its_own_component(self):
+        succs = [[0, 1], []]
+        comp, components = _tarjan_sccs(succs)
+        assert len(components) == 2
+        assert comp[0] != comp[1]

@@ -1,0 +1,208 @@
+"""Tests for the benchmark report's perf-regression gate.
+
+This is the local demonstration the CI gate relies on: a deliberately
+slowed bench must fail ``--compare``, honest runs must pass, and the
+noise-tolerance rules (median-of-rounds, sub-floor benches skipped,
+unmatched benches never gating) must hold.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPORT_PATH = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "report.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_report", _REPORT_PATH)
+report = importlib.util.module_from_spec(_spec)
+sys.modules["bench_report"] = report
+_spec.loader.exec_module(report)
+
+
+def _bench(name, median_ms, mean_ms=None, group="scaling"):
+    return {
+        "name": name,
+        "group": group,
+        "extra_info": {},
+        "stats": {
+            "median": median_ms / 1e3,
+            "mean": (mean_ms if mean_ms is not None else median_ms) / 1e3,
+        },
+    }
+
+
+def _write(tmp_path, filename, benchmarks):
+    path = tmp_path / filename
+    path.write_text(json.dumps({"benchmarks": benchmarks}), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    return _write(
+        tmp_path,
+        "baseline.json",
+        [
+            _bench("test_emptiness[512]", 6.0),
+            _bench("test_minimize[512]", 1200.0),
+            _bench("test_tiny[8]", 0.04),
+            _bench("test_retired[1]", 3.0),
+        ],
+    )
+
+
+class TestCompare:
+    def test_honest_run_passes(self, tmp_path, baseline):
+        run = _write(
+            tmp_path,
+            "run.json",
+            [
+                _bench("test_emptiness[512]", 2.0),   # 3× faster
+                _bench("test_minimize[512]", 1300.0),  # +8%, inside 1.25
+                _bench("test_tiny[8]", 0.09),          # noisy but sub-floor
+            ],
+        )
+        table, regressions = report.compare(run, baseline)
+        assert regressions == []
+        assert "GATE PASSED" in table
+
+    def test_deliberately_slowed_bench_fails(self, tmp_path, baseline):
+        """The acceptance demonstration: slow one bench >25% → gate
+        fails and names the offender."""
+        run = _write(
+            tmp_path,
+            "slow.json",
+            [
+                _bench("test_emptiness[512]", 9.0),  # 1.5× the baseline
+                _bench("test_minimize[512]", 1150.0),
+            ],
+        )
+        table, regressions = report.compare(run, baseline)
+        assert regressions == ["test_emptiness[512]"]
+        assert "GATE FAILED" in table
+        assert "REGRESSED" in table
+
+    def test_median_not_mean_is_gated(self, tmp_path, baseline):
+        """One garbage-collector outlier inflates the mean; the median
+        gate must not care."""
+        run = _write(
+            tmp_path,
+            "outlier.json",
+            [_bench("test_emptiness[512]", 6.1, mean_ms=40.0)],
+        )
+        _, regressions = report.compare(run, baseline)
+        assert regressions == []
+
+    def test_noise_floor_skips_micro_benches(self, tmp_path, baseline):
+        run = _write(
+            tmp_path,
+            "noise.json",
+            # 3× "regression" on a 0.04 ms bench is timer jitter.
+            [_bench("test_tiny[8]", 0.12)],
+        )
+        table, regressions = report.compare(run, baseline)
+        assert regressions == []
+        assert "below noise floor" in table
+
+    def test_unmatched_benches_never_gate(self, tmp_path, baseline):
+        run = _write(
+            tmp_path,
+            "new.json",
+            [_bench("test_brand_new[2048]", 100.0)],
+        )
+        table, regressions = report.compare(run, baseline)
+        assert regressions == []
+        assert "new" in table
+        assert "not in this run" in table
+
+    def test_calibration_cancels_machine_speed(self, tmp_path, baseline):
+        """A uniformly 2× slower machine plus one genuinely 3× slower
+        bench: uncalibrated, everything fails; calibrated, only the
+        real regression does."""
+        run = _write(
+            tmp_path,
+            "other_machine.json",
+            [
+                _bench("test_emptiness[512]", 18.0),   # 3× (real regression)
+                _bench("test_minimize[512]", 2400.0),  # 2× (machine factor)
+                _bench("test_retired[1]", 6.0),        # 2× (machine factor)
+            ],
+        )
+        _, uncalibrated = report.compare(run, baseline)
+        assert set(uncalibrated) == {
+            "test_emptiness[512]",
+            "test_minimize[512]",
+            "test_retired[1]",
+        }
+        _, calibrated = report.compare(run, baseline, calibrate=True)
+        assert calibrated == ["test_emptiness[512]"]
+
+    def test_calibration_never_tightens_on_broad_speedups(
+        self, tmp_path, baseline
+    ):
+        """A PR that speeds up most benches must not turn untouched
+        benches' 1.0× into failures (the scale is clamped to ≥1)."""
+        run = _write(
+            tmp_path,
+            "speedups.json",
+            [
+                _bench("test_emptiness[512]", 2.4),    # 0.4×
+                _bench("test_retired[1]", 1.2),        # 0.4×
+                _bench("test_minimize[512]", 1200.0),  # untouched, 1.0×
+            ],
+        )
+        _, regressions = report.compare(run, baseline, calibrate=True)
+        assert regressions == []
+
+    def test_threshold_is_configurable(self, tmp_path, baseline):
+        run = _write(
+            tmp_path,
+            "mild.json",
+            [_bench("test_emptiness[512]", 7.0)],  # ~1.17×
+        )
+        _, loose = report.compare(run, baseline, max_regress=1.25)
+        assert loose == []
+        _, strict = report.compare(run, baseline, max_regress=1.10)
+        assert strict == ["test_emptiness[512]"]
+
+
+class TestMain:
+    def test_main_exit_codes(self, tmp_path, baseline):
+        slow = _write(
+            tmp_path, "slow.json", [_bench("test_emptiness[512]", 9.0)]
+        )
+        good = _write(
+            tmp_path, "good.json", [_bench("test_emptiness[512]", 5.0)]
+        )
+        assert report.main([good, "--compare", baseline]) == 0
+        assert report.main([slow, "--compare", baseline]) == 1
+
+    def test_main_without_compare_still_renders(self, tmp_path, capsys):
+        run = _write(
+            tmp_path, "run.json", [_bench("test_emptiness[512]", 5.0)]
+        )
+        assert report.main([run]) == 0
+        out = capsys.readouterr().out
+        assert "Scaling series" in out
+
+    def test_no_render_requires_compare(self, tmp_path):
+        run = _write(
+            tmp_path, "run.json", [_bench("test_emptiness[512]", 5.0)]
+        )
+        with pytest.raises(SystemExit):
+            report.main([run, "--no-render"])
+
+    def test_no_render_prints_only_the_gate_table(self, tmp_path, capsys):
+        run = _write(
+            tmp_path, "run.json", [_bench("test_emptiness[512]", 5.0)]
+        )
+        base = _write(
+            tmp_path, "base.json", [_bench("test_emptiness[512]", 6.0)]
+        )
+        assert report.main([run, "--compare", base, "--no-render"]) == 0
+        out = capsys.readouterr().out
+        assert "Scaling series" not in out
+        assert "Regression gate" in out
