@@ -21,6 +21,7 @@ from repro.bpel.dsl import process_to_dsl
 from repro.bpel.xml_io import process_to_xml
 from repro.scenario.procurement import (
     accounting_private,
+    accounting_private_subtractive_change,
     buyer_private,
     logistics_private,
 )
@@ -30,6 +31,9 @@ PROCESSES = Path(__file__).resolve().parent / "processes"
 FACTORIES = {
     "buyer": buyer_private,
     "accounting": accounting_private,
+    # The Sect. 5.3 changed version — the "new" side of the evolution
+    # step the README's migrate walkthrough classifies fleets across.
+    "accounting_subtractive": accounting_private_subtractive_change,
     "logistics": logistics_private,
 }
 

@@ -132,48 +132,105 @@ def kernel_witness(kernel: Kernel) -> EmptinessWitness:
     the kernel's cached fixpoint, the shortest-witness search is a
     :class:`~collections.deque` BFS directly over the kernel adjacency
     (labels sorted by text once per visited state, instead of re-sorting
-    public ``Transition`` objects), and the blocked-state diagnosis
-    walks states in kernel index order, which makes its report order
-    deterministic.
+    public ``Transition`` objects), and the blocked-state diagnosis is
+    reported in sorted state-repr order.  Kernel index order would be
+    cheaper, but it depends on the exploration order of the product
+    construction, which in turn depends on set-iteration order of the
+    operand automata — a worker that rebuilt its operands from the
+    serialized wire format would then report the same blocked states in
+    a different order than the serial path (caught by the sweep witness
+    determinism tests); sorting by repr makes the report canonical.
     """
     good = k_good_states(kernel)
     names = kernel.names
-    label_of = INTERNER.label
-    text_of = INTERNER.text
 
     if kernel.start not in good:
         reachable = kernel.reachable()
-        blocked = []
-        missing: dict = {}
+        entries = []
         for state in range(kernel.n):
             if state not in reachable or state in good:
                 continue
-            annotation = kernel.ann.get(state)
-            if annotation is None or annotation == TRUE:
+            unsupported = kernel_unsupported_variables(
+                kernel, state, good
+            )
+            if unsupported is None:
                 continue
-            supported = {
-                text_of(lid)
-                for lid, targets in kernel.adj[state].items()
-                if any(target in good for target in targets)
-            }
-            if not evaluate(annotation, supported):
-                unsupported = sorted(
-                    name
-                    for name in formula_variables(annotation)
-                    if name not in supported
-                )
-                blocked.append(names[state])
-                missing[names[state]] = unsupported
+            entries.append((repr(names[state]), names[state], unsupported))
+        entries.sort(key=lambda entry: entry[0])
         return EmptinessWitness(
-            empty=True, blocked_states=blocked, missing_variables=missing
+            empty=True,
+            blocked_states=[name for _, name, _ in entries],
+            missing_variables={
+                name: unsupported for _, name, unsupported in entries
+            },
         )
 
-    # Shortest accepted word: BFS through good states only, expanding
-    # each state's edges in (label text, target repr) order so witness
-    # words are deterministic (ε sorts as "ε" exactly as before).
+    # Shortest accepted word: canonical BFS through good states only.
+    word, path, _ = kernel_completion_bfs(kernel, [kernel.start], good)
+    return EmptinessWitness(empty=False, word=word, path=path)
+
+
+def kernel_unsupported_variables(
+    kernel: Kernel, state: int, good
+) -> list | None:
+    """The paper's "mandatory transition … not supported" diagnosis
+    for one state: the annotation variables with no supporting
+    transition into a good state, sorted — or ``None`` when the state
+    carries no annotation or its annotation is satisfied under the
+    good-set assignment.
+
+    Shared by the blocked-state report of :func:`kernel_witness` and
+    the migration engine's pending-instance diagnosis
+    (:func:`repro.instances.replay.blocked_messages`), so the two
+    reports can never drift apart.
+    """
+    annotation = kernel.ann.get(state)
+    if annotation is None or annotation == TRUE:
+        return None
+    text_of = INTERNER.text
+    supported = {
+        text_of(lid)
+        for lid, targets in kernel.adj[state].items()
+        if any(target in good for target in targets)
+    }
+    if evaluate(annotation, supported):
+        return None
+    return sorted(
+        name
+        for name in formula_variables(annotation)
+        if name not in supported
+    )
+
+
+def kernel_completion_bfs(
+    kernel: Kernel, sources, good
+) -> tuple[list, list, int | None]:
+    """Shortest completion from *sources* to a final through *good*
+    states, in canonical order.
+
+    The BFS seeds the queue in the given source order and expands each
+    state's edges sorted by (label text, target repr) — never by kernel
+    index — so the returned word is identical across processes even
+    when a worker rebuilt the automaton from the wire format with a
+    different state numbering.  Shared by :func:`kernel_witness`
+    (single source: the start state) and the migration engine's
+    per-instance continuation witness
+    (:func:`repro.instances.replay.continuation_witness`, multi-source:
+    the replayed state set).
+
+    Returns ``(word, path, final)``; ``final`` is None (with empty word
+    and path) when no final state is reachable — impossible when the
+    sources are good states.
+    """
+    names = kernel.names
+    label_of = INTERNER.label
+    text_of = INTERNER.text
     finals = kernel.finals
-    parents: dict[int, tuple[int, Label] | None] = {kernel.start: None}
-    queue: deque = deque([kernel.start])
+
+    parents: dict[int, tuple[int, Label] | None] = {
+        source: None for source in sources
+    }
+    queue: deque = deque(sources)
     final = None
     while queue:
         state = queue.popleft()
@@ -208,7 +265,7 @@ def kernel_witness(kernel: Kernel) -> EmptinessWitness:
             cursor = previous
         word.reverse()
         path.reverse()
-    return EmptinessWitness(empty=False, word=word, path=path)
+    return word, path, final
 
 
 def non_emptiness_witness(automaton: AFSA) -> EmptinessWitness:

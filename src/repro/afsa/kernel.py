@@ -87,6 +87,8 @@ class Kernel:
         "_det",
         "_sorted_labels",
         "_good",
+        "_coreach",
+        "_replay",
     )
 
     def __init__(
@@ -117,6 +119,8 @@ class Kernel:
         self._det = None
         self._sorted_labels = None
         self._good = None
+        self._coreach = None
+        self._replay = None
 
     # -- memoized derived facts -------------------------------------------
 
@@ -180,6 +184,29 @@ class Kernel:
                         frontier.append(target)
             self._reachable = frozenset(seen)
         return self._reachable
+
+    def coreachable(self) -> frozenset:
+        """Return (and cache) states from which a final state is
+        FSA-reachable (annotations ignored — the classical liveness the
+        migration classifier contrasts with the annotated good set)."""
+        if self._coreach is None:
+            preds: list = [[] for _ in range(self.n)]
+            for source in range(self.n):
+                for targets in self.adj[source].values():
+                    for target in targets:
+                        preds[target].append(source)
+                for target in self.eps[source]:
+                    preds[target].append(source)
+            seen = set(self.finals)
+            frontier = list(self.finals)
+            while frontier:
+                state = frontier.pop()
+                for predecessor in preds[state]:
+                    if predecessor not in seen:
+                        seen.add(predecessor)
+                        frontier.append(predecessor)
+            self._coreach = frozenset(seen)
+        return self._coreach
 
     def sorted_label_ids(self) -> list:
         """Return Σ's label ids sorted by canonical label text."""
@@ -1207,3 +1234,30 @@ def k_language_included(left: Kernel, right: Kernel) -> bool:
                 seen.add(target)
                 frontier.append(target)
     return True
+
+
+# -- trace replay -------------------------------------------------------------
+
+
+def k_start_closure(kernel: Kernel) -> frozenset:
+    """The joint state of a fresh instance: ε-closure of the start."""
+    return frozenset(kernel.closures()[kernel.start])
+
+
+def k_replay_step(kernel: Kernel, states: frozenset, label_id: int) -> frozenset:
+    """Advance a replayed state set by one executed message.
+
+    Returns the ε-closed successor set of *states* under *label_id*;
+    empty when no member state enables the label — the executed log has
+    diverged from the automaton and can never re-join it (replay is
+    monotone in the state set).
+    """
+    adj = kernel.adj
+    closures = kernel.closures()
+    moved: set = set()
+    for state in states:
+        targets = adj[state].get(label_id)
+        if targets:
+            for target in targets:
+                moved.update(closures[target])
+    return frozenset(moved)

@@ -9,7 +9,10 @@ selected by extension ``.xml`` / anything else = DSL):
 * ``diff OLD NEW``            — additive/subtractive classification (Def. 5)
 * ``propagate OLD NEW PARTNER_FILE`` — full variant-change propagation
   with region detection and edit suggestions (Sect. 5)
-* ``simulate FILE FILE``      — run random conversations (deadlock probe)
+* ``simulate FILE FILE``      — run random conversations (deadlock probe;
+  ``--log`` emits the executed message sequences as JSON)
+* ``migrate OLD NEW``         — classify a running-instance fleet across
+  an evolution step (migratable / pending / stranded)
 * ``stats FILE``              — structural metrics of the public process
 * ``export FILE``             — public process as JSON (partner exchange)
 * ``demo``                    — run the paper's procurement scenario
@@ -145,7 +148,10 @@ def cmd_propagate(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    import json
+
     from repro.afsa.simulate import simulate_conversation
+    from repro.messages.label import label_text
 
     left = compile_process(load_process(args.left))
     right = compile_process(load_process(args.right))
@@ -153,6 +159,9 @@ def cmd_simulate(args) -> int:
     right_view = project_view(right.afsa, left.process.party)
     party_names = [left.process.party, right.process.party]
     deadlocks = 0
+    log: list = []
+    log_to_stdout = args.log == "-"
+    info = sys.stderr if log_to_stdout else sys.stdout
     for index in range(args.runs):
         result = simulate_conversation(
             [left_view, right_view],
@@ -160,14 +169,139 @@ def cmd_simulate(args) -> int:
             party_names=party_names,
         )
         if args.verbose or result.deadlocked:
-            print(f"run {index}: {result.describe()}")
+            print(f"run {index}: {result.describe()}", file=info)
         if result.deadlocked:
             deadlocks += 1
+        if args.log:
+            log.append(
+                {
+                    "run": index,
+                    "outcome": result.outcome,
+                    "trace": [
+                        label_text(label) for label in result.trace
+                    ],
+                    "blocked_on": (
+                        label_text(result.blocked_on)
+                        if result.blocked_on is not None
+                        else None
+                    ),
+                }
+            )
+    if args.log:
+        payload = json.dumps(log, indent=2)
+        if log_to_stdout:
+            print(payload)
+        else:
+            Path(args.log).write_text(payload + "\n", encoding="utf-8")
+    # With --log -, stdout must stay valid JSON (pipeable straight into
+    # `migrate --traces`), so all human-readable lines go to stderr.
     print(
         f"{args.runs} conversations, {deadlocks} deadlock(s) "
-        f"({left.process.name} ↔ {right.process.name})"
+        f"({left.process.name} ↔ {right.process.name})",
+        file=info,
     )
+    # Non-zero on deadlock: scripts (and CI) can gate on the probe.
     return 1 if deadlocks else 0
+
+
+def cmd_migrate(args) -> int:
+    import json
+
+    from repro.instances.migrate import classify_migration
+    from repro.instances.store import InstanceStore
+    from repro.workload.fleet import generate_fleet
+
+    old = compile_process(load_process(args.old))
+    new = compile_process(load_process(args.new))
+    old_model = old.afsa
+    new_model = new.afsa
+    if args.view:
+        # Bilateral logs (e.g. from `simulate --log`) contain only the
+        # messages of one conversation; they replay against the τ_P
+        # views, not the full public processes (which interleave other
+        # partners' messages the log never saw).
+        old_model = project_view(old_model, args.view)
+        new_model = project_view(new_model, args.view)
+    old_version = f"{old.process.party}#v1"
+    new_version = f"{new.process.party}#v2"
+
+    store = InstanceStore()
+    for path in args.traces or ():
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, list):
+            payload = [payload]
+        for entry in payload:
+            trace = entry["trace"] if isinstance(entry, dict) else entry
+            store.add(old_version, trace)
+    fleet = args.fleet
+    if fleet is None:
+        # Generate the default fleet only when the operator gave no
+        # trace logs at all — an *empty* recorded log must classify as
+        # 0 instances, not silently substitute synthetic traffic.
+        fleet = 0 if args.traces else 1000
+    if fleet:
+        generate_fleet(
+            old_model,
+            fleet,
+            seed=args.seed,
+            version=old_version,
+            distinct=args.distinct,
+            store=store,
+        )
+
+    report = classify_migration(
+        store,
+        old_model,
+        new_model,
+        version=old_version,
+        new_version=new_version,
+        workers=args.workers,
+        apply=True,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "old": old.process.name,
+                    "new": new.process.name,
+                    "instances": len(store),
+                    "classes": report.classes,
+                    "counts": report.counts,
+                    "verdicts": [
+                        {
+                            "instance": entry.instance,
+                            "verdict": entry.verdict,
+                            "continuation": entry.continuation,
+                            "blocked_on": entry.blocked_on,
+                            "compliant_with_old": entry.compliant_with_old,
+                        }
+                        for entry in report.verdicts
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"{old.process.name} → {new.process.name}: "
+            f"{len(store)} running instance(s)"
+        )
+        print(report.describe())
+        # Sample continuations per *class* — the human path never
+        # expands the per-instance verdict list (O(classes), not
+        # O(fleet), matching the report's lazy design).
+        shown = 0
+        for entry in report.class_verdicts:
+            if shown >= 3:
+                break
+            if entry.verdict != "migratable" or entry.continuation is None:
+                continue
+            rendered = " ".join(entry.continuation) or "(none needed)"
+            print(
+                f"  {len(entry.records)} instance(s) continue: {rendered}"
+            )
+            shown += 1
+    return 1 if report.counts.get("stranded", 0) else 0
 
 
 def cmd_stats(args) -> int:
@@ -289,7 +423,66 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("--runs", type=int, default=20)
     simulate_cmd.add_argument("--seed", type=int, default=0)
     simulate_cmd.add_argument("--verbose", action="store_true")
+    simulate_cmd.add_argument(
+        "--log",
+        default="",
+        metavar="FILE",
+        help="write the executed message sequences as JSON (one entry "
+        "per run; '-' for stdout) — directly consumable as instance "
+        "traces by 'migrate --traces'",
+    )
     simulate_cmd.set_defaults(handler=cmd_simulate)
+
+    migrate_cmd = commands.add_parser(
+        "migrate",
+        help="classify a running-instance fleet across an evolution "
+        "step (old process version → new process version)",
+    )
+    migrate_cmd.add_argument("old")
+    migrate_cmd.add_argument("new")
+    migrate_cmd.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generate N instances from the old model (default 1000 "
+        "when no --traces are given)",
+    )
+    migrate_cmd.add_argument("--seed", type=int, default=0)
+    migrate_cmd.add_argument(
+        "--distinct",
+        type=int,
+        default=16,
+        help="base traces in the generated fleet (prefix sharing)",
+    )
+    migrate_cmd.add_argument(
+        "--traces",
+        action="append",
+        metavar="FILE",
+        help="add instances from a JSON trace log (as written by "
+        "'simulate --log'); may be repeated",
+    )
+    migrate_cmd.add_argument(
+        "--view",
+        default="",
+        metavar="PARTNER",
+        help="classify against the τ_PARTNER views instead of the full "
+        "public processes (use with bilateral logs from 'simulate "
+        "--log', which only contain one conversation's messages)",
+    )
+    migrate_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan the trace classes out over worker processes "
+        "(verdicts are identical for every worker count)",
+    )
+    migrate_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full migration report as JSON",
+    )
+    migrate_cmd.set_defaults(handler=cmd_migrate)
 
     stats_cmd = commands.add_parser(
         "stats", help="structural metrics of a compiled public process"

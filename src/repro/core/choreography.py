@@ -22,6 +22,8 @@ from repro.core.sweep import WITNESS_ALL, sweep_choreography
 from repro.bpel.compile import CompiledProcess, compile_process
 from repro.bpel.model import ProcessModel
 from repro.errors import ChoreographyError
+from repro.instances.migrate import MigrationReport, classify_migration
+from repro.instances.store import InstanceStore
 
 
 @dataclass
@@ -83,6 +85,8 @@ class Choreography:
         self._private: dict[str, ProcessModel] = {}
         self._compiled: dict[str, CompiledProcess] = {}
         self._policy: dict[str, str] = {}
+        self._versions: dict[str, int] = {}
+        self.instances: InstanceStore | None = None
 
     # -- partner management ------------------------------------------------
 
@@ -103,6 +107,7 @@ class Choreography:
                 f"(process {self._private[party].name!r})"
             )
         self._private[party] = process
+        self._versions[party] = 1
         if policy is not None:
             self._policy[party] = policy
 
@@ -115,12 +120,28 @@ class Choreography:
         self._require(party)
         return self._private[party]
 
-    def replace_private(self, party: str, process: ProcessModel) -> None:
+    def replace_private(
+        self,
+        party: str,
+        process: ProcessModel,
+        migrate_instances: bool = False,
+        migration_workers: int | None = None,
+    ) -> MigrationReport | None:
         """Install a new private process version for *party*.
 
-        The cached public process is invalidated; Fig. 4's flow
-        (recreate the public view, then check partners) is driven by
+        The cached public process is invalidated and the party's
+        version counter advances; Fig. 4's flow (recreate the public
+        view, then check partners) is driven by
         :class:`~repro.core.engine.EvolutionEngine`.
+
+        With ``migrate_instances=True`` and an attached instance store,
+        the running instances of the party's *current* version are
+        classified against the new public process (old model retained
+        for the stranded-vs-divergent distinction) and the verdicts are
+        applied: migratable instances carry forward to the new version,
+        pending/stranded ones stay behind with their verdict as status.
+        Returns the :class:`~repro.instances.migrate.MigrationReport`
+        (None when no migration was requested or possible).
         """
         self._require(party)
         if process.party != party:
@@ -128,8 +149,67 @@ class Choreography:
                 f"process {process.name!r} belongs to party "
                 f"{process.party!r}, not {party!r}"
             )
+        old_version = self.current_version(party)
+        old_public = None
+        migrating = (
+            migrate_instances
+            and self.instances is not None
+            and self.instances.has(old_version)
+        )
+        if migrating:
+            old_public = self.public(party)
         self._private[party] = process
         self._compiled.pop(party, None)
+        self._versions[party] += 1
+        if not migrating:
+            return None
+        return classify_migration(
+            self.instances,
+            old_public,
+            self.public(party),
+            version=old_version,
+            new_version=self.current_version(party),
+            workers=migration_workers,
+            apply=True,
+        )
+
+    # -- running instances -------------------------------------------------
+
+    def current_version(self, party: str) -> str:
+        """The version id instances of *party* are stamped with."""
+        self._require(party)
+        return f"{party}#v{self._versions[party]}"
+
+    def attach_instances(
+        self, store: InstanceStore | None = None
+    ) -> InstanceStore:
+        """Attach (creating if needed) the running-instance store."""
+        if store is not None:
+            self.instances = store
+        elif self.instances is None:
+            self.instances = InstanceStore()
+        return self.instances
+
+    def spawn_fleet(
+        self, party: str, instances: int, seed: int = 0, **fleet_kwargs
+    ) -> InstanceStore:
+        """Generate a fleet running *party*'s current public process.
+
+        Convenience wrapper over
+        :func:`repro.workload.fleet.generate_fleet`: records are
+        stamped with the party's current version id and appended to the
+        attached store (attaching one on first use).
+        """
+        from repro.workload.fleet import generate_fleet
+
+        return generate_fleet(
+            self.public(party),
+            instances,
+            seed=seed,
+            version=self.current_version(party),
+            store=self.attach_instances(),
+            **fleet_kwargs,
+        )
 
     # -- derived artifacts ------------------------------------------------
 

@@ -36,6 +36,7 @@ from repro.core.propagate import (
 )
 from repro.core.suggestions import EditSuggestion, derive_suggestions
 from repro.errors import PropagationError
+from repro.instances.migrate import MigrationReport
 
 
 @dataclass
@@ -54,6 +55,9 @@ class PartnerImpact:
             suggestions existed).
         consistent_after_adaptation: bilateral consistency re-check
             after auto-adaptation (None when not attempted).
+        migration: disposition of the partner's own running instances
+            across its auto-adaptation (only when the step committed
+            with ``migrate_instances`` and the partner was adapted).
     """
 
     party: str
@@ -63,6 +67,7 @@ class PartnerImpact:
     suggestions: list[EditSuggestion] = field(default_factory=list)
     adapted_private: ProcessModel | None = None
     consistent_after_adaptation: bool | None = None
+    migration: MigrationReport | None = None
 
     @property
     def requires_propagation(self) -> bool:
@@ -97,6 +102,9 @@ class EvolutionReport:
         public_changed: False when the change stayed local.
         old_public / new_public: the compiled public processes.
         impacts: per-partner classification and propagation results.
+        migration: disposition of the originator's running instances
+            (only when the step committed with ``migrate_instances``
+            and a fleet was attached to the choreography).
     """
 
     originator: str
@@ -104,6 +112,7 @@ class EvolutionReport:
     old_compiled: CompiledProcess
     new_compiled: CompiledProcess
     impacts: list[PartnerImpact] = field(default_factory=list)
+    migration: MigrationReport | None = None
 
     @property
     def requires_propagation(self) -> bool:
@@ -142,6 +151,8 @@ class EvolutionEngine:
         change: ChangeOperation | ProcessModel,
         auto_adapt: bool = False,
         commit: bool = True,
+        migrate_instances: bool = False,
+        migration_workers: int | None = None,
     ) -> EvolutionReport:
         """Run one Fig. 4 evolution step.
 
@@ -157,6 +168,11 @@ class EvolutionEngine:
             commit: install the new private process (and any
                 auto-adaptations) into the choreography when the step
                 leaves every checked conversation consistent.
+            migrate_instances: when committing, carry the originator's
+                running-instance fleet across the step (requires an
+                attached store; see
+                :meth:`Choreography.replace_private`).
+            migration_workers: worker processes for the migration sweep.
 
         Returns:
             An :class:`EvolutionReport` with per-partner verdicts.
@@ -181,7 +197,12 @@ class EvolutionEngine:
         )
         if not public_changed:
             if commit:
-                choreography.replace_private(party, new_private)
+                report.migration = choreography.replace_private(
+                    party,
+                    new_private,
+                    migrate_instances=migrate_instances,
+                    migration_workers=migration_workers,
+                )
             return report
 
         adapted: dict[str, ProcessModel] = {}
@@ -200,9 +221,23 @@ class EvolutionEngine:
                 for impact in report.impacts
             )
             if all_ok:
-                choreography.replace_private(party, new_private)
+                report.migration = choreography.replace_private(
+                    party,
+                    new_private,
+                    migrate_instances=migrate_instances,
+                    migration_workers=migration_workers,
+                )
+                # Auto-adapted partners' public processes change too:
+                # their running fleets ride the same migration switch.
                 for other, process in adapted.items():
-                    choreography.replace_private(other, process)
+                    report.impact_for(other).migration = (
+                        choreography.replace_private(
+                            other,
+                            process,
+                            migrate_instances=migrate_instances,
+                            migration_workers=migration_workers,
+                        )
+                    )
         return report
 
     # -- internals --------------------------------------------------------

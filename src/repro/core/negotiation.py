@@ -48,6 +48,8 @@ from repro.core.propagate import (
 from repro.core.suggestions import derive_suggestions
 from repro.core.sweep import WITNESS_NONE, sweep_serialized_pairs
 from repro.errors import ChoreographyError
+from repro.instances.migrate import MigrationReport, classify_migration
+from repro.instances.store import InstanceStore
 
 #: Message kinds on the negotiation wire.
 PROPOSAL = "change-proposal"
@@ -83,11 +85,24 @@ class PartnerAgent:
     """An autonomous partner participating in change negotiations.
 
     The agent owns its private process; nothing private ever leaves it.
+    It may also own the fleet of conversations it is currently running
+    (*instances*): when a negotiated change commits, the fleet is
+    classified against the new public process and migratable instances
+    are carried to the new version — all locally, like everything else
+    the agent does.
     """
 
-    def __init__(self, process: ProcessModel, auto_adapt: bool = True):
+    def __init__(
+        self,
+        process: ProcessModel,
+        auto_adapt: bool = True,
+        instances: InstanceStore | None = None,
+    ):
         self.process = process
         self.auto_adapt = auto_adapt
+        self.instances = instances
+        self.last_migration: MigrationReport | None = None
+        self._version = 1
         self._compiled: CompiledProcess | None = None
         self._staged: ProcessModel | None = None
 
@@ -95,6 +110,11 @@ class PartnerAgent:
     def party(self) -> str:
         """The party identifier."""
         return self.process.party
+
+    @property
+    def version(self) -> str:
+        """Version id of the currently installed private process."""
+        return f"{self.party}#v{self._version}"
 
     @property
     def compiled(self) -> CompiledProcess:
@@ -161,12 +181,38 @@ class PartnerAgent:
             return None
         return process
 
+    def install(self, process: ProcessModel) -> None:
+        """Install a new private process version, migrating the fleet.
+
+        Advances the agent's version counter; when the agent runs
+        instances, they are classified across the step (old public →
+        new public) and migratable ones carry forward to the new
+        version.  The report lands in :attr:`last_migration`.
+        """
+        migrating = self.instances is not None and self.instances.has(
+            self.version
+        )
+        old_public = self.compiled.afsa if migrating else None
+        old_version = self.version
+        self.process = process
+        self._compiled = None
+        self._version += 1
+        if migrating:
+            self.last_migration = classify_migration(
+                self.instances,
+                old_public,
+                self.compiled.afsa,
+                version=old_version,
+                new_version=self.version,
+                apply=True,
+            )
+
     def commit(self) -> None:
         """Install the staged adaptation (on COMMIT)."""
         if self._staged is not None:
-            self.process = self._staged
-            self._compiled = None
+            staged = self._staged
             self._staged = None
+            self.install(staged)
 
     def abort(self) -> None:
         """Drop the staged adaptation (on ABORT)."""
@@ -264,8 +310,7 @@ class ChangeNegotiation:
             else:
                 self.agents[partner].abort()
         if agreed:
-            agent.process = new_private
-            agent._compiled = None
+            agent.install(new_private)
             outcome.committed = True
         return outcome
 

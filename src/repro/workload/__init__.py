@@ -10,17 +10,25 @@ benchmarks need parameterized workloads.  This package generates
 * random structural changes of each paper category (invariant additive,
   variant additive, variant subtractive) — :mod:`.mutations`;
 * random standalone aFSAs for automata-algebra stress tests —
-  :func:`random_afsa`.
+  :func:`random_afsa` (and :func:`random_annotated_afsa` with
+  guaranteed cyclic mandatory annotations);
+* running-instance fleets — compliant / truncated / divergent message
+  logs with bounded distinct-trace pools — :mod:`.fleet`.
 
 All generation is seed-deterministic.
 """
 
+from repro.workload.fleet import (
+    generate_fleet,
+    sample_compliant_trace,
+)
 from repro.workload.generator import (
     ConversationSpec,
     generate_choreography,
     generate_conversation,
     generate_partner_pair,
     random_afsa,
+    random_annotated_afsa,
 )
 from repro.workload.mutations import (
     inject_invariant_additive,
@@ -33,10 +41,13 @@ __all__ = [
     "ConversationSpec",
     "generate_choreography",
     "generate_conversation",
+    "generate_fleet",
     "generate_partner_pair",
     "inject_invariant_additive",
     "inject_variant_additive",
     "inject_variant_subtractive",
     "random_afsa",
+    "random_annotated_afsa",
     "random_change",
+    "sample_compliant_trace",
 ]

@@ -3,6 +3,8 @@ post-processing."""
 
 import json
 
+from hypothesis import given, settings, strategies as st
+
 from repro.afsa.annotations import (
     strip_annotations,
     weaken_unsupported_annotations,
@@ -63,6 +65,55 @@ class TestJsonRoundTrip:
     def test_deterministic_output(self):
         automaton = annotated_automaton()
         assert afsa_to_json(automaton) == afsa_to_json(automaton)
+
+
+class TestAnnotatedRoundTripProperties:
+    """Property coverage for annotation payloads on workload automata.
+
+    :func:`repro.workload.random_annotated_afsa` grafts *cyclic
+    mandatory* annotations (the buyer-tracking-loop shape) onto random
+    automata — the hardest annotation payload the framework produces.
+    The wire format must round-trip those bit-for-bit: structural
+    equality, annotation formulas, and every annotated-emptiness
+    verdict (the good set is what migration and consistency verdicts
+    hang off).
+    """
+
+    @given(
+        st.integers(min_value=0, max_value=2_000),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_is_structural_identity(self, seed, loops):
+        from repro.workload.generator import random_annotated_afsa
+
+        automaton = random_annotated_afsa(
+            seed=seed, states=6, labels=3, loops=loops
+        )
+        rebuilt = afsa_from_json(afsa_to_json(automaton))
+        assert rebuilt == automaton
+        assert rebuilt.annotations == automaton.annotations
+        assert rebuilt.alphabet == automaton.alphabet
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_preserves_annotated_verdicts(self, seed):
+        from repro.afsa.emptiness import good_states, is_empty
+        from repro.workload.generator import random_annotated_afsa
+
+        automaton = random_annotated_afsa(seed=seed, states=6, labels=3)
+        rebuilt = afsa_from_json(afsa_to_json(automaton))
+        assert is_empty(rebuilt) == is_empty(automaton)
+        assert good_states(rebuilt) == good_states(automaton)
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=25, deadline=None)
+    def test_double_round_trip_is_stable(self, seed):
+        from repro.workload.generator import random_annotated_afsa
+
+        automaton = random_annotated_afsa(seed=seed, states=5, labels=2)
+        once = afsa_to_json(afsa_from_json(afsa_to_json(automaton)))
+        assert once == afsa_to_json(automaton)
 
 
 class TestDot:

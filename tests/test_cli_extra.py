@@ -1,4 +1,4 @@
-"""Unit tests for the simulate/stats/export CLI commands."""
+"""Unit tests for the simulate/migrate/stats/export CLI commands."""
 
 import json
 
@@ -8,6 +8,7 @@ from repro.bpel.xml_io import process_to_xml
 from repro.cli import main
 from repro.scenario.procurement import (
     accounting_private,
+    accounting_private_subtractive_change,
     accounting_private_variant_change,
     buyer_private,
 )
@@ -20,6 +21,7 @@ def files(tmp_path):
         ("buyer", buyer_private),
         ("accounting", accounting_private),
         ("accounting_cancel", accounting_private_variant_change),
+        ("accounting_sub", accounting_private_subtractive_change),
     ):
         path = tmp_path / f"{name}.xml"
         path.write_text(process_to_xml(factory()))
@@ -52,6 +54,126 @@ class TestSimulateCommand:
         )
         output = capsys.readouterr().out
         assert "completed" in output
+
+    def test_log_writes_executed_traces(self, files, tmp_path, capsys):
+        log = tmp_path / "log.json"
+        code = main(
+            ["simulate", files["buyer"], files["accounting"],
+             "--runs", "4", "--log", str(log)]
+        )
+        assert code == 0
+        entries = json.loads(log.read_text())
+        assert len(entries) == 4
+        for entry in entries:
+            assert entry["outcome"] in ("completed", "step-limit")
+            assert isinstance(entry["trace"], list)
+            assert entry["blocked_on"] is None
+        # Completed runs carry a real message sequence.
+        assert any(entry["trace"] for entry in entries)
+
+    def test_log_to_stdout_keeps_deadlock_exit(self, files, capsys):
+        code = main(
+            ["simulate", files["buyer"], files["accounting_cancel"],
+             "--runs", "30", "--log", "-"]
+        )
+        # Non-zero on deadlock, with or without --log.
+        assert code == 1
+        captured = capsys.readouterr()
+        # With --log -, stdout is pure JSON (directly pipeable into
+        # `migrate --traces`); the human-readable lines go to stderr.
+        entries = json.loads(captured.out)
+        assert any(entry["blocked_on"] for entry in entries)
+        assert "deadlock(s)" in captured.err
+
+
+class TestMigrateCommand:
+    def test_generated_fleet_report(self, files, capsys):
+        code = main(
+            ["migrate", files["accounting"], files["accounting_sub"],
+             "--fleet", "200", "--seed", "3"]
+        )
+        output = capsys.readouterr().out
+        assert "200 running instance(s)" in output
+        assert "migratable:" in output
+        # The subtractive change strands part of the fleet.
+        assert code == 1
+
+    def test_identity_step_strands_only_divergent_logs(
+        self, files, capsys
+    ):
+        code = main(
+            ["migrate", files["accounting"], files["accounting"],
+             "--fleet", "50", "--seed", "3", "--distinct", "4",
+             "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        # On an identity step, every non-corrupted log migrates; only
+        # the generated divergent logs strand — and those were already
+        # divergent from the old model (it *is* the old model here).
+        non_migratable = [
+            entry
+            for entry in payload["verdicts"]
+            if entry["verdict"] != "migratable"
+        ]
+        assert non_migratable, "default mix includes divergent logs"
+        assert all(
+            entry["verdict"] == "stranded"
+            and entry["compliant_with_old"] is False
+            for entry in non_migratable
+        )
+        assert payload["counts"]["stranded"] == len(non_migratable)
+        assert code == 1  # stranded instances → non-zero
+
+    def test_json_report_and_worker_invariance(self, files, capsys):
+        args = ["migrate", files["accounting"], files["accounting_sub"],
+                "--fleet", "120", "--seed", "5", "--json"]
+        main(args)
+        serial = json.loads(capsys.readouterr().out)
+        main(args + ["--workers", "4"])
+        fanned = json.loads(capsys.readouterr().out)
+        assert serial["counts"] == fanned["counts"]
+        assert serial["verdicts"] == fanned["verdicts"]
+        assert serial["instances"] == 120
+        assert serial["classes"] < 120  # prefix sharing batched classes
+
+    def test_traces_from_simulate_log(self, files, tmp_path, capsys):
+        log = tmp_path / "log.json"
+        main(
+            ["simulate", files["buyer"], files["accounting"],
+             "--runs", "6", "--log", str(log)]
+        )
+        capsys.readouterr()
+        # Bilateral logs replay against the τ_B views (--view): the
+        # identity step migrates every recorded conversation.
+        code = main(
+            ["migrate", files["accounting"], files["accounting"],
+             "--traces", str(log), "--view", "B", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["instances"] == 6
+        assert payload["counts"] == {"migratable": 6}
+
+    def test_simulate_log_strands_on_subtractive_change(
+        self, files, tmp_path, capsys
+    ):
+        log = tmp_path / "log.json"
+        main(
+            ["simulate", files["buyer"], files["accounting"],
+             "--runs", "25", "--log", str(log)]
+        )
+        capsys.readouterr()
+        code = main(
+            ["migrate", files["accounting"], files["accounting_sub"],
+             "--traces", str(log), "--view", "B", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        counts = payload["counts"]
+        # Conversations that entered the (removed) tracking loop are
+        # stranded by the subtractive change; the rest carry forward.
+        assert counts.get("migratable", 0) > 0
+        assert counts.get("stranded", 0) > 0
+        assert code == 1
 
 
 class TestStatsCommand:

@@ -19,6 +19,7 @@ from repro.core.sweep import (
     conversing_pairs,
     sweep_choreography,
     sweep_pairs,
+    sweep_serialized_pairs,
 )
 from repro.scenario.procurement import (
     accounting_private,
@@ -154,6 +155,77 @@ class TestWorkerDeterminism:
         results = sweep_pairs(pairs, witnesses=WITNESS_NONE, workers=2)
         assert len(results) == 3
         assert all(consistent for consistent, _ in results)
+
+
+def _mixed_grid():
+    """A pair grid containing both consistent and inconsistent pairs."""
+    pairs = [
+        (
+            random_afsa(seed=2 * index, states=10, labels=5,
+                        annotation_probability=0.4),
+            random_afsa(seed=2 * index + 101, states=10, labels=5,
+                        annotation_probability=0.4),
+        )
+        for index in range(6)
+    ]
+    verdicts = {
+        consistent
+        for consistent, _ in sweep_pairs(pairs, witnesses=WITNESS_NONE)
+    }
+    assert verdicts == {True, False}, "grid must mix verdicts"
+    return pairs
+
+
+class TestWitnessPoliciesUnderWorkers:
+    """Satellite: every witness policy must produce identical verdicts
+    *and* witnesses at workers=1 and workers=4 (the fan-out is a pure
+    wall-clock optimization), including the empty-grid edge case."""
+
+    @pytest.mark.parametrize(
+        "policy", [WITNESS_NONE, WITNESS_FAILURES, WITNESS_ALL]
+    )
+    def test_policy_identical_at_1_and_4_workers(self, policy):
+        pairs = _mixed_grid()
+        serial = sweep_pairs(pairs, witnesses=policy, workers=1)
+        fanned = sweep_pairs(pairs, witnesses=policy, workers=4)
+        assert len(serial) == len(fanned) == len(pairs)
+        for (s_ok, s_wit), (f_ok, f_wit) in zip(serial, fanned):
+            assert s_ok == f_ok
+            if s_wit is None:
+                assert f_wit is None
+            else:
+                assert f_wit is not None
+                assert s_wit.empty == f_wit.empty
+                assert s_wit.describe() == f_wit.describe()
+                assert s_wit.word == f_wit.word
+                assert s_wit.blocked_states == f_wit.blocked_states
+                assert s_wit.missing_variables == f_wit.missing_variables
+
+    @pytest.mark.parametrize(
+        "policy", [WITNESS_NONE, WITNESS_FAILURES, WITNESS_ALL]
+    )
+    def test_policy_shape(self, policy):
+        pairs = _mixed_grid()
+        for consistent, witness in sweep_pairs(
+            pairs, witnesses=policy, workers=4
+        ):
+            if policy == WITNESS_NONE:
+                assert witness is None
+            elif policy == WITNESS_FAILURES:
+                assert (witness is None) == consistent
+            else:
+                assert witness is not None
+
+    def test_empty_pair_grid(self):
+        for workers in (None, 1, 4):
+            assert sweep_pairs([], workers=workers) == []
+            assert sweep_serialized_pairs([], workers=workers) == []
+
+    def test_single_pair_grid_with_workers(self):
+        pairs = _mixed_grid()[:1]
+        serial = sweep_pairs(pairs, witnesses=WITNESS_ALL)
+        fanned = sweep_pairs(pairs, witnesses=WITNESS_ALL, workers=4)
+        assert [ok for ok, _ in serial] == [ok for ok, _ in fanned]
 
 
 class TestNegotiationSweep:

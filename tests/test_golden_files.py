@@ -13,6 +13,7 @@ from repro.bpel.dsl import process_from_dsl
 from repro.bpel.xml_io import process_from_xml
 from repro.scenario.procurement import (
     accounting_private,
+    accounting_private_subtractive_change,
     buyer_private,
     logistics_private,
 )
@@ -22,6 +23,7 @@ PROCESSES = Path(__file__).resolve().parent.parent / "examples" / "processes"
 FACTORIES = {
     "buyer": buyer_private,
     "accounting": accounting_private,
+    "accounting_subtractive": accounting_private_subtractive_change,
     "logistics": logistics_private,
 }
 

@@ -1,0 +1,220 @@
+"""Tests for kernel trace replay, the prefix cache, and the store."""
+
+import pytest
+
+from repro.afsa.automaton import AFSABuilder
+from repro.afsa.kernel import (
+    k_replay_step,
+    k_start_closure,
+    kernel_of,
+)
+from repro.formula.parser import parse_formula
+from repro.instances.replay import (
+    MIGRATABLE,
+    PENDING,
+    STRANDED,
+    ReplayCache,
+    blocked_messages,
+    classify_states,
+    continuation_witness,
+    replay_trace,
+)
+from repro.instances.store import RUNNING, InstanceStore
+from repro.messages.alphabet import INTERNER
+from repro.messages.label import label_text
+
+
+def tracking_automaton():
+    """A buyer-tracking-style aFSA: loop with a mandatory get/term."""
+    builder = AFSABuilder(name="tracking")
+    builder.add_transition("q0", "B#A#orderOp", "loop")
+    builder.add_transition("loop", "B#A#getOp", "mid")
+    builder.add_transition("mid", "A#B#statusOp", "loop")
+    builder.add_transition("loop", "B#A#termOp", "end")
+    builder.annotate("loop", parse_formula("B#A#getOp AND B#A#termOp"))
+    builder.mark_final("end")
+    return builder.build(start="q0")
+
+
+def blocked_automaton():
+    """Annotation unsatisfiable at 'loop': mandatory message missing."""
+    builder = AFSABuilder(name="blocked")
+    builder.add_transition("q0", "B#A#orderOp", "loop")
+    builder.add_transition("loop", "B#A#termOp", "end")
+    builder.annotate(
+        "loop", parse_formula("B#A#getOp AND B#A#termOp")
+    )
+    builder.extend_alphabet(["B#A#getOp"])
+    builder.mark_final("end")
+    return builder.build(start="q0")
+
+
+def ids(*labels):
+    return [INTERNER.intern(label) for label in labels]
+
+
+class TestKernelReplay:
+    def test_start_closure_includes_epsilon_reach(self):
+        builder = AFSABuilder()
+        builder.add_epsilon("a", "b")
+        builder.add_transition("b", "A#B#x", "c")
+        builder.mark_final("c")
+        kernel = kernel_of(builder.build(start="a"))
+        start = k_start_closure(kernel)
+        assert {kernel.names[state] for state in start} == {"a", "b"}
+
+    def test_step_follows_label_and_closes(self):
+        kernel = kernel_of(tracking_automaton())
+        states = k_start_closure(kernel)
+        states = k_replay_step(kernel, states, ids("B#A#orderOp")[0])
+        assert {kernel.names[state] for state in states} == {"loop"}
+
+    def test_divergence_is_empty_and_sticky(self):
+        kernel = kernel_of(tracking_automaton())
+        states = k_start_closure(kernel)
+        states = k_replay_step(kernel, states, ids("B#A#termOp")[0])
+        assert states == frozenset()
+        again = k_replay_step(kernel, states, ids("B#A#orderOp")[0])
+        assert again == frozenset()
+
+    def test_replay_trace_matches_manual_steps(self):
+        kernel = kernel_of(tracking_automaton())
+        trace = ids("B#A#orderOp", "B#A#getOp", "A#B#statusOp")
+        manual = k_start_closure(kernel)
+        for label_id in trace:
+            manual = k_replay_step(kernel, manual, label_id)
+        assert replay_trace(kernel, trace) == manual
+
+
+class TestReplayCache:
+    def test_shared_prefixes_step_once(self):
+        kernel = kernel_of(tracking_automaton())
+        cache = ReplayCache(kernel)
+        base = ids("B#A#orderOp", "B#A#getOp", "A#B#statusOp", "B#A#termOp")
+        for _ in range(50):  # 50 identical instances
+            cache.replay(base)
+        for cut in range(len(base) + 1):  # every prefix
+            cache.replay(base[:cut])
+        assert cache.events == 50 * 4 + sum(range(len(base) + 1))
+        # Only the 4 distinct prefixes were ever stepped.
+        assert cache.steps == 4
+
+    def test_divergent_prefixes_cached_without_stepping(self):
+        kernel = kernel_of(tracking_automaton())
+        cache = ReplayCache(kernel)
+        bad = ids("B#A#termOp", "B#A#orderOp", "B#A#getOp")
+        assert cache.replay(bad) == frozenset()
+        steps_after_first = cache.steps
+        assert cache.replay(bad) == frozenset()
+        assert cache.steps == steps_after_first
+        # Only the first (diverging) event needed a kernel step.
+        assert steps_after_first == 1
+
+    def test_for_kernel_attaches_once(self):
+        kernel = kernel_of(tracking_automaton())
+        assert ReplayCache.for_kernel(kernel) is ReplayCache.for_kernel(
+            kernel
+        )
+
+
+class TestClassifyStates:
+    def test_live_annotated_cycle_is_migratable(self):
+        kernel = kernel_of(tracking_automaton())
+        states = replay_trace(kernel, ids("B#A#orderOp", "B#A#getOp"))
+        assert classify_states(kernel, states) == MIGRATABLE
+
+    def test_empty_set_is_stranded(self):
+        kernel = kernel_of(tracking_automaton())
+        assert classify_states(kernel, frozenset()) == STRANDED
+
+    def test_annotation_blocked_state_is_pending(self):
+        kernel = kernel_of(blocked_automaton())
+        states = replay_trace(kernel, ids("B#A#orderOp"))
+        assert classify_states(kernel, states) == PENDING
+        assert blocked_messages(kernel, states) == ["B#A#getOp"]
+
+    def test_dead_region_is_stranded(self):
+        builder = AFSABuilder()
+        builder.add_transition("a", "A#B#x", "dead")
+        builder.add_transition("a", "A#B#y", "f")
+        builder.mark_final("f")
+        kernel = kernel_of(builder.build(start="a"))
+        states = replay_trace(kernel, ids("A#B#x"))
+        assert classify_states(kernel, states) == STRANDED
+
+
+class TestContinuationWitness:
+    def test_completes_through_good_states(self):
+        automaton = tracking_automaton()
+        kernel = kernel_of(automaton)
+        states = replay_trace(kernel, ids("B#A#orderOp", "B#A#getOp"))
+        witness = continuation_witness(kernel, states)
+        assert [label_text(label) for label in witness] == [
+            "A#B#statusOp",
+            "B#A#termOp",
+        ]
+
+    def test_empty_for_non_migratable(self):
+        kernel = kernel_of(blocked_automaton())
+        states = replay_trace(kernel, ids("B#A#orderOp"))
+        assert continuation_witness(kernel, states) is None
+
+    def test_empty_word_when_final_occupied(self):
+        kernel = kernel_of(tracking_automaton())
+        states = replay_trace(kernel, ids("B#A#orderOp", "B#A#termOp"))
+        assert continuation_witness(kernel, states) == []
+
+
+class TestInstanceStore:
+    def test_interned_traces_share_tuples(self):
+        store = InstanceStore()
+        a = store.add("v1", ["B#A#orderOp", "B#A#getOp"])
+        b = store.add("v1", ["B#A#orderOp", "B#A#getOp"])
+        assert a.trace is b.trace
+        assert a.id == 0 and b.id == 1
+        assert a.status == RUNNING
+
+    def test_classes_group_by_version_and_trace(self):
+        store = InstanceStore()
+        store.add("v1", ["B#A#orderOp"])
+        store.add("v1", ["B#A#orderOp"])
+        store.add("v1", ["B#A#orderOp", "B#A#getOp"])
+        store.add("v2", ["B#A#orderOp"])
+        classes = store.classes(version="v1")
+        assert len(classes) == 2
+        assert sorted(len(records) for records in classes.values()) == [1, 2]
+        # Unfiltered, records of different versions never merge even
+        # when they executed the same log: keys are (version, trace).
+        unfiltered = store.classes()
+        assert len(unfiltered) == 3
+        assert {version for version, _ in unfiltered} == {"v1", "v2"}
+
+    def test_has_matches_filters(self):
+        store = InstanceStore()
+        assert not store.has()
+        record = store.add("v1", ["B#A#orderOp"])
+        assert store.has("v1") and not store.has("v2")
+        record.status = "stranded"
+        assert store.has(status="stranded")
+        assert not store.has("v1", status=RUNNING)
+
+    def test_filters_and_counts(self):
+        store = InstanceStore()
+        store.add("v1", ["B#A#orderOp"])
+        record = store.add("v1", [])
+        record.status = "stranded"
+        assert len(store.instances(version="v1")) == 2
+        assert len(store.instances(status="stranded")) == 1
+        assert store.status_counts("v1") == {
+            RUNNING: 1,
+            "stranded": 1,
+        }
+        assert store.versions() == ["v1"]
+
+    def test_trace_texts_round_trip(self):
+        store = InstanceStore()
+        record = store.add("v1", ["B#A#orderOp", "B#A#getOp"])
+        assert InstanceStore.trace_texts(record) == [
+            "B#A#orderOp",
+            "B#A#getOp",
+        ]
