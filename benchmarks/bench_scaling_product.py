@@ -1,0 +1,110 @@
+"""Scaling benchmarks: eager vs fused lazy product emptiness.
+
+The end-to-end pairwise consistency check (product + annotated-
+emptiness verdict, the operation every sweep/negotiation/propagation
+step runs per pair) measured two ways on the same operand pairs:
+
+* **eager** — the PR-1/PR-2 pipeline kept as the oracle:
+  :func:`~repro.afsa.kernel.k_intersect` materializes the full pair
+  graph (names, conjoined annotations), then
+  :func:`~repro.afsa.kernel.k_good_states` runs the fixpoint over it;
+* **lazy** — the fused engine (:mod:`repro.afsa.lazy`): on-the-fly
+  bitset pair exploration with interleaved verdict bounds, deciding
+  the start pair's fate from the smallest exploration prefix that
+  settles it.
+
+Both verdict classes are exercised: a *consistent* pair (the common
+sweep case — the engine certifies non-emptiness from a small explored
+subgraph) and an *inconsistent* one (dead-pair pruning plus the
+optimistic bound certify emptiness).  Eager rows stop at size 512
+because one eager round at 2048 takes ~50 s (~7000× the lazy check) —
+the lazy rows carry the 2048 point alone.  The `cached` row measures a
+repeated check of an unchanged pair: a
+:data:`~repro.afsa.lazy.VERDICTS` hit, ~O(1) regardless of size.
+
+Verdict agreement with the eager oracle is asserted in-bench at sizes
+where the oracle is affordable; the hypothesis suite
+(tests/test_afsa_lazy.py) covers it exhaustively at small sizes.
+"""
+
+import pytest
+
+from repro.afsa.kernel import k_good_states, k_intersect, kernel_of
+from repro.afsa.lazy import pair_verdict, product_verdict
+from repro.workload.generator import random_afsa
+
+SIZES_EAGER = [128, 512]
+SIZES_LAZY = [128, 512, 2048]
+
+#: Seed pairs picked so the verdict class is fixed per size (asserted).
+CONSISTENT_SEED = {128: 1, 512: 2, 2048: 1}
+INCONSISTENT_SEED = {128: 2, 512: 1, 2048: 2}
+
+#: Size of the repeated-pair (cache hit) row.
+CACHED_SIZE = 512
+
+
+def _pair(size, seed):
+    left = random_afsa(
+        seed=2 * seed, states=size, labels=8, annotation_probability=0.3
+    )
+    right = random_afsa(
+        seed=2 * seed + 1, states=size, labels=8,
+        annotation_probability=0.3,
+    )
+    kernels = kernel_of(left), kernel_of(right)
+    # Warm the operand memos (ε-free form, label masks, annotation
+    # profile) so both pipelines measure the check, not the shared
+    # per-operand preprocessing.
+    for kernel in kernels:
+        kernel.label_masks()
+        kernel.ann_profile()
+    return kernels
+
+
+def _eager_check(left, right):
+    product = k_intersect(left, right)
+    return product.start in k_good_states(product)
+
+
+@pytest.mark.parametrize("size", SIZES_EAGER)
+def test_scaling_product_eager(benchmark, size):
+    """Eager product + fixpoint on a consistent pair (the baseline)."""
+    left, right = _pair(size, CONSISTENT_SEED[size])
+    assert _eager_check(left, right) is True
+    benchmark.group = "product-emptiness-eager"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: _eager_check(left, right))
+
+
+@pytest.mark.parametrize("size", SIZES_LAZY)
+def test_scaling_product_lazy(benchmark, size):
+    """Fused lazy engine on the same consistent pairs (uncached)."""
+    left, right = _pair(size, CONSISTENT_SEED[size])
+    assert product_verdict(left, right) is True
+    if size in SIZES_EAGER:
+        assert _eager_check(left, right) is True
+    benchmark.group = "product-emptiness-lazy"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: product_verdict(left, right))
+
+
+@pytest.mark.parametrize("size", SIZES_LAZY)
+def test_scaling_product_lazy_empty(benchmark, size):
+    """Lazy engine certifying emptiness (inconsistent pairs)."""
+    left, right = _pair(size, INCONSISTENT_SEED[size])
+    assert product_verdict(left, right) is False
+    if size in SIZES_EAGER:
+        assert _eager_check(left, right) is False
+    benchmark.group = "product-emptiness-lazy-empty"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: product_verdict(left, right))
+
+
+def test_scaling_product_cached(benchmark):
+    """Repeated check of an unchanged pair: a verdict-cache hit."""
+    left, right = _pair(CACHED_SIZE, CONSISTENT_SEED[CACHED_SIZE])
+    assert pair_verdict(left, right) is True  # populate the cache
+    benchmark.group = "product-emptiness-cached"
+    benchmark.extra_info["states"] = CACHED_SIZE
+    benchmark(lambda: pair_verdict(left, right))

@@ -20,6 +20,7 @@ built on:
 :mod:`.union`             union (direct and De-Morgan constructions)
 :mod:`.complement`        complement of the underlying FSA
 :mod:`.emptiness`         annotated emptiness test / consistency (Sect. 3.2)
+:mod:`.lazy`              fused on-the-fly product emptiness + verdict cache
 :mod:`.minimize`          annotation-aware Moore minimization
 :mod:`.language`          bounded language enumeration and membership
 :mod:`.equivalence`       language equality / inclusion
@@ -51,6 +52,7 @@ from repro.afsa.emptiness import (
     is_empty,
     non_emptiness_witness,
 )
+from repro.afsa.lazy import PairVerdictCache, pair_verdict, product_verdict
 from repro.afsa.minimize import minimize
 from repro.afsa.language import (
     accepted_words,
@@ -109,6 +111,9 @@ __all__ = [
     "materialize",
     "minimize",
     "non_emptiness_witness",
+    "pair_verdict",
+    "PairVerdictCache",
+    "product_verdict",
     "project_view",
     "project_view_raw",
     "prune_dead_states",

@@ -42,10 +42,10 @@ from repro.afsa.automaton import AFSA
 from repro.afsa.kernel import (
     Kernel,
     k_good_states,
-    k_intersect,
     k_is_empty,
     kernel_of,
 )
+from repro.afsa.lazy import pair_verdict
 from repro.formula.ast import TRUE
 from repro.formula.evaluate import evaluate
 from repro.formula.transform import variables as formula_variables
@@ -78,11 +78,17 @@ def is_consistent(left: AFSA, right: AFSA, annotated: bool = True) -> bool:
     """Bilateral consistency: ``left ∩ right ≠ ∅`` (Sect. 3.2).
 
     Non-emptiness of the intersection guarantees deadlock-free execution
-    of the two public processes.  The product and the emptiness test run
-    entirely on the kernel; no public intersection automaton is built.
+    of the two public processes.  The verdict comes from the fused lazy
+    pair-exploration engine (:mod:`repro.afsa.lazy`): product states
+    are explored on the fly and the check stops the moment the start
+    pair's fate is certain, falling back to the eager
+    :func:`~repro.afsa.kernel.k_intersect` pipeline only for negated
+    annotations.  Repeated checks of the same operand pair are ~O(1)
+    via the shared :data:`~repro.afsa.lazy.VERDICTS` cache.
     """
-    product = k_intersect(kernel_of(left), kernel_of(right))
-    return not k_is_empty(product, annotated=annotated)
+    return pair_verdict(
+        kernel_of(left), kernel_of(right), annotated=annotated
+    )
 
 
 @dataclass

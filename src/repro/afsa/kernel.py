@@ -44,6 +44,7 @@ from repro.afsa.automaton import AFSA, Transition
 from repro.formula.ast import And, TRUE, Formula, Top, Var
 from repro.formula.evaluate import evaluate
 from repro.formula.simplify import conjoin
+from repro.formula.transform import is_positive
 from repro.formula.transform import variables as formula_variables
 from repro.messages.alphabet import Alphabet, INTERNER
 from repro.messages.label import EPSILON
@@ -89,6 +90,8 @@ class Kernel:
         "_good",
         "_coreach",
         "_replay",
+        "_label_masks",
+        "_ann_profile",
     )
 
     def __init__(
@@ -121,6 +124,8 @@ class Kernel:
         self._good = None
         self._coreach = None
         self._replay = None
+        self._label_masks = None
+        self._ann_profile = None
 
     # -- memoized derived facts -------------------------------------------
 
@@ -219,6 +224,66 @@ class Kernel:
     def annotation(self, state: int) -> Formula:
         """Return the annotation of int state *state* (default true)."""
         return self.ann.get(state, TRUE)
+
+    def label_masks(self) -> list:
+        """Return (and cache) each state's outgoing labels as a bitset.
+
+        Bit ``lid`` of ``label_masks()[s]`` is set iff state ``s`` has a
+        labeled transition with interned label id ``lid``.  Python ints
+        are unbounded, so the mask doubles as an O(1) "shared labels"
+        probe for the on-the-fly product (``mask_a & mask_b``) — the
+        bitset successor encoding of :mod:`repro.afsa.lazy`.
+        """
+        if self._label_masks is None:
+            masks = []
+            for row in self.adj:
+                mask = 0
+                for lid in row:
+                    mask |= 1 << lid
+                masks.append(mask)
+            self._label_masks = masks
+        return self._label_masks
+
+    def ann_profile(self) -> tuple:
+        """Return (and cache) the annotation classification the lazy
+        product engine consumes: ``(conj_masks, complex_states,
+        positive)``.
+
+        * ``conj_masks`` maps each state whose annotation is a pure
+          conjunction of variables to the bitset of the variables'
+          interned label ids — satisfiability under a label bitset is
+          then one mask test (``needed & ~available == 0``);
+        * ``complex_states`` maps the remaining *positive* annotated
+          states to ``(formula, ((name, lid), …))`` for explicit
+          evaluation;
+        * ``positive`` is False when any annotation contains negation —
+          the lazy engine's certificate bounds rely on monotonicity, so
+          callers must fall back to the eager pipeline in that case.
+        """
+        if self._ann_profile is None:
+            intern = INTERNER.intern
+            conj_masks: dict = {}
+            complex_states: dict = {}
+            positive = True
+            for state, formula in self.ann.items():
+                names = _conjunction_variables(formula)
+                if names is not None:
+                    mask = 0
+                    for name in names:
+                        mask |= 1 << intern(name)
+                    conj_masks[state] = mask
+                elif is_positive(formula):
+                    complex_states[state] = (
+                        formula,
+                        tuple(
+                            (name, intern(name))
+                            for name in formula_variables(formula)
+                        ),
+                    )
+                else:
+                    positive = False
+            self._ann_profile = (conj_masks, complex_states, positive)
+        return self._ann_profile
 
 
 # -- AFSA ⇄ kernel conversion ------------------------------------------------
@@ -1210,14 +1275,21 @@ def k_language_included(left: Kernel, right: Kernel) -> bool:
     """``L(left) ⊆ L(right)`` without materializing the difference.
 
     Runs the Def. 4 product on the fly and short-circuits on the first
-    reachable ``(final, non-final)`` pair.
+    reachable ``(final, non-final)`` pair.  Completion is *implicit*:
+    a label the left DFA does not enable would send it to its dead sink
+    — no word through that edge is ever accepted, so the pair is never
+    expanded — and a label the right DFA does not enable strands it in
+    its sink, after which the inclusion fails iff the left state can
+    still accept *anything* (one memoized :meth:`Kernel.coreachable`
+    probe instead of exploring the sink's whole forward cone).  Neither
+    completed automaton is ever built.
     """
-    sigma = left.alphabet_ids | right.alphabet_ids
-    a = k_complete(k_determinize(left), sigma)
-    b = k_complete(k_determinize(right), sigma)
+    a = k_determinize(left)
+    b = k_determinize(right)
 
     a_adj, b_adj = a.adj, b.adj
     a_finals, b_finals = a.finals, b.finals
+    a_live = a.coreachable()
     start = (a.start, b.start)
     if start[0] in a_finals and start[1] not in b_finals:
         return False
@@ -1227,7 +1299,15 @@ def k_language_included(left: Kernel, right: Kernel) -> bool:
         state_a, state_b = frontier.pop()
         row_b = b_adj[state_b]
         for lid, targets_a in a_adj[state_a].items():
-            target = (targets_a[0], row_b[lid][0])
+            target_a = targets_a[0]
+            bucket_b = row_b.get(lid)
+            if bucket_b is None:
+                # Right side falls into its sink: any remaining
+                # acceptance on the left is a counterexample word.
+                if target_a in a_live:
+                    return False
+                continue
+            target = (target_a, bucket_b[0])
             if target not in seen:
                 if target[0] in a_finals and target[1] not in b_finals:
                     return False

@@ -1,0 +1,526 @@
+"""Fused on-the-fly annotated product emptiness (lazy pair exploration).
+
+Every consistency check of the framework (Sect. 3.2: ``L(A ∩ B) ≠ ∅``)
+used to run in two eager stages: :func:`~repro.afsa.kernel.k_intersect`
+materialized the whole reachable pair graph — names, conjoined
+annotations, adjacency — and only then did
+:func:`~repro.afsa.kernel.k_good_states` compute the greatest-fixpoint
+good set to ask one single-bit question: *is the start pair good?*  At
+size 512 the product has ~100k pair states and the verdict consumes
+>99% of its construction for nothing.
+
+This module fuses the two stages into one lazy engine that explores
+pair states on the fly and decides the start pair's verdict as early as
+the exploration permits:
+
+* **bitset successors** — shared labels of a pair are one mask test
+  (:meth:`~repro.afsa.kernel.Kernel.label_masks`); pair states are
+  packed ints ``qa * n_b + qb``; no name tuples, no
+  :func:`~repro.formula.simplify.conjoin` — a pair's annotation is the
+  *raw* conjunction of the operand annotations, evaluated separately;
+* **dead-pair pruning** — a pair whose (conjunctive) annotation needs a
+  variable outside the pair's shared label bitset can never become good
+  under *any* assignment; it is pruned at discovery and never expanded
+  (the paper's Fig. 5 inconsistency — a mandatory message the partner
+  does not support at all — is decided in O(1) this way);
+* **interleaved verdict bounds** — at geometric exploration checkpoints
+  the engine computes two sound bounds of the good set with the PR-2
+  incremental fixpoint run on the *explored subgraph only*:
+
+  - *pessimistic* (frontier states assumed dead): every edge of the
+    explored subgraph exists in the full product, so its good set is a
+    post-fixpoint of the full operator and therefore a **subset** of
+    the true good set — ``start ∈ good`` here certifies **non-empty**;
+  - *optimistic* (frontier states assumed good finals): for
+    negation-free annotations (monotone operator) the true good set
+    restricted to explored states is contained in this one — ``start ∉
+    good`` here certifies **empty**;
+
+  undecided means explore on; when the frontier empties the two bounds
+  coincide and the verdict is exact.  Past a threshold the engine stops
+  checkpointing and finishes with one exact fixpoint — the worst case
+  is bounded by "exploration + one fixpoint", still strictly cheaper
+  than the eager pipeline, which additionally pays name
+  materialization and per-pair annotation simplification.
+
+The soundness of both bounds (and of the pruning) relies on the
+annotation operator being monotone, i.e. on negation-free formulas —
+the only kind the paper's framework generates.  When any operand
+annotation contains negation, :func:`product_verdict` falls back to
+the eager ``k_intersect`` + ``k_good_states`` oracle, which this
+module deliberately leaves untouched: the property suite asserts
+verdict-for-verdict agreement between the two pipelines.
+
+**Fallback-to-materialization rule:** the lazy engine answers only the
+verdict.  Callers that need a *witness over the complete product* — a
+canonical shortest conversation, or the blocked-state diagnosis of an
+inconsistent pair — materialize the eager product and derive the
+witness there (:func:`repro.core.sweep.check_pair` does exactly this),
+because witness canonicality is defined over the full reachable pair
+graph, not over whatever prefix the lazy engine happened to decide on.
+
+:class:`PairVerdictCache` memoizes verdicts (and eager-computed
+witnesses) across calls, keyed on operand *kernel identity*: sweep
+grids, propagation step 5, engine auto-adapt re-checks and migration
+residual checks repeatedly test the same operand pair, and a kernel is
+one immutable compiled artifact, so identity is a sound key.
+Invalidation therefore rides on compile eviction exactly like the
+``project_view`` memo: replacing a private process compiles a new
+public aFSA, which carries a *new* kernel — old entries become
+unreachable and age out of the bounded LRU.  Entries hold strong
+references to their kernels, so an ``id()`` can never be recycled
+while its entry is alive.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.afsa.kernel import (
+    Kernel,
+    k_good_states,
+    k_intersect,
+    k_remove_epsilon,
+)
+from repro.formula.ast import And, Formula
+from repro.formula.evaluate import evaluate
+
+#: Past this many explored pairs the engine stops checkpointing and
+#: runs to exhaustion + one exact fixpoint (bounds the overhead of an
+#: undecidable-early product to ~one fixpoint total).  Both checkpoint
+#: schedules below are capped by it.
+_CHECKPOINT_LIMIT = 16384
+
+#: Explored-size checkpoints at which the cheap non-emptiness
+#: certificate (pessimistic bound) is attempted.
+_PESSIMISTIC_CHECKPOINTS = tuple(
+    size
+    for size in (64, 256, 1024, 4096, 16384)
+    if size <= _CHECKPOINT_LIMIT
+)
+
+#: Checkpoints at which the emptiness certificate (optimistic bound) is
+#: attempted — sparser, because it pays off less often and its fixpoint
+#: spans explored *and* frontier states.
+_OPTIMISTIC_CHECKPOINTS = tuple(
+    size for size in _PESSIMISTIC_CHECKPOINTS if size >= 256
+)
+
+
+class _PairExploration:
+    """Incremental BFS over the product pair graph of two ε-free
+    kernels, with dead-pair pruning at discovery.
+
+    Discovered pairs get dense indices in discovery order and are
+    expanded strictly in index order, so at any moment the *explored*
+    states are exactly the prefix ``[0, cursor)`` and the *frontier*
+    is ``[cursor, len(pairs))``.
+    """
+
+    __slots__ = (
+        "a",
+        "b",
+        "nb",
+        "a_adj",
+        "b_adj",
+        "amask",
+        "bmask",
+        "a_finals",
+        "b_finals",
+        "a_conj",
+        "b_conj",
+        "a_complex",
+        "b_complex",
+        "a_ann",
+        "b_ann",
+        "pairs",
+        "rows",
+        "anns",
+        "finals",
+        "index",
+        "cursor",
+        "start",
+        "explored_finals",
+        "explored_annotated",
+        "explored_deadends",
+    )
+
+    def __init__(self, a: Kernel, b: Kernel):
+        self.a = a
+        self.b = b
+        self.nb = b.n
+        self.a_adj = a.adj
+        self.b_adj = b.adj
+        self.amask = a.label_masks()
+        self.bmask = b.label_masks()
+        self.a_finals = a.finals
+        self.b_finals = b.finals
+        self.a_conj, self.a_complex, _ = a.ann_profile()
+        self.b_conj, self.b_complex, _ = b.ann_profile()
+        self.a_ann = a.ann
+        self.b_ann = b.ann
+
+        self.pairs: list = []  # packed pair id per dense index
+        self.rows: list = []  # successor row per index (None = frontier)
+        self.anns: dict = {}  # dense index -> raw combined Formula
+        self.finals: set = set()  # dense indices that are final pairs
+        self.index: dict = {}  # packed pair id -> dense index | -1 dead
+        self.cursor = 0
+        self.explored_finals = 0
+        self.explored_annotated = 0
+        self.explored_deadends = 0
+        self.start = self._discover(a.start * self.nb + b.start)
+
+    # -- discovery ---------------------------------------------------------
+
+    def _locally_dead(self, qa: int, qb: int, shared: int) -> bool:
+        """True when the pair's annotation is unsatisfiable even under
+        the most optimistic assignment (every shared label true) — the
+        pair can never join the good set and is pruned outright."""
+        needed = self.a_conj.get(qa)
+        if needed is not None and needed & ~shared:
+            return True
+        needed = self.b_conj.get(qb)
+        if needed is not None and needed & ~shared:
+            return True
+        entry = self.a_complex.get(qa)
+        if entry is not None:
+            formula, names = entry
+            if not evaluate(
+                formula,
+                {name: bool(shared >> lid & 1) for name, lid in names},
+            ):
+                return True
+        entry = self.b_complex.get(qb)
+        if entry is not None:
+            formula, names = entry
+            if not evaluate(
+                formula,
+                {name: bool(shared >> lid & 1) for name, lid in names},
+            ):
+                return True
+        return False
+
+    def _discover(self, pid: int) -> int:
+        qa, qb = divmod(pid, self.nb)
+        shared = self.amask[qa] & self.bmask[qb]
+        if self._locally_dead(qa, qb, shared):
+            self.index[pid] = -1
+            return -1
+        idx = len(self.pairs)
+        self.index[pid] = idx
+        self.pairs.append(pid)
+        self.rows.append(None)
+        if qa in self.a_finals and qb in self.b_finals:
+            self.finals.add(idx)
+        formula_a = self.a_ann.get(qa)
+        formula_b = self.b_ann.get(qb)
+        if formula_a is not None or formula_b is not None:
+            if formula_a is None:
+                combined: Formula = formula_b
+            elif formula_b is None:
+                combined = formula_a
+            else:
+                # Raw conjunction — evaluation-equivalent to the eager
+                # pipeline's simplified conjoin(), at none of its cost.
+                combined = And(formula_a, formula_b)
+            self.anns[idx] = combined
+        return idx
+
+    # -- expansion ---------------------------------------------------------
+
+    def expand(self, limit: int) -> None:
+        """Expand discovered pairs in index order until *limit* pairs
+        are explored or the frontier is exhausted."""
+        pairs = self.pairs
+        rows = self.rows
+        index = self.index
+        a_adj, b_adj = self.a_adj, self.b_adj
+        amask, bmask = self.amask, self.bmask
+        nb = self.nb
+        discover = self._discover
+        cursor = self.cursor
+        while cursor < len(pairs) and cursor < limit:
+            pid = pairs[cursor]
+            qa, qb = divmod(pid, nb)
+            row_a = a_adj[qa]
+            row_b = b_adj[qb]
+            row: dict = {}
+            mask = amask[qa] & bmask[qb]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                lid = low.bit_length() - 1
+                bucket = []
+                for target_a in row_a[lid]:
+                    base = target_a * nb
+                    for target_b in row_b[lid]:
+                        tpid = base + target_b
+                        target = index.get(tpid)
+                        if target is None:
+                            target = discover(tpid)
+                        if target >= 0:
+                            bucket.append(target)
+                if bucket:
+                    row[lid] = tuple(bucket)
+            rows[cursor] = row
+            if cursor in self.finals:
+                self.explored_finals += 1
+            elif not row:
+                self.explored_deadends += 1
+            if cursor in self.anns:
+                self.explored_annotated += 1
+            cursor += 1
+        self.cursor = cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self.cursor == len(self.pairs)
+
+    # -- verdict bounds ----------------------------------------------------
+
+    def _subgraph_kernel(self) -> Kernel:
+        """The explored subgraph with frontier states assumed dead
+        (edges into the frontier dropped) — its good set is a *lower*
+        bound of the true good set."""
+        n = self.cursor
+        if self.exhausted:
+            adj = self.rows
+        else:
+            adj = []
+            for i in range(n):
+                filtered: dict = {}
+                for lid, targets in self.rows[i].items():
+                    kept = tuple(t for t in targets if t < n)
+                    if kept:
+                        filtered[lid] = kept
+                adj.append(filtered)
+        return Kernel(
+            n=n,
+            start=0,
+            names=self.pairs[:n],
+            finals=frozenset(t for t in self.finals if t < n),
+            ann={i: f for i, f in self.anns.items() if i < n},
+            adj=adj,
+            eps=[()] * n,
+            alphabet_ids=frozenset(),
+        )
+
+    def _optimistic_kernel(self) -> Kernel:
+        """The explored subgraph with frontier states assumed to be
+        unconditionally good finals — for negation-free annotations its
+        good set is an *upper* bound of the true good set on explored
+        states."""
+        n = self.cursor
+        m = len(self.pairs)
+        adj = self.rows[:n] + [{}] * (m - n)
+        return Kernel(
+            n=m,
+            start=0,
+            names=self.pairs,
+            finals=frozenset(self.finals) | frozenset(range(n, m)),
+            ann={i: f for i, f in self.anns.items() if i < n},
+            adj=adj,
+            eps=[()] * m,
+            alphabet_ids=frozenset(),
+        )
+
+    def start_good_lower(self) -> bool:
+        """Certificate of non-emptiness (sound, may return False while
+        the true verdict is non-empty)."""
+        if not self.explored_finals:
+            return False
+        return 0 in k_good_states(self._subgraph_kernel())
+
+    def start_good_upper(self) -> bool:
+        """Upper bound on the start pair's goodness (``False`` is a
+        sound certificate of emptiness for negation-free operands)."""
+        if not self.explored_annotated and not self.explored_deadends:
+            # Nothing in the explored subgraph can kill a state while
+            # the frontier counts as good finals.
+            return True
+        return 0 in k_good_states(self._optimistic_kernel())
+
+
+def _lazy_annotated_verdict(a: Kernel, b: Kernel) -> bool:
+    """Decide ``L(a ∩ b) ≠ ∅`` (annotated test) on the fly.
+
+    Operands must be ε-free with negation-free annotations.
+    """
+    exploration = _PairExploration(a, b)
+    if exploration.start < 0:
+        return False
+
+    optimistic = set(_OPTIMISTIC_CHECKPOINTS)
+    for limit in _PESSIMISTIC_CHECKPOINTS:
+        exploration.expand(limit)
+        if exploration.exhausted:
+            # Frontier empty: the pessimistic bound is exact.
+            return exploration.start_good_lower()
+        if exploration.start_good_lower():
+            return True
+        if limit in optimistic and not exploration.start_good_upper():
+            return False
+    # Undecided after the checkpoint budget: run to exhaustion and
+    # decide with one exact fixpoint.
+    exploration.expand(float("inf"))
+    return exploration.start_good_lower()
+
+
+def _lazy_classical_verdict(a: Kernel, b: Kernel) -> bool:
+    """Decide classical (annotation-blind) product non-emptiness: BFS
+    until the first final pair, no pruning, no fixpoint."""
+    nb = b.n
+    a_adj, b_adj = a.adj, b.adj
+    amask, bmask = a.label_masks(), b.label_masks()
+    a_finals, b_finals = a.finals, b.finals
+    start = a.start * nb + b.start
+    if a.start in a_finals and b.start in b_finals:
+        return True
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        pid = frontier.pop()
+        qa, qb = divmod(pid, nb)
+        row_a = a_adj[qa]
+        row_b = b_adj[qb]
+        mask = amask[qa] & bmask[qb]
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            lid = low.bit_length() - 1
+            for target_a in row_a[lid]:
+                base = target_a * nb
+                final_a = target_a in a_finals
+                for target_b in row_b[lid]:
+                    tpid = base + target_b
+                    if tpid not in seen:
+                        if final_a and target_b in b_finals:
+                            return True
+                        seen.add(tpid)
+                        frontier.append(tpid)
+    return False
+
+
+def product_verdict(left: Kernel, right: Kernel, annotated: bool = True) -> bool:
+    """``L(left ∩ right) ≠ ∅`` via the lazy engine, uncached.
+
+    The benchmark hook (and the engine behind :func:`pair_verdict`):
+    ε-eliminates the operands (a memo hit when already ε-free), runs
+    the fused exploration, and falls back to the eager
+    ``k_intersect`` + ``k_good_states`` oracle when an operand carries
+    negated annotations (where the lazy bounds would be unsound).
+    """
+    a = k_remove_epsilon(left)
+    b = k_remove_epsilon(right)
+    if not annotated:
+        return _lazy_classical_verdict(a, b)
+    if not (a.ann_profile()[2] and b.ann_profile()[2]):
+        product = k_intersect(a, b)
+        return product.start in k_good_states(product)
+    return _lazy_annotated_verdict(a, b)
+
+
+class _CacheEntry:
+    """One cached pair verdict (operand kernels kept alive on purpose —
+    see the module docstring's invalidation contract)."""
+
+    __slots__ = ("left", "right", "consistent", "witness")
+
+    def __init__(self, left: Kernel, right: Kernel, consistent: bool):
+        self.left = left
+        self.right = right
+        self.consistent = consistent
+        self.witness = None
+
+
+class PairVerdictCache:
+    """Bounded LRU of product-emptiness verdicts keyed on kernel
+    identity pairs.
+
+    ``hits`` / ``misses`` are running counters; the sweep engine
+    reports their deltas per run (:meth:`SweepReport.describe`).
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_entries")
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, left: Kernel, right: Kernel, annotated: bool = True):
+        """Return the cached :class:`_CacheEntry` or None (counted)."""
+        key = (id(left), id(right), annotated)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(
+        self,
+        left: Kernel,
+        right: Kernel,
+        consistent: bool,
+        annotated: bool = True,
+    ) -> _CacheEntry:
+        """Record a verdict (evicting the LRU entry when full)."""
+        key = (id(left), id(right), annotated)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _CacheEntry(left, right, consistent)
+            self._entries[key] = entry
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        self._entries.move_to_end(key)
+        return entry
+
+    def stats(self) -> tuple:
+        """Return the running ``(hits, misses)`` counters."""
+        return self.hits, self.misses
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: The process-wide verdict cache every consistency-check consumer
+#: shares (sweeps, negotiation, propagation step 5, engine auto-adapt,
+#: migration residual checks).
+VERDICTS = PairVerdictCache()
+
+
+def pair_verdict(left: Kernel, right: Kernel, annotated: bool = True) -> bool:
+    """Cached consistency verdict of an operand kernel pair.
+
+    ``True`` iff the annotated (or, with ``annotated=False``,
+    classical) intersection language is non-empty — byte-identical to
+    the eager pipeline's verdict, in ~O(1) for a repeated pair.
+    """
+    entry = VERDICTS.lookup(left, right, annotated)
+    if entry is not None:
+        return entry.consistent
+    consistent = product_verdict(left, right, annotated=annotated)
+    VERDICTS.store(left, right, consistent, annotated)
+    return consistent
+
+
+def cached_witness(left: Kernel, right: Kernel):
+    """The witness previously stored for this pair, if any (does not
+    touch the hit/miss counters — witnesses ride on verdict entries)."""
+    entry = VERDICTS._entries.get((id(left), id(right), True))
+    if entry is None:
+        return None
+    return entry.witness
+
+
+def store_witness(left: Kernel, right: Kernel, witness) -> None:
+    """Attach an eager-pipeline witness to the pair's verdict entry."""
+    entry = VERDICTS.store(left, right, not witness.empty, True)
+    entry.witness = witness

@@ -27,7 +27,9 @@ import json
 from typing import Any
 
 from repro.afsa.automaton import AFSA, iter_sorted_transitions
+from repro.afsa.kernel import Kernel
 from repro.formula.parser import parse_formula
+from repro.messages.alphabet import INTERNER
 
 
 def afsa_to_dict(automaton: AFSA) -> dict[str, Any]:
@@ -85,6 +87,71 @@ def afsa_to_json(automaton: AFSA, indent: int = 2) -> str:
 def afsa_from_json(text: str) -> AFSA:
     """Deserialize an automaton from :func:`afsa_to_json` output."""
     return afsa_from_dict(json.loads(text))
+
+
+def kernel_to_wire(kernel: Kernel) -> tuple:
+    """Pack *kernel* into the dense multiprocessing wire format.
+
+    The sweep and migration engines used to re-serialize operands to
+    the partner-exchange JSON for every worker payload, and workers
+    paid a full parse + ``AFSA`` validation + kernel rebuild per pair.
+    The wire tuple instead ships the interned dense arrays directly:
+    int adjacency with a *local* label table (interner ids are
+    process-local, so labels travel as canonical texts and are
+    re-interned on arrival — a few dozen strings, not per-transition
+    work), annotation formulas in the textual syntax, and state names
+    as-is (they must be picklable; witness canonicality sorts by their
+    ``repr``, so shipping the original objects keeps worker output
+    byte-identical to the serial path).
+    """
+    text_of = INTERNER.text
+    local_ids: dict = {}
+    labels: list = []
+    rows = []
+    for row in kernel.adj:
+        out = []
+        for lid, targets in row.items():
+            local = local_ids.get(lid)
+            if local is None:
+                local = local_ids[lid] = len(labels)
+                labels.append(text_of(lid))
+            out.append((local, targets))
+        rows.append(tuple(out))
+    return (
+        kernel.n,
+        kernel.start,
+        list(kernel.names),
+        tuple(kernel.finals),
+        tuple(
+            (state, str(formula)) for state, formula in kernel.ann.items()
+        ),
+        tuple(rows),
+        tuple(kernel.eps),
+        tuple(labels),
+        tuple(text_of(lid) for lid in kernel.alphabet_ids),
+    )
+
+
+def kernel_from_wire(wire: tuple) -> Kernel:
+    """Rebuild a :class:`~repro.afsa.kernel.Kernel` from
+    :func:`kernel_to_wire` output (trusted path: no ``AFSA`` is
+    materialized and nothing is revalidated)."""
+    n, start, names, finals, ann, rows, eps, labels, alphabet = wire
+    intern = INTERNER.intern
+    lids = [intern(text) for text in labels]
+    return Kernel(
+        n=n,
+        start=start,
+        names=list(names),
+        finals=frozenset(finals),
+        ann={state: parse_formula(text) for state, text in ann},
+        adj=[
+            {lids[local]: tuple(targets) for local, targets in row}
+            for row in rows
+        ],
+        eps=[tuple(targets) for targets in eps],
+        alphabet_ids=frozenset(intern(text) for text in alphabet),
+    )
 
 
 def afsa_to_dot(automaton: AFSA, shorten_labels: bool = True) -> str:

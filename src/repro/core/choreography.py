@@ -261,8 +261,12 @@ class Choreography:
     def bilateral_consistent(self, left: str, right: str) -> bool:
         """Bilateral consistency (deadlock freedom) of two parties.
 
-        Runs entirely on the interned kernels; no public intersection
-        automaton is materialized.
+        Runs the fused lazy product-emptiness engine on the interned
+        view kernels: pair states are explored on the fly and the
+        check stops as soon as the verdict is certain; no intersection
+        automaton is materialized.  Because the views are memoized per
+        process version, re-asking about an unchanged pair is a
+        :data:`~repro.afsa.lazy.VERDICTS` cache hit.
         """
         return is_consistent(
             self.view(right, on=left), self.view(left, on=right)
@@ -275,9 +279,12 @@ class Choreography:
         check needs nothing but the two public processes, which is
         exactly the information partners exchange.  The pair grid is
         dispatched through the batched sweep engine
-        (:mod:`repro.core.sweep`): verdict and witness come from one
-        fixpoint run per pair, and ``workers > 1`` fans the grid out
-        over a process pool without changing any verdict.
+        (:mod:`repro.core.sweep`): verdicts come from the lazy
+        pair-exploration engine, the full diagnostic witnesses this
+        report carries are derived from the materialized product (the
+        fallback-to-materialization rule) and cached per pair, and
+        ``workers > 1`` fans the grid out over a process pool without
+        changing any verdict.
         """
         sweep = sweep_choreography(
             self, witnesses=WITNESS_ALL, workers=workers

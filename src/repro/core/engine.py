@@ -330,6 +330,8 @@ class EvolutionEngine:
         adapted_compiled = compile_process(process)
         view = project_view(new_public, other)
         adapted_view = project_view(adapted_compiled.afsa, originator)
+        # Lazy pair-exploration verdict (ad 5); repeated re-checks of
+        # the same (view, adaptation) pair hit the verdict cache.
         consistent = is_consistent(view, adapted_view)
         impact.adapted_private = process
         impact.consistent_after_adaptation = consistent

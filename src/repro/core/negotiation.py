@@ -134,7 +134,10 @@ class PartnerAgent:
 
         Everything happens locally: the received JSON is the
         originator's new public view; classification, propagation, and
-        private adaptation use only the agent's own models.
+        private adaptation use only the agent's own models.  The
+        invariant/variant split is the lazy product-emptiness verdict
+        (:mod:`repro.afsa.lazy`) — no intersection is materialized to
+        answer a proposal.
         """
         new_view = afsa_from_json(new_view_json)
         own_view = project_view(self.compiled.afsa, originator)
@@ -320,10 +323,12 @@ class ChangeNegotiation:
 
         The pair grid goes through the batched sweep engine; the views
         crossing the "wire" stay exactly the serialized public views
-        partners exchange (no decode/re-encode round-trip), and
-        ``workers > 1`` distributes the checks without changing the
-        verdict.  The serial path short-circuits on the first
-        inconsistent pair.
+        partners exchange (each distinct view is parsed and interned
+        once per sweep, and the worker pool receives dense arrays, not
+        re-serialized JSON), and ``workers > 1`` distributes the
+        checks without changing the verdict.  The serial path
+        short-circuits on the first inconsistent pair; verdicts come
+        from the lazy engine in both paths.
         """
         parties = sorted(self.agents)
         party_pairs = [

@@ -257,8 +257,9 @@ def propagate_additive(
         if delta.kind == ADDED
     ]
 
-    # Step 5: would the proposal restore consistency?  (Kernel-level
-    # check; no public product automaton is materialized.)
+    # Step 5: would the proposal restore consistency?  (Lazy
+    # pair-exploration verdict; no product automaton is materialized
+    # and a re-check of the same operand pair is a cache hit.)
     consistent = is_consistent(view, proposal)
 
     return PropagationResult(
@@ -308,6 +309,7 @@ def propagate_subtractive(
         if delta.kind == REMOVED
     ]
 
+    # Step 5 (lazy verdict, as in propagate_additive).
     consistent = is_consistent(view, proposal)
 
     return PropagationResult(

@@ -11,20 +11,33 @@ and ran strictly serially.
 
 The sweep engine batches the whole pair grid into one pass:
 
-* **kernel-only checks** — :func:`check_pair` intersects the interned
-  kernels directly (:func:`~repro.afsa.kernel.k_intersect`), runs the
-  SCC/worklist fixpoint once, and derives the verdict *and* the witness
-  from the same cached good set; no public product automaton is ever
-  built;
-* **shared memos** — operand views are projected once per partner and
-  their ε-free/determinized kernel forms are memo hits across every
-  pair they participate in;
+* **lazy verdicts** — :func:`check_pair` runs the fused on-the-fly
+  product-emptiness engine (:mod:`repro.afsa.lazy`): pair states are
+  explored with bitset successor sets and the check stops as soon as
+  the start pair's verdict is certain; no product is materialized for
+  the verdict.  When the witness policy asks for a diagnosis, the
+  eager :func:`~repro.afsa.kernel.k_intersect` product is built *for
+  that pair only* — witnesses are canonical over the complete product,
+  so they always come from the materialized pipeline (the
+  fallback-to-materialization rule of :mod:`repro.afsa.lazy`);
+* **cross-call verdict cache** — verdicts (and eager-computed
+  witnesses) land in the shared :data:`repro.afsa.lazy.VERDICTS`
+  LRU keyed on kernel identity, so sweeping an unchanged pair again —
+  propagation step 5, engine auto-adapt, repeated grids — is ~O(1);
+  hit/miss deltas are reported per sweep in
+  :meth:`SweepReport.describe`;
+* **shared memos** — operand views are projected once per partner,
+  their kernels are built once per participant (``kernel_of`` memoizes
+  on the view instance, and the serialized entry point dedupes
+  identical wire payloads before rebuilding), and the ε-free forms are
+  memo hits across every pair a participant appears in;
 * **optional fan-out** — with ``workers > 1`` the pair grid is
-  distributed over a :mod:`multiprocessing` pool.  Pairs travel as the
-  same serialized JSON views partners exchange on the negotiation wire,
-  and results come back in input order, so verdicts and witnesses are
-  identical regardless of worker count (the determinism the test suite
-  asserts).
+  distributed over a :mod:`multiprocessing` pool.  Each unique
+  participant view ships **once per chunk** as interned dense arrays
+  (:func:`~repro.afsa.serialize.kernel_to_wire`) instead of being
+  re-serialized to JSON per pair, and results come back in input
+  order, so verdicts and witnesses are identical regardless of worker
+  count (the determinism the test suite asserts).
 """
 
 from __future__ import annotations
@@ -34,8 +47,18 @@ from multiprocessing import get_context
 
 from repro.afsa.automaton import AFSA
 from repro.afsa.emptiness import EmptinessWitness, kernel_witness
-from repro.afsa.kernel import k_good_states, k_intersect, kernel_of
-from repro.afsa.serialize import afsa_from_json, afsa_to_json
+from repro.afsa.kernel import Kernel, k_intersect, kernel_of
+from repro.afsa.lazy import (
+    VERDICTS,
+    cached_witness,
+    pair_verdict,
+    store_witness,
+)
+from repro.afsa.serialize import (
+    afsa_from_json,
+    kernel_from_wire,
+    kernel_to_wire,
+)
 
 #: Witness policies: compute no witnesses, only for inconsistent pairs,
 #: or for every pair (the full diagnostic report).
@@ -72,6 +95,8 @@ class SweepReport:
 
     outcomes: list[PairOutcome] = field(default_factory=list)
     workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def consistent(self) -> bool:
@@ -91,34 +116,143 @@ class SweepReport:
             if self.consistent
             else f"sweep: {len(self.failures())} inconsistent pair(s)"
         )
-        return "\n".join(lines + [verdict])
+        lines.append(verdict)
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"pair-cache: {self.cache_hits} hit(s) / "
+                f"{self.cache_misses} miss(es)"
+            )
+        return "\n".join(lines)
+
+
+def check_kernel_pair(
+    left: Kernel, right: Kernel, witnesses: str = WITNESS_FAILURES
+) -> tuple[bool, EmptinessWitness | None]:
+    """One bilateral check on operand kernels.
+
+    The verdict is the (cached) lazy-engine verdict; the witness, when
+    the policy requests one, comes from the materialized eager product
+    — computed at most once per operand pair and cached alongside the
+    verdict.
+    """
+    consistent = pair_verdict(left, right)
+    witness = None
+    if witnesses == WITNESS_ALL or (
+        witnesses == WITNESS_FAILURES and not consistent
+    ):
+        witness = cached_witness(left, right)
+        if witness is None:
+            witness = kernel_witness(k_intersect(left, right))
+            store_witness(left, right, witness)
+    return consistent, witness
 
 
 def check_pair(
     left: AFSA, right: AFSA, witnesses: str = WITNESS_FAILURES
 ) -> tuple[bool, EmptinessWitness | None]:
-    """One bilateral check, entirely on the kernel.
-
-    Returns ``(consistent, witness)``; the witness (when requested by
-    the policy) reuses the good set cached by the verdict instead of
-    recomputing the fixpoint.
-    """
-    product = k_intersect(kernel_of(left), kernel_of(right))
-    consistent = product.start in k_good_states(product)
-    witness = None
-    if witnesses == WITNESS_ALL or (
-        witnesses == WITNESS_FAILURES and not consistent
-    ):
-        witness = kernel_witness(product)
-    return consistent, witness
-
-
-def _check_serialized_pair(payload):
-    """Pool worker: rebuild the two wire-format views, check them."""
-    left_json, right_json, witnesses = payload
-    return check_pair(
-        afsa_from_json(left_json), afsa_from_json(right_json), witnesses
+    """One bilateral check, entirely on the (memoized) kernels."""
+    return check_kernel_pair(
+        kernel_of(left), kernel_of(right), witnesses
     )
+
+
+# -- multiprocessing fan-out ---------------------------------------------------
+
+
+def _check_wire_chunk(payload):
+    """Pool worker: rebuild each unique view's kernel once, then check
+    the chunk's pairs against the worker-local verdict cache."""
+    wires, index_pairs, witnesses = payload
+    kernels = [kernel_from_wire(wire) for wire in wires]
+    hits0, misses0 = VERDICTS.stats()
+    results = [
+        check_kernel_pair(kernels[li], kernels[ri], witnesses)
+        for li, ri in index_pairs
+    ]
+    hits1, misses1 = VERDICTS.stats()
+    return results, hits1 - hits0, misses1 - misses0
+
+
+def _chunk_payloads(wires, index_pairs, witnesses, pool_size):
+    """Round-robin the pair grid into *pool_size* chunks, shipping each
+    chunk only the unique wire views it references."""
+    chunks: list = [[] for _ in range(pool_size)]
+    for position, pair in enumerate(index_pairs):
+        chunks[position % pool_size].append(pair)
+    payloads = []
+    for chunk in chunks:
+        local: dict = {}
+        local_wires: list = []
+        local_pairs: list = []
+        for li, ri in chunk:
+            for index in (li, ri):
+                if index not in local:
+                    local[index] = len(local_wires)
+                    local_wires.append(wires[index])
+            local_pairs.append((local[li], local[ri]))
+        payloads.append((local_wires, local_pairs, witnesses))
+    return payloads
+
+
+def _sweep_kernel_grid(
+    kernels: list,
+    index_pairs: list,
+    witnesses: str,
+    workers: int | None,
+) -> tuple[list, int, int]:
+    """Check a deduplicated grid: *kernels* holds one kernel per unique
+    participant view, *index_pairs* the ``(left, right)`` indices into
+    it.  Returns ``(results, cache_hits, cache_misses)`` with results
+    in input order for every worker count."""
+    if workers and workers > 1 and len(index_pairs) > 1:
+        pool_size = min(workers, len(index_pairs))
+        wires = [kernel_to_wire(kernel) for kernel in kernels]
+        payloads = _chunk_payloads(
+            wires, index_pairs, witnesses, pool_size
+        )
+        with get_context().Pool(pool_size) as pool:
+            chunk_results = pool.map(_check_wire_chunk, payloads)
+        results: list = [None] * len(index_pairs)
+        hits = misses = 0
+        for chunk_index, (chunk, chunk_hits, chunk_misses) in enumerate(
+            chunk_results
+        ):
+            hits += chunk_hits
+            misses += chunk_misses
+            for offset, result in enumerate(chunk):
+                results[offset * pool_size + chunk_index] = result
+        return results, hits, misses
+
+    hits0, misses0 = VERDICTS.stats()
+    results = [
+        check_kernel_pair(kernels[li], kernels[ri], witnesses)
+        for li, ri in index_pairs
+    ]
+    hits1, misses1 = VERDICTS.stats()
+    return results, hits1 - hits0, misses1 - misses0
+
+
+def _dedupe_views(pairs, key):
+    """Collapse the participants of *pairs* to unique entries.
+
+    Returns ``(unique, index_pairs)`` where *unique* lists each
+    distinct participant once (first-seen order) and *index_pairs*
+    maps every input pair to its indices into *unique*.
+    """
+    unique: list = []
+    positions: dict = {}
+    index_pairs: list = []
+    for left, right in pairs:
+        indices = []
+        for view in (left, right):
+            view_key = key(view)
+            position = positions.get(view_key)
+            if position is None:
+                position = positions[view_key] = len(unique)
+                unique.append(view)
+            indices.append(position)
+        index_pairs.append(tuple(indices))
+    return unique, index_pairs
 
 
 def sweep_serialized_pairs(
@@ -129,18 +263,21 @@ def sweep_serialized_pairs(
     """Check a batch of ``(left_json, right_json)`` wire-format pairs.
 
     The entry point for callers that already hold the serialized public
-    views (the negotiation protocol does): the JSON goes straight to
-    the workers without a decode/re-encode round-trip.
+    views (the negotiation protocol does).  Each *distinct* JSON view
+    is parsed and its kernel built exactly once per sweep — not once
+    per pair it participates in — and the worker path re-ships it as
+    interned dense arrays rather than raw JSON.
     """
-    pairs = list(pairs)
-    payloads = [
-        (left_json, right_json, witnesses)
-        for left_json, right_json in pairs
-    ]
-    if workers and workers > 1 and len(pairs) > 1:
-        with get_context().Pool(min(workers, len(pairs))) as pool:
-            return pool.map(_check_serialized_pair, payloads)
-    return [_check_serialized_pair(payload) for payload in payloads]
+    results, _, _ = _sweep_serialized_stats(pairs, witnesses, workers)
+    return results
+
+
+def _sweep_serialized_stats(
+    pairs, witnesses: str, workers: int | None
+) -> tuple[list, int, int]:
+    unique, index_pairs = _dedupe_views(list(pairs), key=lambda j: j)
+    kernels = [kernel_of(afsa_from_json(text)) for text in unique]
+    return _sweep_kernel_grid(kernels, index_pairs, witnesses, workers)
 
 
 def sweep_pairs(
@@ -161,19 +298,16 @@ def sweep_pairs(
         ``(consistent, witness)`` per pair, **in input order** — worker
         count never changes the result.
     """
-    pairs = list(pairs)
-    if workers and workers > 1 and len(pairs) > 1:
-        return sweep_serialized_pairs(
-            [
-                (afsa_to_json(left), afsa_to_json(right))
-                for left, right in pairs
-            ],
-            witnesses=witnesses,
-            workers=workers,
-        )
-    return [
-        check_pair(left, right, witnesses) for left, right in pairs
-    ]
+    results, _, _ = _sweep_pairs_stats(pairs, witnesses, workers)
+    return results
+
+
+def _sweep_pairs_stats(
+    pairs, witnesses: str, workers: int | None
+) -> tuple[list, int, int]:
+    unique, index_pairs = _dedupe_views(list(pairs), key=id)
+    kernels = [kernel_of(view) for view in unique]
+    return _sweep_kernel_grid(kernels, index_pairs, witnesses, workers)
 
 
 def conversing_pairs(choreography) -> list[tuple[str, str]]:
@@ -198,7 +332,9 @@ def sweep_choreography(
 
     Views are projected once per (viewer, viewed) partner combination —
     :meth:`Choreography.view` memoizes per process version — and the
-    resulting view pairs are dispatched through :func:`sweep_pairs`.
+    resulting view pairs are dispatched through the deduplicated
+    kernel grid.  The report carries the sweep's pair-cache hit/miss
+    delta: re-sweeping an unchanged choreography is all hits.
     """
     if pairs is None:
         pairs = conversing_pairs(choreography)
@@ -209,11 +345,18 @@ def sweep_choreography(
         )
         for left, right in pairs
     ]
-    results = sweep_pairs(view_pairs, witnesses=witnesses, workers=workers)
+    results, hits, misses = _sweep_pairs_stats(
+        view_pairs, witnesses=witnesses, workers=workers
+    )
     outcomes = [
         PairOutcome(
             left=left, right=right, consistent=consistent, witness=witness
         )
         for (left, right), (consistent, witness) in zip(pairs, results)
     ]
-    return SweepReport(outcomes=outcomes, workers=workers or 1)
+    return SweepReport(
+        outcomes=outcomes,
+        workers=workers or 1,
+        cache_hits=hits,
+        cache_misses=misses,
+    )

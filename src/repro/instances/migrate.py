@@ -22,9 +22,13 @@ classes`), each class is replayed once through the memoized
 :class:`~repro.instances.replay.ReplayCache`, and verdicts are
 broadcast to every member.  With ``workers > 1`` the distinct classes
 are fanned out over a :mod:`multiprocessing` pool — traces travel as
-canonical label texts, the new model as the same serialized JSON the
-negotiation wire uses — and results return in input order, so verdicts
-and witnesses are identical for every worker count.
+canonical label texts, the models as interned dense arrays
+(:func:`~repro.afsa.serialize.kernel_to_wire`, so workers skip the
+JSON parse + validation + kernel rebuild) — and results return in
+input order, so verdicts and witnesses are identical for every worker
+count.  The residual-liveness verdicts themselves ride the memoized
+incremental good set of each model's kernel; repeated classifications
+against an unchanged model pair reuse it for free.
 
 :func:`classify_trace_reference` is the deliberately naive oracle: one
 instance at a time, stepping public :class:`~repro.afsa.automaton.AFSA`
@@ -40,7 +44,7 @@ from multiprocessing import get_context
 
 from repro.afsa.automaton import AFSA
 from repro.afsa.kernel import Kernel, kernel_of
-from repro.afsa.serialize import afsa_from_json, afsa_to_json
+from repro.afsa.serialize import kernel_from_wire, kernel_to_wire
 from repro.instances.replay import (
     MIGRATABLE,
     PENDING,
@@ -252,15 +256,16 @@ def _classify_ids(
     return (verdict, continuation, blocked, compliant_with_old)
 
 
-def _classify_serialized_chunk(payload):
-    """Pool worker: rebuild the models, classify a chunk of classes."""
-    new_json, old_json, traces, witnesses = payload
-    new_kernel = kernel_of(afsa_from_json(new_json))
+def _classify_wire_chunk(payload):
+    """Pool worker: rebuild the models from the dense wire format,
+    classify a chunk of classes."""
+    new_wire, old_wire, traces, witnesses = payload
+    new_kernel = kernel_from_wire(new_wire)
     cache = ReplayCache(new_kernel)
     old_kernel = None
     old_cache = None
-    if old_json is not None:
-        old_kernel = kernel_of(afsa_from_json(old_json))
+    if old_wire is not None:
+        old_kernel = kernel_from_wire(old_wire)
         old_cache = ReplayCache(old_kernel)
     intern = INTERNER.intern
     return [
@@ -319,8 +324,15 @@ def classify_fleet(
     ordered = list(trace_by_id.values())
 
     if workers and workers > 1 and len(ordered) > 1:
-        new_json = afsa_to_json(target)
-        old_json = afsa_to_json(old_model) if old_model is not None else None
+        # Models travel as interned dense arrays, not re-serialized
+        # JSON: workers rebuild the kernel directly, skipping the
+        # parse + AFSA validation + kernel build per chunk.
+        new_wire = kernel_to_wire(kernel_of(target))
+        old_wire = (
+            kernel_to_wire(kernel_of(old_model))
+            if old_model is not None
+            else None
+        )
         text_of = INTERNER.text
         pool_size = min(workers, len(ordered))
         chunks: list = [[] for _ in range(pool_size)]
@@ -329,10 +341,10 @@ def classify_fleet(
                 [text_of(label_id) for label_id in trace]
             )
         payloads = [
-            (new_json, old_json, chunk, witnesses) for chunk in chunks
+            (new_wire, old_wire, chunk, witnesses) for chunk in chunks
         ]
         with get_context().Pool(pool_size) as pool:
-            chunk_results = pool.map(_classify_serialized_chunk, payloads)
+            chunk_results = pool.map(_classify_wire_chunk, payloads)
         results_by_id: dict = {}
         for chunk_index, chunk_result in enumerate(chunk_results):
             for offset, result in enumerate(chunk_result):
