@@ -71,7 +71,18 @@ def _grid():
 
 @pytest.mark.parametrize("workers", [0, 2, 4])
 def test_scaling_pair_grid(benchmark, workers):
-    """Heavy pair grid, serial vs. multiprocessing fan-out."""
+    """Heavy pair grid, serial vs. multiprocessing fan-out.
+
+    The fanned-out rows dispatch through a *throwaway* runtime per
+    measured call (fresh pool, fresh worker caches) — with the PR-5
+    persistent default the workers would answer every iteration after
+    the first from their verdict caches, and these rows measure the
+    cold engine by contract (their committed baseline was recorded
+    with per-call pools; the warm-pool regime has its own rows in
+    bench_scaling_runtime.py).
+    """
+    from repro.core.runtime import EvolutionRuntime
+
     pairs = _grid()
     serial = [
         consistent
@@ -79,8 +90,16 @@ def test_scaling_pair_grid(benchmark, workers):
     ]
 
     def run():
-        VERDICTS.clear()  # cold checks in-process and in the workers
-        return sweep_pairs(pairs, witnesses=WITNESS_NONE, workers=workers)
+        VERDICTS.clear()  # cold checks in-process...
+        if not workers:
+            return sweep_pairs(
+                pairs, witnesses=WITNESS_NONE, workers=workers
+            )
+        with EvolutionRuntime() as runtime:  # ...and in the workers
+            return sweep_pairs(
+                pairs, witnesses=WITNESS_NONE, workers=workers,
+                runtime=runtime,
+            )
 
     benchmark.group = "sweep-pair-grid"
     benchmark.extra_info["pairs"] = GRID_PAIRS

@@ -61,3 +61,23 @@ def buyer_fig14_compiled():
 @pytest.fixture(scope="session")
 def buyer_fig18_compiled():
     return compile_process(buyer_private_after_subtractive_propagation())
+
+
+# -- shared-memory leak guard (twin of tests/conftest.py) ----------------------
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory():
+    """Fail any bench that leaks a shared-memory segment (segments of
+    live runtimes — including the persistent default — are owned, not
+    leaked; the accounting is shared with the tests fixture via
+    :func:`repro.core.runtime.leaked_segments`)."""
+    from repro.core.runtime import leaked_segments, shm_segments
+
+    before = shm_segments()
+    yield
+    leaked = leaked_segments(before)
+    assert not leaked, (
+        f"leaked shared_memory segment(s): {sorted(leaked)} — "
+        f"arena cleanup contract violated"
+    )

@@ -23,6 +23,7 @@ timer-noise bench cannot fail CI.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -98,6 +99,7 @@ def compare(
     max_regress: float = 1.25,
     min_median_ms: float = 1.0,
     calibrate: bool = False,
+    exclude: list[str] | None = None,
 ) -> tuple[str, list[str]]:
     """Compare a benchmark run against a committed baseline.
 
@@ -105,6 +107,13 @@ def compare(
     parameter, e.g. ``test_scaling_emptiness[512]``); benches present
     on only one side are reported but never gate.  Returns the rendered
     comparison table and the list of regressed bench names.
+
+    ``exclude`` holds :mod:`fnmatch` patterns of bench names that are
+    reported but exempt from gating (and from the calibration sample):
+    for rows whose cost is environment-bound rather than compute-bound
+    — e.g. the cold-pool fan-out rows, which measure OS fork/teardown
+    that scales with the parent's memory footprint — a static baseline
+    ratio is noise, not signal.
 
     With ``calibrate=True`` every per-bench ratio is divided by the
     **median ratio across all compared benches** before gating, clamped
@@ -131,11 +140,16 @@ def compare(
         entry["name"]: entry for entry in baseline["benchmarks"]
     }
 
+    def excluded(name: str) -> bool:
+        return any(
+            fnmatch.fnmatch(name, pattern) for pattern in exclude or ()
+        )
+
     # Pass 1: ratios of the gateable (common, above-floor) benches.
     ratios: dict[str, float] = {}
     for name, entry in run_by_name.items():
         base_entry = base_by_name.get(name)
-        if base_entry is None:
+        if base_entry is None or excluded(name):
             continue
         run_median = _median_ms(entry)
         base_median = _median_ms(base_entry)
@@ -177,6 +191,12 @@ def compare(
             )
             continue
         base_median = _median_ms(base_entry)
+        if excluded(name):
+            lines.append(
+                f"| {name} | {base_median:.3f} ms | {run_median:.3f} ms "
+                f"| — | excluded from gate |"
+            )
+            continue
         if name not in ratios:
             lines.append(
                 f"| {name} | {base_median:.3f} ms | {run_median:.3f} ms "
@@ -240,6 +260,14 @@ def main(argv: list[str] | None = None) -> int:
         "against a committed baseline recorded elsewhere)",
     )
     parser.add_argument(
+        "--exclude",
+        action="append",
+        metavar="PATTERN",
+        help="fnmatch pattern of bench names to report but exempt from "
+        "gating (repeatable; for environment-bound rows like cold "
+        "pool-spawn measurements)",
+    )
+    parser.add_argument(
         "--no-render",
         action="store_true",
         help="skip the paper-vs-measured report and print only the "
@@ -259,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
             max_regress=args.max_regress,
             min_median_ms=args.min_median_ms,
             calibrate=args.calibrate,
+            exclude=args.exclude,
         )
         if not args.no_render:
             print()

@@ -143,6 +143,7 @@ class _PairExploration:
         "explored_finals",
         "explored_annotated",
         "explored_deadends",
+        "certificate",
     )
 
     def __init__(self, a: Kernel, b: Kernel):
@@ -169,6 +170,9 @@ class _PairExploration:
         self.explored_finals = 0
         self.explored_annotated = 0
         self.explored_deadends = 0
+        #: Memo of :meth:`certificate_region` — None = not computed
+        #: yet, False = computed and absent, list = the region.
+        self.certificate: list | bool | None = None
         self.start = self._discover(a.start * self.nb + b.start)
 
     # -- discovery ---------------------------------------------------------
@@ -277,6 +281,123 @@ class _PairExploration:
     def exhausted(self) -> bool:
         return self.cursor == len(self.pairs)
 
+    # -- cross-version warm start ------------------------------------------
+
+    def seed_from(self, old: "_PairExploration", map_a, map_b) -> bool:
+        """Seed this exploration from *old*'s explored region after an
+        evolution step (cross-version verdict delta).
+
+        ``map_a`` / ``map_b`` translate operand state indices of the
+        old product into this one (``None`` = the operand is the same
+        kernel object, identity).  A non-identity map must come from
+        :func:`kernel_correspondence`: it only contains *stable*
+        states — same name, final flag, annotation, and outgoing
+        (label, target-name) row — so a translated pair has the same
+        shared-label mask, the same raw annotation, the same dead-pair
+        pruning verdict, and, when additionally **every operand
+        successor** of both sides is stable, the same successor row up
+        to translation.  Exactly those pairs are copied: discovered
+        first (so the explored region stays the dense prefix the
+        verdict bounds slice on) and their successor rows translated
+        instead of recomputed, with every untranslated successor
+        becoming ordinary frontier.  Both verdict bounds stay sound on
+        the seeded exploration: copied edges exist in the true product
+        (pessimistic bound) and copied rows are *complete* (optimistic
+        bound).
+
+        When the old exploration certified non-emptiness, only its
+        recorded :attr:`certificate` region is copied — the good
+        states reachable from the start pair through good states form
+        a closed post-fixpoint witness, so if that region survives the
+        evolution intact the very first pessimistic bound re-certifies
+        the verdict from a few dozen translated pairs, skipping the
+        BFS entirely.  Emptiness verdicts have no local witness, so
+        the whole explored region is copied and only the changed slice
+        is re-explored.
+
+        Returns False — leaving ``self`` unusable, callers restart
+        cold — when the start pair does not survive translation or a
+        stability promise fails defensively.
+        """
+        nb_old = old.nb
+        nb = self.nb
+        old_pairs = old.pairs
+        translated: list = [None] * len(old_pairs)
+        for i, pid in enumerate(old_pairs):
+            qa, qb = divmod(pid, nb_old)
+            na = qa if map_a is None else map_a.get(qa)
+            if na is None:
+                continue
+            nq = qb if map_b is None else map_b.get(qb)
+            if nq is None:
+                continue
+            translated[i] = na * nb + nq
+
+        # A pair's row may be copied only when *all* operand successors
+        # of both sides are stable too: then every product successor —
+        # including the ones pruned at discovery — keeps its pruning
+        # verdict, so the translated row is exactly what expand() would
+        # compute.
+        succ_stable_a = _successor_stability(old.a, map_a)
+        succ_stable_b = _successor_stability(old.b, map_b)
+        cursor_old = old.cursor
+        certificate = old.certificate_region()
+        candidates = (
+            certificate if certificate is not None else range(cursor_old)
+        )
+        copyable = []
+        for i in candidates:
+            if i >= cursor_old or translated[i] is None:
+                continue
+            qa, qb = divmod(old_pairs[i], nb_old)
+            if succ_stable_a(qa) and succ_stable_b(qb):
+                copyable.append(i)
+        if not copyable or not cursor_old:
+            return False
+        if translated[0] != self.pairs[0] or copyable[0] != 0:
+            # The old start pair must survive as *this* start pair,
+            # row included, or the explored prefix would have a hole
+            # at index 0.
+            return False
+
+        index = self.index
+        discover = self._discover
+        for i in copyable:
+            pid = translated[i]
+            idx = index.get(pid)
+            if idx is None:
+                idx = discover(pid)
+            if idx < 0:  # pragma: no cover - stability guarantees alive
+                return False
+        boundary = len(self.pairs)
+
+        for i in copyable:
+            idx = index[translated[i]]
+            row_new: dict = {}
+            for lid, targets in old.rows[i].items():
+                bucket = []
+                for t in targets:
+                    tpid = translated[t]
+                    if tpid is None:  # pragma: no cover - defensive
+                        return False
+                    tidx = index.get(tpid)
+                    if tidx is None:
+                        tidx = discover(tpid)
+                    if tidx < 0:  # pragma: no cover - defensive
+                        return False
+                    bucket.append(tidx)
+                if bucket:
+                    row_new[lid] = tuple(bucket)
+            self.rows[idx] = row_new
+            if idx in self.finals:
+                self.explored_finals += 1
+            elif not row_new:
+                self.explored_deadends += 1
+            if idx in self.anns:
+                self.explored_annotated += 1
+        self.cursor = boundary
+        return True
+
     # -- verdict bounds ----------------------------------------------------
 
     def _subgraph_kernel(self) -> Kernel:
@@ -332,6 +453,45 @@ class _PairExploration:
             return False
         return 0 in k_good_states(self._subgraph_kernel())
 
+    def certificate_region(self) -> list | None:
+        """The verdict's *support region*: the good states reachable
+        from the start pair through good states only (by explored
+        index, ascending), or None when the explored region does not
+        certify non-emptiness.
+
+        The region is a closed post-fixpoint witness of the verdict —
+        what a cross-version warm start copies, translating a few
+        dozen certificate pairs instead of re-exploring the product.
+        Computed (and memoized, including the negative outcome) on
+        demand: only seed time pays for the extra fixpoint + BFS,
+        never the verdict hot path.
+        """
+        if self.certificate is None:
+            if not self.explored_finals:
+                self.certificate = False
+                return None
+            good = k_good_states(self._subgraph_kernel())
+            if 0 not in good:
+                self.certificate = False
+                return None
+            n = self.cursor
+            seen = {0}
+            stack = [0]
+            rows = self.rows
+            while stack:
+                state = stack.pop()
+                for targets in rows[state].values():
+                    for target in targets:
+                        if (
+                            target < n
+                            and target in good
+                            and target not in seen
+                        ):
+                            seen.add(target)
+                            stack.append(target)
+            self.certificate = sorted(seen)
+        return self.certificate or None
+
     def start_good_upper(self) -> bool:
         """Upper bound on the start pair's goodness (``False`` is a
         sound certificate of emptiness for negation-free operands)."""
@@ -342,17 +502,247 @@ class _PairExploration:
         return 0 in k_good_states(self._optimistic_kernel())
 
 
-def _lazy_annotated_verdict(a: Kernel, b: Kernel) -> bool:
-    """Decide ``L(a ∩ b) ≠ ∅`` (annotated test) on the fly.
+# -- cross-version lineage and exploration retention ---------------------------
 
-    Operands must be ε-free with negation-free annotations.
+#: Version lineage: ``id(new ε-free kernel) -> (new, old ε-free
+#: kernel)``.  Registered by :func:`note_lineage` when an evolution
+#: step replaces a public process (and per projected view); consulted
+#: on every cold lazy verdict to seed the new pair's exploration from
+#: the old product's surviving region.  Entries pin their kernels
+#: (sound ``id()`` keys) and age out of the bounded LRU exactly like
+#: the verdict cache.
+_LINEAGE: OrderedDict = OrderedDict()
+_LINEAGE_MAX = 64
+
+#: Recent lazy explorations: ``(id(a), id(b)) -> (a, b, exploration)``.
+#: This is what a post-evolution warm start copies from; kept small —
+#: an exploration retains the explored pair rows, comparable to one
+#: eager product.
+_EXPLORATIONS: OrderedDict = OrderedDict()
+_EXPLORATIONS_MAX = 16
+
+#: Memoized stable-state correspondences:
+#: ``(id(old), id(new)) -> (old, new, {old state -> new state})``.
+_CORRESPONDENCE: OrderedDict = OrderedDict()
+_CORRESPONDENCE_MAX = 64
+
+
+def note_lineage(old: Kernel, new: Kernel) -> None:
+    """Record that *new* evolved from *old* (one step).
+
+    Both kernels are reduced to their memoized ε-free forms — the
+    representation the lazy engine explores — so later verdicts on
+    *new* can look the lineage up directly.  Only the latest ancestor
+    per kernel is kept: chained evolutions re-register at each step.
     """
-    exploration = _PairExploration(a, b)
+    a_old = k_remove_epsilon(old)
+    a_new = k_remove_epsilon(new)
+    if a_old is a_new:
+        return
+    # The original *old* kernel rides along: cross-process consumers
+    # (the sweep fan-out) must ship the ancestor under the same arena
+    # segment the pre-evolution sweep published — the original grid
+    # kernel, not its ε-free reduction — or the workers' retained
+    # explorations (keyed on ε-free forms of *their* attached
+    # originals) would never match.
+    _LINEAGE[id(a_new)] = (a_new, a_old, old)
+    _LINEAGE.move_to_end(id(a_new))
+    while len(_LINEAGE) > _LINEAGE_MAX:
+        _LINEAGE.popitem(last=False)
+
+
+def lineage_of(kernel: Kernel) -> Kernel | None:
+    """The registered ancestor of *kernel* — the *original* kernel
+    passed to :func:`note_lineage`, not its ε-free reduction — or
+    None.
+
+    Consumers that re-establish lineage in another address space — the
+    sweep fan-out ships (old, new) arena segment pairs so persistent
+    workers can seed from their *own* retained explorations — read the
+    registry through this accessor: shipping the original keeps the
+    segment name identical to what the pre-evolution sweep published,
+    so the worker's attach memo resolves to the very kernel object its
+    exploration is keyed on.
+    """
+    entry = _LINEAGE.get(id(k_remove_epsilon(kernel)))
+    if entry is None:
+        return None
+    return entry[2]
+
+
+def _row_signature(kernel: Kernel, state: int) -> dict:
+    names = kernel.names
+    return {
+        lid: tuple(sorted(repr(names[t]) for t in targets))
+        for lid, targets in kernel.adj[state].items()
+    }
+
+
+def kernel_correspondence(old: Kernel, new: Kernel) -> dict:
+    """The stable-state map ``old index -> new index`` of two ε-free
+    kernels (memoized).
+
+    A state is *stable* when a state of the same name exists in *new*
+    with the same final flag, the same annotation, and the same
+    outgoing row by (label id, target names).  Stability is exactly
+    what the warm-start seeding of :meth:`_PairExploration.seed_from`
+    needs: stable states have identical label masks, annotations and
+    pruning behavior, and stable states whose successors are all
+    stable have identical (translated) product successor rows.
+    """
+    key = (id(old), id(new))
+    entry = _CORRESPONDENCE.get(key)
+    if entry is not None and entry[0] is old and entry[1] is new:
+        _CORRESPONDENCE.move_to_end(key)
+        return entry[2]
+    new_index = {name: j for j, name in enumerate(new.names)}
+    stable: dict = {}
+    for i, name in enumerate(old.names):
+        j = new_index.get(name)
+        if j is None:
+            continue
+        if (i in old.finals) != (j in new.finals):
+            continue
+        old_ann = old.ann.get(i)
+        new_ann = new.ann.get(j)
+        if (old_ann is None) != (new_ann is None):
+            continue
+        if old_ann is not None and str(old_ann) != str(new_ann):
+            continue
+        if _row_signature(old, i) != _row_signature(new, j):
+            continue
+        stable[i] = j
+    _CORRESPONDENCE[key] = (old, new, stable)
+    _CORRESPONDENCE.move_to_end(key)
+    while len(_CORRESPONDENCE) > _CORRESPONDENCE_MAX:
+        _CORRESPONDENCE.popitem(last=False)
+    return stable
+
+
+def _successor_stability(kernel: Kernel, mapping):
+    """A memoized ``state -> bool`` predicate: every outgoing target of
+    the state is in *mapping* (identity maps are always stable)."""
+    if mapping is None:
+        return lambda state: True
+    adj = kernel.adj
+    memo: dict = {}
+
+    def stable(state: int) -> bool:
+        verdict = memo.get(state)
+        if verdict is None:
+            verdict = memo[state] = all(
+                target in mapping
+                for targets in adj[state].values()
+                for target in targets
+            )
+        return verdict
+
+    return stable
+
+
+def _remember_exploration(
+    a: Kernel, b: Kernel, exploration: _PairExploration
+) -> None:
+    key = (id(a), id(b))
+    _EXPLORATIONS[key] = (a, b, exploration)
+    _EXPLORATIONS.move_to_end(key)
+    while len(_EXPLORATIONS) > _EXPLORATIONS_MAX:
+        _EXPLORATIONS.popitem(last=False)
+
+
+def _warm_exploration(a: Kernel, b: Kernel):
+    """Try to seed a new exploration of ``a × b`` from a retained
+    pre-evolution exploration via the lineage registry; returns the
+    seeded :class:`_PairExploration` or None (start cold)."""
+    for evolved_side, kern in ((0, a), (1, b)):
+        lineage = _LINEAGE.get(id(kern))
+        if lineage is None or lineage[0] is not kern:
+            continue
+        old_kern = lineage[1]
+        key = (
+            (id(old_kern), id(b))
+            if evolved_side == 0
+            else (id(a), id(old_kern))
+        )
+        stored = _EXPLORATIONS.get(key)
+        if stored is None:
+            continue
+        old_a, old_b, old_exploration = stored
+        expected = (old_kern, b) if evolved_side == 0 else (a, old_kern)
+        if old_a is not expected[0] or old_b is not expected[1]:
+            continue
+        stable = kernel_correspondence(old_kern, kern)
+        if not stable:
+            continue
+        exploration = _PairExploration(a, b)
+        if exploration.start < 0:
+            # Pruned start: the cold constructor decides this in O(1)
+            # anyway — don't report it as a warm start.
+            return None
+        map_a = stable if evolved_side == 0 else None
+        map_b = None if evolved_side == 0 else stable
+        if exploration.seed_from(old_exploration, map_a, map_b):
+            return exploration
+        # Seeding bailed on this side (partial mutation: throw the
+        # exploration away); the other operand may carry viable
+        # lineage of its own, so keep trying before going cold.
+    return None
+
+
+#: Warm-start telemetry: explorations seeded from a retained ancestor,
+#: and how many of those decided without expanding past the seed (the
+#: certificate survived the evolution intact).  Read via
+#: :func:`warm_stats`; cleared by :func:`clear_warm_state`.
+_WARM_STATS = {"seeded": 0, "decided_from_seed": 0}
+
+
+def warm_stats() -> dict:
+    """A copy of the cross-version warm-start counters."""
+    return dict(_WARM_STATS)
+
+
+def retained_exploration(left: Kernel, right: Kernel):
+    """The exploration retained for an operand pair, if any.
+
+    Introspection for tests and benches (e.g. to read the recorded
+    :meth:`_PairExploration.certificate_region`); returns None when the
+    pair was never lazily explored or has aged out of the LRU.
+    """
+    key = (id(k_remove_epsilon(left)), id(k_remove_epsilon(right)))
+    entry = _EXPLORATIONS.get(key)
+    return entry[2] if entry is not None else None
+
+
+def clear_warm_state() -> None:
+    """Drop all cross-version warm-start state (lineage, retained
+    explorations, correspondences).  Benches and tests use this to
+    measure/pin the cold path."""
+    _LINEAGE.clear()
+    _EXPLORATIONS.clear()
+    _CORRESPONDENCE.clear()
+    _WARM_STATS["seeded"] = 0
+    _WARM_STATS["decided_from_seed"] = 0
+
+
+def _decide(exploration: _PairExploration, warmed: bool) -> bool:
+    """Run the checkpointed verdict loop over *exploration*."""
     if exploration.start < 0:
         return False
-
+    if warmed and exploration.cursor > 1:
+        # The copied region is already explored: try both certificates
+        # before any expansion — for an unchanged-verdict evolution the
+        # surviving region usually still carries the certificate, and
+        # the whole BFS is skipped.
+        if exploration.exhausted:
+            return exploration.start_good_lower()
+        if exploration.start_good_lower():
+            return True
+        if not exploration.start_good_upper():
+            return False
     optimistic = set(_OPTIMISTIC_CHECKPOINTS)
     for limit in _PESSIMISTIC_CHECKPOINTS:
+        if limit <= exploration.cursor and not exploration.exhausted:
+            continue
         exploration.expand(limit)
         if exploration.exhausted:
             # Frontier empty: the pessimistic bound is exact.
@@ -365,6 +755,28 @@ def _lazy_annotated_verdict(a: Kernel, b: Kernel) -> bool:
     # decide with one exact fixpoint.
     exploration.expand(float("inf"))
     return exploration.start_good_lower()
+
+
+def _lazy_annotated_verdict(a: Kernel, b: Kernel) -> bool:
+    """Decide ``L(a ∩ b) ≠ ∅`` (annotated test) on the fly.
+
+    Operands must be ε-free with negation-free annotations.  The
+    exploration (warm-seeded across versions when the lineage registry
+    knows an ancestor) is retained afterwards so the *next* evolution
+    step can seed from it in turn.
+    """
+    exploration = _warm_exploration(a, b)
+    warmed = exploration is not None
+    if exploration is None:
+        exploration = _PairExploration(a, b)
+    else:
+        _WARM_STATS["seeded"] += 1
+    seeded_cursor = exploration.cursor
+    verdict = _decide(exploration, warmed)
+    if warmed and exploration.cursor == seeded_cursor:
+        _WARM_STATS["decided_from_seed"] += 1
+    _remember_exploration(a, b, exploration)
+    return verdict
 
 
 def _lazy_classical_verdict(a: Kernel, b: Kernel) -> bool:

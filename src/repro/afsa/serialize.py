@@ -24,6 +24,7 @@ re-parsed on import.
 from __future__ import annotations
 
 import json
+import pickle
 from typing import Any
 
 from repro.afsa.automaton import AFSA, iter_sorted_transitions
@@ -152,6 +153,27 @@ def kernel_from_wire(wire: tuple) -> Kernel:
         eps=[tuple(targets) for targets in eps],
         alphabet_ids=frozenset(intern(text) for text in alphabet),
     )
+
+
+def kernel_to_payload(kernel: Kernel) -> bytes:
+    """Pack *kernel* for a shared-memory segment: the dense wire tuple
+    pickled behind an 8-byte length header.
+
+    The header matters because :mod:`multiprocessing.shared_memory`
+    rounds segment sizes up to the page size — readers must know where
+    the payload ends without trusting the mapping length.
+    """
+    body = pickle.dumps(
+        kernel_to_wire(kernel), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return len(body).to_bytes(8, "little") + body
+
+
+def kernel_from_payload(buf) -> Kernel:
+    """Rebuild a kernel from a :func:`kernel_to_payload` buffer (bytes
+    or a shared-memory ``memoryview``)."""
+    size = int.from_bytes(bytes(buf[:8]), "little")
+    return kernel_from_wire(pickle.loads(bytes(buf[8 : 8 + size])))
 
 
 def afsa_to_dot(automaton: AFSA, shorten_labels: bool = True) -> str:

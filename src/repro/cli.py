@@ -6,6 +6,9 @@ selected by extension ``.xml`` / anything else = DSL):
 * ``compile FILE``            — public process + mapping table (Sect. 3.3)
 * ``view FILE --partner P``   — τ_P view of the compiled process (Sect. 3.4)
 * ``check FILE FILE``         — bilateral consistency with diagnosis
+* ``sweep FILE FILE...``      — batched consistency sweep over all
+  conversing pairs, optionally fanned out through the persistent
+  evolution runtime (``--workers``, ``--repeat``, ``--stats``)
 * ``diff OLD NEW``            — additive/subtractive classification (Def. 5)
 * ``propagate OLD NEW PARTNER_FILE`` — full variant-change propagation
   with region detection and edit suggestions (Sect. 5)
@@ -88,6 +91,47 @@ def cmd_check(args) -> int:
     )
     print(witness.describe())
     return 1 if witness.empty else 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.core.choreography import Choreography
+    from repro.core.runtime import EvolutionRuntime, get_runtime
+    from repro.core.sweep import sweep_choreography
+
+    choreography = Choreography("sweep")
+    for path in args.files:
+        choreography.add_partner(load_process(path))
+    fanned_out = bool(args.workers and args.workers > 1)
+    per_call = fanned_out and args.per_call_pool
+    report = None
+    stats_line = None
+    for _ in range(max(1, args.repeat)):
+        if per_call:
+            # Throwaway runtime per sweep: pool spawn + kernel
+            # publication are paid on *every* repeat — the cold
+            # baseline the persistent default amortizes away (and
+            # what the scaling bench measures).
+            with EvolutionRuntime() as runtime:
+                report = sweep_choreography(
+                    choreography,
+                    witnesses=args.witnesses,
+                    workers=args.workers,
+                    runtime=runtime,
+                )
+                # Captured while the runtime is alive; shutdown
+                # unlinks the arena and would report empty counters.
+                stats_line = runtime.describe()
+        else:
+            report = sweep_choreography(
+                choreography,
+                witnesses=args.witnesses,
+                workers=args.workers,
+            )
+            stats_line = get_runtime().describe()
+    print(report.describe())
+    if args.stats and fanned_out and stats_line is not None:
+        print(stats_line)
+    return 0 if report.consistent else 1
 
 
 def cmd_diff(args) -> int:
@@ -249,15 +293,26 @@ def cmd_migrate(args) -> int:
             store=store,
         )
 
-    report = classify_migration(
-        store,
-        old_model,
-        new_model,
-        version=old_version,
-        new_version=new_version,
-        workers=args.workers,
-        apply=True,
-    )
+    from repro.core.runtime import EvolutionRuntime
+
+    owned = None
+    runtime = None
+    if args.workers and args.workers > 1 and args.per_call_pool:
+        owned = runtime = EvolutionRuntime(workers=args.workers)
+    try:
+        report = classify_migration(
+            store,
+            old_model,
+            new_model,
+            version=old_version,
+            new_version=new_version,
+            workers=args.workers,
+            apply=True,
+            runtime=runtime,
+        )
+    finally:
+        if owned is not None:
+            owned.shutdown()
     if args.json:
         print(
             json.dumps(
@@ -398,6 +453,45 @@ def build_parser() -> argparse.ArgumentParser:
     check_cmd.add_argument("right")
     check_cmd.set_defaults(handler=cmd_check)
 
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help="batched consistency sweep over all conversing pairs of "
+        "the given processes (exit 1 on any inconsistent pair)",
+    )
+    sweep_cmd.add_argument("files", nargs="+")
+    sweep_cmd.add_argument(
+        "--witnesses",
+        choices=["none", "failures", "all"],
+        default="failures",
+        help="witness policy (default: diagnose failures only)",
+    )
+    sweep_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan the pair grid out through the persistent evolution "
+        "runtime (verdicts are identical for every worker count)",
+    )
+    sweep_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="sweep N times (repeats hit the verdict cache and ship "
+        "zero kernel payloads — the persistent-runtime demo)",
+    )
+    sweep_cmd.add_argument(
+        "--per-call-pool",
+        action="store_true",
+        help="use a throwaway worker pool + arena per invocation "
+        "instead of the persistent runtime (the cold baseline)",
+    )
+    sweep_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print runtime pool/arena counters after the sweep",
+    )
+    sweep_cmd.set_defaults(handler=cmd_sweep)
+
     diff_cmd = commands.add_parser(
         "diff", help="classify a change between two process versions"
     )
@@ -476,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="fan the trace classes out over worker processes "
         "(verdicts are identical for every worker count)",
+    )
+    migrate_cmd.add_argument(
+        "--per-call-pool",
+        action="store_true",
+        help="use a throwaway worker pool + arena instead of the "
+        "persistent evolution runtime",
     )
     migrate_cmd.add_argument(
         "--json",

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 
 from repro.afsa.automaton import AFSA
 from repro.afsa.emptiness import EmptinessWitness, is_consistent
+from repro.afsa.kernel import kernel_of
+from repro.afsa.lazy import note_lineage
 from repro.afsa.product import intersect
 from repro.afsa.view import project_view
 from repro.core.sweep import WITNESS_ALL, sweep_choreography
@@ -86,6 +88,7 @@ class Choreography:
         self._compiled: dict[str, CompiledProcess] = {}
         self._policy: dict[str, str] = {}
         self._versions: dict[str, int] = {}
+        self._lineage: dict[str, AFSA] = {}
         self.instances: InstanceStore | None = None
 
     # -- partner management ------------------------------------------------
@@ -126,13 +129,20 @@ class Choreography:
         process: ProcessModel,
         migrate_instances: bool = False,
         migration_workers: int | None = None,
+        migration_runtime=None,
     ) -> MigrationReport | None:
         """Install a new private process version for *party*.
 
         The cached public process is invalidated and the party's
         version counter advances; Fig. 4's flow (recreate the public
         view, then check partners) is driven by
-        :class:`~repro.core.engine.EvolutionEngine`.
+        :class:`~repro.core.engine.EvolutionEngine`.  When the old
+        version had been compiled, it is retained as the party's
+        *lineage* anchor: the next projection of the party's views
+        registers old → new kernel lineage
+        (:func:`repro.afsa.lazy.note_lineage`), so post-evolution
+        consistency sweeps seed their lazy explorations from the old
+        products' surviving regions instead of starting cold.
 
         With ``migrate_instances=True`` and an attached instance store,
         the running instances of the party's *current* version are
@@ -158,9 +168,26 @@ class Choreography:
         )
         if migrating:
             old_public = self.public(party)
+        old_compiled = self._compiled.get(party)
+        previous_anchor = self._lineage.get(party)
         self._private[party] = process
         self._compiled.pop(party, None)
         self._versions[party] += 1
+        if old_compiled is not None:
+            # Latest ancestor only: chained evolutions re-anchor.
+            self._lineage[party] = old_compiled.afsa
+        if (
+            previous_anchor is not None
+            and old_compiled is not None
+            and previous_anchor is not old_compiled.afsa
+        ):
+            # The n-2 version just lost its last pin: drop its
+            # shared-memory segment from the default arena (the same
+            # moment the verdict cache and view memo lose it to
+            # reachability — compile eviction, extended to the arena).
+            from repro.core.runtime import discard_kernel
+
+            discard_kernel(getattr(previous_anchor, "_kernel", None))
         if not migrating:
             return None
         return classify_migration(
@@ -171,6 +198,7 @@ class Choreography:
             new_version=self.current_version(party),
             workers=migration_workers,
             apply=True,
+            runtime=migration_runtime,
         )
 
     # -- running instances -------------------------------------------------
@@ -237,9 +265,24 @@ class Choreography:
         the same instance until :meth:`replace_private` evicts it, so
         the consistency sweep and the evolution engine project each
         public process once per partner, not once per check.
+
+        When *on* carries evolution lineage (its private process was
+        replaced), the old and new view kernels are registered with
+        :func:`repro.afsa.lazy.note_lineage` here — views are exactly
+        the operands the consistency sweeps explore, so the first
+        post-evolution sweep of every partner pair starts warm.
         """
         self._require(viewer)
-        return project_view(self.public(on), viewer)
+        public = self.public(on)
+        view = project_view(public, viewer)
+        old_public = self._lineage.get(on)
+        if old_public is not None:
+            note_lineage(kernel_of(old_public), kernel_of(public))
+            note_lineage(
+                kernel_of(project_view(old_public, viewer)),
+                kernel_of(view),
+            )
+        return view
 
     def conversation_partners(self, party: str) -> list[str]:
         """Return the parties *party* exchanges messages with."""

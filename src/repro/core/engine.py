@@ -153,6 +153,7 @@ class EvolutionEngine:
         commit: bool = True,
         migrate_instances: bool = False,
         migration_workers: int | None = None,
+        migration_runtime=None,
     ) -> EvolutionReport:
         """Run one Fig. 4 evolution step.
 
@@ -173,6 +174,9 @@ class EvolutionEngine:
                 attached store; see
                 :meth:`Choreography.replace_private`).
             migration_workers: worker processes for the migration sweep.
+            migration_runtime: the persistent evolution runtime to
+                dispatch the migration fan-out through (defaults to
+                the process-wide one when workers are requested).
 
         Returns:
             An :class:`EvolutionReport` with per-partner verdicts.
@@ -202,6 +206,7 @@ class EvolutionEngine:
                     new_private,
                     migrate_instances=migrate_instances,
                     migration_workers=migration_workers,
+                    migration_runtime=migration_runtime,
                 )
             return report
 
@@ -226,6 +231,7 @@ class EvolutionEngine:
                     new_private,
                     migrate_instances=migrate_instances,
                     migration_workers=migration_workers,
+                    migration_runtime=migration_runtime,
                 )
                 # Auto-adapted partners' public processes change too:
                 # their running fleets ride the same migration switch.
@@ -236,6 +242,7 @@ class EvolutionEngine:
                             process,
                             migrate_instances=migrate_instances,
                             migration_workers=migration_workers,
+                            migration_runtime=migration_runtime,
                         )
                     )
         return report

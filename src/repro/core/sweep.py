@@ -31,19 +31,22 @@ The sweep engine batches the whole pair grid into one pass:
   on the view instance, and the serialized entry point dedupes
   identical wire payloads before rebuilding), and the ε-free forms are
   memo hits across every pair a participant appears in;
-* **optional fan-out** — with ``workers > 1`` the pair grid is
-  distributed over a :mod:`multiprocessing` pool.  Each unique
-  participant view ships **once per chunk** as interned dense arrays
-  (:func:`~repro.afsa.serialize.kernel_to_wire`) instead of being
-  re-serialized to JSON per pair, and results come back in input
-  order, so verdicts and witnesses are identical regardless of worker
-  count (the determinism the test suite asserts).
+* **persistent fan-out** — with ``workers > 1`` the pair grid is
+  dispatched through the shared evolution runtime
+  (:mod:`repro.core.runtime`): unique participant kernels are
+  *published once* into the shared-memory arena and chunks carry only
+  segment names + pair indices, the worker pool is long-lived (its
+  kernel memos and :data:`~repro.afsa.lazy.VERDICTS` caches survive
+  across sweeps), and results come back in input order, so verdicts
+  and witnesses are identical regardless of worker count, pool
+  restarts, or how often the session swept before (the determinism
+  the test suite asserts).  Re-sweeping an unchanged choreography
+  ships **zero** kernel payloads — every publish is an arena hit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 
 from repro.afsa.automaton import AFSA
 from repro.afsa.emptiness import EmptinessWitness, kernel_witness
@@ -51,14 +54,14 @@ from repro.afsa.kernel import Kernel, k_intersect, kernel_of
 from repro.afsa.lazy import (
     VERDICTS,
     cached_witness,
+    lineage_of,
+    note_lineage,
     pair_verdict,
     store_witness,
+    warm_stats,
 )
-from repro.afsa.serialize import (
-    afsa_from_json,
-    kernel_from_wire,
-    kernel_to_wire,
-)
+from repro.afsa.serialize import afsa_from_json
+from repro.core.runtime import EvolutionRuntime, attach_kernel, get_runtime
 
 #: Witness policies: compute no witnesses, only for inconsistent pairs,
 #: or for every pair (the full diagnostic report).
@@ -91,12 +94,27 @@ class PairOutcome:
 
 @dataclass
 class SweepReport:
-    """Aggregate outcome of one batched consistency sweep."""
+    """Aggregate outcome of one batched consistency sweep.
+
+    ``cache_hits`` / ``cache_misses`` are the sweep's
+    :class:`~repro.afsa.lazy.PairVerdictCache` deltas aggregated
+    *pool-wide*: the serial path reads the in-process counters, the
+    fan-out path sums the per-chunk deltas reported by every persistent
+    worker — so a warm pool's cache hits show up here even though they
+    happened in other processes.  ``arena_published`` /
+    ``arena_hits`` are the kernel-arena deltas of this sweep: a
+    repeated sweep over an unchanged choreography reports zero
+    publishes (all arena hits — no kernel payload left the parent).
+    """
 
     outcomes: list[PairOutcome] = field(default_factory=list)
     workers: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    arena_published: int = 0
+    arena_hits: int = 0
+    warm_seeded: int = 0
+    warm_decided: int = 0
 
     @property
     def consistent(self) -> bool:
@@ -118,9 +136,21 @@ class SweepReport:
         )
         lines.append(verdict)
         if self.cache_hits or self.cache_misses:
+            scope = "pool-wide" if self.workers > 1 else "serial"
             lines.append(
-                f"pair-cache: {self.cache_hits} hit(s) / "
+                f"pair-cache ({scope}): {self.cache_hits} hit(s) / "
                 f"{self.cache_misses} miss(es)"
+            )
+        if self.workers > 1:
+            lines.append(
+                f"kernel-arena: {self.arena_published} publish(es) / "
+                f"{self.arena_hits} hit(s)"
+            )
+        if self.warm_seeded:
+            lines.append(
+                f"warm-start: {self.warm_seeded} verdict(s) seeded "
+                f"across versions, {self.warm_decided} decided from "
+                f"the seed"
             )
         return "\n".join(lines)
 
@@ -130,21 +160,44 @@ def check_kernel_pair(
 ) -> tuple[bool, EmptinessWitness | None]:
     """One bilateral check on operand kernels.
 
-    The verdict is the (cached) lazy-engine verdict; the witness, when
-    the policy requests one, comes from the materialized eager product
-    — computed at most once per operand pair and cached alongside the
-    verdict.
+    Witnesses come from the materialized eager product — computed at
+    most once per operand pair and cached alongside the verdict.  When
+    the policy *guarantees* a witness (``all``), verdict and witness
+    are both derived from that single eager pipeline (running the lazy
+    exploration first would be pure overhead; the two pipelines are
+    hypothesis-tested verdict-equal).  Otherwise the verdict is the
+    (cached) lazy-engine verdict, and only an inconsistent pair under
+    the ``failures`` policy pays for the product.
     """
-    consistent = pair_verdict(left, right)
     witness = None
-    if witnesses == WITNESS_ALL or (
-        witnesses == WITNESS_FAILURES and not consistent
-    ):
-        witness = cached_witness(left, right)
-        if witness is None:
-            witness = kernel_witness(k_intersect(left, right))
-            store_witness(left, right, witness)
+    if witnesses == WITNESS_ALL:
+        witness = _pair_witness(left, right, counted=True)
+        return not witness.empty, witness
+    consistent = pair_verdict(left, right)
+    if witnesses == WITNESS_FAILURES and not consistent:
+        witness = _pair_witness(left, right, counted=False)
     return consistent, witness
+
+
+def _pair_witness(
+    left: Kernel, right: Kernel, counted: bool
+) -> EmptinessWitness:
+    """The pair's canonical eager-product witness (cached).
+
+    ``counted=True`` routes the probe through the hit/miss counters —
+    used when the witness lookup *replaces* the verdict lookup (the
+    ``all`` policy), so repeated-sweep cache stats keep reporting;
+    ``counted=False`` rides silently on a verdict already counted.
+    """
+    if counted:
+        entry = VERDICTS.lookup(left, right)
+        witness = entry.witness if entry is not None else None
+    else:
+        witness = cached_witness(left, right)
+    if witness is None:
+        witness = kernel_witness(k_intersect(left, right))
+        store_witness(left, right, witness)
+    return witness
 
 
 def check_pair(
@@ -156,42 +209,67 @@ def check_pair(
     )
 
 
-# -- multiprocessing fan-out ---------------------------------------------------
+# -- persistent-runtime fan-out ------------------------------------------------
 
 
-def _check_wire_chunk(payload):
-    """Pool worker: rebuild each unique view's kernel once, then check
-    the chunk's pairs against the worker-local verdict cache."""
-    wires, index_pairs, witnesses = payload
-    kernels = [kernel_from_wire(wire) for wire in wires]
+def _check_arena_chunk(payload):
+    """Pool worker: attach each referenced kernel from the arena (a
+    memo hit after the first dispatch that named it), re-register any
+    shipped version lineage against the *worker's own* kernel objects
+    — lineage and retained explorations are per-process state, and
+    shard affinity routes the repeat of a pair back here, so the
+    worker can seed post-evolution verdicts from the exploration it
+    retained itself — then check the chunk's pairs against the
+    worker's persistent verdict cache."""
+    names, lineage, index_pairs, witnesses = payload
+    kernels = [attach_kernel(name) for name in names]
+    for local_index, old_name in lineage:
+        note_lineage(attach_kernel(old_name), kernels[local_index])
     hits0, misses0 = VERDICTS.stats()
+    warm0 = warm_stats()
     results = [
         check_kernel_pair(kernels[li], kernels[ri], witnesses)
         for li, ri in index_pairs
     ]
     hits1, misses1 = VERDICTS.stats()
-    return results, hits1 - hits0, misses1 - misses0
+    warm1 = warm_stats()
+    return results, (
+        hits1 - hits0,
+        misses1 - misses0,
+        warm1["seeded"] - warm0["seeded"],
+        warm1["decided_from_seed"] - warm0["decided_from_seed"],
+    )
 
 
-def _chunk_payloads(wires, index_pairs, witnesses, pool_size):
-    """Round-robin the pair grid into *pool_size* chunks, shipping each
-    chunk only the unique wire views it references."""
-    chunks: list = [[] for _ in range(pool_size)]
-    for position, pair in enumerate(index_pairs):
-        chunks[position % pool_size].append(pair)
-    payloads = []
-    for chunk in chunks:
-        local: dict = {}
-        local_wires: list = []
-        local_pairs: list = []
-        for li, ri in chunk:
-            for index in (li, ri):
-                if index not in local:
-                    local[index] = len(local_wires)
-                    local_wires.append(wires[index])
-            local_pairs.append((local[li], local[ri]))
-        payloads.append((local_wires, local_pairs, witnesses))
-    return payloads
+def _chunk_payload(chunk, names, lineage_names, witnesses):
+    """One worker payload: the chunk's pairs re-indexed against only
+    the arena segments it references (plus the ancestor segments of
+    its evolved participants, for worker-side lineage)."""
+    local: dict = {}
+    local_names: list = []
+    local_pairs: list = []
+    local_lineage: list = []
+    for li, ri in chunk:
+        for index in (li, ri):
+            if index not in local:
+                local[index] = len(local_names)
+                local_names.append(names[index])
+                old_name = lineage_names.get(index)
+                if old_name is not None:
+                    local_lineage.append((local[index], old_name))
+        local_pairs.append((local[li], local[ri]))
+    return (local_names, local_lineage, local_pairs, witnesses)
+
+
+def _empty_stats() -> dict:
+    return {
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "arena_published": 0,
+        "arena_hits": 0,
+        "warm_seeded": 0,
+        "warm_decided": 0,
+    }
 
 
 def _sweep_kernel_grid(
@@ -199,37 +277,67 @@ def _sweep_kernel_grid(
     index_pairs: list,
     witnesses: str,
     workers: int | None,
-) -> tuple[list, int, int]:
+    runtime: EvolutionRuntime | None = None,
+) -> tuple[list, dict]:
     """Check a deduplicated grid: *kernels* holds one kernel per unique
     participant view, *index_pairs* the ``(left, right)`` indices into
-    it.  Returns ``(results, cache_hits, cache_misses)`` with results
-    in input order for every worker count."""
+    it.  Returns ``(results, stats)`` with results in input order for
+    every worker count; with ``workers > 1`` the grid is dispatched
+    through the (given or default) persistent runtime."""
+    stats = _empty_stats()
     if workers and workers > 1 and len(index_pairs) > 1:
-        pool_size = min(workers, len(index_pairs))
-        wires = [kernel_to_wire(kernel) for kernel in kernels]
-        payloads = _chunk_payloads(
-            wires, index_pairs, witnesses, pool_size
-        )
-        with get_context().Pool(pool_size) as pool:
-            chunk_results = pool.map(_check_wire_chunk, payloads)
-        results: list = [None] * len(index_pairs)
-        hits = misses = 0
-        for chunk_index, (chunk, chunk_hits, chunk_misses) in enumerate(
-            chunk_results
-        ):
-            hits += chunk_hits
-            misses += chunk_misses
-            for offset, result in enumerate(chunk):
-                results[offset * pool_size + chunk_index] = result
-        return results, hits, misses
+        runtime = runtime or get_runtime()
+        published0 = runtime.arena.published
+        arena_hits0 = runtime.arena.hits
+        # Evolved participants ship their ancestor too, as a second
+        # arena segment: workers re-register the lineage locally and
+        # seed post-evolution verdicts from their own retained
+        # explorations (shard affinity brings the pair back to them).
+        ancestors: dict = {}
+        for index, kernel in enumerate(kernels):
+            old = lineage_of(kernel)
+            if old is not None:
+                ancestors[index] = old
+        with runtime.published(
+            list(kernels) + list(ancestors.values())
+        ) as names:
+            lineage_names = {
+                index: names[len(kernels) + position]
+                for position, index in enumerate(ancestors)
+            }
+            results, extras = runtime.map_chunked(
+                _check_arena_chunk,
+                index_pairs,
+                lambda chunk: _chunk_payload(
+                    chunk, names[: len(kernels)], lineage_names,
+                    witnesses,
+                ),
+                workers,
+            )
+        stats["arena_published"] = runtime.arena.published - published0
+        stats["arena_hits"] = runtime.arena.hits - arena_hits0
+        for hits, misses, seeded, decided in extras:
+            stats["cache_hits"] += hits
+            stats["cache_misses"] += misses
+            stats["warm_seeded"] += seeded
+            stats["warm_decided"] += decided
+        return results, stats
 
     hits0, misses0 = VERDICTS.stats()
+    warm0 = warm_stats()
     results = [
         check_kernel_pair(kernels[li], kernels[ri], witnesses)
         for li, ri in index_pairs
     ]
     hits1, misses1 = VERDICTS.stats()
-    return results, hits1 - hits0, misses1 - misses0
+    warm1 = warm_stats()
+    stats["cache_hits"] = hits1 - hits0
+    stats["cache_misses"] = misses1 - misses0
+    stats["warm_seeded"] = warm1["seeded"] - warm0["seeded"]
+    stats["warm_decided"] = (
+        warm1["decided_from_seed"] - warm0["decided_from_seed"]
+    )
+    return results, stats
 
 
 def _dedupe_views(pairs, key):
@@ -259,31 +367,38 @@ def sweep_serialized_pairs(
     pairs,
     witnesses: str = WITNESS_FAILURES,
     workers: int | None = None,
+    runtime: EvolutionRuntime | None = None,
 ) -> list[tuple[bool, EmptinessWitness | None]]:
     """Check a batch of ``(left_json, right_json)`` wire-format pairs.
 
     The entry point for callers that already hold the serialized public
     views (the negotiation protocol does).  Each *distinct* JSON view
     is parsed and its kernel built exactly once per sweep — not once
-    per pair it participates in — and the worker path re-ships it as
-    interned dense arrays rather than raw JSON.
+    per pair it participates in — and the worker path publishes it to
+    the runtime's kernel arena rather than re-shipping it per chunk.
     """
-    results, _, _ = _sweep_serialized_stats(pairs, witnesses, workers)
+    results, _ = _sweep_serialized_stats(pairs, witnesses, workers, runtime)
     return results
 
 
 def _sweep_serialized_stats(
-    pairs, witnesses: str, workers: int | None
-) -> tuple[list, int, int]:
+    pairs,
+    witnesses: str,
+    workers: int | None,
+    runtime: EvolutionRuntime | None = None,
+) -> tuple[list, dict]:
     unique, index_pairs = _dedupe_views(list(pairs), key=lambda j: j)
     kernels = [kernel_of(afsa_from_json(text)) for text in unique]
-    return _sweep_kernel_grid(kernels, index_pairs, witnesses, workers)
+    return _sweep_kernel_grid(
+        kernels, index_pairs, witnesses, workers, runtime
+    )
 
 
 def sweep_pairs(
     pairs,
     witnesses: str = WITNESS_FAILURES,
     workers: int | None = None,
+    runtime: EvolutionRuntime | None = None,
 ) -> list[tuple[bool, EmptinessWitness | None]]:
     """Check a batch of ``(left, right)`` view pairs.
 
@@ -293,21 +408,29 @@ def sweep_pairs(
             :data:`WITNESS_FAILURES`, :data:`WITNESS_ALL`).
         workers: fan the grid out over this many worker processes;
             ``None``/``0``/``1`` checks serially in-process.
+        runtime: the persistent runtime to dispatch through (defaults
+            to the process-wide :func:`~repro.core.runtime.get_runtime`
+            when fan-out is requested).
 
     Returns:
         ``(consistent, witness)`` per pair, **in input order** — worker
         count never changes the result.
     """
-    results, _, _ = _sweep_pairs_stats(pairs, witnesses, workers)
+    results, _ = _sweep_pairs_stats(pairs, witnesses, workers, runtime)
     return results
 
 
 def _sweep_pairs_stats(
-    pairs, witnesses: str, workers: int | None
-) -> tuple[list, int, int]:
+    pairs,
+    witnesses: str,
+    workers: int | None,
+    runtime: EvolutionRuntime | None = None,
+) -> tuple[list, dict]:
     unique, index_pairs = _dedupe_views(list(pairs), key=id)
     kernels = [kernel_of(view) for view in unique]
-    return _sweep_kernel_grid(kernels, index_pairs, witnesses, workers)
+    return _sweep_kernel_grid(
+        kernels, index_pairs, witnesses, workers, runtime
+    )
 
 
 def conversing_pairs(choreography) -> list[tuple[str, str]]:
@@ -327,14 +450,16 @@ def sweep_choreography(
     pairs: list[tuple[str, str]] | None = None,
     witnesses: str = WITNESS_FAILURES,
     workers: int | None = None,
+    runtime: EvolutionRuntime | None = None,
 ) -> SweepReport:
     """Check all (or the given) partner pairs of a choreography.
 
     Views are projected once per (viewer, viewed) partner combination —
     :meth:`Choreography.view` memoizes per process version — and the
     resulting view pairs are dispatched through the deduplicated
-    kernel grid.  The report carries the sweep's pair-cache hit/miss
-    delta: re-sweeping an unchanged choreography is all hits.
+    kernel grid.  The report carries the sweep's pool-wide pair-cache
+    and kernel-arena deltas: re-sweeping an unchanged choreography is
+    all cache hits and ships zero kernel payloads.
     """
     if pairs is None:
         pairs = conversing_pairs(choreography)
@@ -345,8 +470,8 @@ def sweep_choreography(
         )
         for left, right in pairs
     ]
-    results, hits, misses = _sweep_pairs_stats(
-        view_pairs, witnesses=witnesses, workers=workers
+    results, stats = _sweep_pairs_stats(
+        view_pairs, witnesses=witnesses, workers=workers, runtime=runtime
     )
     outcomes = [
         PairOutcome(
@@ -357,6 +482,10 @@ def sweep_choreography(
     return SweepReport(
         outcomes=outcomes,
         workers=workers or 1,
-        cache_hits=hits,
-        cache_misses=misses,
+        cache_hits=stats["cache_hits"],
+        cache_misses=stats["cache_misses"],
+        arena_published=stats["arena_published"],
+        arena_hits=stats["arena_hits"],
+        warm_seeded=stats["warm_seeded"],
+        warm_decided=stats["warm_decided"],
     )

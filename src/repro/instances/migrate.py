@@ -21,14 +21,25 @@ equivalence classes first (:meth:`~repro.instances.store.InstanceStore.
 classes`), each class is replayed once through the memoized
 :class:`~repro.instances.replay.ReplayCache`, and verdicts are
 broadcast to every member.  With ``workers > 1`` the distinct classes
-are fanned out over a :mod:`multiprocessing` pool — traces travel as
-canonical label texts, the models as interned dense arrays
-(:func:`~repro.afsa.serialize.kernel_to_wire`, so workers skip the
-JSON parse + validation + kernel rebuild) — and results return in
-input order, so verdicts and witnesses are identical for every worker
-count.  The residual-liveness verdicts themselves ride the memoized
+are fanned out through the persistent evolution runtime
+(:mod:`repro.core.runtime`): the models are *published once* to the
+shared-memory kernel arena and chunks carry segment names plus trace
+texts, workers attach and memoize the kernels (and their replay tries)
+across dispatches, and results return in input order, so verdicts and
+witnesses are identical for every worker count and across pool
+restarts.  The residual-liveness verdicts themselves ride the memoized
 incremental good set of each model's kernel; repeated classifications
 against an unchanged model pair reuse it for free.
+
+Between evolution steps, running instances keep exchanging messages.
+:class:`FleetClassifier` is the *incremental* maintenance path for that
+regime: it holds the per-trace verdicts of one fleet classification,
+and after :meth:`InstanceStore.extend` grows some instances' logs,
+:meth:`FleetClassifier.refresh` re-checks only the affected
+(version, trace) classes — each replay resumes from the
+:class:`~repro.instances.replay.ReplayCache` trie's stored prefix
+states, so the cost is proportional to the *new events and touched
+classes*, not to the fleet.
 
 :func:`classify_trace_reference` is the deliberately naive oracle: one
 instance at a time, stepping public :class:`~repro.afsa.automaton.AFSA`
@@ -40,11 +51,10 @@ the scaling bench measures the fleet-level speedup against it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 
 from repro.afsa.automaton import AFSA
 from repro.afsa.kernel import Kernel, kernel_of
-from repro.afsa.serialize import kernel_from_wire, kernel_to_wire
+from repro.core.runtime import EvolutionRuntime, attach_kernel, get_runtime
 from repro.instances.replay import (
     MIGRATABLE,
     PENDING,
@@ -130,12 +140,17 @@ class MigrationReport:
         old_version: str = "",
         new_version: str = "",
         workers: int = 1,
+        live: bool = False,
     ):
         self.old_version = old_version
         self.new_version = new_version
         self.class_verdicts: list[ClassVerdict] = []
         self.workers = workers
         self.applied = False
+        #: Classifier-built reports share *live* record views that a
+        #: later refresh mutates; they re-expand per access so counts
+        #: and verdicts always describe the same (current) state.
+        self.live = live
         self._expanded: list[InstanceVerdict] | None = None
 
     @property
@@ -144,8 +159,9 @@ class MigrationReport:
 
     @property
     def verdicts(self) -> list[InstanceVerdict]:
-        """Per-instance dispositions, in instance-id order (lazy)."""
-        if self._expanded is None:
+        """Per-instance dispositions, in instance-id order (lazy; not
+        cached on :attr:`live` reports)."""
+        if self._expanded is None or self.live:
             expanded = [
                 InstanceVerdict(
                     instance=record.id,
@@ -158,6 +174,8 @@ class MigrationReport:
                 for record in entry.records
             ]
             expanded.sort(key=lambda verdict: verdict.instance)
+            if self.live:
+                return expanded
             self._expanded = expanded
         return self._expanded
 
@@ -256,17 +274,19 @@ def _classify_ids(
     return (verdict, continuation, blocked, compliant_with_old)
 
 
-def _classify_wire_chunk(payload):
-    """Pool worker: rebuild the models from the dense wire format,
-    classify a chunk of classes."""
-    new_wire, old_wire, traces, witnesses = payload
-    new_kernel = kernel_from_wire(new_wire)
-    cache = ReplayCache(new_kernel)
+def _classify_arena_chunk(payload):
+    """Pool worker: attach the models from the shared-memory arena (a
+    memo hit after the first dispatch — the kernel *and* its replay
+    trie persist across a long-lived pool's tasks), classify a chunk
+    of classes."""
+    new_name, old_name, traces, witnesses = payload
+    new_kernel = attach_kernel(new_name)
+    cache = ReplayCache.for_kernel(new_kernel)
     old_kernel = None
     old_cache = None
-    if old_wire is not None:
-        old_kernel = kernel_from_wire(old_wire)
-        old_cache = ReplayCache(old_kernel)
+    if old_name is not None:
+        old_kernel = attach_kernel(old_name)
+        old_cache = ReplayCache.for_kernel(old_kernel)
     intern = INTERNER.intern
     return [
         _classify_ids(
@@ -278,7 +298,7 @@ def _classify_wire_chunk(payload):
             witnesses,
         )
         for trace_texts in traces
-    ]
+    ], None
 
 
 # -- fleet classification -----------------------------------------------------
@@ -293,6 +313,7 @@ def classify_fleet(
     witnesses: str = WITNESS_ALL,
     workers: int | None = None,
     apply: bool = False,
+    runtime: EvolutionRuntime | None = None,
 ) -> MigrationReport:
     """Classify the (filtered) fleet against *target*.
 
@@ -314,6 +335,9 @@ def classify_fleet(
             records move to *new_version* (status stays running),
             pending/stranded records keep their version with the
             verdict as status.
+        runtime: the persistent runtime to dispatch through (defaults
+            to the process-wide :func:`~repro.core.runtime.get_runtime`
+            when fan-out is requested).
     """
     classes = store.classes(version=version)
     # Replay each distinct trace once even when several versions share
@@ -324,32 +348,35 @@ def classify_fleet(
     ordered = list(trace_by_id.values())
 
     if workers and workers > 1 and len(ordered) > 1:
-        # Models travel as interned dense arrays, not re-serialized
-        # JSON: workers rebuild the kernel directly, skipping the
-        # parse + AFSA validation + kernel build per chunk.
-        new_wire = kernel_to_wire(kernel_of(target))
-        old_wire = (
-            kernel_to_wire(kernel_of(old_model))
-            if old_model is not None
-            else None
-        )
+        # The models are published once to the shared-memory arena
+        # (an arena hit for every later classification of the same
+        # version pair); chunks carry segment names + trace texts.
+        runtime = runtime or get_runtime()
+        kernels = [kernel_of(target)]
+        if old_model is not None:
+            kernels.append(kernel_of(old_model))
         text_of = INTERNER.text
-        pool_size = min(workers, len(ordered))
-        chunks: list = [[] for _ in range(pool_size)]
-        for index, trace in enumerate(ordered):
-            chunks[index % pool_size].append(
-                [text_of(label_id) for label_id in trace]
+        with runtime.published(kernels) as names:
+            new_name = names[0]
+            old_name = names[1] if old_model is not None else None
+            ordered_results, _ = runtime.map_chunked(
+                _classify_arena_chunk,
+                ordered,
+                lambda chunk: (
+                    new_name,
+                    old_name,
+                    [
+                        [text_of(label_id) for label_id in trace]
+                        for trace in chunk
+                    ],
+                    witnesses,
+                ),
+                workers,
             )
-        payloads = [
-            (new_wire, old_wire, chunk, witnesses) for chunk in chunks
-        ]
-        with get_context().Pool(pool_size) as pool:
-            chunk_results = pool.map(_classify_wire_chunk, payloads)
-        results_by_id: dict = {}
-        for chunk_index, chunk_result in enumerate(chunk_results):
-            for offset, result in enumerate(chunk_result):
-                trace = ordered[offset * pool_size + chunk_index]
-                results_by_id[id(trace)] = result
+        results_by_id = {
+            id(trace): result
+            for trace, result in zip(ordered, ordered_results)
+        }
     else:
         new_kernel = kernel_of(target)
         cache = ReplayCache.for_kernel(new_kernel)
@@ -404,6 +431,7 @@ def classify_migration(
     witnesses: str = WITNESS_ALL,
     workers: int | None = None,
     apply: bool = False,
+    runtime: EvolutionRuntime | None = None,
 ) -> MigrationReport:
     """Classify a fleet across one evolution step (*old* → *new*).
 
@@ -420,7 +448,161 @@ def classify_migration(
         witnesses=witnesses,
         workers=workers,
         apply=apply,
+        runtime=runtime,
     )
+
+
+# -- incremental fleet maintenance --------------------------------------------
+
+
+class _ClassEntry:
+    """One live (version, trace) class inside a :class:`FleetClassifier`:
+    its shared trace, its members keyed by instance id, and the class's
+    :class:`ClassVerdict` (whose ``records`` is a *live view* of the
+    member dict, so membership edits show up in already-built reports
+    without any per-instance copying)."""
+
+    __slots__ = ("trace", "members", "verdict")
+
+    def __init__(self, trace: tuple, result: tuple):
+        self.trace = trace
+        self.members: dict = {}
+        verdict, continuation, blocked, compliant_with_old = result
+        self.verdict = ClassVerdict(
+            records=self.members.values(),
+            verdict=verdict,
+            continuation=continuation,
+            blocked_on=blocked,
+            compliant_with_old=compliant_with_old,
+        )
+
+
+class FleetClassifier:
+    """Incremental re-classification of a fleet as its logs grow.
+
+    Binds one (store, old model, new model) triple, classifies the
+    fleet once, then maintains the verdicts as instances *extend*
+    their traces (:meth:`InstanceStore.extend`):
+
+    * per-trace results are memoized by trace identity (the store
+      interns trace tuples, so identity is a sound key and ids are
+      pinned for the store's lifetime);
+    * :meth:`refresh` consumes the store's dirty set and touches only
+      the affected (version, trace) classes — a record leaves its old
+      class in O(1), joins an existing class in O(1), and only a
+      never-seen trace is classified, with the replay resuming from
+      the :class:`~repro.instances.replay.ReplayCache` trie's stored
+      prefix states (cost: the *new* events, not the whole log);
+    * the returned :class:`MigrationReport` shares live class views,
+      so building it costs O(classes), never O(fleet).
+
+    The classifier never writes verdicts back to the store; it is the
+    monitoring path, not the commit path.  It stays valid while the
+    bound models are unchanged — an evolution step means a new
+    classifier (and a fresh full classification).
+    """
+
+    def __init__(
+        self,
+        store: InstanceStore,
+        target: AFSA,
+        version: str | None = None,
+        old_model: AFSA | None = None,
+        new_version: str = "",
+        witnesses: str = WITNESS_ALL,
+    ):
+        self.store = store
+        self.version = version
+        self.new_version = new_version
+        self.witnesses = witnesses
+        self._new_kernel = kernel_of(target)
+        self._cache = ReplayCache.for_kernel(self._new_kernel)
+        self._old_kernel = (
+            kernel_of(old_model) if old_model is not None else None
+        )
+        self._old_cache = (
+            ReplayCache.for_kernel(self._old_kernel)
+            if self._old_kernel is not None
+            else None
+        )
+        self._results: dict = {}  # id(trace) -> result tuple
+        self._classes: dict = {}  # (version, id(trace)) -> _ClassEntry
+        self._membership: dict = {}  # instance id -> class key
+        self.reclassified = 0  # distinct traces actually classified
+        # The initial build covers this classifier's whole slice; only
+        # its own version's dirt is consumed — other versions' deltas
+        # stay queued for their consumers.
+        store.collect_dirty(version=version)
+        for (record_version, trace), records in store.classes(
+            version=version
+        ).items():
+            entry = self._class_for(record_version, trace)
+            for record in records:
+                entry.members[record.id] = record
+                self._membership[record.id] = (
+                    record_version,
+                    id(trace),
+                )
+
+    def _result_for(self, trace: tuple) -> tuple:
+        result = self._results.get(id(trace))
+        if result is None:
+            result = _classify_ids(
+                self._new_kernel,
+                self._cache,
+                self._old_kernel,
+                self._old_cache,
+                trace,
+                self.witnesses,
+            )
+            self._results[id(trace)] = result
+            self.reclassified += 1
+        return result
+
+    def _class_for(self, version: str, trace: tuple) -> _ClassEntry:
+        key = (version, id(trace))
+        entry = self._classes.get(key)
+        if entry is None:
+            entry = _ClassEntry(trace, self._result_for(trace))
+            self._classes[key] = entry
+        return entry
+
+    def refresh(self) -> MigrationReport:
+        """Fold the store's extended instances into the verdicts.
+
+        Only the classes that gained or lost members are touched; the
+        report lists classes in first-seen order with re-classified
+        classes appended, exactly like a from-scratch classification
+        started from the same store state would group them.
+        """
+        for record in self.store.collect_dirty(version=self.version):
+            old_key = self._membership.get(record.id)
+            new_key = (record.version, id(record.trace))
+            if old_key == new_key:
+                continue
+            if old_key is not None:
+                old_entry = self._classes.get(old_key)
+                if old_entry is not None:
+                    old_entry.members.pop(record.id, None)
+                    if not old_entry.members:
+                        del self._classes[old_key]
+            entry = self._class_for(record.version, record.trace)
+            entry.members[record.id] = record
+            self._membership[record.id] = new_key
+        return self.report()
+
+    def report(self) -> MigrationReport:
+        """The current per-class verdicts as a :class:`MigrationReport`
+        (O(classes); ``records`` views stay live across refreshes)."""
+        report = MigrationReport(
+            old_version=self.version or "",
+            new_version=self.new_version,
+            live=True,
+        )
+        report.class_verdicts = [
+            entry.verdict for entry in self._classes.values()
+        ]
+        return report
 
 
 # -- naive per-instance reference ---------------------------------------------

@@ -24,6 +24,16 @@ every further instance that shares it replays in amortized O(1) per
 event (one trie-node hop).  The cache is attached to the kernel like
 every other derived fact, which makes it a per-(version, prefix) memo —
 a new process version compiles to a new kernel and starts cold.
+
+The trie is also the substrate of two PR-5 behaviors: **incremental
+fleet maintenance** (an :meth:`~repro.instances.store.InstanceStore.
+extend`-grown trace is a superstring of an already-replayed prefix, so
+the :class:`~repro.instances.migrate.FleetClassifier` delta path pays
+only the *new* events when it re-classifies the affected class), and
+**persistent-worker replay** (pool workers memoize arena kernels by
+segment name, and since the cache rides the kernel, their tries
+survive across dispatches of a long-lived pool — chained migrations
+against live versions reuse each version's trie for free).
 """
 
 from __future__ import annotations

@@ -48,6 +48,7 @@ class InstanceStore:
     def __init__(self):
         self._records: list[InstanceRecord] = []
         self._trace_table: dict = {}
+        self._dirty: dict = {}
 
     # -- building ----------------------------------------------------------
 
@@ -70,7 +71,12 @@ class InstanceStore:
         return shared
 
     def add(self, version: str, labels, status: str = RUNNING) -> InstanceRecord:
-        """Register one instance; returns its record."""
+        """Register one instance; returns its record.
+
+        New records count as dirty: an incremental classifier built
+        before the spawn folds them in on its next refresh instead of
+        silently reporting a fleet that no longer exists.
+        """
         record = InstanceRecord(
             id=len(self._records),
             version=version,
@@ -78,11 +84,58 @@ class InstanceStore:
             status=status,
         )
         self._records.append(record)
+        self._dirty[record.id] = record
         return record
 
     def spawn(self, version: str, traces) -> list[InstanceRecord]:
         """Register one instance per trace in *traces*."""
         return [self.add(version, labels) for labels in traces]
+
+    def extend(self, instance_id: int, events) -> InstanceRecord:
+        """Append executed *events* to an instance's trace.
+
+        The extended trace is re-interned (instances converging on the
+        same conversation share one tuple again) and the record is
+        marked dirty, so an incremental classifier
+        (:class:`~repro.instances.migrate.FleetClassifier`) re-checks
+        only the affected (version, trace) classes — and because the
+        old trace is a *prefix* of the new one, its replay resumes
+        from the trie's stored prefix states.
+        """
+        record = self._records[instance_id]
+        intern = INTERNER.intern
+        suffix = tuple(
+            event if isinstance(event, int) else intern(event)
+            for event in events
+        )
+        if suffix:
+            record.trace = self.intern_trace(record.trace + suffix)
+            self._dirty[record.id] = record
+        return record
+
+    def collect_dirty(
+        self, version: str | None = None
+    ) -> list[InstanceRecord]:
+        """Return (and clear) the records extended since the last
+        collection — the delta an incremental classifier consumes.
+
+        With *version*, only matching records are collected; dirt of
+        other versions stays queued for its own consumer (a classifier
+        bound to ``A#v2`` must not lose extensions because an ``A#v1``
+        classifier refreshed first).
+        """
+        if version is None:
+            records = list(self._dirty.values())
+            self._dirty.clear()
+            return records
+        records = [
+            record
+            for record in self._dirty.values()
+            if record.version == version
+        ]
+        for record in records:
+            del self._dirty[record.id]
+        return records
 
     # -- reading -----------------------------------------------------------
 

@@ -273,7 +273,7 @@ class TestSweepCacheStats:
         warm = sweep_choreography(choreography)
         assert warm.cache_hits == len(warm.outcomes)
         assert warm.cache_misses == 0
-        assert "pair-cache:" in warm.describe()
+        assert "pair-cache (serial):" in warm.describe()
 
     def test_verdicts_identical_cold_and_warm(self):
         choreography = generate_choreography(seed=23, spokes=2, steps=2)

@@ -168,6 +168,33 @@ class TestCompare:
         _, strict = report.compare(run, baseline, max_regress=1.10)
         assert strict == ["test_emptiness[512]"]
 
+    def test_excluded_rows_report_but_never_gate(self, tmp_path, baseline):
+        """Environment-bound rows (e.g. cold pool-spawn measurements)
+        can be exempted by pattern: reported, marked, not gated, and
+        kept out of the calibration sample."""
+        run = _write(
+            tmp_path,
+            "excluded.json",
+            [
+                _bench("test_emptiness[512]", 6.1),
+                _bench("test_minimize[512]", 9000.0),  # 7.5× slower
+            ],
+        )
+        table, failing = report.compare(
+            run, baseline, exclude=["test_minimize*"]
+        )
+        assert failing == []
+        assert "excluded from gate" in table
+        # Without the pattern the same run fails.
+        _, failing = report.compare(run, baseline)
+        assert failing == ["test_minimize[512]"]
+        # Excluded rows must not skew calibration either: the huge
+        # ratio would otherwise become the median scale.
+        _, failing = report.compare(
+            run, baseline, calibrate=True, exclude=["test_minimize*"]
+        )
+        assert failing == []
+
 
 class TestMain:
     def test_main_exit_codes(self, tmp_path, baseline):
