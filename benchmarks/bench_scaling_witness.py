@@ -1,0 +1,138 @@
+"""Scaling benchmarks: streaming witness extraction vs the eager oracle.
+
+The *unhappy path* of a consistency sweep: an inconsistent pair must
+produce a diagnosis (which mandatory messages starve which product
+states) and a consistent pair under the ``all`` policy must produce a
+completion word.  Measured two ways on the same operand pairs as
+``bench_scaling_product.py`` (identical seeds, so verdict classes are
+fixed per size):
+
+* **lazy cold** — the full production path from scratch:
+  :func:`~repro.core.sweep.check_kernel_pair` with the ``failures``
+  policy on an inconsistent pair, with the verdict cache *and* the
+  retained explorations cleared inside the measured callable — verdict
+  plus streamed witness (:func:`repro.afsa.witness.lazy_pair_witness`)
+  over the lazily explored pair-prefix, never materializing the
+  product;
+* **eager** — the retired pipeline kept as the test oracle
+  (:func:`repro.afsa.oracle.eager_pair_witness`): materialize the full
+  product, run the fixpoint, diagnose.  Stops at size 512 — one eager
+  round at 2048 takes tens of seconds.
+
+The `cached` row re-extracts a witness for an unchanged pair: a
+verdict-cache hit whose entry already carries the witness, ~O(1)
+regardless of size.  The `nonempty_cold` row is the consistent-pair
+``all``-policy extraction (verdict + shortest completion word) from
+scratch.
+
+Witness agreement with the eager oracle is asserted in-bench at sizes
+where the oracle is affordable, and the lazy rows are asserted to
+leave the ``eager_oracle`` counter untouched (the acceptance invariant
+that no production path materializes a product).  The hypothesis
+suite (tests/test_afsa_witness.py) covers byte-identity exhaustively
+at small sizes.
+"""
+
+import pytest
+
+from repro.afsa.kernel import kernel_of
+from repro.afsa.lazy import VERDICTS, clear_warm_state, warm_stats
+from repro.afsa.oracle import eager_pair_witness
+from repro.core.sweep import WITNESS_ALL, WITNESS_FAILURES, check_kernel_pair
+from repro.workload.generator import random_afsa
+
+SIZES_EAGER = [128, 512]
+SIZES_LAZY = [128, 512, 2048]
+
+#: Same seed pairs as bench_scaling_product.py: verdict class fixed
+#: per size (asserted below).
+CONSISTENT_SEED = {128: 1, 512: 2, 2048: 1}
+INCONSISTENT_SEED = {128: 2, 512: 1, 2048: 2}
+
+#: Size of the repeated-extraction (cache hit) and non-empty rows.
+CACHED_SIZE = 512
+NONEMPTY_SIZE = 512
+
+
+def _pair(size, seed):
+    left = random_afsa(
+        seed=2 * seed, states=size, labels=8, annotation_probability=0.3
+    )
+    right = random_afsa(
+        seed=2 * seed + 1, states=size, labels=8,
+        annotation_probability=0.3,
+    )
+    kernels = kernel_of(left), kernel_of(right)
+    # Warm the operand memos (ε-free form, label masks, annotation
+    # profile) so both pipelines measure the extraction, not the
+    # shared per-operand preprocessing.
+    for kernel in kernels:
+        kernel.label_masks()
+        kernel.ann_profile()
+    return kernels
+
+
+def _cold_diagnosis(left, right):
+    # A genuinely cold unhappy path: no cached verdict, no retained
+    # exploration, no memoized witness.
+    VERDICTS.clear()
+    clear_warm_state()
+    return check_kernel_pair(left, right, WITNESS_FAILURES)
+
+
+@pytest.mark.parametrize("size", SIZES_LAZY)
+def test_scaling_witness_lazy_cold(benchmark, size):
+    """Cold verdict + streamed diagnosis of an inconsistent pair."""
+    left, right = _pair(size, INCONSISTENT_SEED[size])
+    before = warm_stats()["eager_oracle"]
+    consistent, witness = _cold_diagnosis(left, right)
+    assert consistent is False and witness.empty
+    assert warm_stats()["eager_oracle"] == before
+    if size in SIZES_EAGER:
+        oracle = eager_pair_witness(left, right)
+        assert witness.describe() == oracle.describe()
+    benchmark.group = "witness-lazy-cold"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: _cold_diagnosis(left, right))
+
+
+def test_scaling_witness_cached(benchmark):
+    """Re-extraction for an unchanged pair: a verdict-cache hit whose
+    entry already carries the witness."""
+    left, right = _pair(CACHED_SIZE, INCONSISTENT_SEED[CACHED_SIZE])
+    consistent, witness = check_kernel_pair(left, right, WITNESS_FAILURES)
+    assert consistent is False and witness.empty
+    benchmark.group = "witness-cached"
+    benchmark.extra_info["states"] = CACHED_SIZE
+    benchmark(lambda: check_kernel_pair(left, right, WITNESS_FAILURES))
+
+
+def test_scaling_witness_nonempty_cold(benchmark):
+    """Cold ``all``-policy extraction on a consistent pair: shortest
+    completion word proved inside the explored prefix."""
+    left, right = _pair(NONEMPTY_SIZE, CONSISTENT_SEED[NONEMPTY_SIZE])
+
+    def cold_completion():
+        VERDICTS.clear()
+        clear_warm_state()
+        return check_kernel_pair(left, right, WITNESS_ALL)
+
+    before = warm_stats()["eager_oracle"]
+    consistent, witness = cold_completion()
+    assert consistent is True and not witness.empty
+    assert warm_stats()["eager_oracle"] == before
+    benchmark.group = "witness-nonempty-cold"
+    benchmark.extra_info["states"] = NONEMPTY_SIZE
+    benchmark(cold_completion)
+
+
+@pytest.mark.parametrize("size", SIZES_EAGER)
+def test_scaling_witness_eager(benchmark, size):
+    """The retired eager pipeline (test oracle): full product +
+    fixpoint + diagnosis on the same inconsistent pairs."""
+    left, right = _pair(size, INCONSISTENT_SEED[size])
+    witness = eager_pair_witness(left, right)
+    assert witness.empty
+    benchmark.group = "witness-eager"
+    benchmark.extra_info["states"] = size
+    benchmark(lambda: eager_pair_witness(left, right))

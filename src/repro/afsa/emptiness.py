@@ -25,8 +25,11 @@ verdict in the paper: the running protocol (buyer ∩ accounting, cyclic
 mandatory annotations) is non-empty, while Fig. 5, Fig. 12b, and
 Fig. 16b are empty.  For negation-free annotations (the only kind the
 paper's framework generates) the greatest fixpoint is exact; formulas
-with negation make the operator non-monotone and the result is then a
-sound over-approximation of the good set (see DESIGN.md).
+with negation make the operator non-monotone, and there the exact
+documented semantics is the round-based recursion of
+:func:`~repro.afsa.kernel.k_good_states_naive` — which the lazy
+engine's dual-rail bounds (:mod:`repro.afsa.lazy`) compute without
+materializing a product (see DESIGN.md).
 
 Non-emptiness of the intersection of two public processes is the paper's
 **consistency** (= deadlock-freedom) criterion; :func:`is_consistent` is
@@ -81,10 +84,10 @@ def is_consistent(left: AFSA, right: AFSA, annotated: bool = True) -> bool:
     of the two public processes.  The verdict comes from the fused lazy
     pair-exploration engine (:mod:`repro.afsa.lazy`): product states
     are explored on the fly and the check stops the moment the start
-    pair's fate is certain, falling back to the eager
-    :func:`~repro.afsa.kernel.k_intersect` pipeline only for negated
-    annotations.  Repeated checks of the same operand pair are ~O(1)
-    via the shared :data:`~repro.afsa.lazy.VERDICTS` cache.
+    pair's fate is certain — negated annotations included, via the
+    dual-rail three-valued bounds; no eager fallback remains.
+    Repeated checks of the same operand pair are ~O(1) via the shared
+    :data:`~repro.afsa.lazy.VERDICTS` cache.
     """
     return pair_verdict(
         kernel_of(left), kernel_of(right), annotated=annotated

@@ -257,8 +257,11 @@ class Kernel:
           states to ``(formula, ((name, lid), …))`` for explicit
           evaluation;
         * ``positive`` is False when any annotation contains negation —
-          the lazy engine's certificate bounds rely on monotonicity, so
-          callers must fall back to the eager pipeline in that case.
+          the lazy engine's monotone certificate bounds (and its
+          dead-pair pruning) rely on positivity, so the engine then
+          switches to the three-valued dual-rail bounds
+          (:meth:`repro.afsa.lazy._PairExploration.dual_rail`) on an
+          unpruned exploration.
         """
         if self._ann_profile is None:
             intern = INTERNER.intern

@@ -43,23 +43,35 @@ the exploration permits:
   than the eager pipeline, which additionally pays name
   materialization and per-pair annotation simplification.
 
-The soundness of both bounds (and of the pruning) relies on the
-annotation operator being monotone, i.e. on negation-free formulas —
-the only kind the paper's framework generates.  When any operand
-annotation contains negation, :func:`product_verdict` falls back to
-the eager ``k_intersect`` + ``k_good_states`` oracle, which this
-module deliberately leaves untouched: the property suite asserts
-verdict-for-verdict agreement between the two pipelines.
+The soundness of the monotone bounds (and of the pruning) relies on
+negation-free formulas — the only kind the paper's framework
+generates.  **Negation dual-rail rule** (replacing the eager fallback
+this module used to take): when any operand annotation contains
+negation, pruning is disabled entirely — a locally-dead pair still
+shapes its neighbours' early fixpoint rounds once ``NOT`` is in play —
+and the verdict bounds come from :meth:`_PairExploration.dual_rail`, a
+three-valued (Kleene) round iteration that tracks per discovered pair
+whether it is *definitely*, *possibly*, or *definitely not* in the
+current fixpoint round, with every unexplored frontier pair held at
+*unknown*.  A stabilized iteration certifies the verdict soundly; at
+exhaustion the iteration degenerates to two values and equals
+:func:`~repro.afsa.kernel.k_good_states_naive` on the full reachable
+product round for round — which is therefore the *documented exact
+semantics* of ``product_verdict`` for negated annotations.  The eager
+``k_intersect`` pipeline survives only as the test-only hypothesis
+oracle (:mod:`repro.afsa.oracle`); no non-test code path invokes it.
 
-**Fallback-to-materialization rule:** the lazy engine answers only the
-verdict.  Callers that need a *witness over the complete product* — a
-canonical shortest conversation, or the blocked-state diagnosis of an
-inconsistent pair — materialize the eager product and derive the
-witness there (:func:`repro.core.sweep.check_pair` does exactly this),
-because witness canonicality is defined over the full reachable pair
-graph, not over whatever prefix the lazy engine happened to decide on.
+**Streaming-witness rule** (replacing the old fallback-to-
+materialization rule): callers that need a witness — the canonical
+shortest conversation, or the blocked-state diagnosis of an
+inconsistent pair — extract it from the retained exploration via
+:func:`repro.afsa.witness.lazy_pair_witness`, which BFSes over the
+explored pair prefix and expands the frontier on demand only when the
+shortest witness provably may leave it.  The canonical witness form is
+defined (in one place) in :mod:`repro.afsa.witness`; no consumer
+materializes the product for diagnosis any more.
 
-:class:`PairVerdictCache` memoizes verdicts (and eager-computed
+:class:`PairVerdictCache` memoizes verdicts (and lazily-extracted
 witnesses) across calls, keyed on operand *kernel identity*: sweep
 grids, propagation step 5, engine auto-adapt re-checks and migration
 residual checks repeatedly test the same operand pair, and a kernel is
@@ -79,11 +91,12 @@ from collections import OrderedDict
 from repro.afsa.kernel import (
     Kernel,
     k_good_states,
-    k_intersect,
     k_remove_epsilon,
 )
 from repro.formula.ast import And, Formula
-from repro.formula.evaluate import evaluate
+from repro.formula.evaluate import evaluate, evaluate3
+from repro.formula.transform import variables as formula_variables
+from repro.messages.alphabet import INTERNER
 
 #: Past this many explored pairs the engine stops checkpointing and
 #: runs to exhaustion + one exact fixpoint (bounds the overhead of an
@@ -144,6 +157,9 @@ class _PairExploration:
         "explored_annotated",
         "explored_deadends",
         "certificate",
+        "positive",
+        "ann_vars",
+        "witness",
     )
 
     def __init__(self, a: Kernel, b: Kernel):
@@ -156,8 +172,13 @@ class _PairExploration:
         self.bmask = b.label_masks()
         self.a_finals = a.finals
         self.b_finals = b.finals
-        self.a_conj, self.a_complex, _ = a.ann_profile()
-        self.b_conj, self.b_complex, _ = b.ann_profile()
+        self.a_conj, self.a_complex, a_positive = a.ann_profile()
+        self.b_conj, self.b_complex, b_positive = b.ann_profile()
+        #: Negation-free operands: pruning and the monotone bounds are
+        #: sound.  With negation anywhere, pruning is fully disabled
+        #: (see the module docstring's dual-rail rule) and verdicts
+        #: come from :meth:`dual_rail`.
+        self.positive = a_positive and b_positive
         self.a_ann = a.ann
         self.b_ann = b.ann
 
@@ -173,6 +194,17 @@ class _PairExploration:
         #: Memo of :meth:`certificate_region` — None = not computed
         #: yet, False = computed and absent, list = the region.
         self.certificate: list | bool | None = None
+        #: Per annotated index: interned ``((name, lid), …)`` variable
+        #: tuples for the dual-rail annotation evaluation (lazy memo).
+        self.ann_vars: dict = {}
+        #: Memoized :class:`~repro.afsa.emptiness.EmptinessWitness` of
+        #: :func:`repro.afsa.witness.lazy_pair_witness`.  Deliberately
+        #: *never* inherited by :meth:`seed_from`: a pre-evolution
+        #: witness cannot be proven canonical for the new product
+        #: without re-extraction, so seeded explorations start with no
+        #: witness and only the certificate region — the witness's
+        #: support — is translated.
+        self.witness = None
         self.start = self._discover(a.start * self.nb + b.start)
 
     # -- discovery ---------------------------------------------------------
@@ -208,7 +240,13 @@ class _PairExploration:
     def _discover(self, pid: int) -> int:
         qa, qb = divmod(pid, self.nb)
         shared = self.amask[qa] & self.bmask[qb]
-        if self._locally_dead(qa, qb, shared):
+        # Pruning is sound only for monotone (negation-free) operators:
+        # with a NOT in play, even a pair whose own annotation is
+        # definitely unsatisfiable still shapes its neighbours' early
+        # fixpoint rounds (it is live in round 1, which can *refute* a
+        # neighbour's negated variable), so non-positive explorations
+        # discover everything.
+        if self.positive and self._locally_dead(qa, qb, shared):
             self.index[pid] = -1
             return -1
         idx = len(self.pairs)
@@ -318,6 +356,13 @@ class _PairExploration:
         Returns False — leaving ``self`` unusable, callers restart
         cold — when the start pair does not survive translation or a
         stability promise fails defensively.
+
+        Witness state is *invalidated*, never translated: the old
+        exploration's :attr:`witness` memo stays behind (a stale
+        witness can not be proven canonical for the new product), and
+        any witness of the seeded pair is re-extracted on demand by
+        :func:`repro.afsa.witness.lazy_pair_witness` — only the
+        certificate region, the witness's support, crosses versions.
         """
         nb_old = old.nb
         nb = self.nb
@@ -465,9 +510,12 @@ class _PairExploration:
         Computed (and memoized, including the negative outcome) on
         demand: only seed time pays for the extra fixpoint + BFS,
         never the verdict hot path.
+
+        Non-positive explorations never carry a certificate: the
+        region's closed-post-fixpoint reading relies on monotonicity.
         """
         if self.certificate is None:
-            if not self.explored_finals:
+            if not self.positive or not self.explored_finals:
                 self.certificate = False
                 return None
             good = k_good_states(self._subgraph_kernel())
@@ -500,6 +548,131 @@ class _PairExploration:
             # the frontier counts as good finals.
             return True
         return 0 in k_good_states(self._optimistic_kernel())
+
+    # -- dual-rail bounds (negated annotations) ----------------------------
+
+    def _ann_eval_items(self):
+        """``(index, formula, ((name, lid), …))`` per annotated
+        discovered pair, with the interned variable tuples memoized in
+        :attr:`ann_vars` across rounds and calls."""
+        intern = INTERNER.intern
+        cache = self.ann_vars
+        items = []
+        for idx, formula in self.anns.items():
+            entry = cache.get(idx)
+            if entry is None:
+                entry = cache[idx] = tuple(
+                    (name, intern(name))
+                    for name in formula_variables(formula)
+                )
+            items.append((idx, formula, entry))
+        return items
+
+    def dual_rail(self, max_rounds: int | None = None):
+        """Three-valued good-set bounds over the discovered pairs.
+
+        Runs the round iteration of
+        :func:`~repro.afsa.kernel.k_good_states_naive` abstractly: each
+        discovered pair holds a Kleene value — *definitely good this
+        round* (``lo``), *possibly good* (``hi``), or neither =
+        definitely dead — starting from all-definite (the concrete
+        round 0 is *every* product state).  Per round, backward
+        liveness is computed twice (through definite states from
+        definite good finals; through possible states from possible
+        finals *and every frontier pair*, whose unexplored out-edges
+        may reach anything), and annotations are evaluated with
+        :func:`~repro.formula.evaluate.evaluate3` — a frontier pair's
+        variable is *unknown* when the label is in its shared mask and
+        definitely false otherwise.
+
+        If two consecutive rounds produce the same value vector ``v``,
+        every later concrete round — and hence the concrete fixpoint —
+        stays inside ``v``'s concretization, so ``start ∈ lo``
+        certifies non-emptiness and ``start ∉ hi`` emptiness, *without
+        negation-free monotonicity*.  Returns ``(lo, hi)`` index sets
+        on stabilization, or ``None`` when the iteration did not
+        settle within the round budget (explore further and retry).
+        At exhaustion no unknowns remain, the iteration is exactly the
+        naive two-valued recursion on the full reachable product
+        (non-positive explorations never prune), and it provably
+        stabilizes within the budget — the verdict is then exact.
+        """
+        m = len(self.pairs)
+        n = self.cursor
+        rows = self.rows
+        if max_rounds is None:
+            max_rounds = m + 2
+        preds: list = [[] for _ in range(m)]
+        for i in range(n):
+            for targets in rows[i].values():
+                for t in targets:
+                    preds[t].append(i)
+        finals = self.finals
+        ann_items = self._ann_eval_items()
+        nb = self.nb
+        pairs = self.pairs
+        amask, bmask = self.amask, self.bmask
+        lo = [True] * m
+        hi = [True] * m
+        for _ in range(max_rounds):
+            live_lo = [False] * m
+            stack = [i for i in finals if lo[i]]
+            for i in stack:
+                live_lo[i] = True
+            while stack:
+                s = stack.pop()
+                for p in preds[s]:
+                    if lo[p] and not live_lo[p]:
+                        live_lo[p] = True
+                        stack.append(p)
+            live_hi = [False] * m
+            stack = [i for i in finals if hi[i]]
+            stack.extend(
+                i for i in range(n, m) if hi[i] and i not in finals
+            )
+            for i in stack:
+                live_hi[i] = True
+            while stack:
+                s = stack.pop()
+                for p in preds[s]:
+                    if hi[p] and not live_hi[p]:
+                        live_hi[p] = True
+                        stack.append(p)
+            new_lo = list(live_lo)
+            new_hi = list(live_hi)
+            for idx, formula, var_items in ann_items:
+                if not new_lo[idx] and not new_hi[idx]:
+                    continue
+                bounds: dict = {}
+                if idx < n:
+                    row = rows[idx]
+                    for name, lid in var_items:
+                        targets = row.get(lid)
+                        if not targets:
+                            bounds[name] = (False, False)
+                        else:
+                            bounds[name] = (
+                                any(live_lo[t] for t in targets),
+                                any(live_hi[t] for t in targets),
+                            )
+                else:
+                    qa, qb = divmod(pairs[idx], nb)
+                    shared = amask[qa] & bmask[qb]
+                    for name, lid in var_items:
+                        if shared >> lid & 1:
+                            bounds[name] = (False, True)
+                        else:
+                            bounds[name] = (False, False)
+                eval_lo, eval_hi = evaluate3(formula, bounds)
+                new_lo[idx] = new_lo[idx] and eval_lo
+                new_hi[idx] = new_hi[idx] and eval_hi
+            if new_lo == lo and new_hi == hi:
+                return (
+                    {i for i in range(m) if lo[i]},
+                    {i for i in range(m) if hi[i]},
+                )
+            lo, hi = new_lo, new_hi
+        return None
 
 
 # -- cross-version lineage and exploration retention ---------------------------
@@ -695,10 +868,22 @@ def _warm_exploration(a: Kernel, b: Kernel):
 #: :func:`warm_stats`; cleared by :func:`clear_warm_state`.
 _WARM_STATS = {"seeded": 0, "decided_from_seed": 0}
 
+#: Witness-path telemetry: witnesses extracted by the streaming lazy
+#: engine, extra frontier expansions those extractions needed beyond
+#: the verdict's exploration, and invocations of the test-only eager
+#: oracle (:mod:`repro.afsa.oracle`) — the last must stay zero on
+#: every non-test code path, which the sweep counters assert.
+_WITNESS_STATS = {
+    "witness_lazy": 0,
+    "witness_expansions": 0,
+    "eager_oracle": 0,
+}
+
 
 def warm_stats() -> dict:
-    """A copy of the cross-version warm-start counters."""
-    return dict(_WARM_STATS)
+    """A copy of the cross-version warm-start and witness-path
+    counters."""
+    return {**_WARM_STATS, **_WITNESS_STATS}
 
 
 def retained_exploration(left: Kernel, right: Kernel):
@@ -722,12 +907,16 @@ def clear_warm_state() -> None:
     _CORRESPONDENCE.clear()
     _WARM_STATS["seeded"] = 0
     _WARM_STATS["decided_from_seed"] = 0
+    for key in _WITNESS_STATS:
+        _WITNESS_STATS[key] = 0
 
 
 def _decide(exploration: _PairExploration, warmed: bool) -> bool:
     """Run the checkpointed verdict loop over *exploration*."""
     if exploration.start < 0:
         return False
+    if not exploration.positive:
+        return _decide_dual(exploration)
     if warmed and exploration.cursor > 1:
         # The copied region is already explored: try both certificates
         # before any expansion — for an unchanged-verdict evolution the
@@ -757,6 +946,32 @@ def _decide(exploration: _PairExploration, warmed: bool) -> bool:
     return exploration.start_good_lower()
 
 
+def _decide_dual(exploration: _PairExploration) -> bool:
+    """Checkpointed verdict loop for negated annotations: interleave
+    exploration with the three-valued :meth:`_PairExploration.dual_rail`
+    bounds instead of the monotone pessimistic/optimistic pair."""
+    for limit in _PESSIMISTIC_CHECKPOINTS:
+        if limit <= exploration.cursor and not exploration.exhausted:
+            continue
+        exploration.expand(limit)
+        rails = exploration.dual_rail()
+        if rails is not None:
+            lo, hi = rails
+            if 0 in lo:
+                return True
+            if 0 not in hi:
+                return False
+        if exploration.exhausted:
+            # At exhaustion the iteration always stabilizes with
+            # lo == hi (the exact naive fixpoint), so the bounds above
+            # decided; reaching here means the rails were None, which
+            # exhaustion rules out.
+            break  # pragma: no cover - defensive
+    exploration.expand(float("inf"))
+    lo, _ = exploration.dual_rail()
+    return 0 in lo
+
+
 def _lazy_annotated_verdict(a: Kernel, b: Kernel) -> bool:
     """Decide ``L(a ∩ b) ≠ ∅`` (annotated test) on the fly.
 
@@ -777,6 +992,27 @@ def _lazy_annotated_verdict(a: Kernel, b: Kernel) -> bool:
         _WARM_STATS["decided_from_seed"] += 1
     _remember_exploration(a, b, exploration)
     return verdict
+
+
+def _live_exploration(a: Kernel, b: Kernel) -> _PairExploration:
+    """The retained exploration for ``a × b`` (decided, for witness
+    extraction), creating and deciding a fresh one when the pair was
+    never explored or aged out of the LRU."""
+    key = (id(a), id(b))
+    entry = _EXPLORATIONS.get(key)
+    if entry is not None and entry[0] is a and entry[1] is b:
+        _EXPLORATIONS.move_to_end(key)
+        return entry[2]
+    exploration = _warm_exploration(a, b)
+    warmed = exploration is not None
+    if exploration is None:
+        exploration = _PairExploration(a, b)
+    else:
+        _WARM_STATS["seeded"] += 1
+    if exploration.start >= 0:
+        _decide(exploration, warmed)
+    _remember_exploration(a, b, exploration)
+    return exploration
 
 
 def _lazy_classical_verdict(a: Kernel, b: Kernel) -> bool:
@@ -818,18 +1054,18 @@ def product_verdict(left: Kernel, right: Kernel, annotated: bool = True) -> bool
     """``L(left ∩ right) ≠ ∅`` via the lazy engine, uncached.
 
     The benchmark hook (and the engine behind :func:`pair_verdict`):
-    ε-eliminates the operands (a memo hit when already ε-free), runs
-    the fused exploration, and falls back to the eager
-    ``k_intersect`` + ``k_good_states`` oracle when an operand carries
-    negated annotations (where the lazy bounds would be unsound).
+    ε-eliminates the operands (a memo hit when already ε-free) and
+    runs the fused exploration.  Exact for the *full* annotation
+    language: negation-free operands use the monotone
+    pessimistic/optimistic bounds, negated ones the dual-rail
+    three-valued bounds (whose exhaustion semantics equal
+    :func:`~repro.afsa.kernel.k_good_states_naive` on the full
+    product) — there is no eager fallback left.
     """
     a = k_remove_epsilon(left)
     b = k_remove_epsilon(right)
     if not annotated:
         return _lazy_classical_verdict(a, b)
-    if not (a.ann_profile()[2] and b.ann_profile()[2]):
-        product = k_intersect(a, b)
-        return product.start in k_good_states(product)
     return _lazy_annotated_verdict(a, b)
 
 
@@ -933,6 +1169,6 @@ def cached_witness(left: Kernel, right: Kernel):
 
 
 def store_witness(left: Kernel, right: Kernel, witness) -> None:
-    """Attach an eager-pipeline witness to the pair's verdict entry."""
+    """Attach a lazily-extracted witness to the pair's verdict entry."""
     entry = VERDICTS.store(left, right, not witness.empty, True)
     entry.witness = witness

@@ -5,7 +5,9 @@ selected by extension ``.xml`` / anything else = DSL):
 
 * ``compile FILE``            — public process + mapping table (Sect. 3.3)
 * ``view FILE --partner P``   — τ_P view of the compiled process (Sect. 3.4)
-* ``check FILE FILE``         — bilateral consistency with diagnosis
+* ``check FILE FILE``         — bilateral consistency via the lazy
+  engine; ``--witness`` adds the streamed diagnosis, exit 1 when
+  inconsistent
 * ``sweep FILE FILE...``      — batched consistency sweep over all
   conversing pairs, optionally fanned out through the persistent
   evolution runtime (``--workers``, ``--repeat``, ``--stats``)
@@ -29,8 +31,6 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.afsa.emptiness import non_emptiness_witness
-from repro.afsa.product import intersect
 from repro.afsa.serialize import afsa_to_dot
 from repro.afsa.view import project_view
 from repro.bpel.compile import compile_process
@@ -79,18 +79,24 @@ def cmd_view(args) -> int:
 
 
 def cmd_check(args) -> int:
+    from repro.core.sweep import WITNESS_ALL, WITNESS_NONE, check_pair
+
     left = compile_process(load_process(args.left))
     right = compile_process(load_process(args.right))
     left_view = project_view(left.afsa, right.process.party)
     right_view = project_view(right.afsa, left.process.party)
-    intersection = intersect(left_view, right_view)
-    witness = non_emptiness_witness(intersection)
-    status = "INCONSISTENT" if witness.empty else "consistent"
+    consistent, witness = check_pair(
+        left_view,
+        right_view,
+        WITNESS_ALL if args.witness else WITNESS_NONE,
+    )
+    status = "consistent" if consistent else "INCONSISTENT"
     print(
         f"{left.process.name} ↔ {right.process.name}: {status}"
     )
-    print(witness.describe())
-    return 1 if witness.empty else 0
+    if witness is not None:
+        print(witness.describe())
+    return 0 if consistent else 1
 
 
 def cmd_sweep(args) -> int:
@@ -447,10 +453,19 @@ def build_parser() -> argparse.ArgumentParser:
     view_cmd.set_defaults(handler=cmd_view)
 
     check_cmd = commands.add_parser(
-        "check", help="check bilateral consistency of two processes"
+        "check",
+        help="check bilateral consistency of two processes "
+        "(exit 1 when inconsistent)",
     )
     check_cmd.add_argument("left")
     check_cmd.add_argument("right")
+    check_cmd.add_argument(
+        "--witness",
+        action="store_true",
+        help="print the diagnosis: the shortest common conversation, "
+        "or the blocked states and their unsupported mandatory "
+        "messages",
+    )
     check_cmd.set_defaults(handler=cmd_check)
 
     sweep_cmd = commands.add_parser(

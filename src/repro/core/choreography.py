@@ -324,10 +324,10 @@ class Choreography:
         dispatched through the batched sweep engine
         (:mod:`repro.core.sweep`): verdicts come from the lazy
         pair-exploration engine, the full diagnostic witnesses this
-        report carries are derived from the materialized product (the
-        fallback-to-materialization rule) and cached per pair, and
-        ``workers > 1`` fans the grid out over a process pool without
-        changing any verdict.
+        report carries are streamed from the same retained
+        explorations (:func:`repro.afsa.witness.lazy_pair_witness`)
+        and cached per pair, and ``workers > 1`` fans the grid out
+        over a process pool without changing any verdict.
         """
         sweep = sweep_choreography(
             self, witnesses=WITNESS_ALL, workers=workers

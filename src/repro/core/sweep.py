@@ -11,16 +11,17 @@ and ran strictly serially.
 
 The sweep engine batches the whole pair grid into one pass:
 
-* **lazy verdicts** — :func:`check_pair` runs the fused on-the-fly
-  product-emptiness engine (:mod:`repro.afsa.lazy`): pair states are
-  explored with bitset successor sets and the check stops as soon as
-  the start pair's verdict is certain; no product is materialized for
-  the verdict.  When the witness policy asks for a diagnosis, the
-  eager :func:`~repro.afsa.kernel.k_intersect` product is built *for
-  that pair only* — witnesses are canonical over the complete product,
-  so they always come from the materialized pipeline (the
-  fallback-to-materialization rule of :mod:`repro.afsa.lazy`);
-* **cross-call verdict cache** — verdicts (and eager-computed
+* **lazy verdicts and witnesses** — :func:`check_pair` runs the fused
+  on-the-fly product-emptiness engine (:mod:`repro.afsa.lazy`): pair
+  states are explored with bitset successor sets and the check stops
+  as soon as the start pair's verdict is certain; no product is
+  materialized for the verdict.  When the witness policy asks for a
+  diagnosis, the *same* retained exploration is BFSed by the
+  streaming extractor (:func:`repro.afsa.witness.lazy_pair_witness`),
+  expanding the frontier on demand — the unhappy path no longer
+  materializes the product either (the canonical witness form lives
+  in :mod:`repro.afsa.witness`);
+* **cross-call verdict cache** — verdicts (and lazily-extracted
   witnesses) land in the shared :data:`repro.afsa.lazy.VERDICTS`
   LRU keyed on kernel identity, so sweeping an unchanged pair again —
   propagation step 5, engine auto-adapt, repeated grids — is ~O(1);
@@ -49,8 +50,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.afsa.automaton import AFSA
-from repro.afsa.emptiness import EmptinessWitness, kernel_witness
-from repro.afsa.kernel import Kernel, k_intersect, kernel_of
+from repro.afsa.emptiness import EmptinessWitness
+from repro.afsa.kernel import Kernel, kernel_of
 from repro.afsa.lazy import (
     VERDICTS,
     cached_witness,
@@ -61,6 +62,7 @@ from repro.afsa.lazy import (
     warm_stats,
 )
 from repro.afsa.serialize import afsa_from_json
+from repro.afsa.witness import lazy_pair_witness
 from repro.core.runtime import EvolutionRuntime, attach_kernel, get_runtime
 
 #: Witness policies: compute no witnesses, only for inconsistent pairs,
@@ -105,6 +107,11 @@ class SweepReport:
     ``arena_hits`` are the kernel-arena deltas of this sweep: a
     repeated sweep over an unchanged choreography reports zero
     publishes (all arena hits — no kernel payload left the parent).
+    ``witness_lazy`` / ``witness_expansions`` / ``eager_oracle`` are
+    the witness-path deltas, aggregated the same way: streaming
+    extractions, on-demand frontier expansions those needed, and
+    test-only eager-oracle invocations — the last must stay zero on
+    every production sweep.
     """
 
     outcomes: list[PairOutcome] = field(default_factory=list)
@@ -115,6 +122,9 @@ class SweepReport:
     arena_hits: int = 0
     warm_seeded: int = 0
     warm_decided: int = 0
+    witness_lazy: int = 0
+    witness_expansions: int = 0
+    eager_oracle: int = 0
 
     @property
     def consistent(self) -> bool:
@@ -152,6 +162,13 @@ class SweepReport:
                 f"across versions, {self.warm_decided} decided from "
                 f"the seed"
             )
+        if self.witness_lazy or self.witness_expansions or self.eager_oracle:
+            lines.append(
+                f"witness-path: {self.witness_lazy} lazy "
+                f"extraction(s) / {self.witness_expansions} frontier "
+                f"expansion(s) / {self.eager_oracle} eager-oracle "
+                f"call(s)"
+            )
         return "\n".join(lines)
 
 
@@ -160,14 +177,15 @@ def check_kernel_pair(
 ) -> tuple[bool, EmptinessWitness | None]:
     """One bilateral check on operand kernels.
 
-    Witnesses come from the materialized eager product — computed at
-    most once per operand pair and cached alongside the verdict.  When
-    the policy *guarantees* a witness (``all``), verdict and witness
-    are both derived from that single eager pipeline (running the lazy
-    exploration first would be pure overhead; the two pipelines are
-    hypothesis-tested verdict-equal).  Otherwise the verdict is the
-    (cached) lazy-engine verdict, and only an inconsistent pair under
-    the ``failures`` policy pays for the product.
+    Witnesses are streamed from the lazy exploration the verdict
+    retained (:func:`repro.afsa.witness.lazy_pair_witness`) — computed
+    at most once per operand pair and cached alongside the verdict.
+    When the policy *guarantees* a witness (``all``), the verdict is
+    read off the witness (one extraction decides both).  Otherwise the
+    verdict is the (cached) lazy-engine verdict, and only an
+    inconsistent pair under the ``failures`` policy pays for the
+    extraction — which reuses the verdict's explored prefix instead of
+    materializing the product.
     """
     witness = None
     if witnesses == WITNESS_ALL:
@@ -182,7 +200,7 @@ def check_kernel_pair(
 def _pair_witness(
     left: Kernel, right: Kernel, counted: bool
 ) -> EmptinessWitness:
-    """The pair's canonical eager-product witness (cached).
+    """The pair's canonical lazily-extracted witness (cached).
 
     ``counted=True`` routes the probe through the hit/miss counters —
     used when the witness lookup *replaces* the verdict lookup (the
@@ -195,7 +213,7 @@ def _pair_witness(
     else:
         witness = cached_witness(left, right)
     if witness is None:
-        witness = kernel_witness(k_intersect(left, right))
+        witness = lazy_pair_witness(left, right)
         store_witness(left, right, witness)
     return witness
 
@@ -236,8 +254,7 @@ def _check_arena_chunk(payload):
     return results, (
         hits1 - hits0,
         misses1 - misses0,
-        warm1["seeded"] - warm0["seeded"],
-        warm1["decided_from_seed"] - warm0["decided_from_seed"],
+        {key: warm1[key] - warm0[key] for key in warm1},
     )
 
 
@@ -269,7 +286,19 @@ def _empty_stats() -> dict:
         "arena_hits": 0,
         "warm_seeded": 0,
         "warm_decided": 0,
+        "witness_lazy": 0,
+        "witness_expansions": 0,
+        "eager_oracle": 0,
     }
+
+
+def _merge_warm_delta(stats: dict, delta: dict) -> None:
+    """Fold one :func:`warm_stats` delta dict into sweep *stats*."""
+    stats["warm_seeded"] += delta["seeded"]
+    stats["warm_decided"] += delta["decided_from_seed"]
+    stats["witness_lazy"] += delta["witness_lazy"]
+    stats["witness_expansions"] += delta["witness_expansions"]
+    stats["eager_oracle"] += delta["eager_oracle"]
 
 
 def _sweep_kernel_grid(
@@ -316,11 +345,10 @@ def _sweep_kernel_grid(
             )
         stats["arena_published"] = runtime.arena.published - published0
         stats["arena_hits"] = runtime.arena.hits - arena_hits0
-        for hits, misses, seeded, decided in extras:
+        for hits, misses, warm_delta in extras:
             stats["cache_hits"] += hits
             stats["cache_misses"] += misses
-            stats["warm_seeded"] += seeded
-            stats["warm_decided"] += decided
+            _merge_warm_delta(stats, warm_delta)
         return results, stats
 
     hits0, misses0 = VERDICTS.stats()
@@ -333,9 +361,8 @@ def _sweep_kernel_grid(
     warm1 = warm_stats()
     stats["cache_hits"] = hits1 - hits0
     stats["cache_misses"] = misses1 - misses0
-    stats["warm_seeded"] = warm1["seeded"] - warm0["seeded"]
-    stats["warm_decided"] = (
-        warm1["decided_from_seed"] - warm0["decided_from_seed"]
+    _merge_warm_delta(
+        stats, {key: warm1[key] - warm0[key] for key in warm1}
     )
     return results, stats
 
@@ -488,4 +515,7 @@ def sweep_choreography(
         arena_hits=stats["arena_hits"],
         warm_seeded=stats["warm_seeded"],
         warm_decided=stats["warm_decided"],
+        witness_lazy=stats["witness_lazy"],
+        witness_expansions=stats["witness_expansions"],
+        eager_oracle=stats["eager_oracle"],
     )

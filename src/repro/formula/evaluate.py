@@ -75,6 +75,59 @@ def evaluate(formula: Formula, assignment: Assignment = ()) -> bool:
     return values[id(formula)]
 
 
+def evaluate3(
+    formula: Formula, bounds: Mapping[str, tuple[bool, bool]]
+) -> tuple[bool, bool]:
+    """Kleene three-valued evaluation of *formula* under variable
+    *bounds*.
+
+    Each variable maps to ``(lo, hi)``: ``lo`` is True when the
+    variable is *definitely* true, ``hi`` is False when it is
+    *definitely* false, and ``(False, True)`` means unknown.  Missing
+    variables default to definitely-false, mirroring :func:`evaluate`.
+    The result is the ``(lo, hi)`` pair of the formula itself:
+    ``lo=True`` ⇒ the formula holds under every completion of the
+    unknowns, ``hi=False`` ⇒ it holds under none.  This is the
+    annotation rail of the lazy engine's dual-rail good-set bounds
+    (:meth:`repro.afsa.lazy._PairExploration.dual_rail`), where an
+    unexplored frontier pair's support is genuinely unknown.
+    """
+    values: dict[int, tuple[bool, bool]] = {}
+    stack: list[tuple[Formula, bool]] = [(formula, False)]
+    while stack:
+        node, visited = stack.pop()
+        key = id(node)
+        if visited:
+            if isinstance(node, Not):
+                lo, hi = values[id(node.operand)]
+                values[key] = (not hi, not lo)
+            elif isinstance(node, And):
+                left = values[id(node.left)]
+                right = values[id(node.right)]
+                values[key] = (left[0] and right[0], left[1] and right[1])
+            elif isinstance(node, Or):
+                left = values[id(node.left)]
+                right = values[id(node.right)]
+                values[key] = (left[0] or right[0], left[1] or right[1])
+            continue
+        if isinstance(node, Top):
+            values[key] = (True, True)
+        elif isinstance(node, Bottom):
+            values[key] = (False, False)
+        elif isinstance(node, Var):
+            values[key] = tuple(bounds.get(node.name, (False, False)))
+        elif isinstance(node, Not):
+            stack.append((node, True))
+            stack.append((node.operand, False))
+        elif isinstance(node, (And, Or)):
+            stack.append((node, True))
+            stack.append((node.left, False))
+            stack.append((node.right, False))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown formula node {node!r}")
+    return values[id(formula)]
+
+
 def satisfied_by(formula: Formula, true_variables: Collection[str]) -> bool:
     """Return True if *formula* holds when exactly *true_variables* hold.
 

@@ -1,25 +1,33 @@
 """Tests for the fused lazy product-emptiness engine.
 
 The contract of :mod:`repro.afsa.lazy` is exact agreement with the
-eager pipeline it replaces on the hot path: for every operand pair,
-the lazy verdict must equal ``start ∈ k_good_states(k_intersect(a,
-b))`` — including cyclic mandatory annotations (the greatest-fixpoint
-shape), empty-language operands, and negated annotations (where the
-engine must *fall back* to the eager oracle rather than guess).  The
-eager pipeline stays untouched as the independent oracle.
+retired eager pipeline: for every negation-free operand pair, the
+lazy verdict must equal ``start ∈ k_good_states(k_intersect(a, b))``
+— including cyclic mandatory annotations (the greatest-fixpoint
+shape) and empty-language operands — and for negated annotations it
+must equal the documented dual-rail semantics,
+``k_good_states_naive`` on the materialized product.  The eager
+pipeline survives only as the independent test oracle
+(:mod:`repro.afsa.oracle`).
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.afsa.automaton import AFSA
 from repro.afsa.emptiness import is_consistent, kernel_witness
-from repro.afsa.kernel import k_good_states, k_intersect, kernel_of
+from repro.afsa.kernel import (
+    k_good_states,
+    k_good_states_naive,
+    k_intersect,
+    kernel_of,
+)
 from repro.afsa.lazy import (
     VERDICTS,
     PairVerdictCache,
     pair_verdict,
     product_verdict,
 )
+from repro.afsa.oracle import eager_pair_witness
 from repro.afsa.serialize import kernel_from_wire, kernel_to_wire
 from repro.core.sweep import (
     WITNESS_ALL,
@@ -123,10 +131,11 @@ class TestLazyAgreesWithEagerOracle:
             annotated=False,
         ) is True
 
-    def test_negated_annotation_falls_back_to_eager(self):
-        """The lazy bounds are only sound for negation-free formulas;
-        with a ``NOT`` the engine must defer to the eager pipeline and
-        still agree with it."""
+    def test_negated_annotation_matches_naive_fixpoint(self):
+        """The monotone bounds are only sound for negation-free
+        formulas; with a ``NOT`` the engine switches to the dual-rail
+        three-valued bounds, whose documented exact semantics is
+        ``k_good_states_naive`` on the materialized product."""
         negated = AFSA(
             states=["q0", "q1", "q2"],
             transitions=[
@@ -144,9 +153,10 @@ class TestLazyAgreesWithEagerOracle:
                 seed=seed, states=6, labels=2,
                 label_pool=["X#Y#op0", "X#Y#op1"],
             )
+            product = k_intersect(kernel_of(negated), kernel_of(other))
             assert product_verdict(
                 kernel_of(negated), kernel_of(other)
-            ) == _eager_verdict(negated, other)
+            ) == (product.start in k_good_states_naive(product))
 
 
 class TestPairVerdictCache:
@@ -193,9 +203,9 @@ class TestPairVerdictCache:
         assert cache.lookup(kernels[0], kernels[0]) is None
         assert cache.lookup(kernels[-1], kernels[-1]) is not None
 
-    def test_check_pair_caches_eager_witness(self):
-        """An inconsistent pair's witness is computed from the
-        materialized product once and then served from the cache."""
+    def test_check_pair_caches_lazy_witness(self):
+        """An inconsistent pair's witness is streamed from the lazy
+        exploration once and then served from the cache."""
         for seed in range(20):
             left = random_afsa(seed=seed, states=10, labels=5,
                                annotation_probability=0.4)
@@ -210,8 +220,8 @@ class TestPairVerdictCache:
             )
             assert not again_consistent
             assert again is witness  # served from the verdict entry
-            oracle = kernel_witness(
-                k_intersect(kernel_of(left), kernel_of(right))
+            oracle = eager_pair_witness(
+                kernel_of(left), kernel_of(right)
             )
             assert witness.describe() == oracle.describe()
             break
@@ -224,8 +234,8 @@ class TestPairVerdictCache:
         right = random_afsa(seed=62, states=12, labels=4,
                             annotation_probability=0.4)
         consistent, witness = check_pair(left, right, WITNESS_ALL)
-        oracle = kernel_witness(
-            k_intersect(kernel_of(left), kernel_of(right))
+        oracle = eager_pair_witness(
+            kernel_of(left), kernel_of(right)
         )
         assert witness.describe() == oracle.describe()
         assert consistent == (not oracle.empty)

@@ -1,0 +1,35 @@
+"""Source lint mirrored by CI: the eager product build stays confined.
+
+With the streaming witness extractor in place, no production module
+outside :mod:`repro.afsa` may materialize an eager product — the only
+sanctioned users of ``k_intersect`` are the ``afsa`` package itself
+(its definition in :mod:`repro.afsa.kernel`, the legacy
+:mod:`repro.afsa.product` shim, and the documented test-only
+:mod:`repro.afsa.oracle`) and the test suite.  CI enforces the same
+invariant with a grep so a failure is visible even when pytest is
+skipped; this test pins it for local runs and names the offender.
+"""
+
+import re
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+_PATTERN = re.compile(r"\bk_intersect\b")
+
+
+def test_k_intersect_is_confined_to_the_afsa_package():
+    offenders = []
+    for path in sorted(_SRC.rglob("*.py")):
+        relative = path.relative_to(_SRC)
+        if relative.parts[0] == "afsa":
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _PATTERN.search(line):
+                offenders.append(f"repro/{relative}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "eager product build leaked outside repro.afsa "
+        "(use repro.afsa.witness / repro.afsa.lazy instead):\n"
+        + "\n".join(offenders)
+    )

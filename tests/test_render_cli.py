@@ -111,6 +111,58 @@ class TestCliCommands:
         assert code == 0
         assert "consistent" in capsys.readouterr().out
 
+    def test_check_witness_prints_completion(self, process_files, capsys):
+        code = main(
+            [
+                "check",
+                process_files["buyer"],
+                process_files["accounting"],
+                "--witness",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "non-empty; witness word:" in output
+
+    @pytest.fixture
+    def subtractive_file(self, tmp_path):
+        from repro.scenario.procurement import (
+            accounting_private_subtractive_change,
+        )
+
+        path = tmp_path / "accounting-subtractive.xml"
+        path.write_text(
+            process_to_xml(accounting_private_subtractive_change())
+        )
+        return str(path)
+
+    def test_check_inconsistent_exits_one(
+        self, process_files, subtractive_file, capsys
+    ):
+        """Fig. 16b: dropping the status loop starves the buyer's
+        mandatory get_status — exit code 1 without any flag."""
+        code = main(["check", process_files["buyer"], subtractive_file])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "INCONSISTENT" in output
+        assert "empty" not in output  # diagnosis only with --witness
+
+    def test_check_witness_prints_blocked_diagnosis(
+        self, process_files, subtractive_file, capsys
+    ):
+        code = main(
+            [
+                "check",
+                process_files["buyer"],
+                subtractive_file,
+                "--witness",
+            ]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "INCONSISTENT" in output
+        assert "requires unsupported message(s): B#A#get_statusOp" in output
+
     def test_diff_neutral(self, process_files, capsys):
         code = main(
             ["diff", process_files["buyer"], process_files["buyer"]]
