@@ -1,0 +1,224 @@
+"""Serving benchmarks: end-to-end latency under concurrent tenants.
+
+A live :class:`~repro.service.app.BackgroundServer` hosts eight
+tenants, each with its own registered choreography; client threads
+drive real HTTP/1.1 keep-alive connections (stdlib ``http.client``) —
+the measured numbers are full service round trips: socket, parsing,
+admission, coalescing, the serialized engine thread, serialization.
+
+Three rows, from transport floor to full engine work:
+
+* **healthz round** — no engine work at all: the HTTP + event-loop
+  overhead every request pays.
+* **check round** — eight tenants bursting bilateral checks whose
+  verdicts are cache-resident (the steady-state hot path: admission +
+  engine-thread hop + verdict-cache hit).
+* **sweep round** — eight tenants each requesting a full consistency
+  sweep; sweeps serialize on the engine thread, so this row measures
+  queuing under honest multi-tenant contention.
+
+Each bench asserts every response was 200 *inside* the measured
+round (a bench that quietly measures error paths is worthless) and
+attaches client-side p50/p99 per-request latencies to
+``benchmark.extra_info`` — the committed ``BENCH_serving.json`` is
+the service's latency record, gated in CI against regressions.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.service.app import BackgroundServer, ChoreoService
+
+TENANTS = 8
+CHECKS_PER_TENANT = 5
+SWEEPS_PER_TENANT = 2
+
+SHOP = """
+process shop party=S
+  sequence "shop main"
+    receive C orderOp order
+    invoke C confirmOp confirm
+    receive C ackOp ack
+"""
+
+CLIENT = """
+process client party=C
+  sequence "client main"
+    invoke S orderOp order
+    receive S confirmOp confirm
+    invoke S ackOp ack
+"""
+
+
+class TenantClient:
+    """One tenant's keep-alive connection and request loop."""
+
+    def __init__(self, host: str, port: int, tenant: str):
+        self.tenant = tenant
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def call(self, method: str, path: str, body=None):
+        payload = json.dumps(body) if body is not None else None
+        started = time.perf_counter()
+        self.conn.request(method, path, body=payload)
+        response = self.conn.getresponse()
+        response.read()
+        return response.status, time.perf_counter() - started
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@pytest.fixture(scope="module")
+def serving():
+    """A live server with eight registered tenants + choreographies,
+    and one connected client per tenant."""
+    server = BackgroundServer(ChoreoService())
+    host, port = server.start()
+    clients = []
+    for index in range(TENANTS):
+        client = TenantClient(host, port, f"tenant-{index}")
+        status, _ = client.call(
+            "POST", "/tenants", {"tenant": client.tenant}
+        )
+        assert status == 200
+        status, _ = client.call(
+            "POST",
+            "/choreographies",
+            {
+                "tenant": client.tenant,
+                "name": "shop",
+                "processes": [SHOP, CLIENT],
+            },
+        )
+        assert status == 200
+        clients.append(client)
+    executor = ThreadPoolExecutor(max_workers=TENANTS)
+    yield clients, executor
+    executor.shutdown(wait=True)
+    for client in clients:
+        client.close()
+    server.stop()
+
+
+def _concurrent_round(executor, clients, per_client):
+    """Run *per_client* against every client concurrently; returns all
+    (status, latency) samples."""
+    futures = [
+        executor.submit(per_client, client) for client in clients
+    ]
+    samples = []
+    for future in futures:
+        samples.extend(future.result())
+    return samples
+
+
+def _quantile(latencies, q: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _record(benchmark, samples, requests_per_round) -> None:
+    statuses = [status for status, _ in samples]
+    assert statuses == [200] * len(statuses)
+    latencies = [latency for _, latency in samples]
+    benchmark.extra_info["tenants"] = TENANTS
+    benchmark.extra_info["requests_per_round"] = requests_per_round
+    benchmark.extra_info["p50_ms"] = round(
+        _quantile(latencies, 0.50) * 1e3, 4
+    )
+    benchmark.extra_info["p99_ms"] = round(
+        _quantile(latencies, 0.99) * 1e3, 4
+    )
+
+
+def test_serving_healthz_round(benchmark, serving):
+    """Transport floor: a concurrent burst with zero engine work."""
+    clients, executor = serving
+
+    def per_client(client):
+        return [
+            client.call("GET", "/healthz")
+            for _ in range(CHECKS_PER_TENANT)
+        ]
+
+    samples = []
+
+    def round_trip():
+        batch = _concurrent_round(executor, clients, per_client)
+        samples.extend(batch)
+        return batch
+
+    benchmark.group = "serving-healthz"
+    benchmark(round_trip)
+    _record(benchmark, samples, TENANTS * CHECKS_PER_TENANT)
+
+
+def test_serving_check_round(benchmark, serving):
+    """Eight tenants bursting cache-resident bilateral checks."""
+    clients, executor = serving
+
+    def per_client(client):
+        return [
+            client.call(
+                "POST",
+                "/check",
+                {
+                    "tenant": client.tenant,
+                    "choreography": "shop",
+                    "left": "C",
+                    "right": "S",
+                },
+            )
+            for _ in range(CHECKS_PER_TENANT)
+        ]
+
+    # Warm the verdict caches once so the measured rounds are the
+    # steady state every tenant sees after its first check.
+    _concurrent_round(executor, clients, per_client)
+
+    samples = []
+
+    def round_trip():
+        batch = _concurrent_round(executor, clients, per_client)
+        samples.extend(batch)
+        return batch
+
+    benchmark.group = "serving-check"
+    benchmark(round_trip)
+    _record(benchmark, samples, TENANTS * CHECKS_PER_TENANT)
+
+
+def test_serving_sweep_round(benchmark, serving):
+    """Eight tenants each asking for full sweep reports — the rounds
+    contend for the serialized engine thread."""
+    clients, executor = serving
+
+    def per_client(client):
+        return [
+            client.call(
+                "POST",
+                "/sweep",
+                {"tenant": client.tenant, "choreography": "shop"},
+            )
+            for _ in range(SWEEPS_PER_TENANT)
+        ]
+
+    _concurrent_round(executor, clients, per_client)
+
+    samples = []
+
+    def round_trip():
+        batch = _concurrent_round(executor, clients, per_client)
+        samples.extend(batch)
+        return batch
+
+    benchmark.group = "serving-sweep"
+    benchmark(round_trip)
+    _record(benchmark, samples, TENANTS * SWEEPS_PER_TENANT)

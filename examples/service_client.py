@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Serving-mode walkthrough: the full tenant lifecycle over HTTP.
+
+Starts the multi-tenant choreography service in-process (or talks to
+an already running ``repro-choreo serve`` via ``--url``), then drives
+the paper's procurement scenario through the HTTP/JSON API:
+
+1. register a tenant and the buyer/accounting/logistics choreography,
+2. check one pair and sweep all conversing pairs (streamed),
+3. spawn a running fleet and ask the what-if migration question,
+4. commit the subtractive accounting change with auto-adaptation and
+   fleet migration,
+5. scrape ``/metrics`` for the runtime and service counters.
+
+Run:  python examples/service_client.py
+      python examples/service_client.py --url http://127.0.0.1:8642
+
+CI runs this against a live ``serve`` process as its end-to-end smoke.
+"""
+
+import argparse
+import json
+import http.client
+import sys
+from pathlib import Path
+from urllib.parse import urlparse
+
+PROCESSES = Path(__file__).parent / "processes"
+
+
+class Client:
+    """A minimal JSON-over-HTTP client (stdlib only, keep-alive)."""
+
+    def __init__(self, host: str, port: int):
+        self.conn = http.client.HTTPConnection(host, port, timeout=30)
+
+    def call(self, method: str, path: str, body=None):
+        payload = json.dumps(body) if body is not None else None
+        self.conn.request(method, path, body=payload)
+        response = self.conn.getresponse()
+        raw = response.read()
+        if response.getheader("Content-Type", "").startswith(
+            "application/json"
+        ):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode("utf-8")
+
+    def stream(self, method: str, path: str, body=None):
+        """Yield NDJSON objects from a chunked streaming endpoint."""
+        payload = json.dumps(body) if body is not None else None
+        self.conn.request(method, path, body=payload)
+        response = self.conn.getresponse()
+        buffer = b""
+        while True:
+            piece = response.read(4096)
+            if not piece:
+                break
+            buffer += piece
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if line.strip():
+                    yield json.loads(line)
+
+
+def expect(status: int, payload, wanted: int = 200):
+    if status != wanted:
+        raise SystemExit(f"expected {wanted}, got {status}: {payload}")
+    return payload
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--url",
+        default="",
+        help="talk to a running service instead of starting one "
+        "in-process (e.g. http://127.0.0.1:8642)",
+    )
+    args = parser.parse_args()
+
+    server = None
+    if args.url:
+        parsed = urlparse(args.url)
+        host, port = parsed.hostname, parsed.port
+    else:
+        from repro.service import BackgroundServer
+
+        server = BackgroundServer()
+        host, port = server.start()
+        print(f"started in-process service on {host}:{port}")
+
+    try:
+        client = Client(host, port)
+
+        # 1. Tenant + choreography registration.
+        expect(*client.call("POST", "/tenants", {
+            "tenant": "procurement-inc", "priority": 1,
+        }))
+        processes = [
+            (PROCESSES / name).read_text(encoding="utf-8")
+            for name in (
+                "buyer.proc", "accounting.proc", "logistics.proc",
+            )
+        ]
+        registered = expect(*client.call("POST", "/choreographies", {
+            "tenant": "procurement-inc",
+            "name": "supply-chain",
+            "processes": processes,
+        }))
+        print(
+            f"registered {registered['choreography']!r}: parties "
+            f"{registered['parties']}, conversing pairs "
+            f"{registered['conversing_pairs']}"
+        )
+
+        # 2. One pair check, then the full (streamed) sweep.
+        verdict = expect(*client.call("POST", "/check", {
+            "tenant": "procurement-inc",
+            "choreography": "supply-chain",
+            "left": "A", "right": "B",
+        }))
+        print(f"A ↔ B consistent: {verdict['consistent']}")
+        print("streaming sweep:")
+        for line in client.stream("POST", "/sweep", {
+            "tenant": "procurement-inc",
+            "choreography": "supply-chain",
+            "stream": True,
+        }):
+            print(f"  {line}")
+
+        # 3. Spawn a fleet and ask the what-if migration question.
+        fleet = expect(*client.call("POST", "/fleet", {
+            "tenant": "procurement-inc",
+            "choreography": "supply-chain",
+            "party": "A", "instances": 500,
+        }))
+        print(f"fleet: {fleet['spawned']} instances of {fleet['version']}")
+        subtractive = (
+            PROCESSES / "accounting_subtractive.proc"
+        ).read_text(encoding="utf-8")
+        what_if = expect(*client.call("POST", "/migrate", {
+            "tenant": "procurement-inc",
+            "choreography": "supply-chain",
+            "party": "A",
+            "process": subtractive,
+        }))
+        print(f"what-if migration: {what_if['counts']}")
+
+        # 4. Commit the evolution (auto-adapt partners, migrate fleet).
+        evolution = expect(*client.call("POST", "/evolve", {
+            "tenant": "procurement-inc",
+            "choreography": "supply-chain",
+            "party": "A",
+            "process": subtractive,
+            "auto_adapt": True,
+            "migrate": True,
+        }))
+        print(
+            f"evolution committed: {evolution['committed']} "
+            f"({evolution['old_version']} → {evolution['new_version']}), "
+            f"fleet: {evolution['migration']}"
+        )
+        for impact in evolution["impacts"]:
+            print(
+                f"  partner {impact['partner']}: "
+                f"{impact['classification']}"
+            )
+        if not evolution["committed"]:
+            raise SystemExit("expected the evolution to commit")
+
+        # Post-evolution check: served from the fresh versions.
+        verdict = expect(*client.call("POST", "/check", {
+            "tenant": "procurement-inc",
+            "choreography": "supply-chain",
+            "left": "A", "right": "B",
+        }))
+        print(f"post-evolution A ↔ B consistent: {verdict['consistent']}")
+
+        # 5. Metrics: service counters + the engine layers below.
+        status, text = client.call("GET", "/metrics")
+        expect(status, text)
+        wanted = (
+            "repro_requests_total",
+            "repro_coalesced_requests_total",
+            "repro_runtime_arena_hits_total",
+            "repro_verdict_cache_hits_total",
+        )
+        missing = [name for name in wanted if name not in text]
+        if missing:
+            raise SystemExit(f"metrics missing: {missing}")
+        shown = [
+            line for line in text.splitlines()
+            if line.startswith(("repro_requests_total", "repro_tenants"))
+        ]
+        print("metrics excerpt:")
+        for line in shown[:6]:
+            print(f"  {line}")
+        print("service walkthrough OK")
+        return 0
+    finally:
+        if server is not None:
+            server.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1134,6 +1134,40 @@ class PairVerdictCache:
         """Return the running ``(hits, misses)`` counters."""
         return self.hits, self.misses
 
+    def info(self) -> dict:
+        """Occupancy + counters as one dict (the ``/metrics`` hook).
+
+        Keys: ``size`` (live entries), ``maxsize``, ``hits``,
+        ``misses`` — everything an observability surface needs without
+        reaching into ``_entries``.
+        """
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def invalidate_kernels(self, kernels) -> None:
+        """Drop every entry whose either operand is one of *kernels*.
+
+        The LRU normally ages entries out by reachability (compile
+        eviction drops the kernel, the entry's pin keeps the ``id()``
+        stable until the entry itself rotates out).  Policy-driven
+        eviction — the service front-end unregistering a tenant's
+        choreography — wants the entries *gone now*, so the shared
+        cache's capacity serves the tenants that remain.
+        """
+        doomed = {id(kernel) for kernel in kernels}
+        if not doomed:
+            return
+        for key in [
+            key
+            for key in self._entries
+            if key[0] in doomed or key[1] in doomed
+        ]:
+            del self._entries[key]
+
     def clear(self) -> None:
         self._entries.clear()
 

@@ -21,6 +21,9 @@ selected by extension ``.xml`` / anything else = DSL):
 * ``stats FILE``              — structural metrics of the public process
 * ``export FILE``             — public process as JSON (partner exchange)
 * ``demo``                    — run the paper's procurement scenario
+* ``serve``                   — run the multi-tenant HTTP/JSON service
+  (tenants register choreographies, submit evolutions, fetch or
+  stream sweep/migration verdicts; see ``docs/API.md``)
 
 Output is plain text (``--dot`` switches automaton output to Graphviz).
 """
@@ -385,6 +388,35 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.app import ChoreoService, run_server
+
+    service = ChoreoService(
+        workers=args.workers,
+        max_inflight_total=args.max_inflight,
+        max_resident=args.max_resident,
+    )
+
+    def ready(bound) -> None:
+        host, port = bound
+        print(f"repro service listening on http://{host}:{port}")
+        print("  GET  /healthz   liveness + counters")
+        print("  GET  /metrics   Prometheus exposition")
+        print("  docs: docs/API.md")
+
+    try:
+        asyncio.run(
+            run_server(service, host=args.host, port=args.port, ready=ready)
+        )
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_demo(args) -> int:
     from repro.core.choreography import Choreography
     from repro.core.engine import EvolutionEngine
@@ -618,6 +650,35 @@ def build_parser() -> argparse.ArgumentParser:
         "demo", help="run the paper's procurement scenario end to end"
     )
     demo_cmd.set_defaults(handler=cmd_demo)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP/JSON choreography service "
+        "(see docs/API.md)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8642)
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="default fan-out width for sweeps/migrations (0 = serial "
+        "on the engine thread; verdicts are identical either way)",
+    )
+    serve_cmd.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="service-wide cap on admitted in-flight requests",
+    )
+    serve_cmd.add_argument(
+        "--max-resident",
+        type=int,
+        default=64,
+        help="service-wide cap on resident choreographies (past it, "
+        "lowest-priority/least-recently-used sessions are evicted)",
+    )
+    serve_cmd.set_defaults(handler=cmd_serve)
     return parser
 
 

@@ -437,6 +437,8 @@ class EvolutionRuntime:
         }
 
     def describe(self) -> str:
+        """One human-readable line of pool + arena counters (the
+        ``--stats`` output of the CLI sweep)."""
         stats = self.stats()
         return (
             f"runtime: pool of {stats['pool_size']} worker(s) "

@@ -89,6 +89,7 @@ class PairOutcome:
     witness: EmptinessWitness | None = None
 
     def describe(self) -> str:
+        """One line: the pair, its verdict, and any diagnosis."""
         status = "consistent" if self.consistent else "INCONSISTENT"
         detail = f" ({self.witness.describe()})" if self.witness else ""
         return f"{self.left} ↔ {self.right}: {status}{detail}"
@@ -138,6 +139,7 @@ class SweepReport:
         ]
 
     def describe(self) -> str:
+        """Per-pair lines followed by the aggregate verdict."""
         lines = [outcome.describe() for outcome in self.outcomes]
         verdict = (
             "sweep: all pairs consistent"
@@ -170,6 +172,45 @@ class SweepReport:
                 f"call(s)"
             )
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """The report as one JSON-serializable dict.
+
+        The wire shape the service front-end returns from ``POST
+        /sweep`` (and what the streaming variant emits as its summary
+        line): per-pair verdicts with rendered witness descriptions,
+        plus all the pool-wide counter deltas ``describe`` prints.
+        """
+        return {
+            "consistent": self.consistent,
+            "pairs": len(self.outcomes),
+            "failures": len(self.failures()),
+            "outcomes": [
+                {
+                    "left": outcome.left,
+                    "right": outcome.right,
+                    "consistent": outcome.consistent,
+                    "witness": (
+                        outcome.witness.describe()
+                        if outcome.witness is not None
+                        else None
+                    ),
+                }
+                for outcome in self.outcomes
+            ],
+            "counters": {
+                "workers": self.workers,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "arena_published": self.arena_published,
+                "arena_hits": self.arena_hits,
+                "warm_seeded": self.warm_seeded,
+                "warm_decided": self.warm_decided,
+                "witness_lazy": self.witness_lazy,
+                "witness_expansions": self.witness_expansions,
+                "eager_oracle": self.eager_oracle,
+            },
+        }
 
 
 def check_kernel_pair(

@@ -155,6 +155,8 @@ class MigrationReport:
 
     @property
     def classes(self) -> int:
+        """Distinct (version, trace) classes replayed — the batching
+        denominator of the O(classes) cost model."""
         return len(self.class_verdicts)
 
     @property
@@ -195,17 +197,21 @@ class MigrationReport:
 
     @property
     def migratable(self) -> list[InstanceVerdict]:
+        """Instances that can carry forward to the new version."""
         return self.of(MIGRATABLE)
 
     @property
     def pending(self) -> list[InstanceVerdict]:
+        """Instances compliant so far but not yet decidable."""
         return self.of(PENDING)
 
     @property
     def stranded(self) -> list[InstanceVerdict]:
+        """Instances whose executed trace the new version rejects."""
         return self.of(STRANDED)
 
     def describe(self) -> str:
+        """The version arrow, totals, and the verdict histogram."""
         counts = self.counts
         total = sum(counts.values())
         arrow = (

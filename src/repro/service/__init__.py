@@ -1,0 +1,30 @@
+"""The multi-tenant HTTP/JSON serving layer over the evolution runtime.
+
+Public surface:
+
+* :class:`~repro.service.app.ChoreoService` — the transport-independent
+  service (routing, admission, coalescing, metrics).
+* :data:`~repro.service.app.ROUTES` — the endpoint table
+  (``docs/API.md``'s source of truth).
+* :class:`~repro.service.app.BackgroundServer` — serve on a daemon
+  thread (tests, benches, examples).
+* :func:`~repro.service.app.run_server` — serve on the caller's loop
+  (the ``repro serve`` CLI).
+"""
+
+from repro.service.app import (
+    BackgroundServer,
+    ChoreoService,
+    ROUTES,
+    run_server,
+)
+from repro.service.tenants import ServiceError, Tenant
+
+__all__ = [
+    "BackgroundServer",
+    "ChoreoService",
+    "ROUTES",
+    "run_server",
+    "ServiceError",
+    "Tenant",
+]

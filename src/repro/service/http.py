@@ -1,0 +1,207 @@
+"""Minimal HTTP/1.1 on asyncio streams — the service's only transport.
+
+The front-end speaks plain HTTP/JSON so that any client (curl, a load
+balancer health check, a metrics scraper) can talk to it without a
+client library, but the repo bakes in no third-party web framework:
+this module is the complete transport layer — a request parser and a
+response serializer over ``asyncio`` streams, nothing else.
+
+Supported surface (all the service needs, nothing more):
+
+* request line + headers + ``Content-Length`` bodies (no request
+  trailers, no multipart, no request-side chunked encoding);
+* ``HTTP/1.1`` keep-alive (``Connection: close`` honoured both ways);
+* chunked *response* bodies for the streaming endpoints (one JSON
+  document per chunk — NDJSON).
+
+Hard limits (:data:`MAX_HEADER_BYTES`, :data:`MAX_BODY_BYTES`) bound
+what a single connection can make the parser buffer; violations raise
+:class:`HttpError`, which the connection handler turns into a ``4xx``
+response and a close.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Upper bound on the request line + headers of one request.
+MAX_HEADER_BYTES = 64 * 1024
+#: Upper bound on a request body (process documents are a few KB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: The subset of status codes the service emits, with reason phrases.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A malformed or over-limit request (maps to a 4xx response)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request.
+
+    Attributes:
+        method: upper-cased request method (``GET``, ``POST``, …).
+        path: the request target without the query string.
+        query: parsed query parameters (last value wins).
+        headers: header map, keys lower-cased.
+        body: the raw request body (``b""`` when absent).
+        keep_alive: whether the connection survives this exchange.
+    """
+
+    method: str
+    path: str
+    query: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def json(self):
+        """Decode the body as a JSON object.
+
+        Raises :class:`HttpError` (400) on malformed JSON or a
+        non-object top level — every service endpoint takes a JSON
+        object, so the check lives here once.
+        """
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"malformed JSON body: {error}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request off *reader*; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` on malformed input or exceeded limits —
+    the caller responds with the error's status and closes.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, OSError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, "malformed request line")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict = {}
+    header_bytes = len(line)
+    while True:
+        line = await reader.readline()
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, "headers too large")
+        if not line:
+            raise HttpError(400, "connection closed mid-headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        body = await reader.readexactly(length)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    path, _, raw_query = target.partition("?")
+    query: dict = {}
+    if raw_query:
+        for pair in raw_query.split("&"):
+            key, _, value = pair.partition("=")
+            if key:
+                query[key] = value
+
+    connection = headers.get("connection", "").lower()
+    keep_alive = (
+        connection != "close"
+        if version == "HTTP/1.1"
+        else connection == "keep-alive"
+    )
+    return Request(
+        method=method.upper(),
+        path=path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def response_head(
+    status: int,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    content_length: int | None = None,
+    chunked: bool = False,
+) -> bytes:
+    """Serialize a response status line + headers (no body)."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {content_length or 0}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(
+    status: int, payload, keep_alive: bool = True
+) -> bytes:
+    """Serialize a complete JSON response (head + body)."""
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    head = response_head(
+        status,
+        keep_alive=keep_alive,
+        content_length=len(body),
+    )
+    return head + body
+
+
+def chunk(data: bytes) -> bytes:
+    """Wrap *data* as one chunk of a chunked response body."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+#: The terminating chunk of a chunked response.
+LAST_CHUNK = b"0\r\n\r\n"

@@ -1,0 +1,80 @@
+"""docs/API.md ↔ route-table synchronization.
+
+The route table (`repro.service.app.ROUTES`) is the single source of
+truth for the service surface; `docs/API.md` documents it for humans.
+These tests enforce the contract **bidirectionally**: every route must
+have a `### METHOD /path` section in the docs, and every such section
+must correspond to a live route — documentation for a removed endpoint
+fails just like an undocumented addition.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.service.app import ROUTES
+
+DOCS = Path(__file__).parent.parent / "docs" / "API.md"
+
+#: The docs' endpoint headings: ``### METHOD /path``.
+HEADING = re.compile(
+    r"^###\s+(GET|POST|PUT|PATCH|DELETE)\s+(/\S*)\s*$", re.MULTILINE
+)
+
+
+def documented_endpoints() -> set:
+    return set(HEADING.findall(DOCS.read_text(encoding="utf-8")))
+
+
+def live_endpoints() -> set:
+    return {(route.method, route.path) for route in ROUTES}
+
+
+def test_docs_file_exists():
+    assert DOCS.is_file(), "docs/API.md is part of the service contract"
+
+
+def test_every_route_is_documented():
+    missing = live_endpoints() - documented_endpoints()
+    assert not missing, (
+        f"routes missing a '### METHOD /path' section in docs/API.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_documented_endpoint_is_live():
+    stale = documented_endpoints() - live_endpoints()
+    assert not stale, (
+        f"docs/API.md documents endpoints that no longer exist: "
+        f"{sorted(stale)}"
+    )
+
+
+def test_error_codes_in_docs_are_the_served_ones():
+    """Spot-check: every stable error code the service can emit
+    appears in the docs' error table (new codes must be documented)."""
+    text = DOCS.read_text(encoding="utf-8")
+    import repro.service.app as app
+    import repro.service.tenants as tenants
+    import inspect
+
+    served = set()
+    for module in (app, tenants):
+        served.update(
+            re.findall(
+                r"ServiceError\(\s*\d+,\s*\"([a-z-]+)\"",
+                inspect.getsource(module),
+            )
+        )
+    assert served, "expected to find ServiceError codes in the source"
+    undocumented = {code for code in served if f"`{code}`" not in text}
+    assert not undocumented, (
+        f"error codes raised by the service but absent from "
+        f"docs/API.md: {sorted(undocumented)}"
+    )
+
+
+def test_route_summaries_are_nonempty():
+    for route in ROUTES:
+        assert route.summary.strip(), route

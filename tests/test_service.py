@@ -1,0 +1,812 @@
+"""Service-layer semantics: admission, coalescing, quotas, eviction.
+
+Everything here drives :meth:`ChoreoService.dispatch` directly — the
+same code path the socket layer uses, without opening sockets.  The
+asyncio event loop makes the concurrency deterministic: handlers are
+synchronous up to their first engine dispatch, so a batch of tasks
+scheduled with ``gather`` all pass admission/coalescing *before* the
+first engine-thread completion callback can run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.afsa.lazy import VERDICTS
+from repro.service.app import ChoreoService, ROUTES
+from repro.service.http import HttpError, Request
+from repro.service.tenants import ServiceError
+
+BUYER = """
+process shop party=S
+  sequence "shop main"
+    receive C orderOp order
+    invoke C confirmOp confirm
+"""
+
+CLIENT = """
+process client party=C
+  sequence "client main"
+    invoke S orderOp order
+    receive S confirmOp confirm
+"""
+
+#: A client that never confirms — inconsistent with the shop.
+CLIENT_BAD = """
+process client party=C
+  sequence "client main"
+    invoke S orderOp order
+"""
+
+
+def request(method: str, path: str, body=None) -> Request:
+    data = json.dumps(body).encode("utf-8") if body is not None else b""
+    return Request(
+        method=method,
+        path=path,
+        query="",
+        headers={},
+        body=data,
+        keep_alive=True,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def make_service(**kwargs) -> ChoreoService:
+    service = ChoreoService(**kwargs)
+    status, _ = await service.dispatch(
+        request("POST", "/tenants", {"tenant": "acme"})
+    )
+    assert status == 200
+    status, _ = await service.dispatch(
+        request(
+            "POST",
+            "/choreographies",
+            {
+                "tenant": "acme",
+                "name": "shop",
+                "processes": [BUYER, CLIENT],
+            },
+        )
+    )
+    assert status == 200
+    return service
+
+
+def check_body(**overrides) -> dict:
+    body = {
+        "tenant": "acme",
+        "choreography": "shop",
+        "left": "C",
+        "right": "S",
+    }
+    body.update(overrides)
+    return body
+
+
+class TestRouting:
+    def test_unknown_route_is_404(self):
+        async def main():
+            service = ChoreoService()
+            try:
+                status, payload = await service.dispatch(
+                    request("GET", "/nope")
+                )
+                assert status == 404
+                assert payload["error"]["code"] == "unknown-route"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_wrong_method_is_405(self):
+        async def main():
+            service = ChoreoService()
+            try:
+                status, payload = await service.dispatch(
+                    request("DELETE", "/tenants")
+                )
+                assert status == 405
+                assert payload["error"]["code"] == "method-not-allowed"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_routes_are_unique(self):
+        keys = [(route.method, route.path) for route in ROUTES]
+        assert len(keys) == len(set(keys))
+
+    def test_malformed_json_is_400(self):
+        async def main():
+            service = ChoreoService()
+            try:
+                bad = Request(
+                    method="POST",
+                    path="/tenants",
+                    query="",
+                    headers={},
+                    body=b"{not json",
+                    keep_alive=True,
+                )
+                status, payload = await service.dispatch(bad)
+                assert status == 400
+                assert payload["error"]["code"] == "bad-request"
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestLifecycle:
+    def test_register_check_sweep_round_trip(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, verdict = await service.dispatch(
+                    request("POST", "/check", check_body())
+                )
+                assert status == 200
+                assert verdict["consistent"] is True
+                status, report = await service.dispatch(
+                    request(
+                        "POST",
+                        "/sweep",
+                        {"tenant": "acme", "choreography": "shop"},
+                    )
+                )
+                assert status == 200
+                assert report["consistent"] is True
+                assert report["pairs"] == 1
+                assert "counters" in report
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_duplicate_tenant_is_409(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request("POST", "/tenants", {"tenant": "acme"})
+                )
+                assert status == 409
+                assert payload["error"]["code"] == "tenant-exists"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_duplicate_choreography_needs_replace(self):
+        async def main():
+            service = await make_service()
+            try:
+                body = {
+                    "tenant": "acme",
+                    "name": "shop",
+                    "processes": [BUYER, CLIENT],
+                }
+                status, payload = await service.dispatch(
+                    request("POST", "/choreographies", body)
+                )
+                assert status == 409
+                assert payload["error"]["code"] == "choreography-exists"
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {**body, "replace": True},
+                    )
+                )
+                assert status == 200
+                assert payload["replaced"] is True
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_invalid_process_is_422(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {
+                            "tenant": "acme",
+                            "name": "bad",
+                            "processes": ["garbage !!"],
+                        },
+                    )
+                )
+                assert status == 422
+                assert payload["error"]["code"] == "invalid-model"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_unknown_party_is_404(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request("POST", "/check", check_body(left="Z"))
+                )
+                assert status == 404
+                assert payload["error"]["code"] == "unknown-party"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_inconsistent_pair_reports_witness(self):
+        async def main():
+            service = ChoreoService()
+            try:
+                await service.dispatch(
+                    request("POST", "/tenants", {"tenant": "acme"})
+                )
+                await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {
+                            "tenant": "acme",
+                            "name": "bad",
+                            "processes": [BUYER, CLIENT_BAD],
+                        },
+                    )
+                )
+                status, verdict = await service.dispatch(
+                    request(
+                        "POST",
+                        "/check",
+                        check_body(choreography="bad", witness=True),
+                    )
+                )
+                assert status == 200
+                assert verdict["consistent"] is False
+                assert verdict["witness"]
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestCoalescing:
+    """The cache-stampede guard: N concurrent identical pair checks
+    produce exactly one engine dispatch."""
+
+    def test_identical_checks_coalesce_to_one_dispatch(self):
+        N = 8
+
+        async def main():
+            service = await make_service()
+            try:
+                VERDICTS.clear()
+                executed_before = service.metrics.checks_executed
+                hits_before, misses_before = VERDICTS.stats()
+                results = await asyncio.gather(
+                    *(
+                        service.dispatch(
+                            request("POST", "/check", check_body())
+                        )
+                        for _ in range(N)
+                    )
+                )
+                statuses = [status for status, _ in results]
+                verdicts = [payload for _, payload in results]
+                assert statuses == [200] * N
+                # Every caller got the same verdict object contents.
+                assert all(v == verdicts[0] for v in verdicts)
+                # Exactly ONE engine execution served all N requests.
+                assert (
+                    service.metrics.checks_executed - executed_before == 1
+                )
+                assert service.metrics.coalesced == N - 1
+                # The verdict cache saw one miss, not N.
+                _, misses_after = VERDICTS.stats()
+                assert misses_after - misses_before == 1
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_sequential_checks_hit_verdict_cache_not_coalescer(self):
+        async def main():
+            service = await make_service()
+            try:
+                await service.dispatch(
+                    request("POST", "/check", check_body())
+                )
+                hits_before, _ = VERDICTS.stats()
+                coalesced_before = service.metrics.coalesced
+                status, _ = await service.dispatch(
+                    request("POST", "/check", check_body())
+                )
+                assert status == 200
+                # A request after completion dispatches fresh and is
+                # served by the verdict cache instead.
+                assert service.metrics.coalesced == coalesced_before
+                hits_after, _ = VERDICTS.stats()
+                assert hits_after > hits_before
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_distinct_policies_do_not_coalesce(self):
+        async def main():
+            service = await make_service()
+            try:
+                executed_before = service.metrics.checks_executed
+                await asyncio.gather(
+                    service.dispatch(
+                        request("POST", "/check", check_body())
+                    ),
+                    service.dispatch(
+                        request(
+                            "POST", "/check", check_body(witness=True)
+                        )
+                    ),
+                )
+                assert (
+                    service.metrics.checks_executed - executed_before == 2
+                )
+                assert service.metrics.coalesced == 0
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_evolution_bumps_coalescing_key(self):
+        """Version stamps in the key: a committed evolution must not
+        let later checks coalesce onto (or reuse) stale futures."""
+
+        async def main():
+            service = await make_service()
+            try:
+                status, before = await service.dispatch(
+                    request("POST", "/check", check_body())
+                )
+                assert before["consistent"] is True
+                pending_before = service.coalescer.pending()
+                assert pending_before == 0
+                # Re-register (replace) to bump the world, then check
+                # again: fresh dispatch, no coalescer involvement.
+                await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {
+                            "tenant": "acme",
+                            "name": "shop",
+                            "processes": [BUYER, CLIENT_BAD],
+                            "replace": True,
+                        },
+                    )
+                )
+                status, after = await service.dispatch(
+                    request("POST", "/check", check_body())
+                )
+                assert status == 200
+                assert after["consistent"] is False
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestAdmission:
+    """Quota rejections are clean 429s issued before any engine work."""
+
+    def test_over_quota_tenant_gets_429(self):
+        N = 4
+
+        async def main():
+            service = ChoreoService()
+            try:
+                await service.dispatch(
+                    request(
+                        "POST",
+                        "/tenants",
+                        {"tenant": "acme", "max_inflight": 1},
+                    )
+                )
+                await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {
+                            "tenant": "acme",
+                            "name": "shop",
+                            "processes": [BUYER, CLIENT],
+                        },
+                    )
+                )
+                results = await asyncio.gather(
+                    *(
+                        service.dispatch(
+                            request("POST", "/check", check_body())
+                        )
+                        for _ in range(N)
+                    )
+                )
+                statuses = sorted(status for status, _ in results)
+                # One admitted, the rest rejected: handlers hold their
+                # slot across the engine await, and all N pass
+                # admission before the first completion callback runs.
+                assert statuses == [200] + [429] * (N - 1)
+                rejected = [
+                    payload
+                    for status, payload in results
+                    if status == 429
+                ]
+                assert all(
+                    payload["error"]["code"] == "tenant-overloaded"
+                    for payload in rejected
+                )
+                assert service.metrics.admission_rejected == N - 1
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_rejection_does_not_poison_caches(self):
+        """A rejected burst leaves the verdict cache untouched: the
+        next admitted check still computes (then caches) correctly."""
+
+        async def main():
+            service = ChoreoService()
+            try:
+                await service.dispatch(
+                    request("POST", "/tenants", {"tenant": "acme"})
+                )
+                await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {
+                            "tenant": "acme",
+                            "name": "shop",
+                            "processes": [BUYER, CLIENT],
+                        },
+                    )
+                )
+                # Shut the tenant out *after* registration: every
+                # subsequent admission attempt must be rejected.
+                service.registry.tenant("acme").max_inflight = 0
+                VERDICTS.clear()
+                size_before = VERDICTS.info()["size"]
+                executed_before = service.metrics.checks_executed
+                for _ in range(3):
+                    status, payload = await service.dispatch(
+                        request("POST", "/check", check_body())
+                    )
+                    assert status == 429
+                # No engine work, no cache entries, no coalescer state.
+                assert VERDICTS.info()["size"] == size_before
+                assert (
+                    service.metrics.checks_executed == executed_before
+                )
+                assert service.coalescer.pending() == 0
+                # Lift the quota: the verdict is computed fresh and
+                # correct — nothing poisoned.
+                service.registry.tenant("acme").max_inflight = 1
+                status, verdict = await service.dispatch(
+                    request("POST", "/check", check_body())
+                )
+                assert status == 200
+                assert verdict["consistent"] is True
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_registration_quota_is_429(self):
+        async def main():
+            service = ChoreoService()
+            try:
+                await service.dispatch(
+                    request(
+                        "POST",
+                        "/tenants",
+                        {"tenant": "acme", "max_choreographies": 1},
+                    )
+                )
+                body = {
+                    "tenant": "acme",
+                    "name": "one",
+                    "processes": [BUYER, CLIENT],
+                }
+                status, _ = await service.dispatch(
+                    request("POST", "/choreographies", body)
+                )
+                assert status == 200
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {**body, "name": "two"},
+                    )
+                )
+                assert status == 429
+                assert (
+                    payload["error"]["code"] == "choreography-quota"
+                )
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestEviction:
+    """Residency cap: lowest priority evicted first, caches cascaded."""
+
+    @staticmethod
+    async def _register(service, tenant, name):
+        status, _ = await service.dispatch(
+            request(
+                "POST",
+                "/choreographies",
+                {
+                    "tenant": tenant,
+                    "name": name,
+                    "processes": [BUYER, CLIENT],
+                },
+            )
+        )
+        assert status == 200
+
+    def test_lowest_priority_lru_is_evicted(self):
+        async def main():
+            service = ChoreoService(max_resident=2)
+            try:
+                for tenant, priority in (("cold", 0), ("hot", 5)):
+                    await service.dispatch(
+                        request(
+                            "POST",
+                            "/tenants",
+                            {"tenant": tenant, "priority": priority},
+                        )
+                    )
+                await self._register(service, "cold", "c1")
+                await self._register(service, "hot", "h1")
+                await self._register(service, "hot", "h2")
+                # The cold tenant's session went, not the hot ones.
+                assert set(service.registry.sessions) == {
+                    ("hot", "h1"),
+                    ("hot", "h2"),
+                }
+                assert service.metrics.evictions == 1
+                status, payload = await service.dispatch(
+                    request(
+                        "POST", "/check", check_body(
+                            tenant="cold", choreography="c1"
+                        )
+                    )
+                )
+                assert status == 404
+                assert (
+                    payload["error"]["code"] == "unknown-choreography"
+                )
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_eviction_drops_verdict_cache_entries(self):
+        async def main():
+            service = ChoreoService(max_resident=1)
+            try:
+                await service.dispatch(
+                    request("POST", "/tenants", {"tenant": "acme"})
+                )
+                await self._register(service, "acme", "c1")
+                # Populate the verdict cache for c1's pair.
+                status, _ = await service.dispatch(
+                    request(
+                        "POST",
+                        "/check",
+                        check_body(choreography="c1"),
+                    )
+                )
+                assert status == 200
+                size_with_c1 = VERDICTS.info()["size"]
+                # Registering c2 evicts c1 and must cascade: c1's
+                # kernels leave the verdict cache with it.
+                await self._register(service, "acme", "c2")
+                assert VERDICTS.info()["size"] < size_with_c1
+                assert service.metrics.evictions == 1
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestStreamingSweep:
+    def test_stream_yields_one_line_per_pair_plus_summary(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/sweep",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "stream": True,
+                        },
+                    )
+                )
+                assert status == 200
+                lines = []
+                async for piece in payload.generator:
+                    lines.extend(
+                        json.loads(line)
+                        for line in piece.decode().splitlines()
+                        if line.strip()
+                    )
+                assert len(lines) == 2  # 1 pair + summary
+                assert lines[0]["consistent"] is True
+                assert lines[-1]["summary"]["pairs"] == 1
+                assert lines[-1]["summary"]["consistent"] is True
+                # The admission slot was released with the stream.
+                assert service.registry.inflight_total == 0
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestEvolutionEndpoints:
+    def test_party_mismatch_is_400(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/evolve",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "party": "S",
+                            "process": CLIENT,
+                        },
+                    )
+                )
+                assert status == 400
+                assert payload["error"]["code"] == "party-mismatch"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_migrate_without_fleet_is_409(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/migrate",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "party": "C",
+                            "process": CLIENT_BAD,
+                        },
+                    )
+                )
+                assert status == 409
+                assert payload["error"]["code"] == "no-fleet"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_fleet_then_migrate_counts_cover_fleet(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, fleet = await service.dispatch(
+                    request(
+                        "POST",
+                        "/fleet",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "party": "C",
+                            "instances": 50,
+                        },
+                    )
+                )
+                assert status == 200
+                assert fleet["spawned"] == 50
+                status, report = await service.dispatch(
+                    request(
+                        "POST",
+                        "/migrate",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "party": "C",
+                            "process": CLIENT_BAD,
+                        },
+                    )
+                )
+                assert status == 200
+                assert sum(report["counts"].values()) == 50
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_evolve_commits_and_bumps_version(self):
+        async def main():
+            service = await make_service()
+            try:
+                # Identical process text: public process unchanged,
+                # nothing to propagate, version still advances on
+                # commit of the (trivially consistent) change.
+                status, report = await service.dispatch(
+                    request(
+                        "POST",
+                        "/evolve",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "party": "C",
+                            "process": CLIENT,
+                        },
+                    )
+                )
+                assert status == 200
+                assert report["committed"] is True
+                assert report["old_version"] != report["new_version"]
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestMetricsEndpoint:
+    def test_exposition_contains_all_layers(self):
+        async def main():
+            service = await make_service()
+            try:
+                await service.dispatch(
+                    request("POST", "/check", check_body())
+                )
+                status, payload = await service.dispatch(
+                    request("GET", "/metrics")
+                )
+                assert status == 200
+                content_type, text = payload
+                assert content_type.startswith("text/plain")
+                for name in (
+                    "repro_requests_total",
+                    "repro_request_seconds_bucket",
+                    "repro_coalesced_requests_total",
+                    "repro_admission_rejected_total",
+                    "repro_runtime_arena_hits_total",
+                    "repro_verdict_cache_hits_total",
+                    "repro_warm_seeded_total",
+                    "repro_tenants",
+                ):
+                    assert name in text, name
+            finally:
+                service.close()
+
+        run(main())

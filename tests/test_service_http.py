@@ -1,0 +1,170 @@
+"""End-to-end HTTP tests: a live server on a real socket.
+
+One :class:`BackgroundServer` per test class (the engine state is
+tenant-scoped, so tests just use distinct tenants).  The client is
+stdlib ``http.client`` — the same wire any curl/monitoring stack
+speaks: keep-alive, Content-Length bodies, chunked NDJSON streams.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import BackgroundServer
+
+SHOP = """
+process shop party=S
+  sequence "shop main"
+    receive C orderOp order
+    invoke C confirmOp confirm
+"""
+
+CLIENT = """
+process client party=C
+  sequence "client main"
+    invoke S orderOp order
+    receive S confirmOp confirm
+"""
+
+
+@pytest.fixture(scope="module")
+def server():
+    background = BackgroundServer()
+    host, port = background.start()
+    yield host, port
+    background.stop()
+
+
+@pytest.fixture()
+def conn(server):
+    host, port = server
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    yield connection
+    connection.close()
+
+
+def call(conn, method, path, body=None):
+    payload = json.dumps(body) if body is not None else None
+    conn.request(method, path, body=payload)
+    response = conn.getresponse()
+    raw = response.read()
+    if response.getheader("Content-Type", "").startswith(
+        "application/json"
+    ):
+        return response.status, json.loads(raw)
+    return response.status, raw.decode("utf-8")
+
+
+def setup_tenant(conn, tenant):
+    status, _ = call(conn, "POST", "/tenants", {"tenant": tenant})
+    assert status == 200
+    status, registered = call(
+        conn,
+        "POST",
+        "/choreographies",
+        {"tenant": tenant, "name": "shop", "processes": [SHOP, CLIENT]},
+    )
+    assert status == 200
+    return registered
+
+
+class TestWireProtocol:
+    def test_healthz(self, conn):
+        status, payload = call(conn, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_keep_alive_reuses_connection(self, conn):
+        for _ in range(3):
+            status, _ = call(conn, "GET", "/healthz")
+            assert status == 200
+
+    def test_unknown_route_is_404_with_json_error(self, conn):
+        status, payload = call(conn, "GET", "/missing")
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-route"
+
+    def test_malformed_body_is_400(self, conn):
+        conn.request("POST", "/tenants", body="{broken")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_metrics_exposition(self, conn):
+        status, text = call(conn, "GET", "/metrics")
+        assert status == 200
+        assert "repro_requests_total" in text
+        assert "repro_runtime_pool_size" in text
+
+
+class TestRoundTrip:
+    def test_register_check_sweep(self, conn):
+        registered = setup_tenant(conn, "wire-rt")
+        assert registered["parties"] == ["C", "S"]
+        status, verdict = call(
+            conn,
+            "POST",
+            "/check",
+            {
+                "tenant": "wire-rt",
+                "choreography": "shop",
+                "left": "C",
+                "right": "S",
+            },
+        )
+        assert status == 200
+        assert verdict["consistent"] is True
+        status, report = call(
+            conn,
+            "POST",
+            "/sweep",
+            {"tenant": "wire-rt", "choreography": "shop"},
+        )
+        assert status == 200
+        assert report["consistent"] is True
+
+    def test_streamed_sweep_is_chunked_ndjson(self, conn):
+        setup_tenant(conn, "wire-stream")
+        conn.request(
+            "POST",
+            "/sweep",
+            body=json.dumps(
+                {
+                    "tenant": "wire-stream",
+                    "choreography": "shop",
+                    "stream": True,
+                }
+            ),
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith(
+            "application/x-ndjson"
+        )
+        lines = [
+            json.loads(line)
+            for line in response.read().decode().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 2
+        assert "summary" in lines[-1]
+
+    def test_evolve_round_trip(self, conn):
+        setup_tenant(conn, "wire-evolve")
+        status, report = call(
+            conn,
+            "POST",
+            "/evolve",
+            {
+                "tenant": "wire-evolve",
+                "choreography": "shop",
+                "party": "C",
+                "process": CLIENT,
+            },
+        )
+        assert status == 200
+        assert report["committed"] is True

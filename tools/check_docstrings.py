@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Docstring-presence lint for the public serving surface.
+
+Walks the given files/directories and fails when a module, public
+class, or public function/method lacks a docstring.  "Public" means
+the name has no leading underscore (dunders other than ``__init__``
+are exempt; ``__init__`` documentation is accepted on the class).
+
+Used by CI on `src/repro/service/` and `src/repro/core/runtime.py` —
+the surfaces operators script against — and mirrored by
+`tests/test_docstrings.py` so the gate also runs locally.
+
+Usage:  python tools/check_docstrings.py PATH [PATH...]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_node(node, qualname: str, missing: list) -> None:
+    if ast.get_docstring(node) is None:
+        missing.append(qualname)
+
+
+def missing_docstrings(path: Path) -> list:
+    """Return the qualified names in *path* lacking docstrings."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    missing: list = []
+    if ast.get_docstring(tree) is None:
+        missing.append(f"{path.name} (module)")
+
+    def walk(node, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name):
+                    _check_node(child, f"{prefix}{child.name}", missing)
+                    walk(child, f"{prefix}{child.name}.")
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if _is_public(child.name):
+                    _check_node(child, f"{prefix}{child.name}", missing)
+
+    walk(tree, "")
+    return missing
+
+
+def collect(paths) -> list:
+    """All ``(file, qualname)`` docstring misses under *paths*."""
+    failures: list = []
+    for raw in paths:
+        path = Path(raw)
+        files = (
+            sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        )
+        for file in files:
+            for name in missing_docstrings(file):
+                failures.append((file, name))
+    return failures
+
+
+def main(argv) -> int:
+    """CLI entry: print misses, exit 1 when any."""
+    if not argv:
+        print(__doc__)
+        return 2
+    failures = collect(argv)
+    for file, name in failures:
+        print(f"{file}: missing docstring: {name}")
+    if failures:
+        print(f"{len(failures)} public surface(s) lack docstrings")
+        return 1
+    print(f"docstring check OK ({', '.join(argv)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
