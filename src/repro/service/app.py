@@ -75,6 +75,7 @@ from repro.service.tenants import (
     Session,
     Tenant,
     TenantRegistry,
+    release_sessions,
 )
 
 #: Witness policies accepted by ``/sweep``.
@@ -143,13 +144,36 @@ ROUTES = (
 
 
 class StreamingBody:
-    """A chunked NDJSON response: status + an async chunk generator."""
+    """A chunked NDJSON response: status + an async chunk generator.
 
-    __slots__ = ("status", "generator")
+    Consumers (the socket layer, tests, anyone calling
+    :meth:`ChoreoService.dispatch` directly) must call :meth:`aclose`
+    when done with the stream — normal end, early disconnect, or
+    never having iterated at all.  That is what guarantees the
+    admission slot claimed at dispatch time is returned: relying on
+    GC-driven async-generator finalization would leak the slot
+    whenever the generator is abandoned before its first iteration.
+    """
 
-    def __init__(self, status: int, generator):
+    __slots__ = ("status", "generator", "admission")
+
+    def __init__(self, status: int, generator, admission=None):
         self.status = status
         self.generator = generator
+        self.admission = admission
+
+    async def aclose(self) -> None:
+        """Close the chunk generator and release the admission slot.
+
+        Idempotent, and safe in every stream state: a finished or
+        never-started generator makes ``aclose`` a no-op, and the
+        admission release is idempotent by construction.
+        """
+        try:
+            await self.generator.aclose()
+        finally:
+            if self.admission is not None:
+                self.admission.release()
 
 
 def _parse_process(spec):
@@ -188,6 +212,26 @@ def _field(body: dict, name: str, kind=str):
             400,
             "missing-field",
             f"request body needs a {kind.__name__} field {name!r}",
+        )
+    return value
+
+
+def _int_field(body: dict, name: str, default: int) -> int:
+    """Extract an optional integer field, defaulted (400 on non-int).
+
+    JSON has no int/float distinction a client is forced to respect,
+    and ``"priority": "high"`` or ``null`` must be a clean 400, not a
+    :class:`TypeError` escaping the handler — so this rejects
+    anything but a real int (bools included: ``true`` is not a
+    quota).
+    """
+    value = body.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServiceError(
+            400,
+            "bad-field",
+            f"field {name!r} must be an integer "
+            f"(got {type(value).__name__})",
         )
     return value
 
@@ -264,7 +308,9 @@ class ChoreoService:
         All error mapping lives here: :class:`ServiceError` carries
         its own status/code, :class:`ReproError` (invalid process
         documents, choreography misuse) maps to 422, malformed bodies
-        to 400, unknown routes to 404/405.
+        to 400, unknown routes to 404/405, and anything unexpected to
+        a 500 ``internal-error`` — every failure is an observed JSON
+        response, never a silently dropped connection.
         """
         started = time.monotonic()
         handler = self._routes.get((request.method, request.path))
@@ -299,6 +345,17 @@ class ChoreoService:
                 "error": {
                     "code": "invalid-model",
                     "message": str(error),
+                }
+            }
+        except Exception as error:  # noqa: BLE001 — the service's
+            # last line of defense: an unexpected handler/engine error
+            # must become a 500 JSON response (and an observed
+            # request), never a dropped connection with no metrics.
+            self.metrics.internal_errors += 1
+            status, payload = 500, {
+                "error": {
+                    "code": "internal-error",
+                    "message": f"{type(error).__name__}: {error}",
                 }
             }
         self.metrics.observe_request(
@@ -345,10 +402,17 @@ class ChoreoService:
                             chunked=True,
                         )
                     )
-                    async for piece in payload.generator:
-                        writer.write(chunk(piece))
-                        await writer.drain()
-                    writer.write(LAST_CHUNK)
+                    try:
+                        async for piece in payload.generator:
+                            writer.write(chunk(piece))
+                            await writer.drain()
+                        writer.write(LAST_CHUNK)
+                    finally:
+                        # Mid-stream disconnects (drain raising) and
+                        # cancellation land here: close the generator
+                        # and release the admission slot *now*, not
+                        # whenever GC finalizes the generator.
+                        await payload.aclose()
                 elif isinstance(payload, tuple):
                     content_type, text = payload
                     body = text.encode("utf-8")
@@ -434,9 +498,11 @@ class ChoreoService:
         body = request.json()
         tenant = Tenant(
             name=_field(body, "tenant"),
-            priority=int(body.get("priority", 0)),
-            max_inflight=int(body.get("max_inflight", 32)),
-            max_choreographies=int(body.get("max_choreographies", 16)),
+            priority=_int_field(body, "priority", 0),
+            max_inflight=_int_field(body, "max_inflight", 32),
+            max_choreographies=_int_field(
+                body, "max_choreographies", 16
+            ),
         )
         if tenant.max_inflight < 0 or tenant.max_choreographies < 0:
             raise ServiceError(
@@ -498,6 +564,16 @@ class ChoreoService:
         replaced = self.registry.register_session(
             session, replace=bool(body.get("replace", False))
         )
+        # Eviction/replacement cascades mutate the shared verdict
+        # cache and arena — engine-owned state — so the registry only
+        # queued the victims; run the cascade serialized with all
+        # other engine work, against the runtime this service serves
+        # with (not blindly the process default).
+        victims = self.registry.drain_releases()
+        if victims:
+            await self._run_engine(
+                lambda: release_sessions(victims, self.runtime)
+            )
         return 200, {
             "tenant": tenant.name,
             "choreography": name,
@@ -618,6 +694,8 @@ class ChoreoService:
         verdict object per pair *as it is decided* on the engine
         thread, then a summary line with the aggregated counters —
         long sweeps surface progress instead of a single late JSON.
+        An engine failure after the 200 head terminates the body with
+        an ``{"error": ...}`` line instead of a summary.
         """
         body = request.json()
         tenant, session = self._session(body)
@@ -628,7 +706,7 @@ class ChoreoService:
                 "bad-policy",
                 f"witness policy must be one of {', '.join(_POLICIES)}",
             )
-        workers = int(body.get("workers", self.workers))
+        workers = _int_field(body, "workers", self.workers)
         choreography = session.choreography
         if not body.get("stream", False):
             with self.registry.admit(tenant):
@@ -647,69 +725,87 @@ class ChoreoService:
 
         admission = self.registry.admit(tenant)
 
+        async def verdicts():
+            self.metrics.sweeps_executed += 1
+            pairs = await self._run_engine(
+                lambda: conversing_pairs(choreography)
+            )
+            totals = {"hits": 0, "misses": 0}
+            failures = 0
+            for left, right in pairs:
+
+                def compute_pair(left=left, right=right):
+                    hits0, misses0 = VERDICTS.stats()
+                    consistent, witness = check_pair(
+                        choreography.view(right, on=left),
+                        choreography.view(left, on=right),
+                        policy,
+                    )
+                    hits1, misses1 = VERDICTS.stats()
+                    return consistent, witness, (
+                        hits1 - hits0,
+                        misses1 - misses0,
+                    )
+
+                consistent, witness, (hits, misses) = (
+                    await self._run_engine(compute_pair)
+                )
+                totals["hits"] += hits
+                totals["misses"] += misses
+                if not consistent:
+                    failures += 1
+                yield {
+                    "left": left,
+                    "right": right,
+                    "consistent": consistent,
+                    "witness": (
+                        witness.describe()
+                        if witness is not None
+                        else None
+                    ),
+                }
+            yield {
+                "summary": {
+                    "consistent": failures == 0,
+                    "pairs": len(pairs),
+                    "failures": failures,
+                    "cache_hits": totals["hits"],
+                    "cache_misses": totals["misses"],
+                }
+            }
+
         async def stream():
             # The admission slot is held for the stream's lifetime —
             # a slow consumer keeps occupying its tenant's capacity.
+            # The `with` releases on normal end and on aclose() of a
+            # started stream; StreamingBody.aclose covers the
+            # never-iterated case (Admission.release is idempotent).
             with admission:
-                self.metrics.sweeps_executed += 1
-                pairs = await self._run_engine(
-                    lambda: conversing_pairs(choreography)
-                )
-                totals = {"hits": 0, "misses": 0}
-                failures = 0
-                for left, right in pairs:
-
-                    def compute_pair(left=left, right=right):
-                        hits0, misses0 = VERDICTS.stats()
-                        consistent, witness = check_pair(
-                            choreography.view(right, on=left),
-                            choreography.view(left, on=right),
-                            policy,
-                        )
-                        hits1, misses1 = VERDICTS.stats()
-                        return consistent, witness, (
-                            hits1 - hits0,
-                            misses1 - misses0,
-                        )
-
-                    consistent, witness, (hits, misses) = (
-                        await self._run_engine(compute_pair)
-                    )
-                    totals["hits"] += hits
-                    totals["misses"] += misses
-                    if not consistent:
-                        failures += 1
+                try:
+                    async for record in verdicts():
+                        yield (json.dumps(record) + "\n").encode("utf-8")
+                except Exception as error:  # noqa: BLE001 — the 200
+                    # head is already on the wire; an engine failure
+                    # mid-stream must terminate the chunked body with
+                    # a machine-readable error line, not escape into
+                    # the socket handler.
+                    self.metrics.internal_errors += 1
                     yield (
                         json.dumps(
                             {
-                                "left": left,
-                                "right": right,
-                                "consistent": consistent,
-                                "witness": (
-                                    witness.describe()
-                                    if witness is not None
-                                    else None
-                                ),
+                                "error": {
+                                    "code": "internal-error",
+                                    "message": (
+                                        f"{type(error).__name__}: "
+                                        f"{error}"
+                                    ),
+                                }
                             }
                         )
                         + "\n"
                     ).encode("utf-8")
-                yield (
-                    json.dumps(
-                        {
-                            "summary": {
-                                "consistent": failures == 0,
-                                "pairs": len(pairs),
-                                "failures": failures,
-                                "cache_hits": totals["hits"],
-                                "cache_misses": totals["misses"],
-                            }
-                        }
-                    )
-                    + "\n"
-                ).encode("utf-8")
 
-        return 200, StreamingBody(200, stream())
+        return 200, StreamingBody(200, stream(), admission)
 
     # -- evolution endpoints -----------------------------------------------
 
@@ -785,8 +881,8 @@ class ChoreoService:
                 "bad-fleet",
                 f"'instances' must be an int in [1, {MAX_FLEET}]",
             )
-        seed = int(body.get("seed", 0))
-        distinct = int(body.get("distinct", 16))
+        seed = _int_field(body, "seed", 0)
+        distinct = _int_field(body, "distinct", 16)
         choreography = session.choreography
         with self.registry.admit(tenant):
 
@@ -821,7 +917,7 @@ class ChoreoService:
                 "no-fleet",
                 "no running instances attached (POST /fleet first)",
             )
-        workers = int(body.get("workers", self.workers))
+        workers = _int_field(body, "workers", self.workers)
         with self.registry.admit(tenant):
 
             def compute():

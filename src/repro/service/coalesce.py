@@ -21,7 +21,11 @@ rides on (an evolution bumps the version, so post-evolution checks
 never coalesce onto pre-evolution results).
 
 Errors propagate to every waiter; the failed key is removed before
-the waiters wake, so a retry dispatches fresh.
+the waiters wake, so a retry dispatches fresh.  Cancellation is *not*
+contagious: when the owner's task is cancelled, followers are not
+collaterally cancelled — the first of them re-dispatches as the new
+owner (each follower distinguishes "the owner died" from "I was
+cancelled" by whether the shared future itself was cancelled).
 """
 
 from __future__ import annotations
@@ -55,16 +59,42 @@ class Coalescer:
         request arriving *after* completion dispatches fresh (and will
         normally land in the verdict cache instead — the coalescer
         only guards the in-flight window).
+
+        If the *owner* is cancelled, its followers are not: the
+        shared future is cancelled (after the key is removed) and the
+        first follower to wake takes over as a fresh owner — one
+        client hanging up must not abort everyone coalesced behind
+        it.  A follower's *own* cancellation still propagates.
         """
-        future = self._inflight.get(key)
-        if future is not None:
+        while True:
+            future = self._inflight.get(key)
+            if future is None:
+                break
             if self.metrics is not None:
                 self.metrics.coalesced += 1
-            return await asyncio.shield(future)
+            try:
+                return await asyncio.shield(future)
+            except asyncio.CancelledError:
+                if not future.cancelled():
+                    # The future is alive: the cancellation is ours
+                    # (shield protects the owner from it).
+                    raise
+                # The owner was cancelled; this request wasn't
+                # deduplicated after all — undo the count and retry
+                # (becoming the new owner if it gets there first).
+                if self.metrics is not None:
+                    self.metrics.coalesced -= 1
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
         try:
             result = await thunk()
+        except asyncio.CancelledError:
+            # Owner cancelled: detach the key first so followers that
+            # wake on the cancelled future re-dispatch fresh instead
+            # of inheriting the cancellation.
+            self._inflight.pop(key, None)
+            future.cancel()
+            raise
         except BaseException as error:
             self._inflight.pop(key, None)
             if not future.cancelled():

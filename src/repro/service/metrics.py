@@ -100,6 +100,7 @@ class ServiceMetrics:
         self.checks_executed = 0
         self.sweeps_executed = 0
         self.engine_dispatches = 0
+        self.internal_errors = 0
 
     def observe_request(
         self, method: str, path: str, status: int, seconds: float
@@ -119,6 +120,7 @@ class ServiceMetrics:
             "checks_executed": self.checks_executed,
             "sweeps_executed": self.sweeps_executed,
             "engine_dispatches": self.engine_dispatches,
+            "internal_errors": self.internal_errors,
             "requests": sum(self.requests.values()),
         }
 
@@ -227,6 +229,11 @@ def render_metrics(
         "repro_engine_dispatches_total",
         metrics.engine_dispatches,
         "Requests dispatched to the serialized engine thread.",
+    )
+    counter(
+        "repro_internal_errors_total",
+        metrics.internal_errors,
+        "Unexpected handler errors mapped to 500 responses.",
     )
 
     counter(

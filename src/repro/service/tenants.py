@@ -19,15 +19,18 @@ module is where that multiplexing gets its guard rails:
   cap evicts the least-recently-used choreography of the
   *lowest-priority* tenant (ties broken by staleness), and eviction
   cascades into the shared caches: the evicted parties' kernels are
-  discarded from the default runtime's arena
-  (:func:`repro.core.runtime.discard_kernel`) and their entries
+  discarded from the serving runtime's arena and their entries
   dropped from the shared verdict cache
   (:meth:`repro.afsa.lazy.PairVerdictCache.invalidate_kernels`) — the
   same age-out contract compile eviction applies, driven by tenant
   policy instead of version replacement.
 
-The registry is mutated only from the event-loop thread; the engine
-thread receives plain object references and never touches the maps.
+Threading: the registry *maps* are mutated only from the event-loop
+thread, but the eviction *cascade* touches the shared verdict cache
+and arena — engine-owned state.  Eviction therefore only queues the
+victim sessions (:meth:`TenantRegistry.drain_releases`); the service
+dispatches :func:`release_sessions` through its serialized engine
+thread, so cache/arena mutation never races in-flight checks.
 """
 
 from __future__ import annotations
@@ -125,20 +128,35 @@ class Session:
 
 
 class Admission:
-    """Context manager holding one admitted in-flight slot."""
+    """One admitted in-flight slot (context manager).
 
-    __slots__ = ("_registry", "_tenant")
+    Release is **idempotent**: streaming responses hold their slot
+    open past the handler's return, and the cleanup path
+    (:meth:`~repro.service.app.StreamingBody.aclose`) must be able to
+    release unconditionally — whether the stream finished, was
+    abandoned before its first chunk, or died mid-flight.
+    """
+
+    __slots__ = ("_registry", "_tenant", "_released")
 
     def __init__(self, registry: "TenantRegistry", tenant: Tenant):
         self._registry = registry
         self._tenant = tenant
+        self._released = False
+
+    def release(self) -> None:
+        """Return the slot; safe to call more than once."""
+        if self._released:
+            return
+        self._released = True
+        self._tenant.inflight -= 1
+        self._registry.inflight_total -= 1
 
     def __enter__(self) -> Tenant:
         return self._tenant
 
     def __exit__(self, *exc_info) -> None:
-        self._tenant.inflight -= 1
-        self._registry.inflight_total -= 1
+        self.release()
 
 
 class TenantRegistry:
@@ -168,6 +186,7 @@ class TenantRegistry:
         self.tenants: dict = {}
         self.sessions: dict = {}
         self._clock = itertools.count(1)
+        self._pending_release: list = []
 
     # -- tenants -----------------------------------------------------------
 
@@ -296,10 +315,38 @@ class TenantRegistry:
             self.metrics.evictions += 1
 
     def _release(self, session: Session) -> None:
-        """Cascade a session's removal into the shared caches."""
-        from repro.core.runtime import discard_kernel
+        """Queue a removed session for the shared-cache cascade.
 
-        kernels = session.resident_kernels()
-        for kernel in kernels:
+        The cascade itself (:func:`release_sessions`) mutates the
+        verdict cache and the arena, which belong to the engine
+        thread — so it is only *queued* here; the service drains the
+        queue and runs it via its serialized engine dispatch.
+        """
+        self._pending_release.append(session)
+
+    def drain_releases(self) -> list:
+        """Take (and clear) the sessions queued for cache release."""
+        released, self._pending_release = self._pending_release, []
+        return released
+
+
+def release_sessions(sessions: list, runtime=None) -> None:
+    """Cascade evicted *sessions* out of the shared caches.
+
+    Discards every materialized kernel from the arena of *runtime*
+    (the runtime the service actually serves with; the process-wide
+    default when none was given) and invalidates their entries in the
+    shared verdict cache.  Touches engine-owned state — must run on
+    the serialized engine thread, never the event loop.
+    """
+    from repro.core.runtime import discard_kernel
+
+    kernels = []
+    for session in sessions:
+        kernels.extend(session.resident_kernels())
+    for kernel in kernels:
+        if runtime is not None:
+            runtime.arena.discard(kernel)
+        else:
             discard_kernel(kernel)
-        VERDICTS.invalidate_kernels(kernels)
+    VERDICTS.invalidate_kernels(kernels)

@@ -12,11 +12,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+from unittest import mock
 
 import pytest
 
 from repro.afsa.lazy import VERDICTS
 from repro.service.app import ChoreoService, ROUTES
+from repro.service.coalesce import Coalescer
 from repro.service.http import HttpError, Request
 from repro.service.tenants import ServiceError
 
@@ -808,5 +810,288 @@ class TestMetricsEndpoint:
                     assert name in text, name
             finally:
                 service.close()
+
+        run(main())
+
+
+class _RecordingArena:
+    """Arena stub recording which kernels were discarded."""
+
+    def __init__(self):
+        self.discarded = []
+
+    def discard(self, kernel):
+        self.discarded.append(kernel)
+
+
+class _FakeRuntime:
+    """Runtime stub: just enough surface for the eviction cascade."""
+
+    def __init__(self):
+        self.arena = _RecordingArena()
+
+
+class TestFieldValidation:
+    """Malformed field *values* are clean 400s, not dropped sockets."""
+
+    def test_non_integer_tenant_quota_is_400(self):
+        async def main():
+            service = ChoreoService()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/tenants",
+                        {"tenant": "acme", "priority": "high"},
+                    )
+                )
+                assert status == 400
+                assert payload["error"]["code"] == "bad-field"
+                # Booleans are not quotas either.
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/tenants",
+                        {"tenant": "acme", "max_inflight": True},
+                    )
+                )
+                assert status == 400
+                assert payload["error"]["code"] == "bad-field"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_non_integer_workers_is_400(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/sweep",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "workers": "many",
+                        },
+                    )
+                )
+                assert status == 400
+                assert payload["error"]["code"] == "bad-field"
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_unexpected_handler_error_is_500(self):
+        async def main():
+            service = ChoreoService()
+            try:
+
+                async def boom(request):
+                    raise RuntimeError("kaboom")
+
+                service._routes[("GET", "/healthz")] = boom
+                status, payload = await service.dispatch(
+                    request("GET", "/healthz")
+                )
+                assert status == 500
+                assert payload["error"]["code"] == "internal-error"
+                assert "kaboom" in payload["error"]["message"]
+                assert service.metrics.internal_errors == 1
+                # The failure was still observed as a request.
+                assert (
+                    service.metrics.requests[("GET", "/healthz", 500)]
+                    == 1
+                )
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestStreamingLifecycle:
+    """Admission slots survive neither abandonment nor engine errors."""
+
+    @staticmethod
+    async def _stream(service):
+        status, payload = await service.dispatch(
+            request(
+                "POST",
+                "/sweep",
+                {
+                    "tenant": "acme",
+                    "choreography": "shop",
+                    "stream": True,
+                },
+            )
+        )
+        assert status == 200
+        return payload
+
+    def test_abandoned_stream_releases_admission_on_aclose(self):
+        async def main():
+            service = await make_service()
+            try:
+                payload = await self._stream(service)
+                # Never iterated: the slot is still claimed ...
+                assert service.registry.inflight_total == 1
+                await payload.aclose()
+                # ... and aclose returns it, idempotently.
+                assert service.registry.inflight_total == 0
+                await payload.aclose()
+                assert service.registry.inflight_total == 0
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_midstream_disconnect_releases_admission(self):
+        async def main():
+            service = await make_service()
+            try:
+                payload = await self._stream(service)
+                # Consume one chunk, then hang up mid-stream.
+                await payload.generator.__anext__()
+                assert service.registry.inflight_total == 1
+                await payload.aclose()
+                assert service.registry.inflight_total == 0
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_engine_error_terminates_stream_with_error_line(self):
+        async def main():
+            service = await make_service()
+            try:
+                with mock.patch(
+                    "repro.service.app.check_pair",
+                    side_effect=RuntimeError("engine down"),
+                ):
+                    payload = await self._stream(service)
+                    lines = []
+                    async for piece in payload.generator:
+                        lines.extend(
+                            json.loads(line)
+                            for line in piece.decode().splitlines()
+                            if line.strip()
+                        )
+                assert lines, "stream must not end bodiless"
+                assert lines[-1]["error"]["code"] == "internal-error"
+                assert "engine down" in lines[-1]["error"]["message"]
+                assert service.metrics.internal_errors == 1
+                assert service.registry.inflight_total == 0
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestEvictionRuntime:
+    """The cascade targets the runtime the service serves with."""
+
+    def test_eviction_discards_from_the_service_runtime(self):
+        async def main():
+            runtime = _FakeRuntime()
+            service = ChoreoService(max_resident=1, runtime=runtime)
+            try:
+                await service.dispatch(
+                    request("POST", "/tenants", {"tenant": "acme"})
+                )
+                for name in ("c1",):
+                    status, _ = await service.dispatch(
+                        request(
+                            "POST",
+                            "/choreographies",
+                            {
+                                "tenant": "acme",
+                                "name": name,
+                                "processes": [BUYER, CLIENT],
+                            },
+                        )
+                    )
+                    assert status == 200
+                # Materialize c1's kernels in the shared caches.
+                status, _ = await service.dispatch(
+                    request(
+                        "POST", "/check", check_body(choreography="c1")
+                    )
+                )
+                assert status == 200
+                status, _ = await service.dispatch(
+                    request(
+                        "POST",
+                        "/choreographies",
+                        {
+                            "tenant": "acme",
+                            "name": "c2",
+                            "processes": [BUYER, CLIENT],
+                        },
+                    )
+                )
+                assert status == 200
+                assert service.metrics.evictions == 1
+                # c1's kernels left *this* service's arena, not the
+                # process-default one.
+                assert runtime.arena.discarded
+            finally:
+                service.close()
+
+        run(main())
+
+
+class TestCoalescerCancellation:
+    """Owner cancellation must not cascade to coalesced followers."""
+
+    def test_owner_cancellation_promotes_follower(self):
+        async def main():
+            coalescer = Coalescer()
+            release = asyncio.Event()
+            dispatches = []
+
+            async def slow():
+                dispatches.append("owner")
+                await release.wait()
+                return "slow"
+
+            async def fast():
+                dispatches.append("follower")
+                return "fast"
+
+            owner = asyncio.create_task(coalescer.run("key", slow))
+            await asyncio.sleep(0)  # owner claims the key
+            follower = asyncio.create_task(coalescer.run("key", fast))
+            await asyncio.sleep(0)  # follower parks on the future
+            owner.cancel()
+            assert await follower == "fast"
+            assert dispatches == ["owner", "follower"]
+            with pytest.raises(asyncio.CancelledError):
+                await owner
+            assert coalescer.pending() == 0
+
+        run(main())
+
+    def test_follower_own_cancellation_still_propagates(self):
+        async def main():
+            coalescer = Coalescer()
+            release = asyncio.Event()
+
+            async def slow():
+                await release.wait()
+                return "slow"
+
+            owner = asyncio.create_task(coalescer.run("key", slow))
+            await asyncio.sleep(0)
+            follower = asyncio.create_task(coalescer.run("key", slow))
+            await asyncio.sleep(0)
+            follower.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await follower
+            # The owner is untouched and completes normally.
+            release.set()
+            assert await owner == "slow"
+            assert coalescer.pending() == 0
 
         run(main())
