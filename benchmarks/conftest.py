@@ -8,6 +8,9 @@ JSON output doubles as the reproduction record for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
+import platform
+
 import pytest
 
 from repro.bpel.compile import compile_process
@@ -61,6 +64,20 @@ def buyer_fig14_compiled():
 @pytest.fixture(scope="session")
 def buyer_fig18_compiled():
     return compile_process(buyer_private_after_subtractive_propagation())
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Stamp the hardware context into every ``--benchmark-json``
+    output (and thus every committed ``BENCH_*.json``): scaling results
+    — especially the sharded fan-out series — are only comparable
+    between runs with the same CPU budget, and
+    ``benchmarks/report.py --compare`` warns (never gates) when the
+    counts differ."""
+    machine_info["hardware"] = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
 
 
 # -- shared-memory leak guard (twin of tests/conftest.py) ----------------------

@@ -32,6 +32,20 @@ def _mean_ms(entry: dict) -> float:
     return entry["stats"]["mean"] * 1e3
 
 
+def _cpu_count(data: dict):
+    """The CPU count recorded in a benchmark JSON's machine info —
+    from the ``hardware`` block our conftest hook stamps, falling back
+    to pytest-benchmark's own ``cpu.count``; None when absent."""
+    info = data.get("machine_info") or {}
+    hardware = info.get("hardware") or {}
+    if hardware.get("cpu_count") is not None:
+        return hardware["cpu_count"]
+    cpu = info.get("cpu")
+    if isinstance(cpu, dict):
+        return cpu.get("count")
+    return None
+
+
 def _median_ms(entry: dict) -> float:
     return entry["stats"]["median"] * 1e3
 
@@ -178,6 +192,29 @@ def compare(
         + (f", machine calibration {scale:.2f}×" if calibrate else "")
         + ")",
         "",
+    ]
+    # Hardware-context sanity: a CPU-count mismatch makes the sharded
+    # fan-out rows incomparable in ways calibration cannot cancel, but
+    # it is an environment property, not a code regression — warn,
+    # never gate.
+    run_cpus = _cpu_count(run)
+    base_cpus = _cpu_count(baseline)
+    if run_cpus is None or base_cpus is None:
+        missing = "baseline" if base_cpus is None else "run"
+        lines += [
+            f"WARNING: no hardware context in the {missing} JSON — "
+            "CPU-count comparability unknown (warning only, not a "
+            "gate).",
+            "",
+        ]
+    elif run_cpus != base_cpus:
+        lines += [
+            f"WARNING: CPU count differs (baseline {base_cpus}, run "
+            f"{run_cpus}) — ratios reflect hardware as well as code "
+            "(warning only, not a gate).",
+            "",
+        ]
+    lines += [
         "| Benchmark | Baseline | Run | Ratio | Status |",
         "|---|---:|---:|---:|---|",
     ]

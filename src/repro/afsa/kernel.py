@@ -92,6 +92,7 @@ class Kernel:
         "_replay",
         "_label_masks",
         "_ann_profile",
+        "_digest",
     )
 
     def __init__(
@@ -126,6 +127,7 @@ class Kernel:
         self._replay = None
         self._label_masks = None
         self._ann_profile = None
+        self._digest = None
 
     # -- memoized derived facts -------------------------------------------
 

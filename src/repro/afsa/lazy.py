@@ -1168,6 +1168,34 @@ class PairVerdictCache:
         ]:
             del self._entries[key]
 
+    def invalidate_digests(self, digests) -> None:
+        """Drop every entry whose either operand carries one of the
+        content *digests* — the cross-process companion of
+        :meth:`invalidate_kernels`.
+
+        With the content-addressed arena, the durable identity of a
+        published kernel is its payload digest, not its ``id()``: a
+        worker that resolved the kernel through
+        :func:`~repro.core.runtime.kernel_for` holds a *different*
+        object under the *same* digest.  Digest invalidation lets an
+        eviction decision made anywhere (the parent unregistering a
+        tenant, a future control-plane broadcast) name the entries to
+        drop without sharing object identity.  Only digests already
+        computed are consulted (``kernel._digest`` is set on publish
+        and on worker resolution); a kernel that never crossed a
+        process boundary has no digest and cannot be addressed by one.
+        """
+        doomed = set(digests)
+        if not doomed:
+            return
+        for key, entry in [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if (entry.left._digest in doomed)
+            or (entry.right._digest in doomed)
+        ]:
+            del self._entries[key]
+
     def clear(self) -> None:
         self._entries.clear()
 

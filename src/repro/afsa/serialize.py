@@ -23,6 +23,7 @@ re-parsed on import.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pickle
 from typing import Any
@@ -104,6 +105,16 @@ def kernel_to_wire(kernel: Kernel) -> tuple:
     as-is (they must be picklable; witness canonicality sorts by their
     ``repr``, so shipping the original objects keeps worker output
     byte-identical to the serial path).
+
+    The tuple is *canonical*: set-shaped fields (finals, annotations,
+    alphabet) are sorted and adjacency labels travel in first-appearance
+    order, which a wire → kernel → wire round trip preserves.  Interner
+    ids are process-local, so any encoding that leaked their values (or
+    their hash-dependent frozenset iteration order) would make the same
+    logical kernel serialize to different bytes in parent and worker —
+    and the payload digest (:func:`payload_digest`) is the
+    content-address the arena, the rendezvous router and the worker
+    caches all key on.
     """
     text_of = INTERNER.text
     local_ids: dict = {}
@@ -122,14 +133,15 @@ def kernel_to_wire(kernel: Kernel) -> tuple:
         kernel.n,
         kernel.start,
         list(kernel.names),
-        tuple(kernel.finals),
+        tuple(sorted(kernel.finals)),
         tuple(
-            (state, str(formula)) for state, formula in kernel.ann.items()
+            (state, str(formula))
+            for state, formula in sorted(kernel.ann.items())
         ),
         tuple(rows),
         tuple(kernel.eps),
         tuple(labels),
-        tuple(text_of(lid) for lid in kernel.alphabet_ids),
+        tuple(sorted(text_of(lid) for lid in kernel.alphabet_ids)),
     )
 
 
@@ -174,6 +186,34 @@ def kernel_from_payload(buf) -> Kernel:
     or a shared-memory ``memoryview``)."""
     size = int.from_bytes(bytes(buf[:8]), "little")
     return kernel_from_wire(pickle.loads(bytes(buf[8 : 8 + size])))
+
+
+def payload_digest(payload) -> str:
+    """Content address of a kernel payload: blake2b over the exact
+    wire bytes (header included).
+
+    Digest equality is the distributed cache-correctness contract —
+    the arena dedups publishes by it, the rendezvous router hashes it,
+    and worker memos key on it — so it must be a function of kernel
+    *content* only.  :func:`kernel_to_wire` guarantees that by
+    canonicalizing every set-shaped field; this function just hashes
+    the resulting bytes.
+    """
+    return hashlib.blake2b(bytes(payload), digest_size=16).hexdigest()
+
+
+def kernel_digest(kernel: Kernel) -> str:
+    """The content digest of *kernel* (memoized on the kernel).
+
+    Serializing is the dominant cost, so the digest is computed once
+    per kernel object and cached in a slot; the arena's publish path
+    stores the digest it derived from the payload it just built, so
+    published kernels never pay a second serialization here.
+    """
+    digest = kernel._digest
+    if digest is None:
+        digest = kernel._digest = payload_digest(kernel_to_payload(kernel))
+    return digest
 
 
 def afsa_to_dot(automaton: AFSA, shorten_labels: bool = True) -> str:

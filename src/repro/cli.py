@@ -10,7 +10,11 @@ selected by extension ``.xml`` / anything else = DSL):
   inconsistent
 * ``sweep FILE FILE...``      — batched consistency sweep over all
   conversing pairs, optionally fanned out through the persistent
-  evolution runtime (``--workers``, ``--repeat``, ``--stats``)
+  evolution runtime (``--workers``, ``--repeat``, ``--stats``;
+  ``--transport tcp --shard host:port`` dispatches to remote shard
+  workers, ``--routing`` picks digest vs. positional affinity)
+* ``shard-worker --listen H:P`` — serve sweep/migration chunks over
+  the length-prefixed TCP transport for a remote runtime
 * ``diff OLD NEW``            — additive/subtractive classification (Def. 5)
 * ``propagate OLD NEW PARTNER_FILE`` — full variant-change propagation
   with region detection and edit suggestions (Sect. 5)
@@ -110,37 +114,75 @@ def cmd_sweep(args) -> int:
     choreography = Choreography("sweep")
     for path in args.files:
         choreography.add_partner(load_process(path))
-    fanned_out = bool(args.workers and args.workers > 1)
+    if args.transport == "tcp" and not args.shard:
+        print("--transport tcp needs at least one --shard host:port")
+        return 2
+    fanned_out = bool(
+        (args.workers and args.workers > 1) or args.transport == "tcp"
+    )
     per_call = fanned_out and args.per_call_pool
     report = None
     stats_line = None
-    for _ in range(max(1, args.repeat)):
-        if per_call:
-            # Throwaway runtime per sweep: pool spawn + kernel
-            # publication are paid on *every* repeat — the cold
-            # baseline the persistent default amortizes away (and
-            # what the scaling bench measures).
-            with EvolutionRuntime() as runtime:
+    owned = None
+    try:
+        if args.transport == "tcp":
+            # Remote shards: one runtime holding the TCP connections
+            # for every repeat, so worker-side caches get exercised
+            # exactly like a persistent mp fleet's.
+            owned = EvolutionRuntime(
+                transport="tcp",
+                shards=args.shard,
+                routing=args.routing,
+            )
+        workers = args.workers or (
+            len(args.shard) if args.transport == "tcp" else 0
+        )
+        for _ in range(max(1, args.repeat)):
+            if per_call and owned is None:
+                # Throwaway runtime per sweep: pool spawn + kernel
+                # publication are paid on *every* repeat — the cold
+                # baseline the persistent default amortizes away (and
+                # what the scaling bench measures).
+                with EvolutionRuntime(routing=args.routing) as runtime:
+                    report = sweep_choreography(
+                        choreography,
+                        witnesses=args.witnesses,
+                        workers=workers,
+                        runtime=runtime,
+                    )
+                    # Captured while the runtime is alive; shutdown
+                    # unlinks the arena and would report empty
+                    # counters.
+                    stats_line = runtime.describe()
+            else:
+                runtime = owned
+                if runtime is None and args.routing != "digest":
+                    runtime = EvolutionRuntime(routing=args.routing)
+                    owned = runtime
                 report = sweep_choreography(
                     choreography,
                     witnesses=args.witnesses,
-                    workers=args.workers,
+                    workers=workers,
                     runtime=runtime,
                 )
-                # Captured while the runtime is alive; shutdown
-                # unlinks the arena and would report empty counters.
-                stats_line = runtime.describe()
-        else:
-            report = sweep_choreography(
-                choreography,
-                witnesses=args.witnesses,
-                workers=args.workers,
-            )
-            stats_line = get_runtime().describe()
+                stats_line = (runtime or get_runtime()).describe()
+    finally:
+        if owned is not None:
+            owned.shutdown()
     print(report.describe())
     if args.stats and fanned_out and stats_line is not None:
         print(stats_line)
     return 0 if report.consistent else 1
+
+
+def cmd_shard_worker(args) -> int:
+    from repro.core.transport import serve_shard
+
+    try:
+        serve_shard(args.listen)
+    except KeyboardInterrupt:  # clean Ctrl-C for the quickstart
+        pass
+    return 0
 
 
 def cmd_diff(args) -> int:
@@ -537,7 +579,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print runtime pool/arena counters after the sweep",
     )
+    sweep_cmd.add_argument(
+        "--transport",
+        choices=["mp", "tcp"],
+        default="mp",
+        help="worker transport: forked multiprocessing shards "
+        "(default) or remote TCP shard workers (--shard)",
+    )
+    sweep_cmd.add_argument(
+        "--shard",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="address of a running `repro shard-worker` (repeatable; "
+        "implies the TCP fleet size)",
+    )
+    sweep_cmd.add_argument(
+        "--routing",
+        choices=["digest", "positional"],
+        default="digest",
+        help="shard routing: rendezvous hashing on kernel digests "
+        "(default) or the legacy positional chunk affinity",
+    )
     sweep_cmd.set_defaults(handler=cmd_sweep)
+
+    shard_cmd = commands.add_parser(
+        "shard-worker",
+        help="serve sweep/migration chunks over TCP for a remote "
+        "runtime (`--transport tcp --shard host:port`)",
+    )
+    shard_cmd.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address (port 0 picks an ephemeral port; the "
+        "actual address is announced on stdout)",
+    )
+    shard_cmd.set_defaults(handler=cmd_shard_worker)
 
     diff_cmd = commands.add_parser(
         "diff", help="classify a change between two process versions"

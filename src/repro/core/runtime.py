@@ -10,26 +10,40 @@ per chunk, and started each worker with a cold
 fan-out layer into a long-lived artifact that amortizes across an
 entire evolution session:
 
-* **kernel arena** — :class:`KernelArena` publishes interned kernels
-  *once* into :mod:`multiprocessing.shared_memory` segments (the dense
-  wire tuple of :func:`~repro.afsa.serialize.kernel_to_wire`, pickled
-  behind a length header).  Workers attach by segment name and memoize
-  the rebuilt kernel locally, so a repeated sweep over an unchanged
-  choreography ships **zero** kernel payloads — chunks carry segment
-  names and pair indices only.  The arena is a bounded LRU with pin
-  counts: entries referenced by an in-flight dispatch can never be
-  evicted, evicted segments are unlinked immediately, and a kernel
-  needed again after eviction is transparently *republished* under a
-  fresh segment name (the same age-out contract the ``project_view``
-  memo and the verdict cache ride on compile eviction — kernels of
-  replaced process versions stop being published and fall off the LRU).
-* **long-lived worker pool** — :class:`EvolutionRuntime` owns a lazily
-  started, reusable pool (explicit lifecycle, context manager,
-  :meth:`~EvolutionRuntime.restart_pool` for failover drills).  Because
-  workers survive across dispatches, their kernel memos and their
-  :data:`~repro.afsa.lazy.VERDICTS` caches stay warm: the second sweep
-  of a session pays one round-trip per chunk, not one pool spawn, one
-  payload parse and one cold fixpoint per pair.
+* **content-addressed kernel arena** — :class:`KernelArena` publishes
+  interned kernels *once* into :mod:`multiprocessing.shared_memory`
+  segments (the dense wire tuple of
+  :func:`~repro.afsa.serialize.kernel_to_wire`, pickled behind a length
+  header) and names every entry by the blake2b digest of those exact
+  payload bytes (:func:`~repro.afsa.serialize.payload_digest`).  The
+  digest — not the process-local segment name — is the identity that
+  crosses process boundaries: publishes dedup by digest (two kernel
+  objects with identical bytes share one segment), chunk payloads carry
+  ``(digest, locator)`` references, and workers memoize rebuilt kernels
+  by digest, so a kernel that is evicted and republished under a fresh
+  segment name still hits every warm worker cache.  The arena is a
+  bounded LRU with pin counts: entries referenced by an in-flight
+  dispatch can never be evicted, evicted segments are unlinked
+  immediately, and a kernel needed again after eviction is
+  transparently republished — same digest, same worker memo hit.
+* **rendezvous-routed worker pool** — :class:`EvolutionRuntime` owns a
+  lazily started, reusable shard fleet and routes work to shards by
+  rendezvous hashing on content digests (:mod:`repro.core.routing`),
+  so a repeated *or evolved* grid keeps landing every pair on the shard
+  that already holds its kernels, replay tries and
+  :data:`~repro.afsa.lazy.VERDICTS` entries.  A hot-shard spill policy
+  overflows past the load cap to the next rendezvous candidate.  The
+  legacy positional affinity (chunk ``k`` → shard ``k``) survives as
+  ``routing="positional"`` for the regression tests and the scaling
+  bench's baseline.
+* **pluggable transport** — shards are either local single-process
+  ``multiprocessing`` pools (the default) or remote workers reached
+  over the length-prefixed TCP protocol of
+  :mod:`repro.core.transport` (``transport="tcp"``, addresses from
+  ``repro shard-worker --listen``).  TCP chunks ship digests only;
+  workers fetch missing payloads over the same connection
+  (fetch-on-miss), so a repeated sweep ships **zero** kernel payload
+  bytes on any transport.
 
 The process-wide default runtime (:func:`get_runtime`) is what
 :mod:`repro.core.sweep` and :mod:`repro.instances.migrate` route their
@@ -48,12 +62,18 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 import weakref
 from collections import OrderedDict
 from multiprocessing import get_context, shared_memory
 
 from repro.afsa.kernel import Kernel
-from repro.afsa.serialize import kernel_from_payload, kernel_to_payload
+from repro.afsa.serialize import (
+    kernel_from_payload,
+    kernel_to_payload,
+    payload_digest,
+)
+from repro.core.routing import route
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -80,37 +100,73 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
             resource_tracker.register = original
 
 
-# -- worker-side attach memo ---------------------------------------------------
+# -- worker-side kernel resolution ---------------------------------------------
 
-#: Per-worker kernel memo: segment name -> rebuilt Kernel.  Memoized
+#: Per-worker kernel memo: content digest -> rebuilt Kernel.  Memoized
 #: kernels keep their derived facts (good set, replay trie, verdict
 #: cache entries) alive across dispatches — the whole point of the
-#: persistent pool.  Bounded so an extremely long session with many
-#: republished segments cannot grow a worker without limit.
+#: persistent pool.  Keyed by digest, the memo survives arena eviction
+#: + republish (the segment name changes, the content does not) and is
+#: transport-agnostic.  Bounded so an extremely long session with many
+#: distinct kernels cannot grow a worker without limit.
 _WORKER_KERNELS: OrderedDict = OrderedDict()
 _WORKER_KERNELS_MAX = 128
 
+#: TCP fetch-on-miss hook: the transport's worker loop installs a
+#: callable ``digest -> payload bytes`` around each task so
+#: :func:`kernel_for` can pull payloads it has no local source for
+#: over the task's own connection.  Thread-local because each
+#: connection is served by its own thread — a fetch must go out over
+#: the very socket whose task triggered it, never a sibling's (the
+#: in-process shard servers the tests run make that a live hazard).
+_FETCH_HOOK = threading.local()
 
-def attach_kernel(name: str) -> Kernel:
-    """Return the kernel published under segment *name* (memoized).
 
-    The segment is mapped, copied, and closed immediately — workers
-    never hold segment mappings between dispatches, so the parent can
-    unlink an evicted segment without racing attached readers (pins
-    guarantee no dispatch is in flight when that happens).
+def set_payload_fetcher(fetch):
+    """Install the calling thread's fetch-on-miss hook; returns the
+    previous one so the transport loop can restore it (hooks are
+    per-task, not global state leaks)."""
+    previous = getattr(_FETCH_HOOK, "fetch", None)
+    _FETCH_HOOK.fetch = fetch
+    return previous
+
+
+def kernel_for(ref) -> Kernel:
+    """Resolve a ``(digest, locator)`` kernel reference (memoized).
+
+    The digest is the cross-process identity; the locator is the
+    transport-specific fast path — a shared-memory segment name for
+    forked workers, ``None`` for TCP workers, which fetch the payload
+    over their connection on a memo miss.  Segments are mapped, copied,
+    and closed immediately — workers never hold mappings between
+    dispatches, so the parent can unlink an evicted segment without
+    racing attached readers (pins guarantee no dispatch is in flight
+    when that happens).
     """
-    kernel = _WORKER_KERNELS.get(name)
+    digest, locator = ref
+    kernel = _WORKER_KERNELS.get(digest)
     if kernel is None:
-        segment = _attach_segment(name)
-        try:
-            kernel = kernel_from_payload(segment.buf)
-        finally:
-            segment.close()
-        _WORKER_KERNELS[name] = kernel
+        if locator is not None:
+            segment = _attach_segment(locator)
+            try:
+                kernel = kernel_from_payload(segment.buf)
+            finally:
+                segment.close()
+        else:
+            fetch = getattr(_FETCH_HOOK, "fetch", None)
+            if fetch is None:
+                raise RuntimeError(
+                    f"no payload source for kernel {digest!r}: "
+                    f"reference has no segment locator and no fetcher "
+                    f"is installed"
+                )
+            kernel = kernel_from_payload(fetch(digest))
+        kernel._digest = digest
+        _WORKER_KERNELS[digest] = kernel
         while len(_WORKER_KERNELS) > _WORKER_KERNELS_MAX:
             _WORKER_KERNELS.popitem(last=False)
     else:
-        _WORKER_KERNELS.move_to_end(name)
+        _WORKER_KERNELS.move_to_end(digest)
     return kernel
 
 
@@ -118,12 +174,16 @@ def attach_kernel(name: str) -> Kernel:
 
 
 class _ArenaEntry:
-    """One published kernel: its pinned segment and bookkeeping."""
+    """One published content digest: its pinned segment, the kernel
+    objects sharing the digest, and bookkeeping."""
 
-    __slots__ = ("kernel", "segment", "name", "size", "pins", "doomed")
+    __slots__ = ("kernels", "segment", "name", "size", "pins", "doomed")
 
     def __init__(self, kernel: Kernel, segment, size: int):
-        self.kernel = kernel
+        #: id -> kernel strong refs: every object published under this
+        #: digest.  Strong refs pin the ids, so identity-keyed callers
+        #: (the verdict cache, ``discard``) can never see a recycled id.
+        self.kernels = {id(kernel): kernel}
         self.segment = segment
         self.name = segment.name
         self.size = size
@@ -134,11 +194,12 @@ class _ArenaEntry:
 class KernelArena:
     """Bounded shared-memory store of published kernels.
 
-    Keyed on kernel *identity* (a kernel is one immutable compiled
-    artifact, exactly like the verdict cache's key); entries hold a
-    strong reference to their kernel, so an ``id()`` can never be
-    recycled while the entry is alive.  ``published`` / ``hits`` are
-    running counters; consumers report their deltas per dispatch.
+    Keyed on *content digest*: two kernel objects whose canonical wire
+    bytes are identical share one segment (``dedup_hits``), and the
+    digest — stable across eviction/republish and across processes —
+    is what routing, worker memos and chunk payloads carry.
+    ``published`` / ``hits`` are running counters; consumers report
+    their deltas per dispatch.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -146,82 +207,117 @@ class KernelArena:
         self.published = 0
         self.published_bytes = 0
         self.hits = 0
+        self.dedup_hits = 0
         self._entries: OrderedDict = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def publish(self, kernel: Kernel, _pin: bool = False) -> str:
-        """Return the segment name of *kernel*, publishing on miss."""
-        key = id(kernel)
-        entry = self._entries.get(key)
-        if entry is not None and entry.kernel is kernel:
-            self._entries.move_to_end(key)
-            self.hits += 1
+        """Return the content digest of *kernel*, publishing on miss."""
+        digest = kernel._digest
+        payload = None
+        if digest is None:
+            payload = kernel_to_payload(kernel)
+            digest = kernel._digest = payload_digest(payload)
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self._entries.move_to_end(digest)
+            if id(kernel) in entry.kernels:
+                self.hits += 1
+            else:
+                entry.kernels[id(kernel)] = kernel
+                self.dedup_hits += 1
             if _pin:
                 entry.pins += 1
-            return entry.name
-        payload = kernel_to_payload(kernel)
+            return digest
+        if payload is None:
+            payload = kernel_to_payload(kernel)
         segment = shared_memory.SharedMemory(
             create=True, size=max(1, len(payload))
         )
         segment.buf[: len(payload)] = payload
         entry = _ArenaEntry(kernel, segment, len(payload))
-        self._entries[key] = entry
+        self._entries[digest] = entry
         if _pin:
             # Pin *before* evicting: a dispatch pinning more kernels
             # than maxsize must never lose (or be handed a dangling
-            # name for) the entry it just published.
+            # reference for) the entry it just published.
             entry.pins += 1
         self.published += 1
         self.published_bytes += len(payload)
-        self._evict(keep=key)
-        return entry.name
+        self._evict(keep=digest)
+        return digest
+
+    def locator(self, digest: str) -> str | None:
+        """The shared-memory segment name currently backing *digest*
+        (None when the digest is not published — TCP references are
+        built with None deliberately)."""
+        entry = self._entries.get(digest)
+        return entry.name if entry is not None else None
+
+    def payload_of(self, digest: str) -> bytes:
+        """The exact payload bytes published under *digest* (the blob
+        served to TCP workers on fetch-on-miss)."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            raise KeyError(digest)
+        return bytes(entry.segment.buf[: entry.size])
 
     def pin(self, kernels) -> list[str]:
         """Publish *kernels* and pin them against eviction; returns the
-        segment names in input order.  Exception-safe: if any publish
+        content digests in input order.  Exception-safe: if any publish
         fails (e.g. shared memory exhausted), the kernels pinned so far
         are unpinned again before the error propagates."""
-        names = []
+        digests = []
         pinned = []
         try:
             for kernel in kernels:
-                names.append(self.publish(kernel, _pin=True))
+                digests.append(self.publish(kernel, _pin=True))
                 pinned.append(kernel)
         except BaseException:
             self.unpin(pinned)
             raise
-        return names
+        return digests
 
     def unpin(self, kernels) -> None:
         """Release a :meth:`pin`; doomed entries are unlinked once the
         last pin drops."""
         for kernel in kernels:
-            entry = self._entries.get(id(kernel))
-            if entry is None or entry.kernel is not kernel:
+            digest = kernel._digest
+            entry = self._entries.get(digest) if digest else None
+            if entry is None:
                 continue
+            # No membership check: a pinned kernel may have been
+            # discarded (dropped from ``entry.kernels``) while the
+            # dispatch was in flight — the pin is on the *entry*.
             entry.pins -= 1
             if entry.doomed and entry.pins <= 0:
-                self._drop(id(kernel))
+                self._drop(digest)
 
     def discard(self, kernel) -> None:
         """Unpublish *kernel* (e.g. its process version was replaced).
 
-        Pinned entries are only marked — the segment survives until the
+        With content addressing, the segment only goes when the *last*
+        kernel object published under its digest is discarded — an
+        alias that deduped onto the entry keeps it alive.  Pinned
+        entries are only marked; the segment survives until the
         in-flight dispatch unpins it.  Discarding an unpublished kernel
         is a no-op, so callers can fire-and-forget on eviction hooks.
         """
         if kernel is None:
             return
-        key = id(kernel)
-        entry = self._entries.get(key)
-        if entry is None or entry.kernel is not kernel:
+        digest = kernel._digest
+        entry = self._entries.get(digest) if digest else None
+        if entry is None or id(kernel) not in entry.kernels:
+            return
+        del entry.kernels[id(kernel)]
+        if entry.kernels:
             return
         if entry.pins > 0:
             entry.doomed = True
         else:
-            self._drop(key)
+            self._drop(digest)
 
     def segment_names(self) -> set[str]:
         """Names of all currently published segments (leak guard)."""
@@ -229,25 +325,25 @@ class KernelArena:
 
     def close(self) -> None:
         """Unlink every segment (the arena is empty afterwards)."""
-        for key in list(self._entries):
-            self._drop(key)
+        for digest in list(self._entries):
+            self._drop(digest)
 
     def _evict(self, keep=None) -> None:
-        """Age out unpinned LRU entries past maxsize.  The *keep* key
-        (the entry published by the current call) is never dropped,
-        and a fully-pinned arena is simply allowed to exceed maxsize
-        until the in-flight dispatches unpin."""
+        """Age out unpinned LRU entries past maxsize.  The *keep*
+        digest (the entry published by the current call) is never
+        dropped, and a fully-pinned arena is simply allowed to exceed
+        maxsize until the in-flight dispatches unpin."""
         if len(self._entries) <= self.maxsize:
             return
-        for key, entry in list(self._entries.items()):
+        for digest, entry in list(self._entries.items()):
             if len(self._entries) <= self.maxsize:
                 break
-            if entry.pins > 0 or key == keep:
+            if entry.pins > 0 or digest == keep:
                 continue
-            self._drop(key)
+            self._drop(digest)
 
-    def _drop(self, key) -> None:
-        entry = self._entries.pop(key)
+    def _drop(self, digest) -> None:
+        entry = self._entries.pop(digest)
         entry.segment.close()
         try:
             entry.segment.unlink()
@@ -290,29 +386,64 @@ def leaked_segments(before: set[str]) -> set[str]:
     return shm_segments() - before - owned
 
 
+#: Routing modes: content-hash rendezvous (the default) or the legacy
+#: positional chunk k → shard k affinity.
+ROUTING_DIGEST = "digest"
+ROUTING_POSITIONAL = "positional"
+
+#: Transports: local forked single-process pools, or remote workers
+#: over the length-prefixed TCP protocol of :mod:`repro.core.transport`.
+TRANSPORT_MP = "mp"
+TRANSPORT_TCP = "tcp"
+
+
 class EvolutionRuntime:
     """Shared fan-out runtime: one arena, one long-lived worker fleet.
 
-    Workers are *sharded*: each is its own single-process pool, and
-    payload ``i`` of a dispatch always lands on shard ``i mod shards``.
-    The affinity is what makes worker-local caches pay off — chunking
-    is positionally stable, so the repeat of a sweep sends every chunk
-    back to the worker that already holds its kernels, replay tries
-    and verdict-cache entries.  The fleet is started lazily at the
-    first dispatch and *grows on demand* without recycling the
-    existing shards (their caches stay warm);
-    :meth:`restart_pool` recycles all of them — the cold-restart case
-    the invariance suite pins down.  ``stats()`` exposes the running
-    counters the sweep report and the scaling bench read.
+    Workers are *sharded*: each is its own single-process pool (or one
+    remote TCP worker), and with the default ``routing="digest"`` every
+    chunk reaches the shard that rendezvous hashing assigns its content
+    digests — so worker-local caches pay off for repeated *and evolved*
+    grids alike, because the mapping depends on what a pair *is*, not
+    where it sits in the dispatch.  ``routing="positional"`` keeps the
+    legacy call-order affinity (payload ``i`` → shard ``i mod shards``)
+    for regression baselines.  The fleet is started lazily at the first
+    dispatch and *grows on demand* without recycling the existing
+    shards (their caches stay warm); :meth:`restart_pool` recycles all
+    of them — the cold-restart case the invariance suite pins down.
+    ``stats()`` exposes the running counters the sweep report, the
+    service ``/metrics`` and the scaling bench read.
     """
 
-    def __init__(self, workers: int = 0, arena_maxsize: int = 256):
+    def __init__(
+        self,
+        workers: int = 0,
+        arena_maxsize: int = 256,
+        routing: str = ROUTING_DIGEST,
+        spill_factor: float = 2.0,
+        transport: str = TRANSPORT_MP,
+        shards: list[str] | None = None,
+    ):
+        if routing not in (ROUTING_DIGEST, ROUTING_POSITIONAL):
+            raise ValueError(f"unknown routing mode: {routing!r}")
+        if transport not in (TRANSPORT_MP, TRANSPORT_TCP):
+            raise ValueError(f"unknown transport: {transport!r}")
+        if transport == TRANSPORT_TCP and not shards:
+            raise ValueError("tcp transport needs shard addresses")
         self.workers = workers
+        self.routing = routing
+        self.spill_factor = spill_factor
+        self.transport = transport
+        self.shard_addresses = list(shards or [])
         self.arena = KernelArena(maxsize=arena_maxsize)
         self._shards: list = []
         self.pool_starts = 0
         self.dispatches = 0
         self.tasks = 0
+        self.routed_tasks = 0
+        self.routing_spilled = 0
+        self.payload_fetches = 0
+        self.payload_fetch_bytes = 0
         self._closed = False
         _RUNTIMES.add(self)
 
@@ -334,9 +465,25 @@ class EvolutionRuntime:
         start; existing shards — and their caches — are kept).
         ``self.workers`` is only the default for dispatches that don't
         specify a count — a 2-chunk dispatch on a big machine forks 2
-        shards, not ``cpu_count`` idle ones."""
+        shards, not ``cpu_count`` idle ones.  The TCP fleet is fixed by
+        the configured addresses: every shard is connected on first
+        use and *workers* only caps how many dispatches fan out."""
         if self._closed:
             raise RuntimeError("runtime is shut down")
+        if self.transport == TRANSPORT_TCP:
+            if not self._shards:
+                from repro.core.transport import TcpShard
+
+                self._shards = [
+                    TcpShard(
+                        address,
+                        blob_of=self.arena.payload_of,
+                        on_fetch=self._count_fetch,
+                    )
+                    for address in self.shard_addresses
+                ]
+                self.pool_starts += 1
+            return
         needed = max(1, workers or self.workers)
         if len(self._shards) < needed:
             context = get_context()
@@ -345,8 +492,10 @@ class EvolutionRuntime:
             self.pool_starts += 1
 
     def restart_pool(self) -> None:
-        """Recycle the worker processes (arena untouched).  The next
-        dispatch starts fresh shards whose caches are cold."""
+        """Recycle the worker connections/processes (arena untouched).
+        The next dispatch starts fresh shards whose caches are cold —
+        for TCP shards only the *connections* recycle; remote worker
+        processes (and their caches) belong to whoever launched them."""
         self._stop_pool()
 
     def shutdown(self) -> None:
@@ -362,21 +511,37 @@ class EvolutionRuntime:
             shard.join()
         self._shards = []
 
+    def _count_fetch(self, nbytes: int) -> None:
+        """Transport callback: one fetch-on-miss served, *nbytes* of
+        payload shipped to a TCP worker."""
+        self.payload_fetches += 1
+        self.payload_fetch_bytes += nbytes
+
     # -- dispatch ----------------------------------------------------------
 
     def published(self, kernels):
         """Context manager pinning *kernels* in the arena for the
-        duration of a dispatch; yields their segment names."""
+        duration of a dispatch; yields their content digests."""
         return _Published(self, list(kernels))
 
-    def map(self, func, payloads, workers: int | None = None) -> list:
+    def ref_of(self, digest: str):
+        """The ``(digest, locator)`` reference workers resolve through
+        :func:`kernel_for`: shared-memory locators for forked workers,
+        digest-only (fetch-on-miss) for TCP workers."""
+        if self.transport == TRANSPORT_TCP:
+            return (digest, None)
+        return (digest, self.arena.locator(digest))
+
+    def map(
+        self, func, payloads, workers: int | None = None, shard_of=None
+    ) -> list:
         """Run ``func`` over *payloads* on the persistent shards.
 
-        Payload ``i`` goes to shard ``i mod shards`` and results come
-        back in payload order, so verdicts are independent of worker
-        count and of how often the fleet was restarted in between —
-        while repeated dispatches of the same grid enjoy full
-        worker-cache affinity.
+        ``shard_of`` (a list aligned with *payloads*) carries the
+        router's explicit placement; without it payload ``i`` goes to
+        shard ``i mod shards``.  Results come back in payload order, so
+        verdicts are independent of worker count and of how often the
+        fleet was restarted in between.
         """
         payloads = list(payloads)
         if not payloads:
@@ -385,60 +550,118 @@ class EvolutionRuntime:
         self.dispatches += 1
         self.tasks += len(payloads)
         shards = self._shards
+        if shard_of is None:
+            shard_of = [
+                index % len(shards) for index in range(len(payloads))
+            ]
         pending = [
-            shards[index % len(shards)].apply_async(func, (payload,))
-            for index, payload in enumerate(payloads)
+            shards[shard].apply_async(func, (payload,))
+            for shard, payload in zip(shard_of, payloads)
         ]
         return [result.get() for result in pending]
 
-    def map_chunked(self, func, items, payload_of, workers: int):
-        """Fan *items* out in round-robin chunks and reassemble.
+    def map_chunked(
+        self, func, items, payload_of, workers: int, key_of=None
+    ):
+        """Fan *items* out in routed chunks and reassemble.
 
-        Chunk ``k`` is ``items[k::pool_size]`` (``pool_size =
-        min(workers, len(items))``) and always dispatches to shard
-        ``k`` — the positional affinity the worker caches rely on.
-        ``payload_of(chunk)`` builds each worker payload; *func* must
-        return ``(chunk_results, extra)`` with ``chunk_results``
-        aligned to its chunk.  Returns ``(results, extras)`` with
-        *results* in input order for every worker count.  The
-        round-robin stride and its inverse live only here, so the
-        in-order determinism guarantee and the shard-affinity contract
-        cannot drift apart between consumers.
+        With ``key_of`` given and digest routing active, every item is
+        assigned by rendezvous hashing on ``key_of(item)`` (with hot-
+        shard spill, :func:`repro.core.routing.route`) and the chunks
+        dispatch to *exactly* their assigned shards.  Without a key
+        function — or under ``routing="positional"`` — chunk ``k`` is
+        ``items[k::pool_size]`` and dispatches to shard ``k``, the
+        legacy call-order affinity.  ``payload_of(chunk)`` builds each
+        worker payload; *func* must return ``(chunk_results, extra)``
+        with ``chunk_results`` aligned to its chunk.  Returns
+        ``(results, extras, routing_info)`` with *results* in input
+        order for every worker count, routing mode and transport —
+        the chunking and its inverse live only here, so the in-order
+        determinism guarantee and the shard-affinity contract cannot
+        drift apart between consumers.
         """
         items = list(items)
         if not items:
-            return [], []
-        pool_size = min(workers, len(items))
-        chunks = [items[k::pool_size] for k in range(pool_size)]
+            return [], [], {"mode": self.routing, "loads": [], "spilled": 0}
+        if self.transport == TRANSPORT_TCP:
+            self.ensure_pool(0)
+            pool_size = len(self._shards)
+        else:
+            pool_size = min(workers, len(items))
+        results: list = [None] * len(items)
+        extras: list = []
+        if key_of is None or self.routing == ROUTING_POSITIONAL:
+            chunks = [items[k::pool_size] for k in range(pool_size)]
+            raw = self.map(
+                func,
+                [payload_of(chunk) for chunk in chunks],
+                workers=pool_size,
+            )
+            for k, (chunk_results, extra) in enumerate(raw):
+                extras.append(extra)
+                for offset, result in enumerate(chunk_results):
+                    results[offset * pool_size + k] = result
+            self.routed_tasks += len(items)
+            return results, extras, {
+                "mode": ROUTING_POSITIONAL,
+                "loads": [len(chunk) for chunk in chunks],
+                "spilled": 0,
+            }
+        self.ensure_pool(pool_size)
+        pool_size = len(self._shards)
+        assignments, spilled = route(
+            [key_of(item) for item in items], pool_size, self.spill_factor
+        )
+        by_shard: OrderedDict = OrderedDict()
+        for index, shard in enumerate(assignments):
+            by_shard.setdefault(shard, []).append(index)
+        targets = sorted(by_shard)
         raw = self.map(
             func,
-            [payload_of(chunk) for chunk in chunks],
+            [
+                payload_of([items[index] for index in by_shard[shard]])
+                for shard in targets
+            ],
             workers=pool_size,
+            shard_of=targets,
         )
-        results: list = [None] * len(items)
-        extras = []
-        for k, (chunk_results, extra) in enumerate(raw):
+        loads = [0] * pool_size
+        for shard, (chunk_results, extra) in zip(targets, raw):
             extras.append(extra)
-            for offset, result in enumerate(chunk_results):
-                results[offset * pool_size + k] = result
-        return results, extras
+            loads[shard] = len(by_shard[shard])
+            for index, result in zip(by_shard[shard], chunk_results):
+                results[index] = result
+        self.routed_tasks += len(items)
+        self.routing_spilled += spilled
+        return results, extras, {
+            "mode": ROUTING_DIGEST,
+            "loads": loads,
+            "spilled": spilled,
+        }
 
     def stats(self) -> dict:
-        """Running counters (arena + pool) as one flat dict."""
+        """Running counters (arena + pool + routing) as one flat dict."""
         return {
             "published": self.arena.published,
             "published_bytes": self.arena.published_bytes,
             "arena_hits": self.arena.hits,
+            "arena_dedup_hits": self.arena.dedup_hits,
             "segments": len(self.arena),
             "pool_starts": self.pool_starts,
             "pool_size": len(self._shards),
             "dispatches": self.dispatches,
             "tasks": self.tasks,
+            "transport": self.transport,
+            "routing": self.routing,
+            "routed_tasks": self.routed_tasks,
+            "routing_spilled": self.routing_spilled,
+            "payload_fetches": self.payload_fetches,
+            "payload_fetch_bytes": self.payload_fetch_bytes,
         }
 
     def describe(self) -> str:
-        """One human-readable line of pool + arena counters (the
-        ``--stats`` output of the CLI sweep)."""
+        """One human-readable line of pool + arena + routing counters
+        (the ``--stats`` output of the CLI sweep)."""
         stats = self.stats()
         return (
             f"runtime: pool of {stats['pool_size']} worker(s) "
@@ -447,7 +670,13 @@ class EvolutionRuntime:
             f"{stats['tasks']} task(s)); arena: {stats['segments']} "
             f"segment(s), {stats['published']} publish(es) "
             f"({stats['published_bytes']} bytes), "
-            f"{stats['arena_hits']} hit(s)"
+            f"{stats['arena_hits']} hit(s), "
+            f"{stats['arena_dedup_hits']} dedup hit(s); "
+            f"routing ({stats['routing']}/{stats['transport']}): "
+            f"{stats['routed_tasks']} routed, "
+            f"{stats['routing_spilled']} spill(s), "
+            f"{stats['payload_fetches']} payload fetch(es) "
+            f"({stats['payload_fetch_bytes']} bytes)"
         )
 
 

@@ -35,14 +35,18 @@ The sweep engine batches the whole pair grid into one pass:
 * **persistent fan-out** — with ``workers > 1`` the pair grid is
   dispatched through the shared evolution runtime
   (:mod:`repro.core.runtime`): unique participant kernels are
-  *published once* into the shared-memory arena and chunks carry only
-  segment names + pair indices, the worker pool is long-lived (its
-  kernel memos and :data:`~repro.afsa.lazy.VERDICTS` caches survive
-  across sweeps), and results come back in input order, so verdicts
-  and witnesses are identical regardless of worker count, pool
+  *published once* into the content-addressed arena and chunks carry
+  only ``(digest, locator)`` references + pair indices, pairs are
+  routed to shards by rendezvous hashing on their kernel digests (so
+  repeated *and evolved* grids keep hitting warm worker caches), the
+  worker pool is long-lived (its kernel memos and
+  :data:`~repro.afsa.lazy.VERDICTS` caches survive across sweeps),
+  and results come back in input order, so verdicts and witnesses are
+  identical regardless of worker count, routing mode, transport, pool
   restarts, or how often the session swept before (the determinism
   the test suite asserts).  Re-sweeping an unchanged choreography
-  ships **zero** kernel payloads — every publish is an arena hit.
+  ships **zero** kernel payloads — every publish is an arena hit, and
+  over TCP no fetch-on-miss fires.
 """
 
 from __future__ import annotations
@@ -61,9 +65,9 @@ from repro.afsa.lazy import (
     store_witness,
     warm_stats,
 )
-from repro.afsa.serialize import afsa_from_json
+from repro.afsa.serialize import afsa_from_json, kernel_digest
 from repro.afsa.witness import lazy_pair_witness
-from repro.core.runtime import EvolutionRuntime, attach_kernel, get_runtime
+from repro.core.runtime import EvolutionRuntime, get_runtime, kernel_for
 
 #: Witness policies: compute no witnesses, only for inconsistent pairs,
 #: or for every pair (the full diagnostic report).
@@ -112,7 +116,14 @@ class SweepReport:
     the witness-path deltas, aggregated the same way: streaming
     extractions, on-demand frontier expansions those needed, and
     test-only eager-oracle invocations — the last must stay zero on
-    every production sweep.
+    every production sweep.  ``routing_mode`` / ``shard_loads`` /
+    ``routing_spilled`` describe how the fan-out placed this sweep's
+    pairs (rendezvous digest routing vs. legacy positional affinity,
+    the per-shard pair counts, and how many pairs overflowed their top
+    rendezvous candidate under the hot-shard spill cap);
+    ``payload_fetches`` / ``payload_fetch_bytes`` count the TCP
+    fetch-on-miss traffic — a repeated sweep reports zero on any
+    transport.
     """
 
     outcomes: list[PairOutcome] = field(default_factory=list)
@@ -126,6 +137,11 @@ class SweepReport:
     witness_lazy: int = 0
     witness_expansions: int = 0
     eager_oracle: int = 0
+    routing_mode: str = ""
+    shard_loads: list = field(default_factory=list)
+    routing_spilled: int = 0
+    payload_fetches: int = 0
+    payload_fetch_bytes: int = 0
 
     @property
     def consistent(self) -> bool:
@@ -158,6 +174,18 @@ class SweepReport:
                 f"kernel-arena: {self.arena_published} publish(es) / "
                 f"{self.arena_hits} hit(s)"
             )
+        if self.routing_mode:
+            loads = ", ".join(str(load) for load in self.shard_loads)
+            line = (
+                f"shard-routing ({self.routing_mode}): "
+                f"loads [{loads}] / {self.routing_spilled} spill(s)"
+            )
+            if self.payload_fetches:
+                line += (
+                    f"; {self.payload_fetches} payload fetch(es) "
+                    f"({self.payload_fetch_bytes} bytes)"
+                )
+            lines.append(line)
         if self.warm_seeded:
             lines.append(
                 f"warm-start: {self.warm_seeded} verdict(s) seeded "
@@ -209,6 +237,11 @@ class SweepReport:
                 "witness_lazy": self.witness_lazy,
                 "witness_expansions": self.witness_expansions,
                 "eager_oracle": self.eager_oracle,
+                "routing_mode": self.routing_mode,
+                "shard_loads": list(self.shard_loads),
+                "routing_spilled": self.routing_spilled,
+                "payload_fetches": self.payload_fetches,
+                "payload_fetch_bytes": self.payload_fetch_bytes,
             },
         }
 
@@ -272,18 +305,19 @@ def check_pair(
 
 
 def _check_arena_chunk(payload):
-    """Pool worker: attach each referenced kernel from the arena (a
-    memo hit after the first dispatch that named it), re-register any
-    shipped version lineage against the *worker's own* kernel objects
-    — lineage and retained explorations are per-process state, and
-    shard affinity routes the repeat of a pair back here, so the
-    worker can seed post-evolution verdicts from the exploration it
-    retained itself — then check the chunk's pairs against the
-    worker's persistent verdict cache."""
-    names, lineage, index_pairs, witnesses = payload
-    kernels = [attach_kernel(name) for name in names]
-    for local_index, old_name in lineage:
-        note_lineage(attach_kernel(old_name), kernels[local_index])
+    """Pool worker: resolve each referenced kernel by content digest (a
+    memo hit after the first dispatch that shipped it — on any
+    transport, under any segment name), re-register any shipped version
+    lineage against the *worker's own* kernel objects — lineage and
+    retained explorations are per-process state, and digest routing
+    brings the repeat of a pair back here, so the worker can seed
+    post-evolution verdicts from the exploration it retained itself —
+    then check the chunk's pairs against the worker's persistent
+    verdict cache."""
+    refs, lineage, index_pairs, witnesses = payload
+    kernels = [kernel_for(ref) for ref in refs]
+    for local_index, old_ref in lineage:
+        note_lineage(kernel_for(old_ref), kernels[local_index])
     hits0, misses0 = VERDICTS.stats()
     warm0 = warm_stats()
     results = [
@@ -299,24 +333,46 @@ def _check_arena_chunk(payload):
     )
 
 
-def _chunk_payload(chunk, names, lineage_names, witnesses):
+def _chunk_payload(chunk, refs, lineage_refs, witnesses):
     """One worker payload: the chunk's pairs re-indexed against only
-    the arena segments it references (plus the ancestor segments of
-    its evolved participants, for worker-side lineage)."""
+    the kernel references it uses (plus the ancestor references of its
+    evolved participants, for worker-side lineage).  Payloads are
+    self-contained — every pair's kernels travel in the chunk's own
+    reference list — which is what lets the spill policy overflow a
+    hot pair to any shard without a correctness risk."""
     local: dict = {}
-    local_names: list = []
+    local_refs: list = []
     local_pairs: list = []
     local_lineage: list = []
     for li, ri in chunk:
         for index in (li, ri):
             if index not in local:
-                local[index] = len(local_names)
-                local_names.append(names[index])
-                old_name = lineage_names.get(index)
-                if old_name is not None:
-                    local_lineage.append((local[index], old_name))
+                local[index] = len(local_refs)
+                local_refs.append(refs[index])
+                old_ref = lineage_refs.get(index)
+                if old_ref is not None:
+                    local_lineage.append((local[index], old_ref))
         local_pairs.append((local[li], local[ri]))
-    return (local_names, local_lineage, local_pairs, witnesses)
+    return (local_refs, local_lineage, local_pairs, witnesses)
+
+
+def _lineage_root(kernel: Kernel) -> Kernel:
+    """The transitive ancestor of *kernel* through the lineage
+    registry — *kernel* itself when it never evolved.
+
+    Routing keys on the root rather than the kernel's own content:
+    an evolved participant must land on the shard whose retained
+    exploration can seed it, and that shard was chosen by the
+    *ancestor's* digest when the pre-evolution grid was swept.  The
+    walk is cycle-guarded by object identity (an A→B→A re-evolution
+    stops at the first repeat)."""
+    seen = {id(kernel)}
+    while True:
+        old = lineage_of(kernel)
+        if old is None or id(old) in seen:
+            return kernel
+        seen.add(id(old))
+        kernel = old
 
 
 def _empty_stats() -> dict:
@@ -330,6 +386,11 @@ def _empty_stats() -> dict:
         "witness_lazy": 0,
         "witness_expansions": 0,
         "eager_oracle": 0,
+        "routing_mode": "",
+        "shard_loads": [],
+        "routing_spilled": 0,
+        "payload_fetches": 0,
+        "payload_fetch_bytes": 0,
     }
 
 
@@ -359,33 +420,55 @@ def _sweep_kernel_grid(
         runtime = runtime or get_runtime()
         published0 = runtime.arena.published
         arena_hits0 = runtime.arena.hits
+        fetches0 = runtime.payload_fetches
+        fetch_bytes0 = runtime.payload_fetch_bytes
         # Evolved participants ship their ancestor too, as a second
-        # arena segment: workers re-register the lineage locally and
+        # arena reference: workers re-register the lineage locally and
         # seed post-evolution verdicts from their own retained
-        # explorations (shard affinity brings the pair back to them).
+        # explorations (digest routing brings the pair back to them).
         ancestors: dict = {}
         for index, kernel in enumerate(kernels):
             old = lineage_of(kernel)
             if old is not None:
                 ancestors[index] = old
+        # The routing key is the pair's *lineage-rooted* content:
+        # rendezvous hashing on concatenated digests keeps an
+        # evolved-but-overlapping grid landing on warm shards, and an
+        # evolved participant keys on its ancestry's root so the pair
+        # returns to the shard that retained the pre-evolution
+        # exploration it will seed from.
+        route_digests = [
+            kernel_digest(_lineage_root(kernel)) for kernel in kernels
+        ]
         with runtime.published(
             list(kernels) + list(ancestors.values())
-        ) as names:
-            lineage_names = {
-                index: names[len(kernels) + position]
+        ) as digests:
+            refs = [runtime.ref_of(digest) for digest in digests]
+            lineage_refs = {
+                index: refs[len(kernels) + position]
                 for position, index in enumerate(ancestors)
             }
-            results, extras = runtime.map_chunked(
+            results, extras, routing = runtime.map_chunked(
                 _check_arena_chunk,
                 index_pairs,
                 lambda chunk: _chunk_payload(
-                    chunk, names[: len(kernels)], lineage_names,
+                    chunk, refs[: len(kernels)], lineage_refs,
                     witnesses,
                 ),
                 workers,
+                key_of=lambda pair: (
+                    route_digests[pair[0]] + route_digests[pair[1]]
+                ),
             )
         stats["arena_published"] = runtime.arena.published - published0
         stats["arena_hits"] = runtime.arena.hits - arena_hits0
+        stats["routing_mode"] = routing["mode"]
+        stats["shard_loads"] = routing["loads"]
+        stats["routing_spilled"] = routing["spilled"]
+        stats["payload_fetches"] = runtime.payload_fetches - fetches0
+        stats["payload_fetch_bytes"] = (
+            runtime.payload_fetch_bytes - fetch_bytes0
+        )
         for hits, misses, warm_delta in extras:
             stats["cache_hits"] += hits
             stats["cache_misses"] += misses
@@ -559,4 +642,9 @@ def sweep_choreography(
         witness_lazy=stats["witness_lazy"],
         witness_expansions=stats["witness_expansions"],
         eager_oracle=stats["eager_oracle"],
+        routing_mode=stats["routing_mode"],
+        shard_loads=stats["shard_loads"],
+        routing_spilled=stats["routing_spilled"],
+        payload_fetches=stats["payload_fetches"],
+        payload_fetch_bytes=stats["payload_fetch_bytes"],
     )

@@ -1,0 +1,339 @@
+"""Length-prefixed TCP transport for off-box worker shards.
+
+``multiprocessing`` shards are forked from the parent and attach kernel
+payloads straight out of shared memory; this module is the second
+transport the runtime can route the *same* chunk functions over, with
+shards running anywhere a socket reaches (``repro shard-worker
+--listen host:port``).  The wire discipline is deliberately minimal:
+
+* every frame is an 8-byte little-endian length header followed by a
+  pickled tuple (the same framing the kernel payloads themselves use);
+* the parent drives: ``("task", id, "module:function", payload)``
+  asks the worker to run one chunk function;
+* the worker answers ``("result", id, value)`` or ``("error", id,
+  traceback_text)`` — remote tracebacks surface in the parent as
+  :class:`RemoteTaskError`, mirroring how a local pool re-raises;
+* in between, the worker may interleave ``("need", id, [digests])``
+  requests — *fetch-on-miss* for kernel payloads it has no local
+  source for — which the parent serves from its arena with ``("blob",
+  id, {digest: bytes})``.  A warm worker never sends ``need``: chunks
+  carry content digests only, so a repeated sweep ships **zero**
+  payload bytes over the wire (the bench asserts exactly that).
+
+Function names resolve on the worker through an allowlist —
+``repro.``-prefixed module paths only — so a shard never unpickles its
+way into executing arbitrary callables; the pickled *payloads* are
+trusted exactly as far as the multiprocessing transport trusts them
+(shards are assumed to live inside the deployment's trust boundary,
+like the paper's coordination delegates).
+
+One connection serves one parent at a time (the runtime's dispatch
+protocol is strictly request/response per shard), and a worker returns
+to ``accept`` when the parent disconnects — ``restart_pool`` on a TCP
+runtime recycles connections, not remote processes, whose caches
+deliberately survive for the next session.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import socket
+import threading
+import traceback
+
+_HEADER_BYTES = 8
+
+
+class RemoteTaskError(RuntimeError):
+    """A task raised on a remote shard; carries the remote traceback."""
+
+
+def send_msg(sock: socket.socket, obj) -> None:
+    """Write one length-prefixed pickled frame."""
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(len(body).to_bytes(_HEADER_BYTES, "little") + body)
+
+
+def recv_msg(sock: socket.socket):
+    """Read one frame; returns None on a clean EOF between frames."""
+    header = _recv_exact(sock, _HEADER_BYTES, eof_ok=True)
+    if header is None:
+        return None
+    size = int.from_bytes(header, "little")
+    return pickle.loads(_recv_exact(sock, size, eof_ok=False))
+
+
+def _recv_exact(sock: socket.socket, size: int, eof_ok: bool):
+    chunks = bytearray()
+    while len(chunks) < size:
+        chunk = sock.recv(size - len(chunks))
+        if not chunk:
+            if eof_ok and not chunks:
+                return None
+            raise ConnectionError("peer closed mid-frame")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``host:port`` (the CLI's ``--shard`` / ``--listen``)."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected host:port, got {address!r}")
+    return host, int(port)
+
+
+def resolve_task(path: str):
+    """Resolve ``module:function`` to a callable, ``repro.``-only."""
+    module_name, _, func_name = path.partition(":")
+    if not module_name.startswith("repro.") or not func_name:
+        raise ValueError(f"refusing non-repro task path: {path!r}")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _serve_connection(conn: socket.socket) -> None:
+    """Serve one parent connection until it disconnects.
+
+    Tasks run with a fetch-on-miss hook installed
+    (:func:`repro.core.runtime.set_payload_fetcher`) so
+    :func:`~repro.core.runtime.kernel_for` pulls missing payloads over
+    this very connection; the hook is restored after every task so a
+    stale socket can never leak into a later dispatch.
+    """
+    from repro.core import runtime as _runtime
+
+    while True:
+        message = recv_msg(conn)
+        if message is None:
+            return
+        kind = message[0]
+        if kind == "ping":
+            send_msg(conn, ("pong",))
+            continue
+        if kind != "task":
+            send_msg(conn, ("error", None, f"unknown frame {kind!r}"))
+            continue
+        _, task_id, path, payload = message
+
+        def fetch(digest, _task_id=task_id):
+            send_msg(conn, ("need", _task_id, [digest]))
+            reply = recv_msg(conn)
+            if reply is None or reply[0] != "blob":
+                raise ConnectionError("parent stopped serving blobs")
+            return reply[2][digest]
+
+        previous = _runtime.set_payload_fetcher(fetch)
+        try:
+            result = resolve_task(path)(payload)
+        except Exception:
+            send_msg(conn, ("error", task_id, traceback.format_exc()))
+        else:
+            send_msg(conn, ("result", task_id, result))
+        finally:
+            _runtime.set_payload_fetcher(previous)
+
+
+class ShardServer:
+    """One listening shard: accepts parents sequentially, forever.
+
+    ``port=0`` binds an ephemeral port; :attr:`address` reports the
+    actual one.  :meth:`run` serves inline (the CLI's ``shard-worker``
+    loop); :meth:`start`/:meth:`stop` run the same loop on a daemon
+    thread for in-process tests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._listener = socket.create_server((host, port))
+        bound_host, bound_port = self._listener.getsockname()[:2]
+        self.address = f"{bound_host}:{bound_port}"
+        self.connections = 0
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+
+    def run(self) -> None:
+        """Accept-and-serve until the listener is closed."""
+        while not self._stopping:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:  # listener closed by stop()
+                break
+            self.connections += 1
+            try:
+                _serve_connection(conn)
+            except (ConnectionError, OSError):
+                pass  # parent vanished mid-frame; next accept
+            finally:
+                conn.close()
+
+    def start(self) -> "ShardServer":
+        self._thread = threading.Thread(target=self.run, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping = True
+        self._listener.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+def serve_shard(address: str, announce=print) -> None:
+    """Blocking entry point of ``repro shard-worker --listen`` —
+    announces the bound address (ephemeral ports print their real
+    value, which the smoke tests parse) and serves until killed."""
+    host, port = parse_address(address)
+    server = ShardServer(host, port)
+    announce(f"shard-worker listening on {server.address}", flush=True)
+    server.run()
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class _TcpResult:
+    """The ``apply_async`` handle: a one-shot future."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error = None
+
+    def get(self, timeout: float | None = None):
+        if not self._event.wait(timeout):
+            raise TimeoutError("remote shard result timed out")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _resolve(self, value=None, error=None):
+        self._value = value
+        self._error = error
+        self._event.set()
+
+
+class TcpShard:
+    """Parent-side handle on one remote shard connection.
+
+    Duck-types the slice of ``multiprocessing.Pool`` the runtime uses
+    (``apply_async`` → ``.get()``, ``terminate``, ``join``) so the
+    dispatch path is transport-blind.  A dedicated sender thread owns
+    the socket: tasks queue through it, and while a task is in flight
+    the thread serves the worker's ``need`` requests from *blob_of*
+    (the arena payload lookup), reporting shipped bytes to *on_fetch*
+    so the runtime's fetch counters see every payload that crosses the
+    wire.
+    """
+
+    def __init__(self, address: str, blob_of, on_fetch=None):
+        self.address = address
+        self._blob_of = blob_of
+        self._on_fetch = on_fetch
+        host, port = parse_address(address)
+        self._sock = socket.create_connection((host, port), timeout=30)
+        self._tasks: list = []
+        self._lock = threading.Lock()
+        self._wakeup = threading.Event()
+        self._closing = False
+        self._next_id = 0
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def apply_async(self, func, args) -> _TcpResult:
+        (payload,) = args
+        result = _TcpResult()
+        path = f"{func.__module__}:{func.__name__}"
+        with self._lock:
+            task_id = self._next_id
+            self._next_id += 1
+            self._tasks.append((task_id, path, payload, result))
+        self._wakeup.set()
+        return result
+
+    def terminate(self) -> None:
+        """Disconnect (the remote worker survives for the next
+        parent; its caches are the point of running it off-box)."""
+        self._closing = True
+        self._wakeup.set()
+
+    def join(self) -> None:
+        self._thread.join(timeout=30)
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    # -- sender thread -----------------------------------------------------
+
+    def _take(self):
+        with self._lock:
+            if self._tasks:
+                return self._tasks.pop(0)
+            self._wakeup.clear()
+        return None
+
+    def _run(self) -> None:
+        while True:
+            task = self._take()
+            if task is None:
+                if self._closing:
+                    return
+                self._wakeup.wait(timeout=0.5)
+                continue
+            task_id, path, payload, result = task
+            try:
+                send_msg(self._sock, ("task", task_id, path, payload))
+                self._pump(task_id, result)
+            except Exception as exc:  # socket died: fail fast, loudly
+                result._resolve(
+                    error=RemoteTaskError(
+                        f"shard {self.address}: {exc!r}"
+                    )
+                )
+                self._closing = True
+                self._fail_queued()
+                return
+
+    def _pump(self, task_id: int, result: _TcpResult) -> None:
+        """Serve ``need`` frames until the task's verdict arrives."""
+        while True:
+            message = recv_msg(self._sock)
+            if message is None:
+                raise ConnectionError("worker closed the connection")
+            kind = message[0]
+            if kind == "need":
+                blobs = {
+                    digest: self._blob_of(digest)
+                    for digest in message[2]
+                }
+                if self._on_fetch is not None:
+                    for blob in blobs.values():
+                        self._on_fetch(len(blob))
+                send_msg(self._sock, ("blob", message[1], blobs))
+            elif kind == "result" and message[1] == task_id:
+                result._resolve(value=message[2])
+                return
+            elif kind == "error":
+                result._resolve(
+                    error=RemoteTaskError(
+                        f"shard {self.address} raised:\n{message[2]}"
+                    )
+                )
+                return
+            else:
+                raise ConnectionError(f"unexpected frame {kind!r}")
+
+    def _fail_queued(self) -> None:
+        with self._lock:
+            tasks, self._tasks = self._tasks, []
+        for _, _, _, result in tasks:
+            result._resolve(
+                error=RemoteTaskError(
+                    f"shard {self.address}: connection lost"
+                )
+            )

@@ -23,11 +23,12 @@ classes`), each class is replayed once through the memoized
 broadcast to every member.  With ``workers > 1`` the distinct classes
 are fanned out through the persistent evolution runtime
 (:mod:`repro.core.runtime`): the models are *published once* to the
-shared-memory kernel arena and chunks carry segment names plus trace
-texts, workers attach and memoize the kernels (and their replay tries)
-across dispatches, and results return in input order, so verdicts and
-witnesses are identical for every worker count and across pool
-restarts.  The residual-liveness verdicts themselves ride the memoized
+content-addressed kernel arena and chunks carry digest references plus
+trace texts, workers resolve and memoize the kernels (and their replay
+tries) by digest across dispatches, trace classes route to shards by
+rendezvous hashing on model digest + trace content, and results return
+in input order, so verdicts and witnesses are identical for every
+worker count, routing mode, transport, and across pool restarts.  The residual-liveness verdicts themselves ride the memoized
 incremental good set of each model's kernel; repeated classifications
 against an unchanged model pair reuse it for free.
 
@@ -54,7 +55,7 @@ from dataclasses import dataclass, field
 
 from repro.afsa.automaton import AFSA
 from repro.afsa.kernel import Kernel, kernel_of
-from repro.core.runtime import EvolutionRuntime, attach_kernel, get_runtime
+from repro.core.runtime import EvolutionRuntime, get_runtime, kernel_for
 from repro.instances.replay import (
     MIGRATABLE,
     PENDING,
@@ -281,17 +282,17 @@ def _classify_ids(
 
 
 def _classify_arena_chunk(payload):
-    """Pool worker: attach the models from the shared-memory arena (a
-    memo hit after the first dispatch — the kernel *and* its replay
-    trie persist across a long-lived pool's tasks), classify a chunk
-    of classes."""
-    new_name, old_name, traces, witnesses = payload
-    new_kernel = attach_kernel(new_name)
+    """Pool worker: resolve the models by content digest (a memo hit
+    after the first dispatch — the kernel *and* its replay trie
+    persist across a long-lived pool's tasks, under any segment name
+    and on any transport), classify a chunk of classes."""
+    new_ref, old_ref, traces, witnesses = payload
+    new_kernel = kernel_for(new_ref)
     cache = ReplayCache.for_kernel(new_kernel)
     old_kernel = None
     old_cache = None
-    if old_name is not None:
-        old_kernel = attach_kernel(old_name)
+    if old_ref is not None:
+        old_kernel = kernel_for(old_ref)
         old_cache = ReplayCache.for_kernel(old_kernel)
     intern = INTERNER.intern
     return [
@@ -354,23 +355,27 @@ def classify_fleet(
     ordered = list(trace_by_id.values())
 
     if workers and workers > 1 and len(ordered) > 1:
-        # The models are published once to the shared-memory arena
-        # (an arena hit for every later classification of the same
-        # version pair); chunks carry segment names + trace texts.
+        # The models are published once to the content-addressed
+        # arena (an arena hit for every later classification of the
+        # same version pair); chunks carry digest refs + trace texts.
         runtime = runtime or get_runtime()
         kernels = [kernel_of(target)]
         if old_model is not None:
             kernels.append(kernel_of(old_model))
         text_of = INTERNER.text
-        with runtime.published(kernels) as names:
-            new_name = names[0]
-            old_name = names[1] if old_model is not None else None
-            ordered_results, _ = runtime.map_chunked(
+        with runtime.published(kernels) as digests:
+            new_ref = runtime.ref_of(digests[0])
+            old_ref = (
+                runtime.ref_of(digests[1])
+                if old_model is not None
+                else None
+            )
+            ordered_results, _, _ = runtime.map_chunked(
                 _classify_arena_chunk,
                 ordered,
                 lambda chunk: (
-                    new_name,
-                    old_name,
+                    new_ref,
+                    old_ref,
                     [
                         [text_of(label_id) for label_id in trace]
                         for trace in chunk
@@ -378,6 +383,13 @@ def classify_fleet(
                     witnesses,
                 ),
                 workers,
+                # Content routing key: the model pair's digests plus
+                # the trace texts — interner ids are process-local, so
+                # the key ships as text, exactly like the payload.
+                key_of=lambda trace: "|".join(
+                    [digests[0]]
+                    + [text_of(label_id) for label_id in trace]
+                ),
             )
         results_by_id = {
             id(trace): result

@@ -276,6 +276,32 @@ def render_metrics(
         runtime_stats.get("tasks", 0),
         "Worker tasks shipped across all dispatches.",
     )
+    counter(
+        "repro_runtime_arena_dedup_hits_total",
+        runtime_stats.get("arena_dedup_hits", 0),
+        "Publishes deduplicated onto an existing content digest.",
+    )
+    counter(
+        "repro_runtime_routed_tasks_total",
+        runtime_stats.get("routed_tasks", 0),
+        "Work items placed on shards by the chunk router.",
+    )
+    counter(
+        "repro_runtime_routing_spilled_total",
+        runtime_stats.get("routing_spilled", 0),
+        "Items spilled past their top rendezvous shard by the "
+        "hot-shard load cap.",
+    )
+    counter(
+        "repro_runtime_payload_fetches_total",
+        runtime_stats.get("payload_fetches", 0),
+        "Kernel payloads served to TCP workers on fetch-on-miss.",
+    )
+    counter(
+        "repro_runtime_payload_fetch_bytes_total",
+        runtime_stats.get("payload_fetch_bytes", 0),
+        "Payload bytes shipped to TCP workers on fetch-on-miss.",
+    )
 
     gauge(
         "repro_verdict_cache_entries",

@@ -34,9 +34,14 @@ def _bench(name, median_ms, mean_ms=None, group="scaling"):
     }
 
 
-def _write(tmp_path, filename, benchmarks):
+def _write(tmp_path, filename, benchmarks, cpu_count=None):
     path = tmp_path / filename
-    path.write_text(json.dumps({"benchmarks": benchmarks}), encoding="utf-8")
+    data = {"benchmarks": benchmarks}
+    if cpu_count is not None:
+        data["machine_info"] = {
+            "hardware": {"cpu_count": cpu_count, "platform": "test"}
+        }
+    path.write_text(json.dumps(data), encoding="utf-8")
     return str(path)
 
 
@@ -194,6 +199,70 @@ class TestCompare:
             run, baseline, calibrate=True, exclude=["test_minimize*"]
         )
         assert failing == []
+
+
+class TestHardwareContext:
+    """``--compare`` sanity-checks the recorded CPU budget: mismatches
+    and missing context warn in the table but never gate."""
+
+    def test_cpu_count_mismatch_warns_but_never_gates(self, tmp_path):
+        base = _write(
+            tmp_path, "base.json",
+            [_bench("test_emptiness[512]", 6.0)], cpu_count=8,
+        )
+        run = _write(
+            tmp_path, "run.json",
+            [_bench("test_emptiness[512]", 6.2)], cpu_count=1,
+        )
+        table, regressions = report.compare(run, base)
+        assert regressions == []
+        assert "CPU count differs (baseline 8, run 1)" in table
+        assert "GATE PASSED" in table
+
+    def test_matching_cpu_counts_stay_silent(self, tmp_path):
+        base = _write(
+            tmp_path, "base.json",
+            [_bench("test_emptiness[512]", 6.0)], cpu_count=4,
+        )
+        run = _write(
+            tmp_path, "run.json",
+            [_bench("test_emptiness[512]", 6.2)], cpu_count=4,
+        )
+        table, _ = report.compare(run, base)
+        assert "WARNING" not in table
+
+    def test_missing_hardware_context_warns(self, tmp_path):
+        base = _write(
+            tmp_path, "base.json", [_bench("test_emptiness[512]", 6.0)]
+        )
+        run = _write(
+            tmp_path, "run.json",
+            [_bench("test_emptiness[512]", 6.2)], cpu_count=4,
+        )
+        table, regressions = report.compare(run, base)
+        assert regressions == []
+        assert "no hardware context in the baseline" in table
+
+    def test_falls_back_to_pytest_benchmark_cpu_block(self, tmp_path):
+        """The committed baselines predate the ``hardware`` block but
+        carry pytest-benchmark's own ``cpu.count`` — that must count
+        as context, not as missing."""
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "machine_info": {"cpu": {"count": 1}},
+                    "benchmarks": [_bench("test_emptiness[512]", 6.0)],
+                }
+            ),
+            encoding="utf-8",
+        )
+        run = _write(
+            tmp_path, "run.json",
+            [_bench("test_emptiness[512]", 6.1)], cpu_count=1,
+        )
+        table, _ = report.compare(run, str(path))
+        assert "WARNING" not in table
 
 
 class TestMain:

@@ -39,8 +39,9 @@ from repro.afsa.lazy import (
 from repro.core.runtime import (
     EvolutionRuntime,
     active_segment_names,
-    attach_kernel,
+    kernel_for,
 )
+from repro.core.transport import ShardServer
 from repro.core.sweep import (
     WITNESS_ALL,
     WITNESS_NONE,
@@ -106,8 +107,8 @@ class TestKernelArena:
             seed=3, states=12, labels=5, annotation_probability=0.4
         )
         kernel = kernel_of(automaton)
-        name = runtime.arena.publish(kernel)
-        rebuilt = attach_kernel(name)
+        digest = runtime.arena.publish(kernel)
+        rebuilt = kernel_for((digest, runtime.arena.locator(digest)))
         # Field-by-field: wire tuples serialize frozensets, whose
         # iteration order is construction-dependent.
         assert rebuilt.n == kernel.n
@@ -142,10 +143,10 @@ class TestKernelArena:
                 kernel_of(random_afsa(seed=10 + i, states=6))
                 for i in range(4)
             ]
-            names = [rt.arena.publish(k) for k in kernels]
+            digests = [rt.arena.publish(k) for k in kernels]
             assert len(rt.arena) == 2
-            live = rt.arena.segment_names()
-            assert names[-1] in live and names[0] not in live
+            assert rt.arena.locator(digests[-1]) is not None
+            assert rt.arena.locator(digests[0]) is None
 
     def test_pinning_more_kernels_than_maxsize(self):
         """A dispatch may pin a grid larger than the arena bound: the
@@ -156,10 +157,12 @@ class TestKernelArena:
                 kernel_of(random_afsa(seed=30 + i, states=6))
                 for i in range(5)
             ]
-            names = rt.arena.pin(kernels)
-            assert len(set(names)) == 5
-            live = rt.arena.segment_names()
-            assert all(name in live for name in names)
+            digests = rt.arena.pin(kernels)
+            assert len(set(digests)) == 5
+            assert all(
+                rt.arena.locator(digest) is not None
+                for digest in digests
+            )
             rt.arena.unpin(kernels)
             extra = kernel_of(random_afsa(seed=40, states=6))
             rt.arena.publish(extra)
@@ -168,16 +171,17 @@ class TestKernelArena:
     def test_discard_defers_while_pinned(self):
         with EvolutionRuntime() as rt:
             kernel = kernel_of(random_afsa(seed=21, states=6))
-            with rt.published([kernel]) as (name,):
+            with rt.published([kernel]) as (digest,):
                 rt.arena.discard(kernel)
                 # Pinned by the in-flight dispatch: still published.
-                assert name in rt.arena.segment_names()
-            assert name not in rt.arena.segment_names()
+                assert rt.arena.locator(digest) is not None
+            assert rt.arena.locator(digest) is None
 
     def test_shutdown_unlinks_everything(self):
         rt = EvolutionRuntime()
         kernel = kernel_of(random_afsa(seed=22, states=6))
-        name = rt.arena.publish(kernel)
+        digest = rt.arena.publish(kernel)
+        name = rt.arena.locator(digest)
         assert name in active_segment_names()
         rt.shutdown()
         assert name not in active_segment_names()
@@ -251,6 +255,60 @@ class TestInvariance:
             pairs, witnesses=WITNESS_ALL, workers=2, runtime=runtime
         )
         for variant in (pooled, restarted):
+            assert [ok for ok, _ in variant] == [
+                ok for ok, _ in serial
+            ]
+            assert [wit.describe() for _, wit in variant] == [
+                wit.describe() for _, wit in serial
+            ]
+            assert [wit.word for _, wit in variant] == [
+                wit.word for _, wit in serial
+            ]
+
+    def test_tcp_transport_matches_serial_and_pool(self):
+        """Transport invariance: serial, forked-pool and TCP-shard
+        sweeps produce byte-identical verdicts and canonical
+        witnesses — and a repeated TCP sweep ships zero payload bytes
+        (warm shards never send ``need`` frames)."""
+        pairs = [
+            (
+                random_afsa(
+                    seed=910 + 7 * i, states=10, labels=5,
+                    annotation_probability=0.4,
+                ),
+                random_afsa(
+                    seed=915 + 7 * i, states=10, labels=5,
+                    annotation_probability=0.4,
+                ),
+            )
+            for i in range(4)
+        ]
+        serial = sweep_pairs(pairs, witnesses=WITNESS_ALL)
+        with EvolutionRuntime() as rt:
+            pooled = sweep_pairs(
+                pairs, witnesses=WITNESS_ALL, workers=2, runtime=rt
+            )
+        servers = [ShardServer().start() for _ in range(2)]
+        try:
+            with EvolutionRuntime(
+                transport="tcp",
+                shards=[server.address for server in servers],
+            ) as rt:
+                tcp = sweep_pairs(
+                    pairs, witnesses=WITNESS_ALL, workers=2,
+                    runtime=rt,
+                )
+                assert rt.payload_fetches > 0
+                fetched_bytes = rt.payload_fetch_bytes
+                repeat = sweep_pairs(
+                    pairs, witnesses=WITNESS_ALL, workers=2,
+                    runtime=rt,
+                )
+                assert rt.payload_fetch_bytes == fetched_bytes
+        finally:
+            for server in servers:
+                server.stop()
+        for variant in (pooled, tcp, repeat):
             assert [ok for ok, _ in variant] == [
                 ok for ok, _ in serial
             ]
@@ -371,6 +429,47 @@ class TestInvariance:
         for i, j in stable.items():
             assert old.names[i] == new.names[j]
             assert (i in old.finals) == (j in new.finals)
+
+
+class TestRoutingAffinity:
+    """Regression for the stale-affinity trap the digest router fixes:
+    a grid that is *almost* identical to the previous dispatch — one
+    pair inserted at the front — shifts every position, so positional
+    chunking re-ships each pair to a shard that never saw it, while
+    rendezvous hashing on content digests keeps every repeated pair on
+    its warm shard."""
+
+    def _run(self, routing):
+        base = [
+            (
+                random_afsa(seed=700 + 13 * i, states=8, labels=4),
+                random_afsa(seed=705 + 13 * i, states=8, labels=4),
+            )
+            for i in range(6)
+        ]
+        extra = (
+            random_afsa(seed=690, states=8, labels=4),
+            random_afsa(seed=691, states=8, labels=4),
+        )
+        with EvolutionRuntime(routing=routing) as rt:
+            _sweep_pairs_stats(base, WITNESS_NONE, 2, rt)  # cold
+            _, repeat = _sweep_pairs_stats(base, WITNESS_NONE, 2, rt)
+            _, shifted = _sweep_pairs_stats(
+                [extra] + base, WITNESS_NONE, 2, rt
+            )
+        return repeat["cache_hits"], shifted["cache_hits"]
+
+    def test_positional_affinity_goes_cold_on_a_shifted_grid(self):
+        repeat_hits, shifted_hits = self._run("positional")
+        assert repeat_hits == 6  # the identical repeat is fully warm
+        assert shifted_hits < repeat_hits  # the shift loses the caches
+
+    def test_digest_routing_stays_warm_on_a_shifted_grid(self):
+        repeat_hits, shifted_hits = self._run("digest")
+        assert repeat_hits == 6
+        # Every repeated pair still hits its shard's cache: at least
+        # as warm as the identical-repeat case.
+        assert shifted_hits >= repeat_hits
 
 
 class TestFleetClassifierDelta:
@@ -552,7 +651,7 @@ class TestLineageArenaEviction:
         segment from the default arena the moment it stops being the
         lineage anchor (compile eviction extended to the arena)."""
         from repro.core.choreography import Choreography
-        from repro.core.runtime import get_runtime
+        from repro.core.runtime import get_runtime, shutdown_runtime
         from repro.scenario.procurement import (
             accounting_private,
             accounting_private_subtractive_change,
@@ -560,22 +659,26 @@ class TestLineageArenaEviction:
             buyer_private,
         )
 
+        # Fresh default runtime: the arena dedups by content, so an
+        # identical kernel published by an earlier test would keep the
+        # segment alive past this test's own discard — correctly.
+        shutdown_runtime()
         choreography = Choreography("evict")
         choreography.add_partner(buyer_private())
         choreography.add_partner(accounting_private())
         v1_kernel = kernel_of(choreography.public("A"))
-        name = get_runtime().arena.publish(v1_kernel)
+        digest = get_runtime().arena.publish(v1_kernel)
         choreography.replace_private(
             "A", accounting_private_variant_change()
         )
         # v1 is the anchor now: still published.
-        assert name in get_runtime().arena.segment_names()
+        assert get_runtime().arena.locator(digest) is not None
         choreography.public("A")  # compile v2 so it can take over
         choreography.replace_private(
             "A", accounting_private_subtractive_change()
         )
         # v2 took the anchor; v1's segment is gone.
-        assert name not in get_runtime().arena.segment_names()
+        assert get_runtime().arena.locator(digest) is None
 
     def test_uncompiled_replace_keeps_anchor_segment(self):
         """Replacing a version that was never compiled must NOT drop
@@ -593,7 +696,7 @@ class TestLineageArenaEviction:
         choreography.add_partner(buyer_private())
         choreography.add_partner(accounting_private())
         v1_kernel = kernel_of(choreography.public("A"))
-        name = get_runtime().arena.publish(v1_kernel)
+        digest = get_runtime().arena.publish(v1_kernel)
         choreography.replace_private(
             "A", accounting_private_variant_change()
         )
@@ -602,7 +705,7 @@ class TestLineageArenaEviction:
         choreography.replace_private(
             "A", accounting_private_subtractive_change()
         )
-        assert name in get_runtime().arena.segment_names()
+        assert get_runtime().arena.locator(digest) is not None
 
 
 class TestCliSweep:
