@@ -1,0 +1,201 @@
+"""Scaling benchmarks: pipelined scheduler vs barrier on a skewed grid.
+
+The barrier scheduler hands each shard one monolithic chunk, so sweep
+latency is the *max* over shards — one slow shard (CPU contention, a
+cold cache, a noisy neighbour) stalls the whole grid.  The pipelined
+scheduler splits the grid into rendezvous-routed micro-chunks, keeps a
+bounded in-flight window per shard, steals queued work from stragglers
+and re-dispatches their in-flight chunks speculatively — latency
+approaches the *mean*.
+
+Rows (all correctness checks run inside the bench):
+
+* **skewed-grid sweep, barrier** — shard slot 0 is slowed by the
+  ``REPRO_SWEEP_FAULT`` test hook (the straggler-injection satellite);
+  the barrier path degrades to the straggler's full serial time;
+* **skewed-grid sweep, pipelined+speculative** — the same fault under
+  the pipelined scheduler with forced speculation.  The ≥2× speedup
+  over the barrier path is asserted in-bench (measured side by side in
+  this very process), as is verdict identity with the serial sweep —
+  so the committed JSON is also the acceptance claim's record;
+* **fan-out curve** — an unskewed compute-bound grid swept with 1, 2
+  and 4 workers; each row's best-round seconds is also stamped into
+  the output JSON's hardware block (``sweep_fanout_curve``) next to
+  the ``cpu_count`` it was measured on — the ROADMAP's "multi-core
+  measurement" record.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from bench_support import FANOUT_CURVE
+
+from repro.core.runtime import (
+    SCHEDULER_BARRIER,
+    SCHEDULER_PIPELINE,
+    EvolutionRuntime,
+)
+from repro.core.sweep import WITNESS_NONE, sweep_pairs
+from repro.workload.generator import random_afsa
+
+#: Small states for the skew rows: the injected sleep dominates, so
+#: the rows measure *scheduling*, not kernel compute.
+SKEW_SIZE = 96
+#: Compute-bound states for the fan-out curve rows.
+FANOUT_SIZE = 512
+GRID_PAIRS = 12
+SWEEP_WORKERS = 2
+#: Shard slot 0 sleeps this long per pair in every chunk it checks.
+FAULT_S = 0.05
+FAULT = f"0:{FAULT_S}"
+#: The acceptance claim: pipelined+speculative ≥2× over the barrier.
+ASSERT_SPEEDUP = 2.0
+FANOUT_WORKERS = [1, 2, 4]
+
+
+def _grid(size, base_seed=0, pairs=GRID_PAIRS):
+    return [
+        (
+            random_afsa(
+                seed=base_seed + 2 * index, states=size, labels=6,
+                annotation_probability=0.3,
+            ),
+            random_afsa(
+                seed=base_seed + 2 * index + 1, states=size, labels=6,
+                annotation_probability=0.3,
+            ),
+        )
+        for index in range(pairs)
+    ]
+
+
+def _sweep(runtime, grid, workers=SWEEP_WORKERS):
+    return sweep_pairs(
+        grid, witnesses=WITNESS_NONE, workers=workers, runtime=runtime
+    )
+
+
+def _skewed_seconds(scheduler, grid, rounds):
+    """Best-of-*rounds* seconds for the skewed sweep under *scheduler*,
+    on a fresh runtime (its own fleet, its own latency EWMAs) — the
+    side-by-side protocol behind the in-bench ≥2× assertion.  Callers
+    hold ``REPRO_SWEEP_FAULT`` (and, for the pipelined side,
+    ``REPRO_SWEEP_SPECULATE=force``) in the environment."""
+    with EvolutionRuntime(scheduler=scheduler, window=1) as runtime:
+        _sweep(runtime, grid)  # fork + publish outside the timing
+
+        def one_round():
+            start = perf_counter()
+            _sweep(runtime, grid)
+            return perf_counter() - start
+
+        return min(one_round() for _ in range(rounds))
+
+
+def test_scaling_pipeline_barrier_skew(benchmark, monkeypatch):
+    """One-chunk-per-shard barrier under a slow shard: the whole grid
+    waits for the straggler's monolithic chunk."""
+    grid = _grid(SKEW_SIZE)
+    serial = sweep_pairs(grid, witnesses=WITNESS_NONE)
+    monkeypatch.setenv("REPRO_SWEEP_FAULT", FAULT)
+    monkeypatch.delenv("REPRO_SWEEP_PIPELINE", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_SPECULATE", raising=False)
+    runtime = EvolutionRuntime(scheduler=SCHEDULER_BARRIER)
+    try:
+        results = _sweep(runtime, grid)
+        assert [ok for ok, _ in results] == [ok for ok, _ in serial]
+
+        benchmark.group = "pipeline-skewed-sweep"
+        benchmark.extra_info["states"] = SKEW_SIZE
+        benchmark.extra_info["pairs"] = GRID_PAIRS
+        benchmark.extra_info["workers"] = SWEEP_WORKERS
+        benchmark.extra_info["scheduler"] = SCHEDULER_BARRIER
+        benchmark.extra_info["fault"] = FAULT
+        benchmark(_sweep, runtime, grid)
+    finally:
+        runtime.shutdown()
+
+
+def test_scaling_pipeline_pipelined_skew(benchmark, monkeypatch):
+    """Pipelined micro-chunks + stealing + forced speculation under the
+    same slow shard: latency is bounded by a couple of chunk times.
+    The ≥2× acceptance ratio vs the barrier is asserted in-bench."""
+    grid = _grid(SKEW_SIZE)
+    serial = sweep_pairs(grid, witnesses=WITNESS_NONE)
+    monkeypatch.setenv("REPRO_SWEEP_FAULT", FAULT)
+    monkeypatch.setenv("REPRO_SWEEP_SPECULATE", "force")
+    monkeypatch.delenv("REPRO_SWEEP_PIPELINE", raising=False)
+    runtime = EvolutionRuntime(scheduler=SCHEDULER_PIPELINE, window=1)
+    try:
+        results = _sweep(runtime, grid)
+        assert [ok for ok, _ in results] == [ok for ok, _ in serial]
+
+        benchmark.group = "pipeline-skewed-sweep"
+        benchmark.extra_info["states"] = SKEW_SIZE
+        benchmark.extra_info["pairs"] = GRID_PAIRS
+        benchmark.extra_info["workers"] = SWEEP_WORKERS
+        benchmark.extra_info["scheduler"] = SCHEDULER_PIPELINE
+        benchmark.extra_info["speculation"] = "force"
+        benchmark.extra_info["fault"] = FAULT
+        benchmark(_sweep, runtime, grid)
+        assert runtime.speculative_dispatches >= 1
+    finally:
+        runtime.shutdown()
+
+    # The acceptance claim, measured side by side in this very process
+    # so the committed JSON doubles as its record.
+    pipelined_s = _skewed_seconds(SCHEDULER_PIPELINE, grid, rounds=2)
+    monkeypatch.delenv("REPRO_SWEEP_SPECULATE", raising=False)
+    barrier_s = _skewed_seconds(SCHEDULER_BARRIER, grid, rounds=2)
+    benchmark.extra_info["barrier_s"] = round(barrier_s, 4)
+    benchmark.extra_info["pipelined_s"] = round(pipelined_s, 4)
+    assert barrier_s >= ASSERT_SPEEDUP * pipelined_s, (
+        f"pipelined+speculative {barrier_s / pipelined_s:.1f}× faster "
+        f"than the barrier — expected ≥{ASSERT_SPEEDUP}×"
+    )
+
+
+@pytest.mark.parametrize("workers", FANOUT_WORKERS)
+def test_scaling_pipeline_fanout(benchmark, monkeypatch, workers):
+    """The multi-core fan-out curve: one compute-bound grid swept with
+    1 (serial), 2 and 4 workers under the pipelined scheduler.  Fresh
+    random grids per round keep every verdict cache cold, so the rows
+    measure kernel compute + dispatch, not memoization.  Best-round
+    seconds land in the JSON hardware block as ``sweep_fanout_curve``."""
+    monkeypatch.delenv("REPRO_SWEEP_FAULT", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_PIPELINE", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_SPECULATE", raising=False)
+    runtime = EvolutionRuntime(workers=workers)
+    seeds = iter(range(10_000, 90_000, 1_000))
+    try:
+        serial_probe = _grid(FANOUT_SIZE, base_seed=next(seeds))
+        serial = sweep_pairs(serial_probe, witnesses=WITNESS_NONE)
+        results = _sweep(runtime, serial_probe, workers=workers)
+        assert [ok for ok, _ in results] == [ok for ok, _ in serial]
+
+        def fresh_grid():
+            return (_grid(FANOUT_SIZE, base_seed=next(seeds)),), {}
+
+        def fanned_sweep(grid):
+            return _sweep(runtime, grid, workers=workers)
+
+        benchmark.group = "pipeline-fanout-curve"
+        benchmark.extra_info["states"] = FANOUT_SIZE
+        benchmark.extra_info["pairs"] = GRID_PAIRS
+        benchmark.extra_info["workers"] = workers
+        benchmark.pedantic(
+            fanned_sweep, setup=fresh_grid, rounds=2, iterations=1
+        )
+
+        best = None
+        for _ in range(2):
+            (grid,), _kwargs = fresh_grid()
+            start = perf_counter()
+            fanned_sweep(grid)
+            elapsed = perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        FANOUT_CURVE[str(workers)] = round(best, 6)
+        benchmark.extra_info["best_round_s"] = round(best, 6)
+    finally:
+        runtime.shutdown()

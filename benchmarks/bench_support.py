@@ -18,3 +18,11 @@ def record_verdict(benchmark, experiment: str, paper: str, measured: str):
     assert measured == paper, (
         f"{experiment}: paper says {paper!r}, measured {measured!r}"
     )
+
+
+#: Measured multi-core fan-out curve (worker count → best-round sweep
+#: seconds), filled by ``bench_scaling_pipeline.py`` and stamped into
+#: the output JSON's hardware block by the ``conftest.py``
+#: ``pytest_benchmark_update_json`` hook — the ROADMAP's "multi-core
+#: measurement" record travels with the hardware it was taken on.
+FANOUT_CURVE: dict = {}

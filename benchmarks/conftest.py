@@ -80,6 +80,18 @@ def pytest_benchmark_update_machine_info(config, machine_info):
     }
 
 
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp the measured multi-core fan-out curve (worker count →
+    best-round sweep seconds, filled by ``bench_scaling_pipeline.py``)
+    into the hardware block at JSON-write time — the curve is only
+    meaningful next to the ``cpu_count`` it was measured on."""
+    from bench_support import FANOUT_CURVE
+
+    if FANOUT_CURVE:
+        hardware = output_json["machine_info"].setdefault("hardware", {})
+        hardware["sweep_fanout_curve"] = dict(sorted(FANOUT_CURVE.items()))
+
+
 # -- shared-memory leak guard (twin of tests/conftest.py) ----------------------
 
 

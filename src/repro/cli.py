@@ -35,6 +35,7 @@ Output is plain text (``--dot`` switches automaton output to Graphviz).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -114,6 +115,12 @@ def cmd_sweep(args) -> int:
     choreography = Choreography("sweep")
     for path in args.files:
         choreography.add_partner(load_process(path))
+    if args.scheduler:
+        # One env knob feeds every runtime this sweep touches — the
+        # owned ones below and the process-wide default alike.
+        os.environ["REPRO_SWEEP_PIPELINE"] = (
+            "0" if args.scheduler == "barrier" else "1"
+        )
     if args.transport == "tcp" and not args.shard:
         print("--transport tcp needs at least one --shard host:port")
         return 2
@@ -149,6 +156,7 @@ def cmd_sweep(args) -> int:
                         witnesses=args.witnesses,
                         workers=workers,
                         runtime=runtime,
+                        stop_on_first_inconsistency=args.fail_fast,
                     )
                     # Captured while the runtime is alive; shutdown
                     # unlinks the arena and would report empty
@@ -164,6 +172,7 @@ def cmd_sweep(args) -> int:
                     witnesses=args.witnesses,
                     workers=workers,
                     runtime=runtime,
+                    stop_on_first_inconsistency=args.fail_fast,
                 )
                 stats_line = (runtime or get_runtime()).describe()
     finally:
@@ -600,6 +609,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="digest",
         help="shard routing: rendezvous hashing on kernel digests "
         "(default) or the legacy positional chunk affinity",
+    )
+    sweep_cmd.add_argument(
+        "--scheduler",
+        choices=["pipeline", "barrier"],
+        default="",
+        help="fan-out scheduler: pipelined micro-chunks with "
+        "streaming completion (default) or the legacy "
+        "one-chunk-per-shard barrier",
+    )
+    sweep_cmd.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first inconsistent pair and cancel "
+        "outstanding chunks (undecided pairs are reported)",
     )
     sweep_cmd.set_defaults(handler=cmd_sweep)
 

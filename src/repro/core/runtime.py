@@ -62,9 +62,11 @@ from __future__ import annotations
 
 import atexit
 import os
+import queue
 import threading
+import time
 import weakref
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from multiprocessing import get_context, shared_memory
 
 from repro.afsa.kernel import Kernel
@@ -73,7 +75,7 @@ from repro.afsa.serialize import (
     kernel_to_payload,
     payload_digest,
 )
-from repro.core.routing import route
+from repro.core.routing import rendezvous_rank, route
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -396,6 +398,57 @@ ROUTING_POSITIONAL = "positional"
 TRANSPORT_MP = "mp"
 TRANSPORT_TCP = "tcp"
 
+#: Grid schedulers: the pipelined micro-chunk scheduler (the default)
+#: or the legacy one-chunk-per-shard barrier (the bench baseline).
+#: ``REPRO_SWEEP_PIPELINE=0`` / ``=1`` overrides per process.
+SCHEDULER_PIPELINE = "pipeline"
+SCHEDULER_BARRIER = "barrier"
+
+#: Cap on the auto-sized shard fleet: dispatches that never name a
+#: worker count get ``min(os.cpu_count(), _MAX_AUTO_SHARDS)`` shards.
+_MAX_AUTO_SHARDS = 8
+
+#: Chunk-size histogram bucket upper bounds (pairs per chunk).
+CHUNK_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+#: EWMA smoothing for observed chunk/pair latencies.
+_EWMA_ALPHA = 0.25
+
+#: Completion-queue poll interval: bounds how stale a straggler check
+#: can be while the scheduler waits for the next completion.
+_POLL_SECONDS = 0.01
+
+
+def default_worker_count() -> int:
+    """The shard count for dispatches with no explicit worker count:
+    the machine's CPU count capped at :data:`_MAX_AUTO_SHARDS` — never
+    the chunk count (a 2-chunk dispatch on a 16-core box should still
+    leave the fleet sized for the grids that follow it)."""
+    return max(1, min(os.cpu_count() or 1, _MAX_AUTO_SHARDS))
+
+
+class _Chunk:
+    """One micro-chunk in flight through :meth:`map_streaming`: its
+    item indices, prebuilt payload, rendezvous candidate ranking for
+    speculation, and per-attempt bookkeeping."""
+
+    __slots__ = (
+        "indices", "payload", "shard", "candidates",
+        "attempts", "outstanding", "done", "result", "error",
+    )
+
+    def __init__(self, indices, payload, shard, candidates):
+        self.indices = indices
+        self.payload = payload
+        self.shard = shard
+        self.candidates = candidates
+        #: (shard, monotonic start) per dispatch attempt, primary first.
+        self.attempts: list = []
+        self.outstanding = 0
+        self.done = False
+        self.result = None
+        self.error = None
+
 
 class EvolutionRuntime:
     """Shared fan-out runtime: one arena, one long-lived worker fleet.
@@ -423,6 +476,12 @@ class EvolutionRuntime:
         spill_factor: float = 2.0,
         transport: str = TRANSPORT_MP,
         shards: list[str] | None = None,
+        scheduler: str = SCHEDULER_PIPELINE,
+        window: int = 2,
+        chunks_per_shard: int = 6,
+        speculate: bool = True,
+        speculate_multiple: float = 4.0,
+        speculate_floor_s: float = 0.05,
     ):
         if routing not in (ROUTING_DIGEST, ROUTING_POSITIONAL):
             raise ValueError(f"unknown routing mode: {routing!r}")
@@ -430,11 +489,19 @@ class EvolutionRuntime:
             raise ValueError(f"unknown transport: {transport!r}")
         if transport == TRANSPORT_TCP and not shards:
             raise ValueError("tcp transport needs shard addresses")
+        if scheduler not in (SCHEDULER_PIPELINE, SCHEDULER_BARRIER):
+            raise ValueError(f"unknown scheduler: {scheduler!r}")
         self.workers = workers
         self.routing = routing
         self.spill_factor = spill_factor
         self.transport = transport
         self.shard_addresses = list(shards or [])
+        self.scheduler = scheduler
+        self.window = max(1, window)
+        self.chunks_per_shard = max(1, chunks_per_shard)
+        self.speculate = speculate
+        self.speculate_multiple = speculate_multiple
+        self.speculate_floor_s = speculate_floor_s
         self.arena = KernelArena(maxsize=arena_maxsize)
         self._shards: list = []
         self.pool_starts = 0
@@ -444,6 +511,27 @@ class EvolutionRuntime:
         self.routing_spilled = 0
         self.payload_fetches = 0
         self.payload_fetch_bytes = 0
+        self.chunks_dispatched = 0
+        self.speculative_dispatches = 0
+        self.speculative_wins = 0
+        self.stolen_chunks = 0
+        self.cancelled_chunks = 0
+        self.inflight = 0
+        self.inflight_high_water = 0
+        self.chunk_size_hist = {bound: 0 for bound in CHUNK_BUCKETS}
+        self.chunk_size_hist["inf"] = 0
+        self.chunk_pairs_total = 0
+        #: Fleet-wide latency EWMAs (seconds), fed by every completed
+        #: chunk: per-pair drives adaptive chunk sizing, per-chunk the
+        #: straggler threshold.
+        self.pair_latency_ewma: float | None = None
+        self.chunk_latency_ewma: float | None = None
+        #: Per-shard per-pair latency EWMA (seconds), fed by every
+        #: completed attempt — losing duplicates included, which is
+        #: how a straggler's slowness gets observed at all when
+        #: backups keep winning.  Cleared with the pool: the next
+        #: fleet's processes are new.
+        self.shard_pair_ewma: dict = {}
         self._closed = False
         _RUNTIMES.add(self)
 
@@ -460,14 +548,19 @@ class EvolutionRuntime:
         """Worker shards currently running (0 = not started yet)."""
         return len(self._shards)
 
-    def ensure_pool(self, workers: int) -> None:
+    def ensure_pool(self, workers: int = 0) -> None:
         """Grow the shard fleet to at least *workers* processes (lazy
         start; existing shards — and their caches — are kept).
-        ``self.workers`` is only the default for dispatches that don't
-        specify a count — a 2-chunk dispatch on a big machine forks 2
-        shards, not ``cpu_count`` idle ones.  The TCP fleet is fixed by
-        the configured addresses: every shard is connected on first
-        use and *workers* only caps how many dispatches fan out."""
+        Sizing rule: an explicit *workers* count wins; otherwise the
+        runtime's configured default; otherwise
+        :func:`default_worker_count` — the machine's CPU count, capped
+        — **never** the chunk count of whatever dispatch happened to
+        arrive first.  The TCP fleet is fixed by the configured
+        addresses: every shard is connected on first use and *workers*
+        only caps how many dispatches fan out.  Each forked shard
+        inherits its slot index via the ``REPRO_SHARD_SLOT``
+        environment variable (the straggler fault-injection hook keys
+        on it)."""
         if self._closed:
             raise RuntimeError("runtime is shut down")
         if self.transport == TRANSPORT_TCP:
@@ -484,11 +577,15 @@ class EvolutionRuntime:
                 ]
                 self.pool_starts += 1
             return
-        needed = max(1, workers or self.workers)
+        needed = max(1, workers or self.workers or default_worker_count())
         if len(self._shards) < needed:
             context = get_context()
             while len(self._shards) < needed:
-                self._shards.append(context.Pool(1))
+                os.environ["REPRO_SHARD_SLOT"] = str(len(self._shards))
+                try:
+                    self._shards.append(context.Pool(1))
+                finally:
+                    os.environ.pop("REPRO_SHARD_SLOT", None)
             self.pool_starts += 1
 
     def restart_pool(self) -> None:
@@ -510,6 +607,7 @@ class EvolutionRuntime:
         for shard in self._shards:
             shard.join()
         self._shards = []
+        self.shard_pair_ewma.clear()
 
     def _count_fetch(self, nbytes: int) -> None:
         """Transport callback: one fetch-on-miss served, *nbytes* of
@@ -541,12 +639,14 @@ class EvolutionRuntime:
         router's explicit placement; without it payload ``i`` goes to
         shard ``i mod shards``.  Results come back in payload order, so
         verdicts are independent of worker count and of how often the
-        fleet was restarted in between.
+        fleet was restarted in between.  Without an explicit worker
+        count the fleet is sized by :func:`default_worker_count`, not
+        by ``len(payloads)``.
         """
         payloads = list(payloads)
         if not payloads:
             return []
-        self.ensure_pool(workers or len(payloads))
+        self.ensure_pool(workers or 0)
         self.dispatches += 1
         self.tasks += len(payloads)
         shards = self._shards
@@ -639,6 +739,412 @@ class EvolutionRuntime:
             "spilled": spilled,
         }
 
+    # -- pipelined scheduler -----------------------------------------------
+
+    def scheduler_mode(self) -> str:
+        """The effective grid scheduler: the configured one, unless the
+        ``REPRO_SWEEP_PIPELINE`` environment variable forces pipeline
+        (``1``) or barrier (``0``) for this process — how CI re-runs
+        the invariance suite under each scheduler without new flags."""
+        forced = os.environ.get("REPRO_SWEEP_PIPELINE")
+        if forced is not None and forced != "":
+            if forced in ("0", "off", "barrier"):
+                return SCHEDULER_BARRIER
+            return SCHEDULER_PIPELINE
+        return self.scheduler
+
+    def _speculation_policy(self) -> tuple[bool, float, float]:
+        """``(enabled, multiple, floor_seconds)`` after applying the
+        ``REPRO_SWEEP_SPECULATE`` override: ``0``/``off`` disables
+        backup dispatches, ``force`` speculates near-immediately (the
+        CI forced-speculation run and the straggler bench), a float
+        replaces the latency multiple."""
+        forced = os.environ.get("REPRO_SWEEP_SPECULATE")
+        if forced:
+            lowered = forced.lower()
+            if lowered in ("0", "off", "no"):
+                return False, self.speculate_multiple, self.speculate_floor_s
+            if lowered in ("1", "force", "always"):
+                return True, 0.0, 0.002
+            try:
+                return True, float(forced), self.speculate_floor_s
+            except ValueError:
+                pass
+        return self.speculate, self.speculate_multiple, self.speculate_floor_s
+
+    def _chunk_size_for(self, n_items: int, pool_size: int) -> int:
+        """Adaptive micro-chunk size: start from the configured
+        chunks-per-shard target (chunks ≈ 4–8× shards) and shrink
+        toward a ~25 ms chunk whenever the fleet's per-pair latency
+        EWMA says the target chunks would run long — small enough to
+        pipeline and steal, big enough to amortize dispatch."""
+        target = -(-n_items // (pool_size * self.chunks_per_shard))
+        size = max(1, target)
+        ewma = self.pair_latency_ewma
+        if ewma is not None and ewma > 0:
+            adaptive = max(1, int(0.025 / ewma))
+            size = max(1, min(size, adaptive))
+        return size
+
+    def _record_chunk_size(self, size: int) -> None:
+        self.chunk_pairs_total += size
+        for bound in CHUNK_BUCKETS:
+            if size <= bound:
+                self.chunk_size_hist[bound] += 1
+                return
+        self.chunk_size_hist["inf"] += 1
+
+    def _observe_shard_latency(
+        self, shard: int, seconds: float, pairs: int
+    ) -> None:
+        """Fold one completed *attempt* into *shard*'s per-pair EWMA —
+        the relative-speed signal that keeps stealing and speculation
+        from ever moving work onto a slower shard."""
+        per_pair = seconds / max(1, pairs)
+        previous = self.shard_pair_ewma.get(shard)
+        if previous is None:
+            self.shard_pair_ewma[shard] = per_pair
+        else:
+            self.shard_pair_ewma[shard] = previous + _EWMA_ALPHA * (
+                per_pair - previous
+            )
+
+    def _observe_latency(self, seconds: float, pairs: int) -> None:
+        """Fold one completed chunk into the fleet latency EWMAs."""
+        per_pair = seconds / max(1, pairs)
+        if self.pair_latency_ewma is None:
+            self.pair_latency_ewma = per_pair
+        else:
+            self.pair_latency_ewma += _EWMA_ALPHA * (
+                per_pair - self.pair_latency_ewma
+            )
+        if self.chunk_latency_ewma is None:
+            self.chunk_latency_ewma = seconds
+        else:
+            self.chunk_latency_ewma += _EWMA_ALPHA * (
+                seconds - self.chunk_latency_ewma
+            )
+
+    def map_streaming(
+        self, func, items, payload_of, workers: int, key_of=None,
+        info: dict | None = None,
+    ):
+        """Pipelined fan-out: yield chunk results in completion order.
+
+        The streaming counterpart of :meth:`map_chunked` and the heart
+        of the pipelined scheduler.  *items* are split into many
+        rendezvous-routed micro-chunks (:meth:`_chunk_size_for`), each
+        shard holds a bounded window of in-flight chunks, and completed
+        chunks are yielded as ``(indices, chunk_results, extra)``
+        tuples **as they arrive** — the consumer folds verdicts (and
+        the service emits NDJSON lines) without waiting for a barrier.
+        Verdicts stay a pure function of the grid because every yield
+        carries its input indices and pair identity is the content
+        digest (ARCHITECTURE.md contract 9).
+
+        Straggler mitigation, both forms keyed on the fleet EWMAs:
+
+        * **speculation** — an in-flight chunk older than
+          ``multiple × chunk-EWMA + floor`` is re-dispatched to its
+          next-ranked rendezvous shard; the first result wins, late
+          duplicates are dropped by chunk identity.
+        * **work stealing** — a shard with window to spare takes queued
+          chunks from the most backlogged shard, but only while that
+          shard is demonstrably straggling (its oldest in-flight chunk
+          exceeds the same threshold), so warm-affinity placement is
+          never churned on a healthy fleet.
+
+        Closing the generator (fail-fast consumers) counts the
+        never-dispatched chunks as cancelled and drains every
+        outstanding attempt before returning, so no in-flight state —
+        pool tasks, TCP frames, arena pins — outlives the dispatch.
+        *info*, when given, is filled with routing placement and the
+        dispatch-local scheduler counters.
+        """
+        items = list(items)
+        if info is None:
+            info = {}
+        info.update({
+            "mode": self.routing, "loads": [], "spilled": 0,
+            "scheduler": SCHEDULER_PIPELINE, "chunks": 0,
+            "chunk_size": 0, "speculated": 0, "spec_wins": 0,
+            "stolen": 0, "cancelled": 0, "inflight_high_water": 0,
+        })
+        if not items:
+            return
+        if self.transport == TRANSPORT_TCP:
+            self.ensure_pool(0)
+        else:
+            self.ensure_pool(min(workers, len(items)) if workers else 0)
+        pool_size = len(self._shards)
+        self.dispatches += 1
+        self.tasks += len(items)
+        self.routed_tasks += len(items)
+
+        if key_of is None or self.routing == ROUTING_POSITIONAL:
+            keys = None
+            assignments = [index % pool_size for index in range(len(items))]
+            spilled = 0
+            info["mode"] = ROUTING_POSITIONAL
+        else:
+            keys = [key_of(item) for item in items]
+            assignments, spilled = route(
+                keys, pool_size, self.spill_factor
+            )
+            info["mode"] = ROUTING_DIGEST
+        self.routing_spilled += spilled
+        loads = [0] * pool_size
+        per_shard: OrderedDict = OrderedDict()
+        for index, shard in enumerate(assignments):
+            loads[shard] += 1
+            per_shard.setdefault(shard, []).append(index)
+        info["loads"] = loads
+        info["spilled"] = spilled
+
+        chunk_size = self._chunk_size_for(len(items), pool_size)
+        info["chunk_size"] = chunk_size
+        queued: dict = {shard: deque() for shard in range(pool_size)}
+        total_chunks = 0
+        for shard in sorted(per_shard):
+            indices = per_shard[shard]
+            for start in range(0, len(indices), chunk_size):
+                part = indices[start:start + chunk_size]
+                if keys is not None:
+                    candidates = rendezvous_rank(keys[part[0]], pool_size)
+                else:
+                    candidates = [
+                        (shard + step) % pool_size
+                        for step in range(pool_size)
+                    ]
+                chunk = _Chunk(
+                    indices=part,
+                    payload=payload_of([items[index] for index in part]),
+                    shard=shard,
+                    candidates=candidates,
+                )
+                queued[shard].append(chunk)
+                self._record_chunk_size(len(part))
+                total_chunks += 1
+        info["chunks"] = total_chunks
+
+        completions: queue.SimpleQueue = queue.SimpleQueue()
+        shard_inflight = [0] * pool_size
+        # (chunk id, attempt) -> dispatch time, per shard: an attempt
+        # keeps its shard busy until its *event* arrives — even after
+        # a backup already won the chunk — so a straggler grinding a
+        # lost original still reads as straggling.
+        shard_busy: list = [dict() for _ in range(pool_size)]
+        outstanding = 0
+        active: dict = {}
+        high_water = 0
+        speculate, multiple, floor_s = self._speculation_policy()
+
+        def dispatch(chunk: _Chunk, shard: int) -> None:
+            nonlocal outstanding, high_water
+            attempt = len(chunk.attempts)
+            started = time.monotonic()
+            chunk.attempts.append((shard, started))
+            chunk.outstanding += 1
+            shard_busy[shard][(id(chunk), attempt)] = started
+            shard_inflight[shard] += 1
+            outstanding += 1
+            self.inflight += 1
+            high_water = max(high_water, outstanding)
+            self.inflight_high_water = max(
+                self.inflight_high_water, self.inflight
+            )
+            self._shards[shard].apply_async(
+                func,
+                (chunk.payload,),
+                callback=lambda value, c=chunk, s=shard, a=attempt: (
+                    completions.put((c, s, a, value, None))
+                ),
+                error_callback=lambda error, c=chunk, s=shard, a=attempt: (
+                    completions.put((c, s, a, None, error))
+                ),
+            )
+
+        def straggler_threshold() -> float:
+            return multiple * (self.chunk_latency_ewma or 0.0) + floor_s
+
+        def oldest_inflight_age(shard: int, now: float) -> float:
+            """Age of *shard*'s oldest unanswered attempt (0.0 when
+            idle) — the straggler signal for stealing and the backup
+            target filter for speculation.  Counts lost-but-running
+            attempts too: a shard grinding a duplicate is just as
+            busy as one grinding a winner."""
+            busy = shard_busy[shard]
+            if not busy:
+                return 0.0
+            return now - min(busy.values())
+
+        def straggling_since(shard: int, now: float) -> bool:
+            """True when *shard*'s oldest in-flight attempt exceeds the
+            straggler threshold (the steal/speculate trigger)."""
+            return oldest_inflight_age(shard, now) > straggler_threshold()
+
+        def slower_than(candidate: int, reference: int) -> bool:
+            """True when *candidate* is observed slower per pair than
+            *reference* — unknown shards (no completed attempt yet)
+            are never called slower."""
+            cand = self.shard_pair_ewma.get(candidate)
+            ref = self.shard_pair_ewma.get(reference)
+            return cand is not None and ref is not None and cand > ref
+
+        def steal_for(thief: int, now: float):
+            """A queued chunk taken from the most backlogged straggling
+            shard (tail-first, classic work stealing) — None when no
+            shard is both backlogged and demonstrably slow, or when the
+            thief itself is the slower party (a straggler must not
+            steal its work back)."""
+            victim = None
+            backlog = 0
+            for shard in range(pool_size):
+                if shard == thief or len(queued[shard]) <= backlog:
+                    continue
+                if straggling_since(shard, now) and not slower_than(
+                    thief, shard
+                ):
+                    victim = shard
+                    backlog = len(queued[shard])
+            if victim is None:
+                return None
+            self.stolen_chunks += 1
+            info["stolen"] += 1
+            return queued[victim].pop()
+
+        def top_up() -> None:
+            now = time.monotonic()
+            for shard in range(pool_size):
+                while shard_inflight[shard] < self.window:
+                    if queued[shard]:
+                        chunk = queued[shard].popleft()
+                    else:
+                        chunk = steal_for(shard, now)
+                    if chunk is None:
+                        break
+                    active[id(chunk)] = chunk
+                    self.chunks_dispatched += 1
+                    dispatch(chunk, shard)
+
+        def maybe_speculate(now: float) -> None:
+            if not speculate:
+                return
+            threshold = straggler_threshold()
+            for chunk in list(active.values()):
+                if chunk.done or len(chunk.attempts) > 1:
+                    continue
+                shard0, started = chunk.attempts[0]
+                age = now - started
+                if age <= threshold:
+                    continue
+                # The backup must land on a shard doing strictly
+                # better than this chunk's own wait and not observed
+                # slower than its current shard — re-dispatching onto
+                # an equally stuck shard only doubles the drain.
+                tried = {shard for shard, _ in chunk.attempts}
+                target = next(
+                    (
+                        candidate
+                        for candidate in chunk.candidates
+                        if candidate not in tried
+                        and oldest_inflight_age(candidate, now) < age
+                        and not slower_than(candidate, shard0)
+                    ),
+                    None,
+                )
+                if target is None:
+                    continue
+                self.speculative_dispatches += 1
+                info["speculated"] += 1
+                dispatch(chunk, target)
+
+        def settle(event) -> _Chunk | None:
+            """Account one completion event; returns the chunk when it
+            is this chunk's *first* (winning) result."""
+            nonlocal outstanding
+            chunk, shard, attempt, value, error = event
+            shard_inflight[shard] -= 1
+            shard_busy[shard].pop((id(chunk), attempt), None)
+            outstanding -= 1
+            self.inflight -= 1
+            chunk.outstanding -= 1
+            if error is None:
+                self._observe_shard_latency(
+                    shard,
+                    time.monotonic() - chunk.attempts[attempt][1],
+                    len(chunk.indices),
+                )
+            if chunk.done:
+                return None
+            if error is not None:
+                # Another attempt may still win; only a chunk whose
+                # every attempt failed propagates.
+                chunk.error = error
+                if chunk.outstanding > 0:
+                    return None
+                raise error
+            chunk.done = True
+            active.pop(id(chunk), None)
+            started = chunk.attempts[attempt][1]
+            self._observe_latency(
+                time.monotonic() - started, len(chunk.indices)
+            )
+            if attempt > 0:
+                self.speculative_wins += 1
+                info["spec_wins"] += 1
+            chunk.result = value
+            return chunk
+
+        done_count = 0
+        try:
+            while done_count < total_chunks:
+                top_up()
+                try:
+                    event = completions.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    maybe_speculate(time.monotonic())
+                    continue
+                winner = settle(event)
+                maybe_speculate(time.monotonic())
+                if winner is None:
+                    continue
+                done_count += 1
+                results, extra = winner.result
+                winner.result = None
+                yield winner.indices, results, extra
+        except GeneratorExit:
+            cancelled = sum(len(pending) for pending in queued.values())
+            cancelled += sum(
+                1 for chunk in active.values() if not chunk.done
+            )
+            self.cancelled_chunks += cancelled
+            info["cancelled"] += cancelled
+            raise
+        finally:
+            info["inflight_high_water"] = high_water
+            # Drain every outstanding attempt (late duplicates, the
+            # straggler halves of speculated chunks, cancelled work)
+            # so callers can unpin arena entries with nothing in
+            # flight.  Never raises: the dispatch is already over.
+            while outstanding > 0:
+                try:
+                    event = completions.get(timeout=60)
+                except queue.Empty:  # pragma: no cover - hung worker
+                    break
+                chunk, shard, attempt, _, error = event
+                shard_inflight[shard] -= 1
+                shard_busy[shard].pop((id(chunk), attempt), None)
+                outstanding -= 1
+                self.inflight -= 1
+                chunk.outstanding -= 1
+                if error is None:
+                    self._observe_shard_latency(
+                        shard,
+                        time.monotonic() - chunk.attempts[attempt][1],
+                        len(chunk.indices),
+                    )
+
     def stats(self) -> dict:
         """Running counters (arena + pool + routing) as one flat dict."""
         return {
@@ -657,6 +1163,16 @@ class EvolutionRuntime:
             "routing_spilled": self.routing_spilled,
             "payload_fetches": self.payload_fetches,
             "payload_fetch_bytes": self.payload_fetch_bytes,
+            "scheduler": self.scheduler_mode(),
+            "chunks_dispatched": self.chunks_dispatched,
+            "speculative_dispatches": self.speculative_dispatches,
+            "speculative_wins": self.speculative_wins,
+            "stolen_chunks": self.stolen_chunks,
+            "cancelled_chunks": self.cancelled_chunks,
+            "inflight": self.inflight,
+            "inflight_high_water": self.inflight_high_water,
+            "chunk_size_hist": dict(self.chunk_size_hist),
+            "chunk_pairs_total": self.chunk_pairs_total,
         }
 
     def describe(self) -> str:
@@ -676,7 +1192,14 @@ class EvolutionRuntime:
             f"{stats['routed_tasks']} routed, "
             f"{stats['routing_spilled']} spill(s), "
             f"{stats['payload_fetches']} payload fetch(es) "
-            f"({stats['payload_fetch_bytes']} bytes)"
+            f"({stats['payload_fetch_bytes']} bytes); "
+            f"scheduler ({stats['scheduler']}): "
+            f"{stats['chunks_dispatched']} chunk(s), "
+            f"{stats['speculative_dispatches']} speculated "
+            f"({stats['speculative_wins']} win(s)), "
+            f"{stats['stolen_chunks']} stolen, "
+            f"{stats['cancelled_chunks']} cancelled, "
+            f"in-flight high water {stats['inflight_high_water']}"
         )
 
 
@@ -704,8 +1227,9 @@ _DEFAULT: EvolutionRuntime | None = None
 def get_runtime() -> EvolutionRuntime:
     """The process-wide default runtime (created lazily, reused by
     every sweep/migration that fans out without an explicit runtime).
-    Shards are forked on demand by dispatch size, so the default
-    starts empty and never holds idle processes."""
+    The fleet starts empty; the first dispatch forks shards sized by
+    its explicit worker count, or by :func:`default_worker_count`
+    (CPU count, capped) when it gives none."""
     global _DEFAULT
     if _DEFAULT is None or _DEFAULT._closed:
         _DEFAULT = EvolutionRuntime()

@@ -51,6 +51,8 @@ The sweep engine batches the whole pair grid into one pass:
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro.afsa.automaton import AFSA
@@ -67,7 +69,13 @@ from repro.afsa.lazy import (
 )
 from repro.afsa.serialize import afsa_from_json, kernel_digest
 from repro.afsa.witness import lazy_pair_witness
-from repro.core.runtime import EvolutionRuntime, get_runtime, kernel_for
+from repro.core.runtime import (
+    SCHEDULER_BARRIER,
+    SCHEDULER_PIPELINE,
+    EvolutionRuntime,
+    get_runtime,
+    kernel_for,
+)
 
 #: Witness policies: compute no witnesses, only for inconsistent pairs,
 #: or for every pair (the full diagnostic report).
@@ -123,7 +131,12 @@ class SweepReport:
     rendezvous candidate under the hot-shard spill cap);
     ``payload_fetches`` / ``payload_fetch_bytes`` count the TCP
     fetch-on-miss traffic — a repeated sweep reports zero on any
-    transport.
+    transport.  ``scheduler`` / ``chunks`` / ``speculative_*`` /
+    ``stolen_chunks`` / ``cancelled_chunks`` / ``inflight_high_water``
+    describe the pipelined scheduler's behaviour on this sweep (empty/
+    zero on serial sweeps); ``undecided`` counts the pairs a fail-fast
+    sweep (``stop_on_first_inconsistency``) cancelled before they were
+    checked — a completed sweep always reports zero.
     """
 
     outcomes: list[PairOutcome] = field(default_factory=list)
@@ -142,6 +155,14 @@ class SweepReport:
     routing_spilled: int = 0
     payload_fetches: int = 0
     payload_fetch_bytes: int = 0
+    scheduler: str = ""
+    chunks: int = 0
+    speculative_dispatches: int = 0
+    speculative_wins: int = 0
+    stolen_chunks: int = 0
+    cancelled_chunks: int = 0
+    inflight_high_water: int = 0
+    undecided: int = 0
 
     @property
     def consistent(self) -> bool:
@@ -162,6 +183,8 @@ class SweepReport:
             if self.consistent
             else f"sweep: {len(self.failures())} inconsistent pair(s)"
         )
+        if self.undecided:
+            verdict += f" ({self.undecided} undecided: fail-fast)"
         lines.append(verdict)
         if self.cache_hits or self.cache_misses:
             scope = "pool-wide" if self.workers > 1 else "serial"
@@ -185,6 +208,21 @@ class SweepReport:
                     f"; {self.payload_fetches} payload fetch(es) "
                     f"({self.payload_fetch_bytes} bytes)"
                 )
+            lines.append(line)
+        if self.scheduler == "pipeline":
+            line = (
+                f"scheduler (pipeline): {self.chunks} chunk(s), "
+                f"in-flight high water {self.inflight_high_water}"
+            )
+            if self.speculative_dispatches:
+                line += (
+                    f", {self.speculative_dispatches} speculated "
+                    f"({self.speculative_wins} win(s))"
+                )
+            if self.stolen_chunks:
+                line += f", {self.stolen_chunks} stolen"
+            if self.cancelled_chunks:
+                line += f", {self.cancelled_chunks} cancelled"
             lines.append(line)
         if self.warm_seeded:
             lines.append(
@@ -213,6 +251,7 @@ class SweepReport:
             "consistent": self.consistent,
             "pairs": len(self.outcomes),
             "failures": len(self.failures()),
+            "undecided": self.undecided,
             "outcomes": [
                 {
                     "left": outcome.left,
@@ -242,6 +281,13 @@ class SweepReport:
                 "routing_spilled": self.routing_spilled,
                 "payload_fetches": self.payload_fetches,
                 "payload_fetch_bytes": self.payload_fetch_bytes,
+                "scheduler": self.scheduler,
+                "chunks": self.chunks,
+                "speculative_dispatches": self.speculative_dispatches,
+                "speculative_wins": self.speculative_wins,
+                "stolen_chunks": self.stolen_chunks,
+                "cancelled_chunks": self.cancelled_chunks,
+                "inflight_high_water": self.inflight_high_water,
             },
         }
 
@@ -304,6 +350,28 @@ def check_pair(
 # -- persistent-runtime fan-out ------------------------------------------------
 
 
+def _injected_fault_delay(pair_count: int) -> None:
+    """Test-only straggler injection, a no-op in production.
+
+    ``REPRO_SWEEP_FAULT`` holds ``slot:seconds_per_pair`` entries
+    (comma-separated); a worker whose ``REPRO_SHARD_SLOT`` — stamped
+    into the environment by ``ensure_pool`` as it forks each shard —
+    matches a slot sleeps ``seconds_per_pair × pairs`` before checking
+    its chunk.  Proportional-to-chunk delay is what makes the two
+    schedulers diverge measurably: the barrier path eats the slow
+    shard's whole backlog, the pipelined path bounds it to the
+    in-flight window (and speculation re-runs it elsewhere).
+    """
+    spec = os.environ.get("REPRO_SWEEP_FAULT")
+    if not spec:
+        return
+    slot = os.environ.get("REPRO_SHARD_SLOT", "")
+    for part in spec.split(","):
+        shard, _, per_pair = part.partition(":")
+        if shard == slot and per_pair:
+            time.sleep(float(per_pair) * max(1, pair_count))
+
+
 def _check_arena_chunk(payload):
     """Pool worker: resolve each referenced kernel by content digest (a
     memo hit after the first dispatch that shipped it — on any
@@ -315,6 +383,7 @@ def _check_arena_chunk(payload):
     then check the chunk's pairs against the worker's persistent
     verdict cache."""
     refs, lineage, index_pairs, witnesses = payload
+    _injected_fault_delay(len(index_pairs))
     kernels = [kernel_for(ref) for ref in refs]
     for local_index, old_ref in lineage:
         note_lineage(kernel_for(old_ref), kernels[local_index])
@@ -391,6 +460,14 @@ def _empty_stats() -> dict:
         "routing_spilled": 0,
         "payload_fetches": 0,
         "payload_fetch_bytes": 0,
+        "scheduler": "",
+        "chunks": 0,
+        "speculative_dispatches": 0,
+        "speculative_wins": 0,
+        "stolen_chunks": 0,
+        "cancelled_chunks": 0,
+        "inflight_high_water": 0,
+        "undecided": 0,
     }
 
 
@@ -403,6 +480,184 @@ def _merge_warm_delta(stats: dict, delta: dict) -> None:
     stats["eager_oracle"] += delta["eager_oracle"]
 
 
+def _sweep_grid_streaming(
+    kernels: list,
+    index_pairs: list,
+    witnesses: str,
+    workers: int | None,
+    runtime: EvolutionRuntime | None,
+    stats: dict,
+    stop_on_first: bool = False,
+):
+    """Check a deduplicated grid, yielding verdicts as they complete.
+
+    Yields ``(position, (consistent, witness))`` where *position*
+    indexes into *index_pairs* — **completion order** under the
+    pipelined scheduler, input order on the serial and barrier paths.
+    Verdicts and witnesses are a pure function of the grid either way
+    (ARCHITECTURE.md contract 9): every yield is tagged with its input
+    position, and pair identity is the kernels' content digest.
+
+    With *stop_on_first*, the first inconsistent verdict ends the
+    sweep: outstanding chunks are cancelled (counted in
+    ``stats["cancelled_chunks"]``) and the remaining pairs stay
+    undecided.  *stats* (an :func:`_empty_stats` dict) is filled in
+    place and is complete once the generator is exhausted or closed.
+    """
+    if workers and workers > 1 and len(index_pairs) > 1:
+        runtime = runtime or get_runtime()
+        yield from _sweep_grid_fanout(
+            kernels, index_pairs, witnesses, workers, runtime,
+            stats, stop_on_first,
+        )
+        return
+
+    hits0, misses0 = VERDICTS.stats()
+    warm0 = warm_stats()
+    try:
+        for position, (li, ri) in enumerate(index_pairs):
+            result = check_kernel_pair(
+                kernels[li], kernels[ri], witnesses
+            )
+            yield position, result
+            if stop_on_first and not result[0]:
+                break
+    finally:
+        hits1, misses1 = VERDICTS.stats()
+        warm1 = warm_stats()
+        stats["cache_hits"] += hits1 - hits0
+        stats["cache_misses"] += misses1 - misses0
+        _merge_warm_delta(
+            stats, {key: warm1[key] - warm0[key] for key in warm1}
+        )
+
+
+def _sweep_grid_fanout(
+    kernels: list,
+    index_pairs: list,
+    witnesses: str,
+    workers: int,
+    runtime: EvolutionRuntime,
+    stats: dict,
+    stop_on_first: bool,
+):
+    """The fan-out half of :func:`_sweep_grid_streaming`: publish the
+    grid's kernels once, dispatch through the runtime's scheduler
+    (pipelined micro-chunks by default, the one-chunk-per-shard
+    barrier when selected), and yield verdicts chunk by chunk."""
+    published0 = runtime.arena.published
+    arena_hits0 = runtime.arena.hits
+    fetches0 = runtime.payload_fetches
+    fetch_bytes0 = runtime.payload_fetch_bytes
+    # Evolved participants ship their ancestor too, as a second
+    # arena reference: workers re-register the lineage locally and
+    # seed post-evolution verdicts from their own retained
+    # explorations (digest routing brings the pair back to them).
+    ancestors: dict = {}
+    for index, kernel in enumerate(kernels):
+        old = lineage_of(kernel)
+        if old is not None:
+            ancestors[index] = old
+    # The routing key is the pair's *lineage-rooted* content:
+    # rendezvous hashing on concatenated digests keeps an
+    # evolved-but-overlapping grid landing on warm shards, and an
+    # evolved participant keys on its ancestry's root so the pair
+    # returns to the shard that retained the pre-evolution
+    # exploration it will seed from.
+    route_digests = [
+        kernel_digest(_lineage_root(kernel)) for kernel in kernels
+    ]
+    scheduler = runtime.scheduler_mode()
+    stats["scheduler"] = scheduler
+    try:
+        with runtime.published(
+            list(kernels) + list(ancestors.values())
+        ) as digests:
+            refs = [runtime.ref_of(digest) for digest in digests]
+            lineage_refs = {
+                index: refs[len(kernels) + position]
+                for position, index in enumerate(ancestors)
+            }
+
+            def payload_of(chunk):
+                return _chunk_payload(
+                    chunk, refs[: len(kernels)], lineage_refs, witnesses
+                )
+
+            def key_of(pair):
+                return route_digests[pair[0]] + route_digests[pair[1]]
+
+            if scheduler == SCHEDULER_BARRIER:
+                results, extras, routing = runtime.map_chunked(
+                    _check_arena_chunk,
+                    index_pairs,
+                    payload_of,
+                    workers,
+                    key_of=key_of,
+                )
+                stats["routing_mode"] = routing["mode"]
+                stats["shard_loads"] = routing["loads"]
+                stats["routing_spilled"] = routing["spilled"]
+                for hits, misses, warm_delta in extras:
+                    stats["cache_hits"] += hits
+                    stats["cache_misses"] += misses
+                    _merge_warm_delta(stats, warm_delta)
+                for position, result in enumerate(results):
+                    yield position, result
+                    if stop_on_first and not result[0]:
+                        break
+            else:
+                info: dict = {}
+                grid = runtime.map_streaming(
+                    _check_arena_chunk,
+                    index_pairs,
+                    payload_of,
+                    workers,
+                    key_of=key_of,
+                    info=info,
+                )
+                try:
+                    stopped = False
+                    for positions, chunk_results, extra in grid:
+                        hits, misses, warm_delta = extra
+                        stats["cache_hits"] += hits
+                        stats["cache_misses"] += misses
+                        _merge_warm_delta(stats, warm_delta)
+                        for position, result in zip(
+                            positions, chunk_results
+                        ):
+                            yield position, result
+                            if stop_on_first and not result[0]:
+                                stopped = True
+                                break
+                        if stopped:
+                            break
+                finally:
+                    # Cancels queued chunks and drains every attempt
+                    # before the arena pins are released below.
+                    grid.close()
+                    stats["routing_mode"] = info.get("mode", "")
+                    stats["shard_loads"] = info.get("loads", [])
+                    stats["routing_spilled"] = info.get("spilled", 0)
+                    stats["chunks"] = info.get("chunks", 0)
+                    stats["speculative_dispatches"] = info.get(
+                        "speculated", 0
+                    )
+                    stats["speculative_wins"] = info.get("spec_wins", 0)
+                    stats["stolen_chunks"] = info.get("stolen", 0)
+                    stats["cancelled_chunks"] = info.get("cancelled", 0)
+                    stats["inflight_high_water"] = info.get(
+                        "inflight_high_water", 0
+                    )
+    finally:
+        stats["arena_published"] = runtime.arena.published - published0
+        stats["arena_hits"] = runtime.arena.hits - arena_hits0
+        stats["payload_fetches"] = runtime.payload_fetches - fetches0
+        stats["payload_fetch_bytes"] = (
+            runtime.payload_fetch_bytes - fetch_bytes0
+        )
+
+
 def _sweep_kernel_grid(
     kernels: list,
     index_pairs: list,
@@ -413,81 +668,16 @@ def _sweep_kernel_grid(
     """Check a deduplicated grid: *kernels* holds one kernel per unique
     participant view, *index_pairs* the ``(left, right)`` indices into
     it.  Returns ``(results, stats)`` with results in input order for
-    every worker count; with ``workers > 1`` the grid is dispatched
-    through the (given or default) persistent runtime."""
+    every worker count, scheduler and transport; with ``workers > 1``
+    the grid is dispatched through the (given or default) persistent
+    runtime — pipelined completion order is reassembled here, so the
+    batch API's determinism contract is untouched."""
     stats = _empty_stats()
-    if workers and workers > 1 and len(index_pairs) > 1:
-        runtime = runtime or get_runtime()
-        published0 = runtime.arena.published
-        arena_hits0 = runtime.arena.hits
-        fetches0 = runtime.payload_fetches
-        fetch_bytes0 = runtime.payload_fetch_bytes
-        # Evolved participants ship their ancestor too, as a second
-        # arena reference: workers re-register the lineage locally and
-        # seed post-evolution verdicts from their own retained
-        # explorations (digest routing brings the pair back to them).
-        ancestors: dict = {}
-        for index, kernel in enumerate(kernels):
-            old = lineage_of(kernel)
-            if old is not None:
-                ancestors[index] = old
-        # The routing key is the pair's *lineage-rooted* content:
-        # rendezvous hashing on concatenated digests keeps an
-        # evolved-but-overlapping grid landing on warm shards, and an
-        # evolved participant keys on its ancestry's root so the pair
-        # returns to the shard that retained the pre-evolution
-        # exploration it will seed from.
-        route_digests = [
-            kernel_digest(_lineage_root(kernel)) for kernel in kernels
-        ]
-        with runtime.published(
-            list(kernels) + list(ancestors.values())
-        ) as digests:
-            refs = [runtime.ref_of(digest) for digest in digests]
-            lineage_refs = {
-                index: refs[len(kernels) + position]
-                for position, index in enumerate(ancestors)
-            }
-            results, extras, routing = runtime.map_chunked(
-                _check_arena_chunk,
-                index_pairs,
-                lambda chunk: _chunk_payload(
-                    chunk, refs[: len(kernels)], lineage_refs,
-                    witnesses,
-                ),
-                workers,
-                key_of=lambda pair: (
-                    route_digests[pair[0]] + route_digests[pair[1]]
-                ),
-            )
-        stats["arena_published"] = runtime.arena.published - published0
-        stats["arena_hits"] = runtime.arena.hits - arena_hits0
-        stats["routing_mode"] = routing["mode"]
-        stats["shard_loads"] = routing["loads"]
-        stats["routing_spilled"] = routing["spilled"]
-        stats["payload_fetches"] = runtime.payload_fetches - fetches0
-        stats["payload_fetch_bytes"] = (
-            runtime.payload_fetch_bytes - fetch_bytes0
-        )
-        for hits, misses, warm_delta in extras:
-            stats["cache_hits"] += hits
-            stats["cache_misses"] += misses
-            _merge_warm_delta(stats, warm_delta)
-        return results, stats
-
-    hits0, misses0 = VERDICTS.stats()
-    warm0 = warm_stats()
-    results = [
-        check_kernel_pair(kernels[li], kernels[ri], witnesses)
-        for li, ri in index_pairs
-    ]
-    hits1, misses1 = VERDICTS.stats()
-    warm1 = warm_stats()
-    stats["cache_hits"] = hits1 - hits0
-    stats["cache_misses"] = misses1 - misses0
-    _merge_warm_delta(
-        stats, {key: warm1[key] - warm0[key] for key in warm1}
-    )
+    results: list = [None] * len(index_pairs)
+    for position, result in _sweep_grid_streaming(
+        kernels, index_pairs, witnesses, workers, runtime, stats
+    ):
+        results[position] = result
     return results, stats
 
 
@@ -596,40 +786,11 @@ def conversing_pairs(choreography) -> list[tuple[str, str]]:
     ]
 
 
-def sweep_choreography(
-    choreography,
-    pairs: list[tuple[str, str]] | None = None,
-    witnesses: str = WITNESS_FAILURES,
-    workers: int | None = None,
-    runtime: EvolutionRuntime | None = None,
+def _report_from_stats(
+    outcomes: list, workers: int | None, stats: dict
 ) -> SweepReport:
-    """Check all (or the given) partner pairs of a choreography.
-
-    Views are projected once per (viewer, viewed) partner combination —
-    :meth:`Choreography.view` memoizes per process version — and the
-    resulting view pairs are dispatched through the deduplicated
-    kernel grid.  The report carries the sweep's pool-wide pair-cache
-    and kernel-arena deltas: re-sweeping an unchanged choreography is
-    all cache hits and ships zero kernel payloads.
-    """
-    if pairs is None:
-        pairs = conversing_pairs(choreography)
-    view_pairs = [
-        (
-            choreography.view(right, on=left),
-            choreography.view(left, on=right),
-        )
-        for left, right in pairs
-    ]
-    results, stats = _sweep_pairs_stats(
-        view_pairs, witnesses=witnesses, workers=workers, runtime=runtime
-    )
-    outcomes = [
-        PairOutcome(
-            left=left, right=right, consistent=consistent, witness=witness
-        )
-        for (left, right), (consistent, witness) in zip(pairs, results)
-    ]
+    """Assemble a :class:`SweepReport` from completed outcomes and the
+    sweep's filled :func:`_empty_stats` dict."""
     return SweepReport(
         outcomes=outcomes,
         workers=workers or 1,
@@ -647,4 +808,129 @@ def sweep_choreography(
         routing_spilled=stats["routing_spilled"],
         payload_fetches=stats["payload_fetches"],
         payload_fetch_bytes=stats["payload_fetch_bytes"],
+        scheduler=stats["scheduler"],
+        chunks=stats["chunks"],
+        speculative_dispatches=stats["speculative_dispatches"],
+        speculative_wins=stats["speculative_wins"],
+        stolen_chunks=stats["stolen_chunks"],
+        cancelled_chunks=stats["cancelled_chunks"],
+        inflight_high_water=stats["inflight_high_water"],
+        undecided=stats["undecided"],
     )
+
+
+class SweepStream:
+    """Iterator over a streaming sweep's :class:`PairOutcome` verdicts.
+
+    Yields outcomes **in completion order** (unspecified under the
+    pipelined scheduler — the served NDJSON stream documents exactly
+    that); once exhausted, :attr:`report` holds the full
+    :class:`SweepReport` with outcomes re-assembled in input order.
+    :meth:`close` abandons the sweep early: outstanding chunks are
+    cancelled and drained, and :attr:`report` stays ``None``.
+    """
+
+    __slots__ = ("_generator", "report")
+
+    def __init__(self, generator):
+        self._generator = generator
+        self.report: SweepReport | None = None
+
+    def __iter__(self) -> "SweepStream":
+        return self
+
+    def __next__(self) -> PairOutcome:
+        try:
+            return next(self._generator)
+        except StopIteration as stop:
+            if self.report is None and stop.value is not None:
+                self.report = stop.value
+            raise StopIteration from None
+
+    def close(self) -> None:
+        """Cancel the sweep (safe after exhaustion, idempotent)."""
+        self._generator.close()
+
+
+def sweep_choreography_streaming(
+    choreography,
+    pairs: list[tuple[str, str]] | None = None,
+    witnesses: str = WITNESS_FAILURES,
+    workers: int | None = None,
+    runtime: EvolutionRuntime | None = None,
+    stop_on_first_inconsistency: bool = False,
+) -> SweepStream:
+    """Sweep a choreography, yielding verdicts as pairs complete.
+
+    The streaming face of :func:`sweep_choreography`: same grid, same
+    fan-out, but each :class:`PairOutcome` is yielded the moment its
+    chunk returns — under the pipelined scheduler that is completion
+    order, so a long sweep surfaces progress without a barrier.  With
+    *stop_on_first_inconsistency* the first inconsistent verdict ends
+    the sweep: outstanding chunks are cancelled, and the report counts
+    the unchecked pairs as ``undecided``.
+    """
+    if pairs is None:
+        pairs = conversing_pairs(choreography)
+
+    def generate():
+        view_pairs = [
+            (
+                choreography.view(right, on=left),
+                choreography.view(left, on=right),
+            )
+            for left, right in pairs
+        ]
+        unique, index_pairs = _dedupe_views(view_pairs, key=id)
+        kernels = [kernel_of(view) for view in unique]
+        stats = _empty_stats()
+        decided: dict = {}
+        for position, (consistent, witness) in _sweep_grid_streaming(
+            kernels, index_pairs, witnesses, workers, runtime,
+            stats, stop_on_first_inconsistency,
+        ):
+            left, right = pairs[position]
+            outcome = PairOutcome(
+                left=left, right=right,
+                consistent=consistent, witness=witness,
+            )
+            decided[position] = outcome
+            yield outcome
+        ordered = [decided[position] for position in sorted(decided)]
+        stats["undecided"] = len(pairs) - len(ordered)
+        return _report_from_stats(ordered, workers, stats)
+
+    return SweepStream(generate())
+
+
+def sweep_choreography(
+    choreography,
+    pairs: list[tuple[str, str]] | None = None,
+    witnesses: str = WITNESS_FAILURES,
+    workers: int | None = None,
+    runtime: EvolutionRuntime | None = None,
+    stop_on_first_inconsistency: bool = False,
+) -> SweepReport:
+    """Check all (or the given) partner pairs of a choreography.
+
+    Views are projected once per (viewer, viewed) partner combination —
+    :meth:`Choreography.view` memoizes per process version — and the
+    resulting view pairs are dispatched through the deduplicated
+    kernel grid.  The report carries the sweep's pool-wide pair-cache
+    and kernel-arena deltas: re-sweeping an unchanged choreography is
+    all cache hits and ships zero kernel payloads.  With
+    *stop_on_first_inconsistency* the sweep is fail-fast: the first
+    inconsistent verdict cancels every outstanding chunk and the
+    unchecked remainder is reported as ``undecided``.
+    """
+    stream = sweep_choreography_streaming(
+        choreography,
+        pairs=pairs,
+        witnesses=witnesses,
+        workers=workers,
+        runtime=runtime,
+        stop_on_first_inconsistency=stop_on_first_inconsistency,
+    )
+    for _ in stream:
+        pass
+    return stream.report

@@ -20,6 +20,16 @@ shards running anywhere a socket reaches (``repro shard-worker
   carry content digests only, so a repeated sweep ships **zero**
   payload bytes over the wire (the bench asserts exactly that).
 
+The connection is **pipelined**: the parent may have any number of
+tagged task frames in flight at once, and replies demultiplex by task
+id — they can arrive in *any* order relative to the requests (the
+pipelined scheduler's bounded per-shard window rides directly on
+this).  The worker still *executes* tasks strictly one at a time on a
+single task thread — the engine layers (kernel memos, verdict cache)
+are single-threaded by design — so pipelining buys the wire
+round-trips, not intra-shard parallelism.  A lockstep parent (send
+one, wait one) remains a degenerate, fully supported client.
+
 Function names resolve on the worker through an allowlist —
 ``repro.``-prefixed module paths only — so a shard never unpickles its
 way into executing arbitrary callables; the pickled *payloads* are
@@ -27,9 +37,8 @@ trusted exactly as far as the multiprocessing transport trusts them
 (shards are assumed to live inside the deployment's trust boundary,
 like the paper's coordination delegates).
 
-One connection serves one parent at a time (the runtime's dispatch
-protocol is strictly request/response per shard), and a worker returns
-to ``accept`` when the parent disconnects — ``restart_pool`` on a TCP
+One connection serves one parent at a time, and a worker returns to
+``accept`` when the parent disconnects — ``restart_pool`` on a TCP
 runtime recycles connections, not remote processes, whose caches
 deliberately survive for the next session.
 """
@@ -40,6 +49,7 @@ import importlib
 import pickle
 import socket
 import threading
+import time
 import traceback
 
 _HEADER_BYTES = 8
@@ -95,46 +105,106 @@ def resolve_task(path: str):
 # -- worker side ---------------------------------------------------------------
 
 
+class _BlobWaiter:
+    """One task's pending fetch-on-miss: the reader thread parks the
+    parent's ``blob`` frame here and wakes the task thread."""
+
+    __slots__ = ("event", "blobs")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.blobs = None
+
+
 def _serve_connection(conn: socket.socket) -> None:
     """Serve one parent connection until it disconnects.
+
+    The reader loop demultiplexes frames: ``task`` frames queue onto a
+    single task-execution thread (tasks run strictly serially — the
+    engine layers are single-threaded by design — but any number can
+    be *queued*, which is what lets a pipelined parent keep the wire
+    full), and ``blob`` frames wake whichever task is blocked on a
+    fetch-on-miss, keyed by task id.  Replies go out under one send
+    lock, so result frames for queued tasks interleave safely with the
+    ``need`` traffic of the running one.
 
     Tasks run with a fetch-on-miss hook installed
     (:func:`repro.core.runtime.set_payload_fetcher`) so
     :func:`~repro.core.runtime.kernel_for` pulls missing payloads over
     this very connection; the hook is restored after every task so a
-    stale socket can never leak into a later dispatch.
+    stale socket can never leak into a later dispatch (the task thread
+    outlives individual tasks).
     """
+    from concurrent.futures import ThreadPoolExecutor
+
     from repro.core import runtime as _runtime
 
-    while True:
-        message = recv_msg(conn)
-        if message is None:
-            return
-        kind = message[0]
-        if kind == "ping":
-            send_msg(conn, ("pong",))
-            continue
-        if kind != "task":
-            send_msg(conn, ("error", None, f"unknown frame {kind!r}"))
-            continue
-        _, task_id, path, payload = message
+    send_lock = threading.Lock()
+    waiters: dict = {}
+    waiters_lock = threading.Lock()
+    executor: ThreadPoolExecutor | None = None
 
-        def fetch(digest, _task_id=task_id):
-            send_msg(conn, ("need", _task_id, [digest]))
-            reply = recv_msg(conn)
-            if reply is None or reply[0] != "blob":
+    def send(obj) -> None:
+        try:
+            with send_lock:
+                send_msg(conn, obj)
+        except (ConnectionError, OSError):
+            pass  # parent vanished; the reader loop notices next
+
+    def run_task(task_id, path, payload) -> None:
+        def fetch(digest):
+            waiter = _BlobWaiter()
+            with waiters_lock:
+                waiters[task_id] = waiter
+            send(("need", task_id, [digest]))
+            if not waiter.event.wait(timeout=60) or waiter.blobs is None:
                 raise ConnectionError("parent stopped serving blobs")
-            return reply[2][digest]
+            return waiter.blobs[digest]
 
         previous = _runtime.set_payload_fetcher(fetch)
         try:
             result = resolve_task(path)(payload)
         except Exception:
-            send_msg(conn, ("error", task_id, traceback.format_exc()))
+            send(("error", task_id, traceback.format_exc()))
         else:
-            send_msg(conn, ("result", task_id, result))
+            send(("result", task_id, result))
         finally:
             _runtime.set_payload_fetcher(previous)
+            with waiters_lock:
+                waiters.pop(task_id, None)
+
+    try:
+        while True:
+            message = recv_msg(conn)
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "ping":
+                send(("pong",))
+            elif kind == "blob":
+                with waiters_lock:
+                    waiter = waiters.get(message[1])
+                if waiter is not None:
+                    waiter.blobs = message[2]
+                    waiter.event.set()
+            elif kind == "task":
+                _, task_id, path, payload = message
+                if executor is None:
+                    executor = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="repro-shard"
+                    )
+                executor.submit(run_task, task_id, path, payload)
+            else:
+                send(("error", None, f"unknown frame {kind!r}"))
+    finally:
+        # Wake any fetch still parked (its blob can never arrive now)
+        # *before* waiting out the task thread, then drain it so no
+        # task survives into the next connection.
+        with waiters_lock:
+            for waiter in waiters.values():
+                waiter.event.set()
+        if executor is not None:
+            executor.shutdown(wait=True)
 
 
 class ShardServer:
@@ -195,14 +265,23 @@ def serve_shard(address: str, announce=print) -> None:
 
 
 class _TcpResult:
-    """The ``apply_async`` handle: a one-shot future."""
+    """The ``apply_async`` handle: a one-shot future.
 
-    __slots__ = ("_event", "_value", "_error")
+    Mirrors the ``multiprocessing.pool.AsyncResult`` slice the runtime
+    uses — ``get``, plus the completion callbacks the pipelined
+    scheduler's completion queue rides on (callbacks fire on the
+    shard's reader thread, exactly like a pool's result-handler
+    thread).
+    """
 
-    def __init__(self):
+    __slots__ = ("_event", "_value", "_error", "_callback", "_error_callback")
+
+    def __init__(self, callback=None, error_callback=None):
         self._event = threading.Event()
         self._value = None
         self._error = None
+        self._callback = callback
+        self._error_callback = error_callback
 
     def get(self, timeout: float | None = None):
         if not self._event.wait(timeout):
@@ -211,23 +290,39 @@ class _TcpResult:
             raise self._error
         return self._value
 
+    def ready(self) -> bool:
+        return self._event.is_set()
+
     def _resolve(self, value=None, error=None):
         self._value = value
         self._error = error
         self._event.set()
+        try:
+            if error is None and self._callback is not None:
+                self._callback(value)
+            elif error is not None and self._error_callback is not None:
+                self._error_callback(error)
+        except Exception:  # pragma: no cover - consumer callback bug
+            pass
 
 
 class TcpShard:
     """Parent-side handle on one remote shard connection.
 
     Duck-types the slice of ``multiprocessing.Pool`` the runtime uses
-    (``apply_async`` → ``.get()``, ``terminate``, ``join``) so the
-    dispatch path is transport-blind.  A dedicated sender thread owns
-    the socket: tasks queue through it, and while a task is in flight
-    the thread serves the worker's ``need`` requests from *blob_of*
-    (the arena payload lookup), reporting shipped bytes to *on_fetch*
-    so the runtime's fetch counters see every payload that crosses the
-    wire.
+    (``apply_async`` → ``.get()`` with optional callbacks,
+    ``terminate``, ``join``) so the dispatch path is transport-blind.
+    ``apply_async`` sends the tagged task frame inline under a send
+    lock and registers a pending future by task id; a dedicated
+    **reader thread** demultiplexes everything coming back — results
+    and errors resolve their pending future in whatever order the
+    worker produced them (the wire is pipelined, not lockstep), and
+    ``need`` frames are served from *blob_of* (the arena payload
+    lookup), reporting shipped bytes to *on_fetch* so the runtime's
+    fetch counters see every payload that crosses the wire.
+    :attr:`inflight` is the pending-future count — the invariance
+    tests assert it drains to zero after every sweep, cancelled ones
+    included.
     """
 
     def __init__(self, address: str, blob_of, on_fetch=None):
@@ -236,104 +331,125 @@ class TcpShard:
         self._on_fetch = on_fetch
         host, port = parse_address(address)
         self._sock = socket.create_connection((host, port), timeout=30)
-        self._tasks: list = []
+        self._pending: dict = {}
         self._lock = threading.Lock()
-        self._wakeup = threading.Event()
+        self._send_lock = threading.Lock()
         self._closing = False
         self._next_id = 0
-        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread = threading.Thread(target=self._recv_loop, daemon=True)
         self._thread.start()
 
-    def apply_async(self, func, args) -> _TcpResult:
+    @property
+    def inflight(self) -> int:
+        """Tasks sent whose result has not come back yet."""
+        with self._lock:
+            return len(self._pending)
+
+    def apply_async(
+        self, func, args, callback=None, error_callback=None
+    ) -> _TcpResult:
         (payload,) = args
-        result = _TcpResult()
+        result = _TcpResult(callback, error_callback)
         path = f"{func.__module__}:{func.__name__}"
         with self._lock:
+            if self._closing:
+                result._resolve(
+                    error=RemoteTaskError(
+                        f"shard {self.address}: connection closed"
+                    )
+                )
+                return result
             task_id = self._next_id
             self._next_id += 1
-            self._tasks.append((task_id, path, payload, result))
-        self._wakeup.set()
+            self._pending[task_id] = result
+        try:
+            with self._send_lock:
+                send_msg(self._sock, ("task", task_id, path, payload))
+        except Exception as exc:  # socket died: fail fast, loudly
+            with self._lock:
+                self._pending.pop(task_id, None)
+            result._resolve(
+                error=RemoteTaskError(f"shard {self.address}: {exc!r}")
+            )
         return result
 
     def terminate(self) -> None:
-        """Disconnect (the remote worker survives for the next
-        parent; its caches are the point of running it off-box)."""
-        self._closing = True
-        self._wakeup.set()
+        """Begin disconnecting (the remote worker survives for the
+        next parent; its caches are the point of running it off-box).
+        In-flight tasks get to finish in :meth:`join` — mirroring how
+        the lockstep sender finished its current task."""
+        with self._lock:
+            self._closing = True
 
     def join(self) -> None:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._pending:
+                    break
+            time.sleep(0.005)
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already closed
+            pass
         self._thread.join(timeout=30)
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - already closed
             pass
+        self._fail_pending("connection closed")
 
-    # -- sender thread -----------------------------------------------------
+    # -- reader thread -----------------------------------------------------
 
-    def _take(self):
-        with self._lock:
-            if self._tasks:
-                return self._tasks.pop(0)
-            self._wakeup.clear()
-        return None
-
-    def _run(self) -> None:
-        while True:
-            task = self._take()
-            if task is None:
-                if self._closing:
-                    return
-                self._wakeup.wait(timeout=0.5)
-                continue
-            task_id, path, payload, result = task
-            try:
-                send_msg(self._sock, ("task", task_id, path, payload))
-                self._pump(task_id, result)
-            except Exception as exc:  # socket died: fail fast, loudly
-                result._resolve(
-                    error=RemoteTaskError(
-                        f"shard {self.address}: {exc!r}"
-                    )
-                )
+    def _recv_loop(self) -> None:
+        """Demultiplex every inbound frame until the socket closes."""
+        try:
+            while True:
+                message = recv_msg(self._sock)
+                if message is None:
+                    raise ConnectionError("worker closed the connection")
+                kind = message[0]
+                if kind == "need":
+                    blobs = {
+                        digest: self._blob_of(digest)
+                        for digest in message[2]
+                    }
+                    if self._on_fetch is not None:
+                        for blob in blobs.values():
+                            self._on_fetch(len(blob))
+                    with self._send_lock:
+                        send_msg(self._sock, ("blob", message[1], blobs))
+                elif kind in ("result", "error"):
+                    with self._lock:
+                        result = self._pending.pop(message[1], None)
+                    if result is None:
+                        continue  # task already failed parent-side
+                    if kind == "result":
+                        result._resolve(value=message[2])
+                    else:
+                        result._resolve(
+                            error=RemoteTaskError(
+                                f"shard {self.address} raised:\n"
+                                f"{message[2]}"
+                            )
+                        )
+                elif kind == "pong":
+                    continue
+                else:
+                    raise ConnectionError(f"unexpected frame {kind!r}")
+        except Exception as exc:
+            with self._lock:
+                closing = self._closing
                 self._closing = True
-                self._fail_queued()
-                return
-
-    def _pump(self, task_id: int, result: _TcpResult) -> None:
-        """Serve ``need`` frames until the task's verdict arrives."""
-        while True:
-            message = recv_msg(self._sock)
-            if message is None:
-                raise ConnectionError("worker closed the connection")
-            kind = message[0]
-            if kind == "need":
-                blobs = {
-                    digest: self._blob_of(digest)
-                    for digest in message[2]
-                }
-                if self._on_fetch is not None:
-                    for blob in blobs.values():
-                        self._on_fetch(len(blob))
-                send_msg(self._sock, ("blob", message[1], blobs))
-            elif kind == "result" and message[1] == task_id:
-                result._resolve(value=message[2])
-                return
-            elif kind == "error":
-                result._resolve(
-                    error=RemoteTaskError(
-                        f"shard {self.address} raised:\n{message[2]}"
-                    )
-                )
-                return
+            if not closing:
+                self._fail_pending(repr(exc))
             else:
-                raise ConnectionError(f"unexpected frame {kind!r}")
+                self._fail_pending("connection closed")
 
-    def _fail_queued(self) -> None:
+    def _fail_pending(self, reason: str) -> None:
         with self._lock:
-            tasks, self._tasks = self._tasks, []
-        for _, _, _, result in tasks:
+            pending, self._pending = self._pending, {}
+        for result in pending.values():
             result._resolve(
-                error=RemoteTaskError(
-                    f"shard {self.address}: connection lost"
-                )
+                error=RemoteTaskError(f"shard {self.address}: {reason}")
             )

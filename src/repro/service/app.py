@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
 from dataclasses import dataclass
 
@@ -56,6 +57,7 @@ from repro.core.sweep import (
     check_pair,
     conversing_pairs,
     sweep_choreography,
+    sweep_choreography_streaming,
 )
 from repro.errors import ReproError
 from repro.instances.migrate import classify_migration
@@ -691,11 +693,16 @@ class ChoreoService:
         """Batched consistency sweep over all conversing pairs.
 
         With ``"stream": true`` the response is chunked NDJSON: one
-        verdict object per pair *as it is decided* on the engine
-        thread, then a summary line with the aggregated counters —
-        long sweeps surface progress instead of a single late JSON.
-        An engine failure after the 200 head terminates the body with
-        an ``{"error": ...}`` line instead of a summary.
+        verdict object per pair *as it is decided*, then a summary
+        line with the aggregated counters — long sweeps surface
+        progress instead of a single late JSON.  With ``workers > 1``
+        the verdict lines come off the pipelined fan-out in
+        **completion order** (unspecified; see docs/API.md) — only the
+        trailing summary is ordered.  ``"stop_on_first_inconsistency":
+        true`` stops the sweep at the first failing pair; skipped
+        pairs are reported in the summary's ``undecided`` count.  An
+        engine failure after the 200 head terminates the body with an
+        ``{"error": ...}`` line instead of a summary.
         """
         body = request.json()
         tenant, session = self._session(body)
@@ -707,6 +714,7 @@ class ChoreoService:
                 f"witness policy must be one of {', '.join(_POLICIES)}",
             )
         workers = _int_field(body, "workers", self.workers)
+        stop_on_first = bool(body.get("stop_on_first_inconsistency", False))
         choreography = session.choreography
         if not body.get("stream", False):
             with self.registry.admit(tenant):
@@ -718,6 +726,7 @@ class ChoreoService:
                         witnesses=policy,
                         workers=workers,
                         runtime=self.runtime,
+                        stop_on_first_inconsistency=stop_on_first,
                     )
 
                 report = await self._run_engine(compute)
@@ -732,6 +741,7 @@ class ChoreoService:
             )
             totals = {"hits": 0, "misses": 0}
             failures = 0
+            decided = 0
             for left, right in pairs:
 
                 def compute_pair(left=left, right=right):
@@ -752,6 +762,7 @@ class ChoreoService:
                 )
                 totals["hits"] += hits
                 totals["misses"] += misses
+                decided += 1
                 if not consistent:
                     failures += 1
                 yield {
@@ -764,6 +775,8 @@ class ChoreoService:
                         else None
                     ),
                 }
+                if stop_on_first and failures:
+                    break
             yield {
                 "summary": {
                     "consistent": failures == 0,
@@ -771,8 +784,86 @@ class ChoreoService:
                     "failures": failures,
                     "cache_hits": totals["hits"],
                     "cache_misses": totals["misses"],
+                    "undecided": len(pairs) - decided,
                 }
             }
+
+        async def fanned_verdicts():
+            # One engine dispatch runs the whole pipelined sweep;
+            # verdicts cross back to the loop thread through an
+            # asyncio queue as each chunk completes, so NDJSON lines
+            # hit the wire in completion order.  If the client goes
+            # away mid-sweep the `abandoned` flag makes the engine
+            # thread close the stream, cancelling outstanding chunks.
+            self.metrics.sweeps_executed += 1
+            loop = asyncio.get_running_loop()
+            relay: asyncio.Queue = asyncio.Queue()
+            abandoned = threading.Event()
+
+            def run_stream():
+                stream = sweep_choreography_streaming(
+                    choreography,
+                    witnesses=policy,
+                    workers=workers,
+                    runtime=self.runtime,
+                    stop_on_first_inconsistency=stop_on_first,
+                )
+                try:
+                    for outcome in stream:
+                        if abandoned.is_set():
+                            stream.close()
+                            break
+                        loop.call_soon_threadsafe(
+                            relay.put_nowait, ("verdict", outcome)
+                        )
+                    loop.call_soon_threadsafe(
+                        relay.put_nowait, ("report", stream.report)
+                    )
+                except BaseException as error:  # noqa: BLE001 — must
+                    # cross the thread boundary as a queue item; the
+                    # consumer re-raises it into the NDJSON error line.
+                    loop.call_soon_threadsafe(
+                        relay.put_nowait, ("error", error)
+                    )
+
+            self.metrics.engine_dispatches += 1
+            engine_done = loop.run_in_executor(self._engine, run_stream)
+            try:
+                while True:
+                    kind, value = await relay.get()
+                    if kind == "verdict":
+                        yield {
+                            "left": value.left,
+                            "right": value.right,
+                            "consistent": value.consistent,
+                            "witness": (
+                                value.witness.describe()
+                                if value.witness is not None
+                                else None
+                            ),
+                        }
+                    elif kind == "report":
+                        report = value
+                        yield {
+                            "summary": {
+                                "consistent": report.consistent,
+                                "pairs": (
+                                    len(report.outcomes) + report.undecided
+                                ),
+                                "failures": len(report.failures()),
+                                "cache_hits": report.cache_hits,
+                                "cache_misses": report.cache_misses,
+                                "undecided": report.undecided,
+                            }
+                        }
+                        return
+                    else:
+                        raise value
+            finally:
+                abandoned.set()
+                await engine_done
+
+        source = fanned_verdicts if workers > 1 else verdicts
 
         async def stream():
             # The admission slot is held for the stream's lifetime —
@@ -782,7 +873,7 @@ class ChoreoService:
             # never-iterated case (Admission.release is idempotent).
             with admission:
                 try:
-                    async for record in verdicts():
+                    async for record in source():
                         yield (json.dumps(record) + "\n").encode("utf-8")
                 except Exception as error:  # noqa: BLE001 — the 200
                     # head is already on the wire; an engine failure

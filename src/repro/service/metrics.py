@@ -302,6 +302,62 @@ def render_metrics(
         runtime_stats.get("payload_fetch_bytes", 0),
         "Payload bytes shipped to TCP workers on fetch-on-miss.",
     )
+    counter(
+        "repro_runtime_chunks_dispatched_total",
+        runtime_stats.get("chunks_dispatched", 0),
+        "Micro-chunks dispatched by the pipelined scheduler "
+        "(primary and speculative attempts).",
+    )
+    counter(
+        "repro_runtime_speculative_dispatches_total",
+        runtime_stats.get("speculative_dispatches", 0),
+        "Backup attempts launched against straggling shards.",
+    )
+    counter(
+        "repro_runtime_speculative_wins_total",
+        runtime_stats.get("speculative_wins", 0),
+        "Chunks whose backup attempt finished before the original.",
+    )
+    counter(
+        "repro_runtime_stolen_chunks_total",
+        runtime_stats.get("stolen_chunks", 0),
+        "Queued chunks re-routed off a straggling shard's backlog.",
+    )
+    counter(
+        "repro_runtime_cancelled_chunks_total",
+        runtime_stats.get("cancelled_chunks", 0),
+        "Chunks cancelled by fail-fast or an abandoned stream.",
+    )
+    gauge(
+        "repro_runtime_inflight",
+        runtime_stats.get("inflight", 0),
+        "Chunk attempts currently in flight across the fleet.",
+    )
+    gauge(
+        "repro_runtime_inflight_high_water",
+        runtime_stats.get("inflight_high_water", 0),
+        "Highest concurrent in-flight chunk-attempt count observed.",
+    )
+
+    name = "repro_runtime_chunk_pairs"
+    chunk_hist = runtime_stats.get("chunk_size_hist") or {}
+    lines.append(
+        f"# HELP {name} Pairs per dispatched chunk "
+        "(pipelined scheduler chunk-size histogram)."
+    )
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for bound in sorted(
+        key for key in chunk_hist if not isinstance(key, str)
+    ):
+        cumulative += chunk_hist[bound]
+        lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+    cumulative += chunk_hist.get("inf", 0)
+    lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(
+        f"{name}_sum {runtime_stats.get('chunk_pairs_total', 0)}"
+    )
+    lines.append(f"{name}_count {cumulative}")
 
     gauge(
         "repro_verdict_cache_entries",

@@ -663,8 +663,73 @@ class TestStreamingSweep:
                 assert lines[0]["consistent"] is True
                 assert lines[-1]["summary"]["pairs"] == 1
                 assert lines[-1]["summary"]["consistent"] is True
+                assert lines[-1]["summary"]["undecided"] == 0
                 # The admission slot was released with the stream.
                 assert service.registry.inflight_total == 0
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_fanned_stream_bridges_engine_thread(self):
+        """``workers > 1`` streams through one engine dispatch running
+        the pipelined sweep; lines arrive in completion order with the
+        summary (undecided included) last."""
+
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/sweep",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "stream": True,
+                            "workers": 2,
+                        },
+                    )
+                )
+                assert status == 200
+                lines = []
+                async for piece in payload.generator:
+                    lines.extend(
+                        json.loads(line)
+                        for line in piece.decode().splitlines()
+                        if line.strip()
+                    )
+                assert len(lines) == 2
+                assert "summary" not in lines[0]
+                summary = lines[-1]["summary"]
+                assert summary["pairs"] == 1
+                assert summary["consistent"] is True
+                assert summary["undecided"] == 0
+                assert service.registry.inflight_total == 0
+            finally:
+                service.close()
+
+        run(main())
+
+    def test_stop_on_first_inconsistency_accepted(self):
+        async def main():
+            service = await make_service()
+            try:
+                status, payload = await service.dispatch(
+                    request(
+                        "POST",
+                        "/sweep",
+                        {
+                            "tenant": "acme",
+                            "choreography": "shop",
+                            "stop_on_first_inconsistency": True,
+                        },
+                    )
+                )
+                assert status == 200
+                # A consistent choreography fail-fasts nothing.
+                assert payload["consistent"] is True
+                assert payload["undecided"] == 0
             finally:
                 service.close()
 
